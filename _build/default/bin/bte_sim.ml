@@ -1,0 +1,318 @@
+(* Command-line driver for the phonon-BTE solver.
+
+     bte_sim run      -- solve a scenario and report the temperature field
+     bte_sim model    -- print modelled paper-scale times for a strategy
+     bte_sim codegen  -- show the DSL pipeline output (symbolic forms + code)
+
+   See `bte_sim COMMAND --help` for options. *)
+
+open Cmdliner
+
+(* ---------- shared options ---------- *)
+
+let nx_t =
+  Arg.(value & opt int 24 & info [ "nx" ] ~docv:"N" ~doc:"Cells in x.")
+
+let ny_t = Arg.(value & opt int 24 & info [ "ny" ] ~docv:"N" ~doc:"Cells in y.")
+
+let ndirs_t =
+  Arg.(value & opt int 8 & info [ "dirs" ] ~docv:"N" ~doc:"Discrete directions (even).")
+
+let nbands_t =
+  Arg.(value & opt int 8 & info [ "bands" ] ~docv:"N" ~doc:"LA frequency bands.")
+
+let nsteps_t =
+  Arg.(value & opt int 50 & info [ "steps" ] ~docv:"N" ~doc:"Time steps.")
+
+let scenario_t =
+  Arg.(
+    value
+    & opt (enum [ "hotspot", `Hotspot; "corner", `Corner ]) `Hotspot
+    & info [ "scenario" ] ~docv:"NAME" ~doc:"Scenario: hotspot (Fig. 2) or corner (Fig. 10).")
+
+let target_t =
+  Arg.(
+    value
+    & opt string "serial"
+    & info [ "target" ] ~docv:"TARGET"
+        ~doc:
+          "Execution target: serial, bands:N, cells:N, threads:N, or gpu \
+           (simulated A6000).")
+
+let csv_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"PATH" ~doc:"Write the temperature field as CSV.")
+
+let paper_scale_t =
+  Arg.(
+    value & flag
+    & info [ "paper-scale" ]
+        ~doc:"Use the full 120x120 / 20-direction / 40-band configuration (slow).")
+
+(* ---------- run ---------- *)
+
+let parse_target s =
+  match String.split_on_char ':' s with
+  | [ "serial" ] -> Ok (`Cpu Finch.Config.Serial)
+  | [ "gpu" ] -> Ok `Gpu
+  | [ "bands"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n > 0 -> Ok (`Cpu (Finch.Config.Band_parallel n))
+    | _ -> Error "bad rank count")
+  | [ "cells"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n > 0 -> Ok (`Cpu (Finch.Config.Cell_parallel n))
+    | _ -> Error "bad rank count")
+  | [ "threads"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n > 0 -> Ok (`Threads n)
+    | _ -> Error "bad domain count")
+  | _ -> Error ("unknown target " ^ s)
+
+let run_cmd scenario nx ny ndirs nbands nsteps target csv paper_scale =
+  let base =
+    match scenario, paper_scale with
+    | `Hotspot, true -> Bte.Setup.paper_hotspot
+    | `Hotspot, false ->
+      { Bte.Setup.small_hotspot with Bte.Setup.nx; ny; ndirs; n_la_bands = nbands; nsteps }
+    | `Corner, true -> Bte.Setup.paper_corner
+    | `Corner, false ->
+      { Bte.Setup.small_corner with Bte.Setup.nx; ny; ndirs; n_la_bands = nbands; nsteps }
+  in
+  match parse_target target with
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    exit 2
+  | Ok tgt ->
+    let built =
+      match scenario with
+      | `Hotspot -> Bte.Setup.build base
+      | `Corner -> Bte.Setup.build_corner base
+    in
+    Printf.printf "scenario %s: %dx%d cells, %d dirs, %d bands, %d steps (dt %.3g s)\n%!"
+      base.Bte.Setup.sname base.Bte.Setup.nx base.Bte.Setup.ny base.Bte.Setup.ndirs
+      (Bte.Dispersion.nbands built.Bte.Setup.disp)
+      base.Bte.Setup.nsteps built.Bte.Setup.scenario.Bte.Setup.dt;
+    let t0 = Unix.gettimeofday () in
+    let outcome =
+      match tgt with
+      | `Cpu strategy ->
+        Finch.Problem.set_target built.Bte.Setup.problem (Finch.Config.Cpu strategy);
+        Finch.Solve.solve ~band_index:"b" built.Bte.Setup.problem
+      | `Gpu ->
+        Finch.Problem.use_cuda built.Bte.Setup.problem;
+        Finch.Solve.solve ~post_io:Bte.Setup.post_io built.Bte.Setup.problem
+      | `Threads n ->
+        let r = Finch.Target_cpu.run_threaded built.Bte.Setup.problem ~ndomains:n in
+        let st = Finch.Target_cpu.primary r in
+        {
+          Finch.Solve.u = st.Finch.Lower.u;
+          fields = st.Finch.Lower.fields;
+          breakdown = r.Finch.Target_cpu.breakdown;
+          gpu = None;
+          states = r.Finch.Target_cpu.states;
+        }
+    in
+    Printf.printf "wall time %.2f s\n" (Unix.gettimeofday () -. t0);
+    let ft = Finch.Solve.field outcome "T" in
+    let stats =
+      Bte.Diag.temperature_stats built.Bte.Setup.mesh ft
+        ~t_ambient:base.Bte.Setup.t_cold
+    in
+    Format.printf "%a@." Bte.Diag.pp_stats stats;
+    Format.printf "breakdown: %a@." Prt.Breakdown.pp outcome.Finch.Solve.breakdown;
+    (match outcome.Finch.Solve.gpu with
+     | Some g ->
+       print_endline
+         (Gpu_sim.Perf.to_string
+            (Gpu_sim.Perf.report g.Finch.Target_gpu.device
+               ~avg_threads:g.Finch.Target_gpu.profile_threads))
+     | None -> ());
+    (match csv with
+     | Some path ->
+       Bte.Diag.to_csv built.Bte.Setup.mesh ft ~comp:0 path;
+       Printf.printf "temperature field written to %s\n" path
+     | None -> ())
+
+let run_term =
+  Term.(
+    const run_cmd $ scenario_t $ nx_t $ ny_t $ ndirs_t $ nbands_t $ nsteps_t
+    $ target_t $ csv_t $ paper_scale_t)
+
+let run_info =
+  Cmd.info "run" ~doc:"Solve a BTE scenario with a chosen execution target."
+
+(* ---------- model ---------- *)
+
+let procs_t =
+  Arg.(
+    value
+    & opt (list int) [ 1; 2; 5; 10; 20; 40; 55 ]
+    & info [ "procs" ] ~docv:"LIST" ~doc:"Process counts to evaluate.")
+
+let strategy_t =
+  Arg.(
+    value
+    & opt (enum [ "bands", `Bands; "cells", `Cells; "gpu", `Gpu; "fortran", `Fortran ]) `Bands
+    & info [ "strategy" ] ~docv:"NAME" ~doc:"Strategy: bands, cells, gpu or fortran.")
+
+let model_cmd strategy procs =
+  Printf.printf "%-8s %12s %12s %14s %16s\n" "p" "total [s]" "intensity%"
+    "temperature%" "communication%";
+  List.iter
+    (fun p ->
+      let s =
+        match strategy with
+        | `Bands -> Bte.Perfmodel.Bands p
+        | `Cells -> Bte.Perfmodel.Cells p
+        | `Gpu -> Bte.Perfmodel.Gpu p
+        | `Fortran -> Bte.Perfmodel.Fortran p
+      in
+      match Bte.Perfmodel.run_breakdown s with
+      | b ->
+        let pc = Prt.Breakdown.percentages b in
+        Printf.printf "%-8d %12.1f %11.1f%% %13.1f%% %15.1f%%\n" p
+          (Prt.Breakdown.total b) pc.Prt.Breakdown.pct_intensity
+          pc.Prt.Breakdown.pct_temperature pc.Prt.Breakdown.pct_communication
+      | exception Invalid_argument m -> Printf.printf "%-8d %s\n" p m)
+    procs
+
+let model_term = Term.(const model_cmd $ strategy_t $ procs_t)
+
+let model_info =
+  Cmd.info "model"
+    ~doc:"Print modelled paper-scale execution times for a parallel strategy."
+
+(* ---------- codegen ---------- *)
+
+let equation_t =
+  Arg.(
+    value
+    & opt string "-k*u - surface(upwind([bx;by], u))"
+    & info [ "equation" ] ~docv:"EXPR" ~doc:"Conservation-form input expression.")
+
+let cuda_t = Arg.(value & flag & info [ "cuda" ] ~doc:"Emit the CUDA-like hybrid code.")
+
+let codegen_cmd equation cuda =
+  let p = Finch.Problem.init "codegen" in
+  Finch.Problem.domain p 2;
+  Finch.Problem.set_mesh p (Fvm.Mesh_gen.rectangle ~nx:4 ~ny:4 ~lx:1. ~ly:1. ());
+  Finch.Problem.set_steps p ~dt:1e-3 ~nsteps:1;
+  let u = Finch.Problem.variable p ~name:"u" () in
+  List.iter
+    (fun name ->
+      ignore (Finch.Problem.coefficient p ~name (Finch.Entity.Const 1.)))
+    [ "k"; "bx"; "by" ];
+  Finch.Problem.initial p u (Finch.Problem.Init_const 0.);
+  let eq = Finch.Problem.conservation_form p u equation in
+  print_endline "=== expanded symbolic representation ===";
+  print_endline (Finch.Transform.report_expanded eq);
+  print_endline "\n=== after forward-Euler transform ===";
+  print_endline (Finch.Transform.report_stepped eq);
+  print_endline "\n=== classified terms ===";
+  print_endline (Finch.Transform.report_classified eq);
+  if cuda then begin
+    Finch.Problem.use_cuda p;
+    let plan = Finch.Dataflow.plan_for_problem p in
+    let transfers =
+      List.filter_map
+        (fun t ->
+          if t.Finch.Dataflow.tr_h2d_every_step then
+            Some (t.Finch.Dataflow.tr_var, true)
+          else if t.Finch.Dataflow.tr_h2d_once then
+            Some (t.Finch.Dataflow.tr_var, false)
+          else None)
+        plan.Finch.Dataflow.transfers
+    in
+    print_endline "\n=== generated hybrid CPU/GPU code (CUDA-like) ===";
+    print_endline (Finch.Emit_source.to_cuda (Finch.Ir.build_gpu p ~transfers))
+  end
+  else begin
+    print_endline "\n=== generated CPU code (Julia-like) ===";
+    print_endline (Finch.Emit_source.to_julia (Finch.Ir.build_cpu p))
+  end
+
+let codegen_term = Term.(const codegen_cmd $ equation_t $ cuda_t)
+
+let codegen_info =
+  Cmd.info "codegen" ~doc:"Show the DSL pipeline output for an input equation."
+
+(* ---------- material ---------- *)
+
+let temps_t =
+  Arg.(
+    value
+    & opt (list float) [ 100.; 200.; 300.; 400.; 500. ]
+    & info [ "temps" ] ~docv:"LIST" ~doc:"Temperatures (K) to evaluate.")
+
+let material_cmd temps =
+  Printf.printf "%-8s %14s %18s %14s
+" "T [K]" "k [W/(m K)]" "C [J/(m^3 K)]"
+    "MFP [nm]";
+  List.iter
+    (fun t ->
+      Printf.printf "%-8g %14.1f %18.3g %14.0f
+" t (Bte.Conductivity.bulk t)
+        (Bte.Conductivity.heat_capacity t)
+        (1e9 *. Bte.Conductivity.mean_free_path t))
+    temps;
+  print_endline
+    "(acoustic branches only; silicon's measured k(300K) = 148 W/(m K) —
+    \ the ~100 nm room-temperature mean free path is why sub-micron devices
+    \ need the BTE instead of Fourier's law)"
+
+let material_term = Term.(const material_cmd $ temps_t)
+
+let material_info =
+  Cmd.info "material"
+    ~doc:"Print kinetic-theory material properties of the phonon model."
+
+(* ---------- film ---------- *)
+
+let thicknesses_t =
+  Arg.(
+    value
+    & opt (list float) [ 50e-9; 200e-9; 1e-6 ]
+    & info [ "thicknesses" ] ~docv:"LIST" ~doc:"Film thicknesses in metres.")
+
+let film_cmd thicknesses =
+  let cfg =
+    { Bte.Film.default_config with Bte.Film.ncells = 24; ndirs = 8;
+      n_la_bands = 6; max_steps = 20_000 }
+  in
+  Printf.printf "%-14s %12s %12s %10s
+" "thickness" "k_eff" "k_diffusive"
+    "ratio";
+  List.iter
+    (fun l ->
+      let r = Bte.Film.effective_conductivity ~cfg ~thickness:l () in
+      Printf.printf "%-14s %12.1f %12.1f %10.3f
+"
+        (Printf.sprintf "%g nm" (1e9 *. l))
+        r.Bte.Film.k_eff r.Bte.Film.k_bulk r.Bte.Film.ratio)
+    thicknesses
+
+let film_term = Term.(const film_cmd $ thicknesses_t)
+
+let film_info =
+  Cmd.info "film"
+    ~doc:"Cross-plane thin-film conduction: the phonon size effect."
+
+(* ---------- main ---------- *)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "bte_sim" ~version:"1.0"
+      ~doc:"Phonon Boltzmann transport with a PDE code-generation DSL."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ Cmd.v run_info run_term;
+            Cmd.v model_info model_term;
+            Cmd.v codegen_info codegen_term;
+            Cmd.v material_info material_term;
+            Cmd.v film_info film_term ]))

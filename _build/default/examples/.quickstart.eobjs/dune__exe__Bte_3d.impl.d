@@ -1,0 +1,1 @@
+examples/bte_3d.ml: Angles Array Bte Diag Dispersion Finch Format Fvm Printf Setup3d Unix

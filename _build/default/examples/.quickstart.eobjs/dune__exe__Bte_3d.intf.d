@@ -1,0 +1,1 @@
+examples/bte_3d.mli:

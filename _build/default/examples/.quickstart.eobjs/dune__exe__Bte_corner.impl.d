@@ -1,0 +1,1 @@
+examples/bte_corner.ml: Array Bte Diag Filename Finch Float Format Fvm Printf Setup String Sys

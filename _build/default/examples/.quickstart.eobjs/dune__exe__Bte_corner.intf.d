@@ -1,0 +1,1 @@
+examples/bte_corner.mli:

@@ -1,0 +1,1 @@
+examples/bte_hotspot.ml: Array Bte Diag Dispersion Finch Format Gpu_sim Printf Prt Setup Sys

@@ -1,0 +1,1 @@
+examples/fem_poisson.ml: Array Fem Float Fvm La List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Config Emit_source Entity Finch Format Fvm Ir List Printf Problem Prt Solve Transform

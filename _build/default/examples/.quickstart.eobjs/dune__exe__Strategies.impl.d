@@ -1,0 +1,1 @@
+examples/strategies.ml: Bte Dispersion Finch Float Fvm Gpu_sim List Printf Setup Unix

@@ -1,0 +1,1 @@
+examples/thin_film.ml: Array Bte Conductivity Film List Printf Sys

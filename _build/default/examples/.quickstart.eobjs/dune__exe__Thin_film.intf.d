@@ -1,0 +1,1 @@
+examples/thin_film.mli:

@@ -1,0 +1,1 @@
+examples/ttg.ml: Angles Array Bc Bte Dispersion Equilibrium Film Finch Float Fvm List Printf Scattering Sys Temperature

@@ -1,0 +1,1 @@
+lib/bte/angles.ml: Array Float Fvm

@@ -1,0 +1,1 @@
+lib/bte/bc.ml: Angles Array Constants Dispersion Equilibrium Finch Fvm

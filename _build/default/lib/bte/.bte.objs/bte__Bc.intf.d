@@ -1,0 +1,1 @@
+lib/bte/bc.mli: Angles Dispersion Equilibrium Finch

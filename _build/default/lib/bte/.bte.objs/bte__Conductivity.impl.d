@@ -1,0 +1,1 @@
+lib/bte/conductivity.ml: Constants Dispersion Equilibrium List Scattering

@@ -1,0 +1,1 @@
+lib/bte/diag.ml: Angles Array Dispersion Format Fvm List Printf

@@ -1,0 +1,1 @@
+lib/bte/diag.mli: Angles Dispersion Format Fvm

@@ -1,0 +1,1 @@
+lib/bte/dispersion.ml: Array Constants Float Printf

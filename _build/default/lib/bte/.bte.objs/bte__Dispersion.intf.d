@@ -1,0 +1,1 @@
+lib/bte/dispersion.mli:

@@ -1,0 +1,1 @@
+lib/bte/equilibrium.ml: Array Constants Dispersion Float

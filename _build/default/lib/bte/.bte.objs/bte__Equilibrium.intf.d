@@ -1,0 +1,1 @@
+lib/bte/equilibrium.mli: Dispersion

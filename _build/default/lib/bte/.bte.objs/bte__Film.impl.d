@@ -1,0 +1,1 @@
+lib/bte/film.ml: Angles Array Bc Dispersion Equilibrium Finch Float Fvm Scattering Temperature

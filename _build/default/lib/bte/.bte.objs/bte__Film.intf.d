@@ -1,0 +1,1 @@
+lib/bte/film.mli: Angles Dispersion Equilibrium Finch Fvm

@@ -1,0 +1,1 @@
+lib/bte/perfmodel.ml: Dispersion Float Gpu_sim Prt Setup

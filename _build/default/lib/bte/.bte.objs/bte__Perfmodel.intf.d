@@ -1,0 +1,1 @@
+lib/bte/perfmodel.mli: Gpu_sim Prt Setup

@@ -1,0 +1,1 @@
+lib/bte/reference.ml: Angles Array Dispersion Equilibrium Float Scattering Setup Temperature Unix

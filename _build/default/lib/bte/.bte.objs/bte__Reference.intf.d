@@ -1,0 +1,1 @@
+lib/bte/reference.mli: Angles Dispersion Equilibrium Setup Temperature

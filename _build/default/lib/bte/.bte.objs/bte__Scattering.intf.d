@@ -1,0 +1,1 @@
+lib/bte/scattering.mli: Dispersion

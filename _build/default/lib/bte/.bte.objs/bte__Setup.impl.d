@@ -1,0 +1,1 @@
+lib/bte/setup.ml: Angles Array Bc Dispersion Equilibrium Finch Float Fvm Printf Scattering Temperature

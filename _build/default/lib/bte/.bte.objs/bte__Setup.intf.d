@@ -1,0 +1,1 @@
+lib/bte/setup.mli: Angles Dispersion Equilibrium Finch Fvm Temperature

@@ -1,0 +1,1 @@
+lib/bte/setup3d.ml: Angles Array Bc Dispersion Equilibrium Finch Float Fvm List Printf Scattering Temperature

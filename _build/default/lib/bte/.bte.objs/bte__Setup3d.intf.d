@@ -1,0 +1,1 @@
+lib/bte/setup3d.mli: Angles Dispersion Equilibrium Finch Fvm Temperature

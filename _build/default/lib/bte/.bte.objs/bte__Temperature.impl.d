@@ -1,0 +1,1 @@
+lib/bte/temperature.ml: Angles Array Dispersion Equilibrium Finch Float Fvm Scattering

@@ -1,0 +1,1 @@
+lib/bte/temperature.mli: Angles Dispersion Equilibrium Finch

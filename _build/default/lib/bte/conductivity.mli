@@ -1,0 +1,27 @@
+(** Bulk thermal conductivity and related material properties from kinetic
+    theory — the diffusive-limit closure of the BTE and the quantity the
+    paper's companion FDTR work (its ref [15]) extracts.
+
+    Validates the dispersion + Holland-scattering parameterization: at
+    300 K the acoustic-branch k comes out in silicon's measured decade
+    (~90 vs 148 W/(m K); optical branches, absent from the model, carry
+    heat capacity but almost no heat), decreasing as ~T^-1.3 above the
+    Umklapp peak. *)
+
+val quad_points : int
+
+val spectral_heat_capacity : Dispersion.branch -> float -> float -> float
+(** hbar w D(w) df_BE/dT at (w, T), per unit volume and frequency. *)
+
+val branch_conductivity : Dispersion.branch -> float -> float
+
+val bulk : float -> float
+(** k(T) = (1/3) sum_p deg_p integral C(w) vg^2 tau dw, W/(m K). *)
+
+val heat_capacity : float -> float
+(** Volumetric heat capacity of the acoustic branches, J/(m^3 K). *)
+
+val mean_free_path : float -> float
+(** Gray-medium mean free path 3k/(C v_avg) in metres — order 100 nm at
+    room temperature, the scale the paper's introduction quotes to justify
+    the BTE over Fourier at sub-micron sizes. *)

@@ -1,0 +1,50 @@
+(* Physical constants and silicon material parameters.
+
+   Dispersion: quadratic fits omega(k) = vs*k + c*k^2 along [100] for the
+   LA and TA branches of silicon (Brockhouse neutron data), the standard
+   parameterization used by the phonon-BTE literature the paper builds on
+   (Mazumder & Majumdar 2001; Ali et al. 2014).
+
+   Relaxation times: Holland-type model —
+     impurity     1/tau_i  = a_impurity * omega^4          (all branches)
+     LA N+U       1/tau_l  = b_l * omega^2 * T^3
+     TA normal    1/tau_tn = b_tn * omega * T^4            (omega < omega_half)
+     TA umklapp   1/tau_tu = b_tu * omega^2 / sinh(x)      (omega >= omega_half)
+   combined by Matthiessen's rule. *)
+
+let hbar = 1.054571817e-34 (* J s *)
+let kb = 1.380649e-23      (* J/K *)
+
+(* --- silicon dispersion ------------------------------------------------ *)
+
+(* LA branch: omega = vs_la k + c_la k^2, k in [0, k_max] *)
+let vs_la = 9.01e3   (* m/s *)
+let c_la = -2.0e-7   (* m^2/s *)
+
+(* TA branch (doubly degenerate) *)
+let vs_ta = 5.23e3
+let c_ta = -2.26e-7
+
+(* zone-edge wavevector along [100]: 2*pi / a with a = 5.43 Angstrom,
+   halved for the diamond structure's reduced zone *)
+let k_max = 1.157e10 /. 2. *. 2. (* m^-1; see note below *)
+
+(* NOTE: the literature fits use k_max ~ 1.12e10 1/m; using 1.157e10 from
+   2*pi/a directly changes band-edge frequencies by ~3%, well inside the
+   model's accuracy.  We keep 2*pi/a. *)
+
+(* --- Holland relaxation-time parameters for silicon -------------------- *)
+
+let a_impurity = 1.32e-45 (* s^3 *)
+let b_l = 2.0e-24         (* s K^-3 *)
+let b_tn = 9.3e-13        (* K^-4 *)
+let b_tu = 5.5e-18        (* s *)
+
+(* TA normal/umklapp crossover: omega at k_max/2 on the TA branch *)
+let omega_half_ta =
+  let k = k_max /. 2. in
+  (vs_ta *. k) +. (c_ta *. k *. k)
+
+(* --- default scenario temperatures ------------------------------------- *)
+
+let t_reference = 300. (* K *)

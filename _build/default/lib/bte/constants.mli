@@ -1,0 +1,43 @@
+(** Physical constants and silicon material parameters: quadratic
+    dispersion fits along [100] (Brockhouse data, the parameterization
+    used by the phonon-BTE literature the paper builds on) and
+    Holland-model relaxation-time coefficients. *)
+
+(** J s *)
+val hbar : float
+
+(** J/K *)
+val kb : float
+
+(** {2 Silicon dispersion: omega = vs k + c k^2} *)
+
+(** LA sound speed, m/s *)
+val vs_la : float
+
+(** LA quadratic coefficient, m^2/s *)
+val c_la : float
+val vs_ta : float
+val c_ta : float
+
+(** zone-edge wavevector along [100], 1/m *)
+val k_max : float
+
+(** {2 Holland relaxation-time parameters} *)
+
+(** impurity: 1/tau = a w^4; s^3 *)
+val a_impurity : float
+
+(** LA N+U: 1/tau = b_l w^2 T^3; s/K^3 *)
+val b_l : float
+
+(** TA normal (w < omega_half): 1/tau = b_tn w T^4 *)
+val b_tn : float
+
+(** TA umklapp (w >= omega_half) *)
+val b_tu : float
+
+(** TA normal/umklapp crossover frequency *)
+val omega_half_ta : float
+
+(** 300 K *)
+val t_reference : float

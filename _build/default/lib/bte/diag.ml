@@ -1,0 +1,146 @@
+(* Diagnostics: temperature-field statistics, profiles and CSV dumps used
+   by the examples and by the figure-regeneration benches (Figs. 2 and 10
+   report temperature fields; we report their quantitative signature). *)
+
+type field_stats = {
+  t_min : float;
+  t_max : float;
+  t_mean : float;          (* volume-weighted *)
+  peak_pos : float array;  (* centroid of the hottest cell *)
+  spread_halfwidth : float;
+    (* largest distance from the peak at which the excess temperature is
+       still at least half the peak excess — the "spread of heat" contour *)
+}
+
+let temperature_stats (mesh : Fvm.Mesh.t) (ft : Fvm.Field.t) ~t_ambient =
+  let n = mesh.Fvm.Mesh.ncells in
+  let t_min = ref infinity and t_max = ref neg_infinity in
+  let sum = ref 0. and vol = ref 0. in
+  let peak_cell = ref 0 in
+  for c = 0 to n - 1 do
+    let t = Fvm.Field.get ft c 0 in
+    if t < !t_min then t_min := t;
+    if t > !t_max then begin
+      t_max := t;
+      peak_cell := c
+    end;
+    sum := !sum +. (t *. mesh.Fvm.Mesh.cell_volume.(c));
+    vol := !vol +. mesh.Fvm.Mesh.cell_volume.(c)
+  done;
+  let peak_pos = Fvm.Mesh.cell_centroid mesh !peak_cell in
+  let half = t_ambient +. ((!t_max -. t_ambient) /. 2.) in
+  let spread = ref 0. in
+  for c = 0 to n - 1 do
+    let t = Fvm.Field.get ft c 0 in
+    if t >= half then begin
+      let pos = Fvm.Mesh.cell_centroid mesh c in
+      let d = Fvm.Vec.norm (Fvm.Vec.sub pos peak_pos) in
+      if d > !spread then spread := d
+    end
+  done;
+  {
+    t_min = !t_min;
+    t_max = !t_max;
+    t_mean = !sum /. !vol;
+    peak_pos;
+    spread_halfwidth = !spread;
+  }
+
+(* temperature along a horizontal line of a structured [nx] x [ny] grid *)
+let profile_x (ft : Fvm.Field.t) ~nx ~j =
+  Array.init nx (fun i -> Fvm.Field.get ft ((j * nx) + i) 0)
+
+let profile_y (ft : Fvm.Field.t) ~nx ~ny ~i =
+  Array.init ny (fun j -> Fvm.Field.get ft ((j * nx) + i) 0)
+
+(* CSV dump: x,y,value per cell *)
+let to_csv (mesh : Fvm.Mesh.t) (f : Fvm.Field.t) ~comp path =
+  let oc = open_out path in
+  output_string oc "x,y,value\n";
+  for c = 0 to mesh.Fvm.Mesh.ncells - 1 do
+    let pos = Fvm.Mesh.cell_centroid mesh c in
+    Printf.fprintf oc "%.9g,%.9g,%.9g\n" pos.(0)
+      (if Array.length pos > 1 then pos.(1) else 0.)
+      (Fvm.Field.get f c comp)
+  done;
+  close_out oc
+
+(* Total phonon energy density integrated over the domain:
+   E = sum_cells V_c * sum_{d,b} w_d I_{d,b} / vg_b.  Conserved in a closed
+   adiabatic domain — the invariant the conservation tests check. *)
+let total_energy (mesh : Fvm.Mesh.t) (fi : Fvm.Field.t) (disp : Dispersion.t)
+    (angles : Angles.t) =
+  let nd = angles.Angles.ndirs in
+  let nb = Dispersion.nbands disp in
+  let acc = ref 0. in
+  for c = 0 to mesh.Fvm.Mesh.ncells - 1 do
+    let cell_acc = ref 0. in
+    for b = 0 to nb - 1 do
+      let vg = (Dispersion.band disp b).Dispersion.vg in
+      for d = 0 to nd - 1 do
+        cell_acc :=
+          !cell_acc
+          +. (angles.Angles.weight.(d) *. Fvm.Field.get fi c (d + (b * nd)) /. vg)
+      done
+    done;
+    acc := !acc +. (!cell_acc *. mesh.Fvm.Mesh.cell_volume.(c))
+  done;
+  !acc
+
+(* Legacy-VTK unstructured-grid writer for cell data (temperature fields,
+   intensity moments) — loadable in ParaView for the Fig. 2 / Fig. 10
+   style visualizations. *)
+let to_vtk (mesh : Fvm.Mesh.t) (fields : (string * Fvm.Field.t * int) list)
+    path =
+  let oc = open_out path in
+  let pr fmt = Printf.fprintf oc fmt in
+  pr "# vtk DataFile Version 3.0\n";
+  pr "finch-bte field dump\nASCII\nDATASET UNSTRUCTURED_GRID\n";
+  let dim = mesh.Fvm.Mesh.dim in
+  pr "POINTS %d double\n" mesh.Fvm.Mesh.nvertices;
+  for v = 0 to mesh.Fvm.Mesh.nvertices - 1 do
+    let c k = if k < dim then mesh.Fvm.Mesh.coords.((v * dim) + k) else 0. in
+    pr "%.9g %.9g %.9g\n" (c 0) (c 1) (c 2)
+  done;
+  let total_ints =
+    Array.fold_left
+      (fun acc verts -> acc + 1 + Array.length verts)
+      0 mesh.Fvm.Mesh.cell_vertices
+  in
+  pr "CELLS %d %d\n" mesh.Fvm.Mesh.ncells total_ints;
+  Array.iter
+    (fun verts ->
+      pr "%d" (Array.length verts);
+      Array.iter (fun v -> pr " %d" v) verts;
+      pr "\n")
+    mesh.Fvm.Mesh.cell_vertices;
+  pr "CELL_TYPES %d\n" mesh.Fvm.Mesh.ncells;
+  Array.iter
+    (fun verts ->
+      let t =
+        match dim, Array.length verts with
+        | 1, _ -> 3 (* line *)
+        | 2, 3 -> 5 (* triangle *)
+        | 2, 4 -> 9 (* quad *)
+        | 3, 8 -> 12 (* hexahedron *)
+        | _, n -> invalid_arg (Printf.sprintf "Diag.to_vtk: %d-vertex cell" n)
+      in
+      pr "%d\n" t)
+    mesh.Fvm.Mesh.cell_vertices;
+  pr "CELL_DATA %d\n" mesh.Fvm.Mesh.ncells;
+  List.iter
+    (fun (name, f, comp) ->
+      pr "SCALARS %s double 1\nLOOKUP_TABLE default\n" name;
+      for c = 0 to mesh.Fvm.Mesh.ncells - 1 do
+        pr "%.9g\n" (Fvm.Field.get f c comp)
+      done)
+    fields;
+  close_out oc
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "T in [%.2f, %.2f] K, mean %.3f K, peak at (%.1f, %.1f) um, half-excess spread %.1f um"
+    s.t_min s.t_max s.t_mean
+    (1e6 *. s.peak_pos.(0))
+    (1e6 *. s.peak_pos.(1))
+    (1e6 *. s.spread_halfwidth)

@@ -1,0 +1,33 @@
+(** Diagnostics: temperature-field statistics, profiles, CSV dumps and the
+    energy integral used by conservation tests. *)
+
+type field_stats = {
+  t_min : float;
+  t_max : float;
+  t_mean : float;              (** volume-weighted *)
+  peak_pos : float array;      (** centroid of the hottest cell *)
+  spread_halfwidth : float;
+    (** largest distance from the peak where the excess temperature is
+        still at least half the peak excess *)
+}
+
+val temperature_stats : Fvm.Mesh.t -> Fvm.Field.t -> t_ambient:float -> field_stats
+
+val profile_x : Fvm.Field.t -> nx:int -> j:int -> float array
+(** Temperature along row [j] of a structured grid. *)
+
+val profile_y : Fvm.Field.t -> nx:int -> ny:int -> i:int -> float array
+
+val to_csv : Fvm.Mesh.t -> Fvm.Field.t -> comp:int -> string -> unit
+(** x,y,value per cell. *)
+
+val total_energy : Fvm.Mesh.t -> Fvm.Field.t -> Dispersion.t -> Angles.t -> float
+(** Domain integral of sum over (d,b) of w_d I / vg_b — conserved in a
+    closed adiabatic domain. *)
+
+val to_vtk :
+  Fvm.Mesh.t -> (string * Fvm.Field.t * int) list -> string -> unit
+(** Legacy-VTK unstructured-grid dump of cell scalars (ParaView-loadable);
+    each entry is (name, field, component). *)
+
+val pp_stats : Format.formatter -> field_stats -> unit

@@ -1,0 +1,95 @@
+(* Phonon dispersion and spectral-band discretization for silicon.
+
+   The frequency axis [0, omega_max_LA] is split into [n_la] equal bands.
+   The LA branch spans all of them; the (doubly degenerate) TA branch only
+   exists below its zone-edge frequency, so only the lower bands carry a
+   TA variant.  With 40 frequency bands this yields 40 LA + 15 TA = 55
+   polarization-resolved bands — exactly the paper's configuration. *)
+
+type branch = LA | TA
+
+let branch_name = function LA -> "LA" | TA -> "TA"
+
+(* degeneracy: one LA branch, two TA branches *)
+let degeneracy = function LA -> 1. | TA -> 2.
+
+let vs = function LA -> Constants.vs_la | TA -> Constants.vs_ta
+let cq = function LA -> Constants.c_la | TA -> Constants.c_ta
+
+(* omega(k) on a branch *)
+let omega_of_k br k =
+  let v = vs br and c = cq br in
+  (v *. k) +. (c *. k *. k)
+
+(* group velocity at wavevector k *)
+let vg_of_k br k = vs br +. (2. *. cq br *. k)
+
+(* zone-edge (maximum) frequency of a branch *)
+let omega_max br = omega_of_k br Constants.k_max
+
+(* invert omega = vs k + c k^2 for k in [0, k_max]; c < 0 so the root with
+   the minus sign in front of the square root is the physical one *)
+let k_of_omega br w =
+  let v = vs br and c = cq br in
+  if w < 0. || w > omega_max br +. 1e-6 then
+    invalid_arg
+      (Printf.sprintf "Dispersion.k_of_omega: %g out of range for %s" w
+         (branch_name br));
+  let disc = (v *. v) +. (4. *. c *. w) in
+  let disc = Float.max disc 0. in
+  (-.v +. sqrt disc) /. (2. *. c)
+
+let vg_of_omega br w = vg_of_k br (k_of_omega br w)
+
+(* One polarization-resolved spectral band. *)
+type band = {
+  id : int;            (* 0-based position in the flattened band list *)
+  branch : branch;
+  w_lo : float;        (* band edges, rad/s *)
+  w_hi : float;
+  w_center : float;
+  vg : float;          (* group velocity at the band centre, m/s *)
+}
+
+type t = {
+  n_la : int;
+  n_ta : int;
+  bands : band array;  (* LA bands first (low to high), then TA bands *)
+  domega : float;      (* uniform band width *)
+}
+
+let nbands d = Array.length d.bands
+let band d i = d.bands.(i)
+
+(* Build the discretization with [n_la] frequency bands over the LA range. *)
+let make ~n_la =
+  if n_la < 1 then invalid_arg "Dispersion.make";
+  let wmax_la = omega_max LA in
+  let wmax_ta = omega_max TA in
+  let dw = wmax_la /. float_of_int n_la in
+  (* TA variants exist for bands fully below the TA zone edge *)
+  let n_ta =
+    let full = int_of_float (Float.round (wmax_ta /. dw -. 0.5)) in
+    max 0 (min n_la full)
+  in
+  let mk id branch i =
+    let w_lo = float_of_int i *. dw in
+    let w_hi = w_lo +. dw in
+    let w_center = (w_lo +. w_hi) /. 2. in
+    { id; branch; w_lo; w_hi; w_center; vg = vg_of_omega branch w_center }
+  in
+  let la = Array.init n_la (fun i -> mk i LA i) in
+  let ta = Array.init n_ta (fun i -> mk (n_la + i) TA i) in
+  { n_la; n_ta; bands = Array.append la ta; domega = dw }
+
+(* The paper's configuration: 40 frequency bands -> 55 resolved bands. *)
+let paper () = make ~n_la:40
+
+let vg_array d = Array.map (fun b -> b.vg) d.bands
+
+(* 3-D isotropic density of states per unit volume and frequency:
+   D(omega) = k^2 / (2 pi^2 vg). *)
+let dos br w =
+  let k = k_of_omega br w in
+  let g = vg_of_omega br w in
+  if g <= 0. then 0. else k *. k /. (2. *. Float.pi *. Float.pi *. g)

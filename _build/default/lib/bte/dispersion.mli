@@ -1,0 +1,57 @@
+(** Phonon dispersion and spectral-band discretization for silicon.
+
+    The frequency axis [0, omega_max(LA)] splits into [n_la] equal bands;
+    the doubly-degenerate TA branch exists only below its zone edge, so
+    only the lower bands carry a TA variant. With 40 frequency bands this
+    gives 40 LA + 15 TA = 55 polarization-resolved bands — the paper's
+    configuration. *)
+
+type branch = LA | TA
+
+val branch_name : branch -> string
+
+(** 1 for LA, 2 for TA *)
+val degeneracy : branch -> float
+val vs : branch -> float
+val cq : branch -> float
+
+val omega_of_k : branch -> float -> float
+val vg_of_k : branch -> float -> float
+val omega_max : branch -> float
+
+val k_of_omega : branch -> float -> float
+
+(** Inverse of {!omega_of_k} on [0, k_max]; raises [Invalid_argument] out
+    of range. *)
+
+val vg_of_omega : branch -> float -> float
+
+type band = {
+  id : int;          (** position in the flattened band list *)
+  branch : branch;
+  w_lo : float;
+  w_hi : float;
+  w_center : float;
+  vg : float;        (** group velocity at the band centre, m/s *)
+}
+
+type t = {
+  n_la : int;
+  n_ta : int;
+  bands : band array; (** LA bands first (low to high), then TA bands *)
+  domega : float;
+}
+
+val nbands : t -> int
+val band : t -> int -> band
+
+val make : n_la:int -> t
+
+(** 40 frequency bands -> 55 resolved bands *)
+val paper : unit -> t
+val vg_array : t -> float array
+
+val dos : branch -> float -> float
+
+(** 3-D isotropic density of states per unit volume and frequency,
+    k^2 / (2 pi^2 vg). *)

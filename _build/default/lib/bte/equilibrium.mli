@@ -1,0 +1,47 @@
+(** Band-integrated Bose-Einstein equilibrium intensity I0_b(T) and its
+    temperature derivative, tabulated on a dense temperature grid for the
+    O(1) lookups the per-cell Newton solve needs.
+
+    I0_b(T) = (deg_p / Omega) * integral over the band of
+              hbar w vg(w) D(w) f_BE(w, T) dw. *)
+
+type t = {
+  disp : Dispersion.t;
+  omega_total : float;
+  t_lo : float;
+  t_hi : float;
+  dt_grid : float;
+  ntemps : int;
+  i0 : float array array;
+  di0 : float array array;
+}
+
+val f_bose : float -> float -> float
+val df_bose : float -> float -> float
+
+val spectral : Dispersion.branch -> float -> float
+(** hbar w vg D(w). *)
+
+val quad_points : int
+
+val band_integral : Dispersion.band -> (float -> float) -> float
+(** Midpoint-rule integral of spectral * f over a band, including the
+    branch degeneracy. *)
+
+val i0_exact : t -> int -> float -> float
+(** Direct quadrature (no table). *)
+
+val di0_exact : t -> int -> float -> float
+
+val make :
+  ?t_lo:float -> ?t_hi:float -> ?dt_grid:float -> omega_total:float ->
+  Dispersion.t -> t
+
+val i0 : t -> int -> float -> float
+(** Linear interpolation in the table; temperature clamped to the grid. *)
+
+val di0 : t -> int -> float -> float
+
+val energy_density : t -> float -> float
+(** Total equilibrium phonon energy density at T:
+    sum over bands of Omega * I0_b / vg_b. *)

@@ -1,0 +1,67 @@
+(** Analytic performance model for the paper-scale experiments (Figs. 4,
+    5, 7, 8, 9 and the Sec. III-D profiling table).
+
+    The paper's evaluation hardware is simulated; this model combines
+    per-rank work counts of the algorithms implemented in this repository
+    with calibrated unit costs (anchored to the paper's sequential
+    measurements), the alpha-beta network model, and the GPU roofline.
+    All calibration constants live in {!default} so every figure's
+    sensitivity is inspectable; the shape claims are asserted by
+    [test/test_perfmodel.ml]. *)
+
+type calib = {
+  dsl_dof_time : float;       (** s per intensity DOF update, DSL CPU code *)
+  fortran_dof_time : float;
+  reduce_dof_time : float;    (** s per DOF in the absorbed-power reduction *)
+  newton_cell_time : float;   (** s per cell for the Newton solve *)
+  refresh_band_time : float;  (** s per (cell, band) Io/beta refresh *)
+  boundary_dof_time : float;  (** s per boundary-face DOF (CPU callbacks) *)
+  fortran_temp_parallel : bool;
+    (** the Fortran code's temperature update is not parallelized (the
+        paper's "slightly different parallelization of one part") *)
+  sync_jitter : float;
+    (** per-rank growth of collective waiting (imbalance/noise) *)
+  network : Prt.Cluster.network;
+  gpu : Gpu_sim.Spec.t;
+  kernel_flops_per_dof : float;
+  kernel_bytes_per_dof : float;
+}
+
+val default : calib
+
+type shape = {
+  ncells : int;
+  ndirs : int;
+  nbands : int;
+  nsteps : int;
+  boundary_faces : int;
+}
+
+val paper_shape : shape
+(** 120x120 cells, 20 directions, 55 bands, 100 steps. *)
+
+val shape_of_scenario : Setup.scenario -> shape
+val ndofs : shape -> int
+val max_bands : shape -> int -> int
+val max_cells : shape -> int -> int
+
+type strategy =
+  | Serial
+  | Bands of int
+  | Cells of int
+  | Gpu of int     (** band partitioning, one device per rank *)
+  | Fortran of int
+
+val step_breakdown : ?calib:calib -> ?shape:shape -> strategy -> Prt.Breakdown.t
+(** Per-step phase times. Raises [Invalid_argument] beyond a strategy's
+    partition cap (bands/GPU/Fortran: the band count). *)
+
+val run_breakdown : ?calib:calib -> ?shape:shape -> strategy -> Prt.Breakdown.t
+val run_time : ?calib:calib -> ?shape:shape -> strategy -> float
+
+val gpu_speedup : ?calib:calib -> ?shape:shape -> p:int -> unit -> float
+(** The headline: CPU band-parallel over hybrid at equal rank counts. *)
+
+val gpu_profile : ?calib:calib -> ?shape:shape -> unit -> float * float * float
+(** (SM utilization, memory-throughput fraction, FLOP fraction of DP
+    peak) of the 1-GPU intensity kernel — the paper's profiling table. *)

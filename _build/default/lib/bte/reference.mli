@@ -1,0 +1,54 @@
+(** Hand-written reference BTE solver — the stand-in for the paper's
+    previously-developed Fortran code: a direct, single-purpose
+    implementation of exactly the same discretization (structured grid,
+    first-order upwind, forward Euler, Holland scattering, per-cell Newton
+    temperature update with the scalar-energy reduction), used as the
+    correctness oracle ("our solutions matched theirs") and as the
+    measured-throughput comparator. *)
+
+type t = {
+  sc : Setup.scenario;
+  disp : Dispersion.t;
+  angles : Angles.t;
+  eqtab : Equilibrium.t;
+  tmodel : Temperature.model;
+  nx : int;
+  ny : int;
+  nd : int;
+  nb : int;
+  dx : float;
+  dy : float;
+  dt : float;
+  vx : float array;
+  vy : float array;
+  refl_x : int array;
+  refl_y : int array;
+  mutable i : float array;
+  mutable i_new : float array;
+  io : float array;
+  beta : float array;
+  temp : float array;
+  hot_wall : float -> float;
+  mutable time : float;
+  mutable steps_done : int;
+}
+
+val ncells : t -> int
+val ncomp : t -> int
+
+val create : Setup.scenario -> t
+(** Initial thermal equilibrium at the cold temperature; dt clamped to the
+    stability bound. *)
+
+val sweep : t -> unit
+val temperature_update : t -> unit
+val step : t -> unit
+val run : t -> nsteps:int -> unit
+
+val intensity : t -> cell:int -> comp:int -> float
+(** Matches the DSL field layout (comp = d + b*nd). *)
+
+val temperature : t -> cell:int -> float
+
+val measure_sweep_rate : t -> repeats:int -> float
+(** Measured DOF-updates per second of the sweep on this machine. *)

@@ -1,0 +1,19 @@
+(** Holland-model relaxation times, combined by Matthiessen's rule.
+    Rates depend on frequency, branch and local temperature, which is why
+    the solver refreshes per-cell 1/tau values after every temperature
+    update. *)
+
+val rate_impurity : float -> float
+val rate_la : float -> float -> float
+val rate_ta : float -> float -> float
+
+val rate : Dispersion.branch -> float -> float -> float
+(** [rate branch omega t] = combined 1/tau, floored away from zero to keep
+    the explicit scheme well-behaved at omega -> 0. *)
+
+val tau : Dispersion.branch -> float -> float -> float
+
+val band_rate : Dispersion.band -> float -> float
+(** Rate at the band centre. *)
+
+val band_tau : Dispersion.band -> float -> float

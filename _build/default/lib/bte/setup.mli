@@ -1,0 +1,62 @@
+(** Scenario construction: encodes the phonon BTE in the DSL exactly as
+    the paper's input script (Sec. III-B / appendix listing) and wires the
+    physics callbacks.
+
+    Scenarios: [hotspot] — the main demonstration (cold isothermal bottom
+    wall, isothermal top wall with a centred Gaussian hot spot, symmetric
+    sides, initial equilibrium at the cold temperature); [corner] — the
+    Fig. 10 variant with the source against a corner of an elongated
+    domain at 100 K. *)
+
+type scenario = {
+  sname : string;
+  lx : float;
+  ly : float;
+  nx : int;
+  ny : int;
+  ndirs : int;
+  n_la_bands : int;   (** frequency bands; resolved count is larger *)
+  t_cold : float;
+  t_hot : float;
+  hot_radius : float; (** 1/e^2 radius of the Gaussian, m *)
+  hot_center : float; (** x position of the peak, m *)
+  dt : float;
+  nsteps : int;
+}
+
+val paper_hotspot : scenario
+(** 525 um square, 120x120 cells, 20 directions, 40 frequency bands (55
+    resolved), dt = 1e-12 s (the appendix's stable value). *)
+
+val small_hotspot : scenario
+(** A sub-micron reduced configuration (Knudsen number near one) that runs
+    in seconds. *)
+
+val paper_corner : scenario
+val small_corner : scenario
+
+type built = {
+  problem : Finch.Problem.t;
+  scenario : scenario; (** with dt clamped to the stability bound *)
+  disp : Dispersion.t;
+  angles : Angles.t;
+  eqtab : Equilibrium.t;
+  temp_model : Temperature.model;
+  mesh : Fvm.Mesh.t;
+}
+
+val cfl_dt : scenario -> Dispersion.t -> float
+(** Stability bound: advective CFL AND the relaxation-rate bound
+    dt * max(1/tau) < 1 (high-frequency bands have tau of a few ps). *)
+
+val post_io : Finch.Dataflow.callback_io
+(** Data-movement declaration of the temperature update: reads "I",
+    writes "Io"/"beta"/"T". *)
+
+val build :
+  ?enforce_cfl:bool -> ?stepper:Finch.Config.time_stepper -> scenario -> built
+(** With the point-implicit stepper only the advective CFL bound applies
+    to dt (the relaxation-rate bound disappears). *)
+
+val build_corner :
+  ?enforce_cfl:bool -> ?stepper:Finch.Config.time_stepper -> scenario -> built

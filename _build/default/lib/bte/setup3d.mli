@@ -1,0 +1,38 @@
+(** Coarse 3-D BTE scenario (paper Sec. III-A: "very coarse-grained
+    3-dimensional runs were also performed successfully"): a box with a
+    cold isothermal floor, an isothermal ceiling carrying a Gaussian hot
+    spot, and specular symmetry on the four side walls, using the sphere
+    quadrature of {!Angles.make_3d}. *)
+
+type scenario3d = {
+  sname : string;
+  lx : float;
+  ly : float;
+  lz : float;
+  nx : int;
+  ny : int;
+  nz : int;
+  n_azimuthal : int;
+  n_polar : int;
+  n_la_bands : int;
+  t_cold : float;
+  t_hot : float;
+  hot_radius : float;
+  dt : float;
+  nsteps : int;
+}
+
+val coarse : scenario3d
+
+type built3d = {
+  problem : Finch.Problem.t;
+  scenario : scenario3d;
+  disp : Dispersion.t;
+  angles : Angles.t;
+  eqtab : Equilibrium.t;
+  temp_model : Temperature.model;
+  mesh : Fvm.Mesh.t;
+}
+
+val cfl_dt : scenario3d -> Dispersion.t -> float
+val build : scenario3d -> built3d

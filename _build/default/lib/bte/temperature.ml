@@ -1,0 +1,199 @@
+(* The nonlinear temperature update — the paper's post-step user code.
+
+   After each intensity step, the lattice temperature of every cell is
+   recovered from the energy balance of the scattering operator:
+
+     sum_b [ Omega * I0_b(T) - J_b ] * rate_b(T) = 0,
+     J_b = sum_d w_d I_{d,b}            (angular integral of intensity)
+
+   so that relaxation neither creates nor destroys energy during the next
+   sweep.  The equation is scalar but nonlinear in T (Bose-Einstein
+   statistics in I0_b, Holland rates in rate_b); it is solved per cell by a
+   Newton iteration with the dI0/dT tabulation as the Jacobian, with a
+   bisection fallback.
+
+   Cross-band coupling: in band-parallel runs every rank owns a band
+   subset; J_b is summed across ranks ("a reduction of intensity across
+   bands"), after which each rank performs the (duplicated, cheap) Newton
+   solve and refreshes I0 and beta = 1/tau for its own bands. *)
+
+(* How the cross-band coupling is communicated in distributed runs:
+   - [Scalar_energy] reduces one number per cell (the absorbed power
+     G_c = sum_{d,b} w_d I beta with the current rates) — the paper's
+     "reduction of intensity across bands", cheapest possible payload;
+   - [Per_band] reduces the per-band angular integrals J_b (ncells*nbands
+     values) so the balance can be re-evaluated with rates at the updated
+     temperature — exactly energy-conserving for the next sweep. *)
+type reduction = Scalar_energy | Per_band
+
+type model = {
+  disp : Dispersion.t;
+  eqtab : Equilibrium.t;
+  angles : Angles.t;
+  max_newton : int;
+  tol : float; (* on |F| relative to the emission magnitude *)
+  reduction : reduction;
+}
+
+let make ?(max_newton = 30) ?(tol = 1e-12) ?(reduction = Scalar_energy)
+    ~disp ~eqtab ~angles () =
+  { disp; eqtab; angles; max_newton; tol; reduction }
+
+let nbands m = Dispersion.nbands m.disp
+
+(* residual F(T) and a Jacobian estimate at T.  [jb] gives the per-band
+   angular integral; [g] gives the pre-reduced absorbed power (scalar
+   mode), in which case the J term is dropped from the emission sum. *)
+(* Energy density per (direction, band) is w * I / vg, so the scattering
+   operator's energy balance carries a 1/vg weight per band:
+     sum_b (rate_b(T) / vg_b) * (Omega I0_b(T) - J_b) = 0. *)
+let residual_per_band m jb t =
+  let omega = m.angles.Angles.total in
+  let f = ref 0. and df = ref 0. in
+  for b = 0 to nbands m - 1 do
+    let band = Dispersion.band m.disp b in
+    let w = Scattering.band_rate band t /. band.Dispersion.vg in
+    f := !f +. (((omega *. Equilibrium.i0 m.eqtab b t) -. jb b) *. w);
+    df := !df +. (omega *. Equilibrium.di0 m.eqtab b t *. w)
+  done;
+  !f, !df
+
+let residual_scalar m g t =
+  let omega = m.angles.Angles.total in
+  let f = ref (-.g) and df = ref 0. in
+  for b = 0 to nbands m - 1 do
+    let band = Dispersion.band m.disp b in
+    let w = Scattering.band_rate band t /. band.Dispersion.vg in
+    f := !f +. (omega *. Equilibrium.i0 m.eqtab b t *. w);
+    df := !df +. (omega *. Equilibrium.di0 m.eqtab b t *. w)
+  done;
+  !f, !df
+
+(* magnitude used for the relative convergence test *)
+let emission_scale m t =
+  let omega = m.angles.Angles.total in
+  let acc = ref 0. in
+  for b = 0 to nbands m - 1 do
+    let band = Dispersion.band m.disp b in
+    acc :=
+      !acc
+      +. (omega *. Equilibrium.i0 m.eqtab b t *. Scattering.band_rate band t
+          /. band.Dispersion.vg)
+  done;
+  Float.max !acc 1e-300
+
+exception No_convergence of float
+
+let newton_residual m residual ~guess =
+  let t_lo = m.eqtab.Equilibrium.t_lo and t_hi = m.eqtab.Equilibrium.t_hi in
+  let scale = emission_scale m (Float.max t_lo (Float.min t_hi guess)) in
+  let rec go t iter =
+    if iter > m.max_newton then bisect t_lo t_hi 0
+    else begin
+      let f, df = residual t in
+      if Float.abs f <= m.tol *. scale then t
+      else if df <= 0. then bisect t_lo t_hi 0
+      else begin
+        let t' = t -. (f /. df) in
+        let t' = Float.max t_lo (Float.min t_hi t') in
+        if Float.abs (t' -. t) < 1e-13 *. t then t' else go t' (iter + 1)
+      end
+    end
+  and bisect lo hi iter =
+    (* F is increasing in T (I0 and rates both increase), so bisection is
+       safe whenever Newton stalls *)
+    if iter > 200 then raise (No_convergence ((lo +. hi) /. 2.))
+    else begin
+      let mid = (lo +. hi) /. 2. in
+      let f, _ = residual mid in
+      if Float.abs f <= m.tol *. scale || hi -. lo < 1e-10 then mid
+      else if f > 0. then bisect lo mid (iter + 1)
+      else bisect mid hi (iter + 1)
+    end
+  in
+  go (Float.max t_lo (Float.min t_hi guess)) 0
+
+let newton m ~jb ~guess =
+  newton_residual m (residual_per_band m jb) ~guess
+
+let newton_scalar m ~g ~guess =
+  newton_residual m (fun t -> residual_scalar m g t) ~guess
+
+(* The post-step callback wired into the DSL problem.  Field names follow
+   the BTE encoding: intensity "I" over [d; b], equilibrium "Io" over [b],
+   rates "beta" over [b], temperature "T" (scalar). *)
+let post_step m (ctx : Finch.Problem.step_ctx) =
+  let mesh = ctx.Finch.Problem.st_mesh in
+  let ncells = mesh.Fvm.Mesh.ncells in
+  let nd = m.angles.Angles.ndirs in
+  let nb = nbands m in
+  let fi = ctx.Finch.Problem.st_field "I" in
+  let fio = ctx.Finch.Problem.st_field "Io" in
+  let fbeta = ctx.Finch.Problem.st_field "beta" in
+  let ft = ctx.Finch.Problem.st_field "T" in
+  let b_off, b_len = ctx.Finch.Problem.st_index_range "b" in
+  let cells =
+    match ctx.Finch.Problem.st_cells with
+    | Some cs -> cs
+    | None -> Array.init ncells (fun c -> c)
+  in
+  let refresh cell t =
+    Fvm.Field.set ft cell 0 t;
+    for b = b_off to b_off + b_len - 1 do
+      let band = Dispersion.band m.disp b in
+      Fvm.Field.set fio cell b (Equilibrium.i0 m.eqtab b t);
+      Fvm.Field.set fbeta cell b (Scattering.band_rate band t)
+    done
+  in
+  match m.reduction with
+  | Scalar_energy ->
+    (* absorbed power per cell with the current (pre-update) rates *)
+    let g = Array.make ncells 0. in
+    Array.iter
+      (fun cell ->
+        let acc = ref 0. in
+        for b = b_off to b_off + b_len - 1 do
+          let vg = (Dispersion.band m.disp b).Dispersion.vg in
+          let w = Fvm.Field.get fbeta cell b /. vg in
+          for d = 0 to nd - 1 do
+            let comp = d + (b * nd) in
+            acc :=
+              !acc
+              +. (m.angles.Angles.weight.(d) *. Fvm.Field.get fi cell comp *. w)
+          done
+        done;
+        g.(cell) <- !acc)
+      cells;
+    if ctx.Finch.Problem.st_nranks > 1 && b_len < nb then
+      ctx.Finch.Problem.st_allreduce g;
+    Array.iter
+      (fun cell ->
+        let guess = Fvm.Field.get ft cell 0 in
+        let t = newton_scalar m ~g:g.(cell) ~guess in
+        refresh cell t)
+      cells
+  | Per_band ->
+    (* per-cell, per-band angular integrals J_b for the owned slice *)
+    let j = Array.make (ncells * nb) 0. in
+    Array.iter
+      (fun cell ->
+        for b = b_off to b_off + b_len - 1 do
+          let acc = ref 0. in
+          for d = 0 to nd - 1 do
+            let comp = d + (b * nd) in
+            acc := !acc +. (m.angles.Angles.weight.(d) *. Fvm.Field.get fi cell comp)
+          done;
+          j.((cell * nb) + b) <- !acc
+        done)
+      cells;
+    (* cross-band (and, for mesh partitioning, cross-cell) reduction *)
+    if ctx.Finch.Problem.st_nranks > 1 && b_len < nb then
+      ctx.Finch.Problem.st_allreduce j;
+    (* Newton per owned cell; refresh T, Io, beta for owned bands *)
+    Array.iter
+      (fun cell ->
+        let jb b = j.((cell * nb) + b) in
+        let guess = Fvm.Field.get ft cell 0 in
+        let t = newton m ~jb ~guess in
+        refresh cell t)
+      cells

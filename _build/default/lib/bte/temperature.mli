@@ -1,0 +1,50 @@
+(** The nonlinear temperature update — the paper's post-step user code.
+
+    Per cell, the lattice temperature solves the scattering operator's
+    energy balance (energy density per (d,b) is w I / vg, hence the 1/vg
+    weights):
+
+      sum_b (rate_b(T) / vg_b) (Omega I0_b(T) - J_b) = 0,
+      J_b = sum_d w_d I_(d,b).
+
+    Newton iteration with the tabulated dI0/dT as Jacobian and a bisection
+    fallback (the residual is increasing in T). *)
+
+(** Distributed-reduction flavour for the cross-band coupling:
+    [Scalar_energy] reduces one absorbed-power value per cell (the
+    paper's "reduction of intensity across bands" — cheapest payload,
+    rates frozen at their pre-update values); [Per_band] reduces the
+    per-band angular integrals so the balance is evaluated with updated
+    rates — exactly energy-conserving for the next sweep. *)
+type reduction = Scalar_energy | Per_band
+
+type model = {
+  disp : Dispersion.t;
+  eqtab : Equilibrium.t;
+  angles : Angles.t;
+  max_newton : int;
+  tol : float;
+  reduction : reduction;
+}
+
+val make :
+  ?max_newton:int -> ?tol:float -> ?reduction:reduction ->
+  disp:Dispersion.t -> eqtab:Equilibrium.t -> angles:Angles.t -> unit -> model
+
+val nbands : model -> int
+
+val residual_per_band : model -> (int -> float) -> float -> float * float
+val residual_scalar : model -> float -> float -> float * float
+val emission_scale : model -> float -> float
+
+exception No_convergence of float
+
+val newton_residual : model -> (float -> float * float) -> guess:float -> float
+val newton : model -> jb:(int -> float) -> guess:float -> float
+val newton_scalar : model -> g:float -> guess:float -> float
+
+val post_step : model -> Finch.Problem.step_ctx -> unit
+(** The callback wired into the DSL problem; expects fields "I" (over
+    [d; b]), "Io" and "beta" (over [b]) and "T". Performs the configured
+    cross-rank reduction through [st_allreduce] when bands are
+    partitioned, then refreshes T, Io and beta. *)

@@ -1,0 +1,1 @@
+lib/core/dataflow.ml: Array Entity Eval Finch_symbolic Fvm List Problem Transform

@@ -1,0 +1,1 @@
+lib/core/dataflow.mli: Problem

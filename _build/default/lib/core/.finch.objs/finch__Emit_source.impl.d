@@ -1,0 +1,1 @@
+lib/core/emit_source.ml: Buffer Finch_symbolic Ir List Option Printer Printf String

@@ -1,0 +1,1 @@
+lib/core/entity.ml: Array List Printf

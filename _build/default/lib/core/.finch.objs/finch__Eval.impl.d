@@ -1,0 +1,1 @@
+lib/core/eval.ml: Array Expr Finch_symbolic Float Fvm List Printf String

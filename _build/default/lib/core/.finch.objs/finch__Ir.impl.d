@@ -1,0 +1,1 @@
+lib/core/ir.ml: Config Entity Eval Expr Finch_symbolic List Problem Transform

@@ -1,0 +1,1 @@
+lib/core/ir.mli: Expr Finch_symbolic Problem Transform

@@ -1,0 +1,1 @@
+lib/core/lower.ml: Array Config Entity Eval Fvm Lazy List Problem Prt String Transform

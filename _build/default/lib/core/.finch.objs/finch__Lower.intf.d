@@ -1,0 +1,1 @@
+lib/core/lower.mli: Entity Eval Fvm Lazy Problem Prt Transform

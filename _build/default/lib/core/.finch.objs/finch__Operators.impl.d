@@ -1,0 +1,1 @@
+lib/core/operators.ml: Expr Finch_symbolic Hashtbl List Printf Simplify

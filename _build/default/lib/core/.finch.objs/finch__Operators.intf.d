@@ -1,0 +1,1 @@
+lib/core/operators.mli: Expr Finch_symbolic

@@ -1,0 +1,1 @@
+lib/core/problem.ml: Array Config Entity Expr Finch_symbolic Fvm Gpu_sim List Operators Parser Simplify String Transform

@@ -1,0 +1,1 @@
+lib/core/problem.mli: Config Entity Expr Finch_symbolic Fvm Gpu_sim Transform

@@ -1,0 +1,1 @@
+lib/core/solve.ml: Config Entity Fvm List Lower Problem Prt Target_cpu Target_gpu

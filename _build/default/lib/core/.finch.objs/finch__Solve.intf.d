@@ -1,0 +1,1 @@
+lib/core/solve.mli: Dataflow Fvm Lower Problem Prt Target_gpu

@@ -1,0 +1,1 @@
+lib/core/target_cpu.ml: Array Domain Entity Eval Fvm List Lower Problem Prt

@@ -1,0 +1,1 @@
+lib/core/target_cpu.mli: Fvm Lower Problem Prt

@@ -1,0 +1,1 @@
+lib/core/target_gpu.ml: Array Config Dataflow Entity Eval Fvm Gpu_sim List Lower Problem Prt Target_cpu Transform

@@ -1,0 +1,1 @@
+lib/core/target_gpu.mli: Dataflow Gpu_sim Lower Problem Prt

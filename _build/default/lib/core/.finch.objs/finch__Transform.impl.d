@@ -1,0 +1,1 @@
+lib/core/transform.ml: Diff Entity Expr Finch_symbolic List Operators Parser Printer Printf Simplify String

@@ -1,0 +1,1 @@
+lib/core/transform.mli: Entity Expr Finch_symbolic

@@ -1,0 +1,49 @@
+(* Solver configuration enumerations, mirroring the DSL's script options. *)
+
+type solver_type =
+  | FV (* finite volume — the method used throughout the paper *)
+  | FE (* finite element — accepted, but code generation targets FV *)
+
+type time_stepper =
+  | Euler_explicit
+  | RK2 (* explicit midpoint; an "extension" stepper beyond the paper *)
+  | RK4
+  | Euler_point_implicit
+    (* source term linearized (via symbolic differentiation) and treated
+       implicitly, advection explicit: removes the stiff relaxation-rate
+       bound on dt (extension) *)
+
+let stepper_stages = function
+  | Euler_explicit | Euler_point_implicit -> 1
+  | RK2 -> 2
+  | RK4 -> 4
+
+let stepper_name = function
+  | Euler_explicit -> "EULER_EXPLICIT"
+  | RK2 -> "RK2"
+  | RK4 -> "RK4"
+  | Euler_point_implicit -> "EULER_POINT_IMPLICIT"
+
+type bc_kind =
+  | Flux      (* prescribes the boundary flux (possibly via callback) *)
+  | Dirichlet (* prescribes the ghost/boundary value *)
+
+let bc_kind_name = function Flux -> "FLUX" | Dirichlet -> "DIRICHLET"
+
+(* Parallel execution strategies explored in the paper (Section III-C/D). *)
+type strategy =
+  | Serial
+  | Cell_parallel of int  (* mesh partitioned into n pieces *)
+  | Band_parallel of int  (* equation index space partitioned into n pieces *)
+
+type target =
+  | Cpu of strategy
+  | Gpu of { spec : Gpu_sim.Spec.t; ranks : int }
+    (* ranks > 1: band-parallel across multiple devices, one CPU process
+       per device, as in the paper's multi-GPU experiments *)
+
+let target_name = function
+  | Cpu Serial -> "cpu-serial"
+  | Cpu (Cell_parallel n) -> Printf.sprintf "cpu-cells-%d" n
+  | Cpu (Band_parallel n) -> Printf.sprintf "cpu-bands-%d" n
+  | Gpu { spec; ranks } -> Printf.sprintf "gpu-%s-%d" spec.Gpu_sim.Spec.name ranks

@@ -1,0 +1,34 @@
+(** Solver configuration enumerations (script options). *)
+
+type solver_type =
+  | FV (** finite volume — the method used throughout the paper *)
+  | FE (** accepted for completeness; code generation targets FV *)
+
+type time_stepper =
+  | Euler_explicit       (** the paper's scheme *)
+  | RK2                  (** explicit midpoint (extension) *)
+  | RK4                  (** classic four-stage (extension) *)
+  | Euler_point_implicit
+    (** source linearized symbolically and treated implicitly, advection
+        explicit — removes the stiff relaxation bound on dt (extension) *)
+
+val stepper_stages : time_stepper -> int
+val stepper_name : time_stepper -> string
+
+type bc_kind =
+  | Flux      (** prescribes the surface-term integrand (possibly callback) *)
+  | Dirichlet (** prescribes the ghost/boundary value *)
+
+val bc_kind_name : bc_kind -> string
+
+(** Parallel execution strategies explored in the paper (Sec. III-C/D). *)
+type strategy =
+  | Serial
+  | Cell_parallel of int (** mesh partitioned into n pieces *)
+  | Band_parallel of int (** equation index space partitioned into n pieces *)
+
+type target =
+  | Cpu of strategy
+  | Gpu of { spec : Gpu_sim.Spec.t; ranks : int }
+
+val target_name : target -> string

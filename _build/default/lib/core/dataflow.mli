@@ -1,0 +1,64 @@
+(** Data-movement analysis and CPU/GPU task placement.
+
+    "The DSL automatically partitions tasks between the CPU and GPU by
+    minimizing the data movement." Tasks carry read/write sets and a work
+    estimate; user-callback tasks are pinned to the CPU. The optimizer
+    enumerates placements of the free tasks, estimates per-step wall time
+    as compute + PCIe traffic, and keeps the minimum; the winning
+    placement induces the per-variable transfer schedule (once vs. every
+    step, each direction). *)
+
+type side = Cpu_side | Gpu_side
+
+type task = {
+  t_name : string;
+  t_reads : string list;
+  t_writes : string list;
+  t_pinned : side option; (** user callbacks are pinned to the CPU *)
+  t_flops : float;        (** per-step work estimate *)
+}
+
+type var_info = { v_name : string; v_bytes : int }
+
+type placement = (string * side) list
+
+type transfer = {
+  tr_var : string;
+  tr_h2d_every_step : bool; (** produced on host, consumed on device *)
+  tr_d2h_every_step : bool; (** produced on device, consumed on host *)
+  tr_h2d_once : bool;       (** static device input *)
+}
+
+type plan = {
+  placement : placement;
+  transfers : transfer list;
+  bytes_per_step : int;
+  bytes_once : int;
+}
+
+val side_of : placement -> task -> side
+
+val schedule : tasks:task list -> vars:var_info list -> placement -> plan
+(** The transfer schedule induced by a fixed placement. *)
+
+type rates = {
+  cpu_flops : float;
+  gpu_flops : float;
+  pcie : float;
+}
+
+val default_rates : rates
+val plan_cost : tasks:task list -> rates -> plan -> float
+
+val optimize :
+  ?rates:rates -> tasks:task list -> vars:var_info list -> unit -> plan
+(** Enumerate placements of unpinned tasks (2^k) and keep the cheapest,
+    breaking ties toward less traffic, then toward more GPU tasks. *)
+
+type callback_io = { cb_reads : string list; cb_writes : string list }
+(** Declared reads/writes of the post-step user callback; when absent,
+    callbacks are conservatively assumed to touch every variable. *)
+
+val tasks_of_problem : Problem.t -> post_io:callback_io option -> task list
+val vars_of_problem : Problem.t -> var_info list
+val plan_for_problem : ?post_io:callback_io -> ?rates:rates -> Problem.t -> plan

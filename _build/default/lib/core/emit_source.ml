@@ -1,0 +1,154 @@
+(* Readable source emission from the IR.
+
+   The paper stresses that the IR carries comments and metadata "to
+   facilitate generation of easily readable code" and that generated code
+   can be hand-modified.  This module renders an IR tree in two syntaxes:
+   a Julia-like listing (the CPU target's native output in the original
+   Finch) and a CUDA-C-like listing for the GPU kernel structure.  The
+   output is for humans — it is what a user would inspect or edit — while
+   execution goes through the compiled closures. *)
+
+open Finch_symbolic
+
+let indent n = String.make (2 * n) ' '
+
+let range_header = function
+  | Ir.Cells -> "for cell = 1:Ncells"
+  | Ir.Faces_of_cell -> "for face = 1:Nfaces(cell)"
+  | Ir.Index name -> Printf.sprintf "for %s = 1:N%s" name name
+  | Ir.Steps -> "for step = 1:Nsteps"
+
+let rec julia buf depth node =
+  let line s = Buffer.add_string buf (indent depth ^ s ^ "\n") in
+  match node with
+  | Ir.Comment c -> line ("# " ^ c)
+  | Ir.Seq ns -> List.iter (julia buf depth) ns
+  | Ir.Loop { range; body; parallel } ->
+    if parallel then line "# (parallel loop)";
+    line (range_header range);
+    List.iter (julia buf (depth + 1)) body;
+    line "end"
+  | Ir.Assign { dest; dest_new; expr; reduce; note } ->
+    Option.iter (fun c -> line ("# " ^ c)) note.Ir.m_comment;
+    let op = match reduce with `Set -> "=" | `Add -> "+=" in
+    line
+      (Printf.sprintf "%s%s %s %s" dest
+         (if dest_new then "_new" else "")
+         op (Printer.to_string expr))
+  | Ir.Flux_update { var; rvol; rsurf; note } ->
+    Option.iter (fun c -> line ("# " ^ c)) note.Ir.m_comment;
+    line (Printf.sprintf "source = %s" (Printer.to_string rvol));
+    line "flux = 0.0";
+    line "for face = 1:Nfaces(cell)";
+    line (indent 1 ^ Printf.sprintf "flux += area[face] * (%s)" (Printer.to_string rsurf));
+    line "end";
+    line (Printf.sprintf "%s_new = %s + dt * (source + flux / volume[cell])" var var)
+  | Ir.Boundary_cpu { var; note } ->
+    Option.iter (fun c -> line ("# " ^ c)) note.Ir.m_comment;
+    line (Printf.sprintf "apply_boundary_conditions(%s_new)" var)
+  | Ir.Callback { which; note } ->
+    Option.iter (fun c -> line ("# " ^ c)) note.Ir.m_comment;
+    line
+      (match which with
+       | `Pre -> "pre_step_function()"
+       | `Post -> "post_step_function()")
+  | Ir.Swap_buffers var -> line (Printf.sprintf "%s = %s_new" var var)
+  | Ir.Halo_exchange { vars; note } ->
+    Option.iter (fun c -> line ("# " ^ c)) note.Ir.m_comment;
+    line (Printf.sprintf "exchange_ghosts(%s)" (String.concat ", " vars))
+  | Ir.Allreduce { what; note } ->
+    Option.iter (fun c -> line ("# " ^ c)) note.Ir.m_comment;
+    line (Printf.sprintf "MPI.Allreduce!(%s)" what)
+  | Ir.Kernel { kname; body; note } ->
+    Option.iter (fun c -> line ("# " ^ c)) note.Ir.m_comment;
+    line (Printf.sprintf "@cuda threads=256 blocks=cld(Ndofs,256) %s(args...)" kname);
+    line ("# kernel " ^ kname ^ " body:");
+    List.iter (julia buf (depth + 1)) body
+  | Ir.H2d { vars; every_step } ->
+    line
+      (Printf.sprintf "copyto!(device, (%s))%s" (String.concat ", " vars)
+         (if every_step then "  # every step" else "  # once"))
+  | Ir.D2h { vars; every_step } ->
+    line
+      (Printf.sprintf "copyto!(host, (%s))%s" (String.concat ", " vars)
+         (if every_step then "  # every step" else "  # once"))
+  | Ir.Stream_sync -> line "CUDA.synchronize()"
+  | Ir.Advance_time -> line "time += dt"
+
+let to_julia node =
+  let buf = Buffer.create 1024 in
+  julia buf 0 node;
+  Buffer.contents buf
+
+let rec cuda buf depth node =
+  let line s = Buffer.add_string buf (indent depth ^ s ^ "\n") in
+  match node with
+  | Ir.Comment c -> line ("// " ^ c)
+  | Ir.Seq ns -> List.iter (cuda buf depth) ns
+  | Ir.Loop { range = Ir.Steps; body; _ } ->
+    line "for (int step = 0; step < nsteps; ++step) {";
+    List.iter (cuda buf (depth + 1)) body;
+    line "}"
+  | Ir.Loop { range; body; _ } ->
+    (* flattened on the device: loops become the thread index decomposition *)
+    line ("// flattened: " ^ range_header range);
+    List.iter (cuda buf depth) body
+  | Ir.Assign { dest; dest_new; expr; reduce; _ } ->
+    let op = match reduce with `Set -> "=" | `Add -> "+=" in
+    line
+      (Printf.sprintf "%s%s %s %s;" dest
+         (if dest_new then "_new" else "")
+         op (Printer.to_string expr))
+  | Ir.Flux_update { var; rvol; rsurf; note } ->
+    Option.iter (fun c -> line ("// " ^ c)) note.Ir.m_comment;
+    line "int tid = blockIdx.x * blockDim.x + threadIdx.x;";
+    line "if (tid >= ndofs) return;";
+    line "int cell = tid / ncomp, comp = tid % ncomp;";
+    line (Printf.sprintf "double source = %s;" (Printer.to_string rvol));
+    line "double flux = 0.0;";
+    line "for (int i = 0; i < nfaces_of[cell]; ++i) {";
+    line (indent 1 ^ "int face = cell_faces[cell][i];");
+    line (indent 1 ^ "if (neighbour[face] < 0) continue;  // boundary: CPU adds it");
+    line
+      (indent 1
+       ^ Printf.sprintf "flux += area[face] * (%s);" (Printer.to_string rsurf));
+    line "}";
+    line
+      (Printf.sprintf "%s_new[tid] = %s[tid] + dt * (source + flux / volume[cell]);"
+         var var)
+  | Ir.Boundary_cpu { var; _ } ->
+    line (Printf.sprintf "/* host */ compute_boundary_contribution(%s_bdry);" var)
+  | Ir.Callback { which; _ } ->
+    line
+      (match which with
+       | `Pre -> "/* host */ pre_step_function();"
+       | `Post -> "/* host */ post_step_function();")
+  | Ir.Swap_buffers var ->
+    line (Printf.sprintf "/* host */ combine_and_swap(%s, %s_new, %s_bdry);" var var var)
+  | Ir.Halo_exchange { vars; _ } ->
+    line (Printf.sprintf "/* host */ exchange_ghosts(%s);" (String.concat ", " vars))
+  | Ir.Allreduce { what; _ } ->
+    line (Printf.sprintf "/* host */ MPI_Allreduce(%s);" what)
+  | Ir.Kernel { kname; body; note } ->
+    Option.iter (fun c -> line ("// " ^ c)) note.Ir.m_comment;
+    line (Printf.sprintf "%s<<<cld(ndofs,256), 256, 0, stream>>>(...);" kname);
+    line ("// __global__ void " ^ kname ^ " {");
+    List.iter (cuda buf (depth + 1)) body;
+    line "// }"
+  | Ir.H2d { vars; every_step } ->
+    line
+      (Printf.sprintf "cudaMemcpyAsync(dev, host, {%s}, H2D);%s"
+         (String.concat ", " vars)
+         (if every_step then "  // every step" else "  // once"))
+  | Ir.D2h { vars; every_step } ->
+    line
+      (Printf.sprintf "cudaMemcpyAsync(host, dev, {%s}, D2H);%s"
+         (String.concat ", " vars)
+         (if every_step then "  // every step" else "  // once"))
+  | Ir.Stream_sync -> line "cudaStreamSynchronize(stream);"
+  | Ir.Advance_time -> line "time += dt;"
+
+let to_cuda node =
+  let buf = Buffer.create 1024 in
+  cuda buf 0 node;
+  Buffer.contents buf

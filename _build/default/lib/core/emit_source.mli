@@ -1,0 +1,12 @@
+(** Readable source emission from the IR — the listings a Finch user would
+    inspect or hand-modify. Execution itself goes through the compiled
+    closures; these renderings are documentation-grade output, kept
+    faithful to the paper's pseudo-code sketches. *)
+
+val to_julia : Ir.node -> string
+(** Julia-like CPU listing (the original Finch's native output style). *)
+
+val to_cuda : Ir.node -> string
+(** CUDA-C-like hybrid listing: kernel body with thread-index
+    decomposition and guard, host-side callback/combine steps, stream
+    synchronization and memcpy annotations. *)

@@ -1,0 +1,76 @@
+(* DSL entities: indices, variables and coefficients.
+
+   These mirror the paper's script-level objects:
+
+     d = index("d", range=[1,ndirs])
+     I = variable("I", type=VAR_ARRAY, location=CELL, index=[d,b])
+     Sx = coefficient("Sx", sx_val, type=VAR_ARRAY)
+
+   Index ranges are 1-based in the surface syntax (as in Julia) and
+   converted to 0-based positions internally.  A variable with indices
+   [d; b] stores ndirs*nbands components per cell; the flattening order is
+   the variable's index list order (first index fastest), which the
+   assembly-loop configuration may later permute. *)
+
+type index = {
+  iname : string;
+  lo : int; (* inclusive, 1-based *)
+  hi : int; (* inclusive *)
+}
+
+let index ~name ~range:(lo, hi) =
+  if hi < lo then invalid_arg "Entity.index: empty range";
+  { iname = name; lo; hi }
+
+let index_extent i = i.hi - i.lo + 1
+
+type location = Cell | Face | Node
+
+type variable = {
+  vname : string;
+  location : location;
+  vindices : index list; (* [] = plain scalar variable *)
+}
+
+let variable ~name ?(location = Cell) ?(indices = []) () =
+  { vname = name; location; vindices = indices }
+
+let var_ncomp v =
+  List.fold_left (fun acc i -> acc * index_extent i) 1 v.vindices
+
+(* Component offset of a concrete index assignment, first index fastest.
+   [vals] are 0-based positions in each index's range, in the order of
+   [vindices]. *)
+let var_comp v vals =
+  let rec go idxs vals stride acc =
+    match idxs, vals with
+    | [], [] -> acc
+    | i :: idxs', p :: vals' ->
+      if p < 0 || p >= index_extent i then
+        invalid_arg
+          (Printf.sprintf "Entity.var_comp %s: index %s position %d out of range"
+             v.vname i.iname p);
+      go idxs' vals' (stride * index_extent i) (acc + (p * stride))
+    | _ -> invalid_arg "Entity.var_comp: wrong arity"
+  in
+  go v.vindices vals 1 0
+
+type coef_value =
+  | Const of float
+  | Arr of float array                  (* indexed array, e.g. Sx over d *)
+  | Space_fn of (float array -> float)  (* function of position *)
+
+type coefficient = {
+  cname : string;
+  cvalue : coef_value;
+  cindex : index option; (* the index an Arr coefficient is addressed by *)
+}
+
+let coefficient ~name ?index value =
+  (match value, index with
+   | Arr a, Some i when Array.length a <> index_extent i ->
+     invalid_arg
+       (Printf.sprintf "Entity.coefficient %s: array length %d vs index extent %d"
+          name (Array.length a) (index_extent i))
+   | _ -> ());
+  { cname = name; cvalue = value; cindex = index }

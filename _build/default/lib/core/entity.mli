@@ -1,0 +1,51 @@
+(** DSL entities: indices, variables, coefficients — the script-level
+    objects of the paper's input language
+    ([index("d", range=[1,ndirs])], [variable("I", ..., index=[d,b])],
+    [coefficient("Sx", sx_val, ...)]).
+
+    Index ranges are 1-based in the surface syntax; a variable's index
+    space flattens into per-cell components with the first declared index
+    fastest. *)
+
+type index = {
+  iname : string;
+  lo : int; (** inclusive, 1-based *)
+  hi : int;
+}
+
+val index : name:string -> range:int * int -> index
+(** Raises [Invalid_argument] on an empty range. *)
+
+val index_extent : index -> int
+
+type location = Cell | Face | Node
+
+type variable = {
+  vname : string;
+  location : location;
+  vindices : index list; (** [] = plain scalar variable *)
+}
+
+val variable :
+  name:string -> ?location:location -> ?indices:index list -> unit -> variable
+
+val var_ncomp : variable -> int
+(** Product of index extents (1 for scalars). *)
+
+val var_comp : variable -> int list -> int
+(** Component offset of a concrete (0-based) index assignment, first index
+    fastest. Raises [Invalid_argument] on arity or range errors. *)
+
+type coef_value =
+  | Const of float
+  | Arr of float array                  (** indexed array, e.g. Sx over d *)
+  | Space_fn of (float array -> float)  (** function of position *)
+
+type coefficient = {
+  cname : string;
+  cvalue : coef_value;
+  cindex : index option; (** the index an [Arr] coefficient is addressed by *)
+}
+
+val coefficient : name:string -> ?index:index -> coef_value -> coefficient
+(** Checks [Arr] length against the index extent. *)

@@ -1,0 +1,72 @@
+(** Intermediate representation: a target-independent computational graph
+    describing the generated program, carrying comment and metadata nodes
+    "to facilitate generation of easily readable code" (paper Sec. II-A).
+
+    [Emit_source] renders it as Julia-like or CUDA-like listings;
+    [Dataflow] analyses it; the executors mirror its structure. *)
+
+open Finch_symbolic
+
+type phase = Ph_intensity | Ph_temperature | Ph_communication | Ph_boundary
+
+type meta = {
+  m_comment : string option;
+  m_phase : phase option;
+  m_flops : float; (** per innermost iteration; 0 when not annotated *)
+}
+
+val meta : ?comment:string -> ?phase:phase -> ?flops:float -> unit -> meta
+
+type loop_range =
+  | Cells
+  | Faces_of_cell
+  | Index of string
+  | Steps
+
+type node =
+  | Comment of string
+  | Seq of node list
+  | Loop of { range : loop_range; body : node list; parallel : bool }
+  | Assign of {
+      dest : string;
+      dest_new : bool;
+      expr : Expr.t;
+      reduce : [ `Set | `Add ];
+      note : meta;
+    }
+  | Flux_update of {
+      var : string; (** fused conservation-form update *)
+      rvol : Expr.t;
+      rsurf : Expr.t;
+      note : meta;
+    }
+  | Boundary_cpu of { var : string; note : meta }
+  | Callback of { which : [ `Pre | `Post ]; note : meta }
+  | Swap_buffers of string
+  | Halo_exchange of { vars : string list; note : meta }
+  | Allreduce of { what : string; note : meta }
+  | Kernel of { kname : string; body : node list; note : meta }
+  | H2d of { vars : string list; every_step : bool }
+  | D2h of { vars : string list; every_step : bool }
+  | Stream_sync
+  | Advance_time
+
+val fold : ('a -> node -> 'a) -> 'a -> node -> 'a
+val writes : node -> string list
+val reads : node -> string list
+
+val dof_loops : Problem.t -> node list -> node list
+(** Wrap a body in the per-DOF loop nest in the configured assembly order
+    (default: cells outermost, then the declared indices). *)
+
+val step_body : Problem.t -> Transform.equation -> node list
+
+val build_cpu : Problem.t -> node
+(** The CPU program (serial or the rank-local body of an SPMD program,
+    with halo-exchange/allreduce nodes per the configured strategy). *)
+
+val build_gpu : Problem.t -> transfers:(string * bool) list -> node
+(** The hybrid CPU/GPU program (paper Fig. 6): async interior kernel, CPU
+    boundary callback overlapping it, sync/download/combine, host
+    post-step, re-upload. [transfers] lists device inputs as
+    (variable, uploaded-every-step). *)

@@ -1,0 +1,623 @@
+(* Lowering: from a declared problem to executable state.
+
+   Creates field storage for every variable, compiles the equation's volume
+   and flux expressions to closures, resolves boundary conditions to a
+   per-face table, and packages the loop/rank configuration the executors
+   need.  One [state] is built per rank; serial runs have a single rank
+   owning everything. *)
+
+
+exception Lower_error of string
+
+type bc_resolved =
+  | RFlux_expr of Eval.compiled
+  | RFlux_callback of Problem.bc_callback * float array
+  | RDirichlet_expr of Eval.compiled
+  | RDirichlet_callback of Problem.bc_callback * float array
+
+type rankinfo = {
+  rank : int;
+  nranks : int;
+  owned_cells : int array option; (* None = every cell (serial / band runs) *)
+  index_ranges : (string * (int * int)) list;
+    (* per index name: owned (offset, length), 0-based; full range if absent *)
+}
+
+let serial_rankinfo = { rank = 0; nranks = 1; owned_cells = None; index_ranges = [] }
+
+type state = {
+  p : Problem.t;
+  mesh : Fvm.Mesh.t;
+  eq : Transform.equation;
+  uvar : Entity.variable;
+  u : Fvm.Field.t;
+  u_new : Fvm.Field.t;
+  fields : (string * Fvm.Field.t) list; (* all variables incl. the unknown *)
+  env : Eval.env;
+  bindings : Eval.bindings;
+  rvol_f : Eval.compiled;
+  rsurf_f : Eval.compiled;
+  ucomp : unit -> int;       (* component of the unknown at current ivals *)
+  face_bc : bc_resolved option array; (* indexed by face id; None on interior *)
+  time : float ref;
+  dt : float ref;
+  step : int ref;
+  info : rankinfo;
+  breakdown : Prt.Breakdown.t;
+  (* loop plan: outer-to-inner entries *)
+  loops : loop_entry list;
+  (* -d(rvol)/du, compiled lazily (used by the point-implicit stepper) *)
+  rvol_du_f : Eval.compiled Lazy.t;
+}
+
+and loop_entry =
+  | Over_cells
+  | Over_index of string * int (* extent (full); rank restriction applied at run time *)
+
+let field st name =
+  match List.assoc_opt name st.fields with
+  | Some f -> f
+  | None -> raise (Lower_error ("no field for variable " ^ name))
+
+let coef_exn (p : Problem.t) name =
+  match Problem.find_coefficient p name with
+  | Some c -> c
+  | None -> raise (Lower_error ("unknown coefficient " ^ name))
+
+(* Layout metadata for Eval: per-index (name, 1-based lo, stride), first
+   declared index fastest. *)
+let layout_of_var (v : Entity.variable) =
+  let rec go stride = function
+    | [] -> []
+    | (i : Entity.index) :: rest ->
+      (i.Entity.iname, i.Entity.lo, stride)
+      :: go (stride * Entity.index_extent i) rest
+  in
+  go 1 v.Entity.vindices
+
+let rec build ?(info = serial_rankinfo) ?share_with (p : Problem.t) : state =
+  let mesh = Problem.mesh_exn p in
+  let eq = Problem.the_equation p in
+  let uvar =
+    match Problem.find_variable p eq.Transform.eq_var with
+    | Some v -> v
+    | None -> raise (Lower_error "equation variable not declared")
+  in
+  (* fields for every variable; shared-memory workers reuse the base
+     state's storage and differ only in env/closures/ownership *)
+  let fields =
+    match share_with with
+    | Some (base : state) -> base.fields
+    | None ->
+      List.map
+        (fun (v : Entity.variable) ->
+          ( v.Entity.vname,
+            Fvm.Field.create ~name:v.Entity.vname ~ncells:mesh.Fvm.Mesh.ncells
+              ~ncomp:(Entity.var_ncomp v) () ))
+        p.Problem.variables
+  in
+  let u = List.assoc uvar.Entity.vname fields in
+  let u_new =
+    match share_with with
+    | Some base -> base.u_new
+    | None ->
+      Fvm.Field.create ~name:(uvar.Entity.vname ^ "_new")
+        ~ncells:mesh.Fvm.Mesh.ncells ~ncomp:(Entity.var_ncomp uvar) ()
+  in
+  (* bindings for the expression compiler *)
+  let bindings : Eval.bindings =
+    List.map
+      (fun (v : Entity.variable) ->
+        v.Entity.vname,
+        Eval.Bfield (List.assoc v.Entity.vname fields, layout_of_var v))
+      p.Problem.variables
+    @ List.map
+        (fun (c : Entity.coefficient) ->
+          let b =
+            match c.Entity.cvalue with
+            | Entity.Const x -> Eval.Bcoef_const x
+            | Entity.Arr a ->
+              let iname, lo =
+                match c.Entity.cindex with
+                | Some i -> i.Entity.iname, i.Entity.lo
+                | None -> "", 1
+              in
+              Eval.Bcoef_arr (a, iname, lo)
+            | Entity.Space_fn f -> Eval.Bcoef_fn f
+          in
+          c.Entity.cname, b)
+        p.Problem.coefficients
+  in
+  let dt, time =
+    match share_with with
+    | Some base -> base.dt, base.time
+    | None -> ref p.Problem.dt, ref 0.
+  in
+  let index_names = List.map (fun i -> i.Entity.iname) p.Problem.indices in
+  let env = Eval.make_env ~mesh ~dt ~time ~index_names in
+  let rvol_f = Eval.compile bindings eq.Transform.rvol in
+  let rsurf_f = Eval.compile bindings eq.Transform.rsurf in
+  let rvol_du_f =
+    lazy (Eval.compile bindings (Transform.rvol_linearization eq))
+  in
+  (* component of the unknown from current index values *)
+  let ucomp =
+    let pieces =
+      List.map
+        (fun (iname, _lo, stride) ->
+          let r = Eval.ival env iname in
+          fun () -> !r * stride)
+        (layout_of_var uvar)
+    in
+    fun () -> List.fold_left (fun acc f -> acc + f ()) 0 pieces
+  in
+  (* resolve boundary conditions into a per-face table *)
+  let face_bc = Array.make mesh.Fvm.Mesh.nfaces None in
+  let bcs = Problem.bcs_for p uvar.Entity.vname in
+  List.iter
+    (fun (bc : Problem.bc) ->
+      let resolved =
+        match bc.Problem.bc_kind, bc.Problem.bc_spec with
+        | Config.Flux, Problem.Bc_expr e -> RFlux_expr (Eval.compile bindings e)
+        | Config.Dirichlet, Problem.Bc_expr e ->
+          RDirichlet_expr (Eval.compile bindings e)
+        | Config.Flux, Problem.Bc_callback { name; args } -> (
+          match Problem.find_callback p name with
+          | Some f -> RFlux_callback (f, args)
+          | None -> raise (Lower_error ("unknown callback " ^ name)))
+        | Config.Dirichlet, Problem.Bc_callback { name; args } -> (
+          match Problem.find_callback p name with
+          | Some f -> RDirichlet_callback (f, args)
+          | None -> raise (Lower_error ("unknown callback " ^ name)))
+      in
+      Array.iter
+        (fun f ->
+          if mesh.Fvm.Mesh.face_bid.(f) = bc.Problem.bc_region then
+            face_bc.(f) <- Some resolved)
+        mesh.Fvm.Mesh.boundary_faces)
+    bcs;
+  (* loop plan *)
+  let loops =
+    let order =
+      match p.Problem.loop_order with
+      | Some o -> o
+      | None -> "elements" :: index_names
+    in
+    let seen_cells = List.exists (fun s -> s = "elements" || s = "cells") order in
+    if not seen_cells then raise (Lower_error "assemblyLoops must include \"elements\"");
+    List.iter
+      (fun s ->
+        if s <> "elements" && s <> "cells" && Problem.find_index p s = None then
+          raise (Lower_error ("assemblyLoops: unknown index " ^ s)))
+      order;
+    List.map
+      (fun s ->
+        if s = "elements" || s = "cells" then Over_cells
+        else
+          let i =
+            match Problem.find_index p s with Some i -> i | None -> assert false
+          in
+          Over_index (s, Entity.index_extent i))
+      order
+  in
+  let st =
+    {
+      p;
+      mesh;
+      eq;
+      uvar;
+      u;
+      u_new;
+      fields;
+      env;
+      bindings;
+      rvol_f;
+      rsurf_f;
+      ucomp;
+      face_bc;
+      time;
+      dt;
+      step = ref 0;
+      info;
+      breakdown = Prt.Breakdown.zero ();
+      loops;
+      rvol_du_f;
+    }
+  in
+  (match share_with with
+   | Some _ -> ()
+   | None -> apply_initial_conditions st);
+  st
+
+and apply_initial_conditions st =
+  let mesh = st.mesh in
+  List.iter
+    (fun (name, spec) ->
+      match List.assoc_opt name st.fields with
+      | None -> raise (Lower_error ("initial condition for unknown variable " ^ name))
+      | Some f -> (
+        match spec with
+        | Problem.Init_const v -> Fvm.Field.fill f v
+        | Problem.Init_fn g ->
+          Fvm.Field.init f (fun cell comp ->
+              g (Fvm.Mesh.cell_centroid mesh cell) comp)))
+    st.p.Problem.initials;
+  (* the double buffer starts as a copy so untouched comps stay coherent *)
+  Fvm.Field.blit ~src:st.u ~dst:st.u_new
+
+(* owned range of an index for this rank (0-based offset, length) *)
+let index_range st name extent =
+  match List.assoc_opt name st.info.index_ranges with
+  | Some r -> r
+  | None -> 0, extent
+
+(* Run [f] for every owned (cell x index) combination in the configured
+   loop order.  [f] is called with loop state already set in [st.env]. *)
+let iterate_dofs st (f : unit -> unit) =
+  let env = st.env in
+  let cells =
+    match st.info.owned_cells with
+    | Some cs -> cs
+    | None -> [||]
+  in
+  let rec go = function
+    | [] -> f ()
+    | Over_cells :: rest ->
+      (match st.info.owned_cells with
+       | None ->
+         for c = 0 to st.mesh.Fvm.Mesh.ncells - 1 do
+           env.Eval.cell <- c;
+           go rest
+         done
+       | Some _ ->
+         for i = 0 to Array.length cells - 1 do
+           env.Eval.cell <- cells.(i);
+           go rest
+         done)
+    | Over_index (name, extent) :: rest ->
+      let off, len = index_range st name extent in
+      let r = Eval.ival env name in
+      for v = off to off + len - 1 do
+        r := v;
+        go rest
+      done
+  in
+  go st.loops
+
+(* The per-DOF conservation-form update (forward Euler form); assumes
+   [st.env] has cell and index values set.  Returns the updated value but
+   does not store it. *)
+let rec dof_rhs st =
+  let env = st.env in
+  let mesh = st.mesh in
+  let cell = env.Eval.cell in
+  let rv = st.rvol_f env in
+  let flux = ref 0. in
+  let faces = mesh.Fvm.Mesh.cell_faces.(cell) in
+  for i = 0 to Array.length faces - 1 do
+    let f = faces.(i) in
+    env.Eval.face <- f;
+    env.Eval.nsign <- Fvm.Mesh.normal_sign mesh f cell;
+    let c2 = Fvm.Mesh.neighbour mesh f cell in
+    if c2 >= 0 then begin
+      env.Eval.cell2 <- c2;
+      flux := !flux +. (mesh.Fvm.Mesh.face_area.(f) *. st.rsurf_f env)
+    end
+    else begin
+      env.Eval.cell2 <- -1;
+      match st.face_bc.(f) with
+      | None -> () (* unconstrained boundary: zero surface contribution *)
+      | Some bc -> flux := !flux +. (mesh.Fvm.Mesh.face_area.(f) *. boundary_term st bc f cell)
+    end
+  done;
+  rv +. (!flux /. mesh.Fvm.Mesh.cell_volume.(cell))
+
+and boundary_term st bc f cell =
+  let env = st.env in
+  match bc with
+  | RFlux_expr g -> g env
+  | RFlux_callback (cb, args) -> cb (make_bc_ctx st ~args f cell)
+  | RDirichlet_expr g ->
+    let ghost_val = g env in
+    with_ghost st ghost_val (fun () -> st.rsurf_f env)
+  | RDirichlet_callback (cb, args) ->
+    let ghost_val = cb (make_bc_ctx st ~args f cell) in
+    with_ghost st ghost_val (fun () -> st.rsurf_f env)
+
+and with_ghost st ghost_val k =
+  let env = st.env in
+  let uname = st.uvar.Entity.vname in
+  let saved = env.Eval.ghost in
+  env.Eval.ghost <-
+    Some
+      (fun name comp ->
+        if String.equal name uname then ghost_val
+        else Fvm.Field.get (field st name) env.Eval.cell comp);
+  let r = k () in
+  env.Eval.ghost <- saved;
+  r
+
+and make_bc_ctx st ~args f cell =
+  let env = st.env in
+  {
+    Problem.bc_mesh = st.mesh;
+    bc_field = (fun n -> field st n);
+    bc_coef = (fun n -> coef_exn st.p n);
+    bc_face = f;
+    bc_cell = cell;
+    bc_normal = Fvm.Mesh.face_normal st.mesh f;
+    bc_ivals = List.map (fun (n, r) -> n, !r) env.Eval.ivals;
+    bc_comp = st.ucomp ();
+    bc_time = !(st.time);
+    bc_args = args;
+  }
+
+(* One forward-Euler sweep over the owned DOFs into the double buffer. *)
+let sweep st =
+  let dt = !(st.dt) in
+  iterate_dofs st (fun () ->
+      let cell = st.env.Eval.cell in
+      let c = st.ucomp () in
+      let v = Fvm.Field.get st.u cell c +. (dt *. dof_rhs st) in
+      Fvm.Field.set st.u_new cell c v)
+
+(* Publish the double buffer: owned DOFs of u_new become current. *)
+let commit st =
+  iterate_dofs st (fun () ->
+      let cell = st.env.Eval.cell in
+      let c = st.ucomp () in
+      Fvm.Field.set st.u cell c (Fvm.Field.get st.u_new cell c))
+
+let make_step_ctx st ~allreduce =
+  {
+    Problem.st_mesh = st.mesh;
+    st_field = (fun n -> field st n);
+    st_coef = (fun n -> coef_exn st.p n);
+    st_time = !(st.time);
+    st_dt = !(st.dt);
+    st_step = !(st.step);
+    st_rank = st.info.rank;
+    st_nranks = st.info.nranks;
+    st_index_range =
+      (fun name ->
+        match Problem.find_index st.p name with
+        | None -> raise (Lower_error ("step ctx: unknown index " ^ name))
+        | Some i -> index_range st name (Entity.index_extent i));
+    st_allreduce = allreduce;
+    st_cells = st.info.owned_cells;
+  }
+
+let run_post_step st ~allreduce =
+  let ctx = make_step_ctx st ~allreduce in
+  List.iter (fun f -> f ctx) st.p.Problem.post_step
+
+let run_pre_step st ~allreduce =
+  let ctx = make_step_ctx st ~allreduce in
+  List.iter (fun f -> f ctx) st.p.Problem.pre_step
+
+(* ------------------------------------------------------------------ *)
+(* Support for the hybrid GPU target.                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Decompose a flat component id of the unknown into per-index values
+   (first declared index fastest) and store them in the env. *)
+let set_ivals_of_comp st comp =
+  let env = st.env in
+  let rec go comp = function
+    | [] -> ()
+    | (i : Entity.index) :: rest ->
+      let ext = Entity.index_extent i in
+      let r = Eval.ival env i.Entity.iname in
+      r := comp mod ext;
+      go (comp / ext) rest
+  in
+  go comp st.uvar.Entity.vindices
+
+(* A state whose closures read and write the given field storage (device
+   views) instead of the base state's host fields.  Time/dt refs are shared
+   with the base so both sides agree on the clock. *)
+let rebind (base : state) ~fields ~u_new =
+  let p = base.p in
+  let mesh = base.mesh in
+  let bindings : Eval.bindings =
+    List.map
+      (fun (v : Entity.variable) ->
+        v.Entity.vname,
+        Eval.Bfield (List.assoc v.Entity.vname fields, layout_of_var v))
+      p.Problem.variables
+    @ List.filter_map
+        (fun (name, b) ->
+          match b with
+          | Eval.Bfield _ -> None
+          | b -> Some (name, b))
+        base.bindings
+  in
+  let index_names = List.map (fun i -> i.Entity.iname) p.Problem.indices in
+  let env = Eval.make_env ~mesh ~dt:base.dt ~time:base.time ~index_names in
+  let rvol_f = Eval.compile bindings base.eq.Transform.rvol in
+  let rsurf_f = Eval.compile bindings base.eq.Transform.rsurf in
+  let ucomp =
+    let pieces =
+      List.map
+        (fun (iname, _lo, stride) ->
+          let r = Eval.ival env iname in
+          fun () -> !r * stride)
+        (layout_of_var base.uvar)
+    in
+    fun () -> List.fold_left (fun acc f -> acc + f ()) 0 pieces
+  in
+  {
+    base with
+    fields;
+    u = List.assoc base.uvar.Entity.vname fields;
+    u_new;
+    env;
+    bindings;
+    rvol_f;
+    rsurf_f;
+    ucomp;
+    rvol_du_f = lazy (Eval.compile bindings (Transform.rvol_linearization base.eq));
+  }
+
+(* Volume term plus interior-face fluxes only; boundary faces contribute
+   nothing (the CPU adds their part separately in the hybrid schedule). *)
+let dof_rhs_interior st =
+  let env = st.env in
+  let mesh = st.mesh in
+  let cell = env.Eval.cell in
+  let rv = st.rvol_f env in
+  let flux = ref 0. in
+  let faces = mesh.Fvm.Mesh.cell_faces.(cell) in
+  for i = 0 to Array.length faces - 1 do
+    let f = faces.(i) in
+    let c2 = Fvm.Mesh.neighbour mesh f cell in
+    if c2 >= 0 then begin
+      env.Eval.face <- f;
+      env.Eval.nsign <- Fvm.Mesh.normal_sign mesh f cell;
+      env.Eval.cell2 <- c2;
+      flux := !flux +. (mesh.Fvm.Mesh.face_area.(f) *. st.rsurf_f env)
+    end
+  done;
+  rv +. (!flux /. mesh.Fvm.Mesh.cell_volume.(cell))
+
+(* Accumulate dt * (area * boundary term) / volume for every boundary face
+   and component into [into].  Used by the hybrid target's CPU side. *)
+let boundary_contributions st ~into =
+  let env = st.env in
+  let mesh = st.mesh in
+  let dt = !(st.dt) in
+  let ncomp = Fvm.Field.ncomp st.u in
+  Array.iter
+    (fun f ->
+      match st.face_bc.(f) with
+      | None -> ()
+      | Some bc ->
+        let cell = mesh.Fvm.Mesh.face_cell1.(f) in
+        for comp = 0 to ncomp - 1 do
+          env.Eval.cell <- cell;
+          set_ivals_of_comp st comp;
+          env.Eval.face <- f;
+          env.Eval.nsign <- 1.; (* boundary faces are owned by their cell *)
+          env.Eval.cell2 <- -1;
+          let g = boundary_term st bc f cell in
+          let dv =
+            dt *. mesh.Fvm.Mesh.face_area.(f) *. g
+            /. mesh.Fvm.Mesh.cell_volume.(cell)
+          in
+          Fvm.Field.set into cell comp (Fvm.Field.get into cell comp +. dv)
+        done)
+    mesh.Fvm.Mesh.boundary_faces
+
+(* ------------------------------------------------------------------ *)
+(* Runge-Kutta stage support (serial executor).                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Evaluate R(u) for every owned DOF into [into] (no dt applied). *)
+let sweep_rhs st ~into =
+  iterate_dofs st (fun () ->
+      let cell = st.env.Eval.cell in
+      let c = st.ucomp () in
+      Fvm.Field.set into cell c (dof_rhs st))
+
+(* u := base + a * k over the owned DOFs. *)
+let set_combination st ~base ~a ~k =
+  iterate_dofs st (fun () ->
+      let cell = st.env.Eval.cell in
+      let c = st.ucomp () in
+      Fvm.Field.set st.u cell c
+        (Fvm.Field.get base cell c +. (a *. Fvm.Field.get k cell c)))
+
+(* The surface part of R only: (1/V) sum over faces of area * rsurf with
+   boundary conditions applied — [dof_rhs] minus the volume term. *)
+let dof_flux st =
+  let env = st.env in
+  let mesh = st.mesh in
+  let cell = env.Eval.cell in
+  let flux = ref 0. in
+  let faces = mesh.Fvm.Mesh.cell_faces.(cell) in
+  for i = 0 to Array.length faces - 1 do
+    let f = faces.(i) in
+    env.Eval.face <- f;
+    env.Eval.nsign <- Fvm.Mesh.normal_sign mesh f cell;
+    let c2 = Fvm.Mesh.neighbour mesh f cell in
+    if c2 >= 0 then begin
+      env.Eval.cell2 <- c2;
+      flux := !flux +. (mesh.Fvm.Mesh.face_area.(f) *. st.rsurf_f env)
+    end
+    else begin
+      env.Eval.cell2 <- -1;
+      match st.face_bc.(f) with
+      | None -> ()
+      | Some bc ->
+        flux := !flux +. (mesh.Fvm.Mesh.face_area.(f) *. boundary_term st bc f cell)
+    end
+  done;
+  !flux /. mesh.Fvm.Mesh.cell_volume.(cell)
+
+(* Point-implicit sweep: relaxation-type volume terms treated implicitly
+   via the symbolic linearization b = -d(rvol)/du, advection explicit:
+     u' = (u + dt*(rvol(u) + b*u + flux)) / (1 + dt*b).
+   Exact for volume terms affine in u (the BTE's (Io - I)*beta), and free
+   of the dt * max(1/tau) < 1 stability bound. *)
+let sweep_point_implicit st =
+  let dt = !(st.dt) in
+  let bf = Lazy.force st.rvol_du_f in
+  iterate_dofs st (fun () ->
+      let cell = st.env.Eval.cell in
+      let c = st.ucomp () in
+      let u0 = Fvm.Field.get st.u cell c in
+      let b = bf st.env in
+      let rv = st.rvol_f st.env in
+      let flux = dof_flux st in
+      let v = (u0 +. (dt *. (rv +. (b *. u0) +. flux))) /. (1. +. (dt *. b)) in
+      Fvm.Field.set st.u_new cell c v)
+
+(* One step of the configured scheme, advancing the unknown in place.
+   Stage evaluations hold boundary data at the step's start time (the
+   schemes here are used with autonomous right-hand sides).  Supported:
+   Euler, point-implicit Euler, RK2 midpoint, classic RK4. *)
+let rk_step st =
+  let dt = !(st.dt) in
+  let scratch name =
+    Fvm.Field.create ~name ~ncells:(Fvm.Field.ncells st.u)
+      ~ncomp:(Fvm.Field.ncomp st.u) ()
+  in
+  match st.p.Problem.stepper with
+  | Config.Euler_explicit ->
+    sweep st;
+    commit st
+  | Config.Euler_point_implicit ->
+    sweep_point_implicit st;
+    commit st
+  | Config.RK2 ->
+    (* midpoint: k1 = R(u); u_mid = u + dt/2 k1; u' = u + dt R(u_mid) *)
+    let base = Fvm.Field.copy st.u in
+    let k1 = scratch "rk_k1" and k2 = scratch "rk_k2" in
+    sweep_rhs st ~into:k1;
+    set_combination st ~base ~a:(dt /. 2.) ~k:k1;
+    sweep_rhs st ~into:k2;
+    set_combination st ~base ~a:dt ~k:k2
+  | Config.RK4 ->
+    let base = Fvm.Field.copy st.u in
+    let k1 = scratch "rk_k1"
+    and k2 = scratch "rk_k2"
+    and k3 = scratch "rk_k3"
+    and k4 = scratch "rk_k4" in
+    sweep_rhs st ~into:k1;
+    set_combination st ~base ~a:(dt /. 2.) ~k:k1;
+    sweep_rhs st ~into:k2;
+    set_combination st ~base ~a:(dt /. 2.) ~k:k2;
+    sweep_rhs st ~into:k3;
+    set_combination st ~base ~a:dt ~k:k3;
+    sweep_rhs st ~into:k4;
+    iterate_dofs st (fun () ->
+        let cell = st.env.Eval.cell in
+        let c = st.ucomp () in
+        let combo =
+          Fvm.Field.get k1 cell c
+          +. (2. *. Fvm.Field.get k2 cell c)
+          +. (2. *. Fvm.Field.get k3 cell c)
+          +. Fvm.Field.get k4 cell c
+        in
+        Fvm.Field.set st.u cell c
+          (Fvm.Field.get base cell c +. (dt /. 6. *. combo)))

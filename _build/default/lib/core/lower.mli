@@ -1,0 +1,114 @@
+(** Lowering: from a declared problem to executable state — field storage
+    for every variable, compiled volume/flux closures, a per-face boundary
+    table, the loop plan, and rank-ownership information. One state is
+    built per rank; serial runs own everything. *)
+
+exception Lower_error of string
+
+type bc_resolved =
+  | RFlux_expr of Eval.compiled
+  | RFlux_callback of Problem.bc_callback * float array
+  | RDirichlet_expr of Eval.compiled
+  | RDirichlet_callback of Problem.bc_callback * float array
+
+type rankinfo = {
+  rank : int;
+  nranks : int;
+  owned_cells : int array option; (** None = every cell *)
+  index_ranges : (string * (int * int)) list;
+    (** owned (offset, length) per partitioned index, 0-based *)
+}
+
+val serial_rankinfo : rankinfo
+
+type state = {
+  p : Problem.t;
+  mesh : Fvm.Mesh.t;
+  eq : Transform.equation;
+  uvar : Entity.variable;
+  u : Fvm.Field.t;       (** current values of the unknown *)
+  u_new : Fvm.Field.t;   (** double buffer *)
+  fields : (string * Fvm.Field.t) list;
+  env : Eval.env;
+  bindings : Eval.bindings;
+  rvol_f : Eval.compiled;
+  rsurf_f : Eval.compiled;
+  ucomp : unit -> int;   (** component of the unknown at current ivals *)
+  face_bc : bc_resolved option array;
+  time : float ref;
+  dt : float ref;
+  step : int ref;
+  info : rankinfo;
+  breakdown : Prt.Breakdown.t;
+  loops : loop_entry list;
+  rvol_du_f : Eval.compiled Lazy.t;
+    (** -d(rvol)/du, compiled lazily for the point-implicit stepper *)
+}
+
+and loop_entry =
+  | Over_cells
+  | Over_index of string * int
+
+val field : state -> string -> Fvm.Field.t
+val coef_exn : Problem.t -> string -> Entity.coefficient
+val layout_of_var : Entity.variable -> (string * int * int) list
+
+val build : ?info:rankinfo -> ?share_with:state -> Problem.t -> state
+(** Build a rank's state. [share_with] reuses another state's field
+    storage and time/dt refs (shared-memory workers) and skips initial
+    conditions. *)
+
+val apply_initial_conditions : state -> unit
+val index_range : state -> string -> int -> int * int
+
+val iterate_dofs : state -> (unit -> unit) -> unit
+(** Run a thunk for every owned (cell x index) combination in the
+    configured loop order; loop state is set in [state.env]. *)
+
+val dof_rhs : state -> float
+(** R = rvol + (1/V) Σ_faces area·rsurf at the current DOF, boundary
+    conditions applied (unconstrained boundary faces contribute zero). *)
+
+val sweep : state -> unit
+(** Forward-Euler sweep of the owned DOFs into the double buffer. *)
+
+val commit : state -> unit
+(** Publish the double buffer for the owned DOFs. *)
+
+val make_step_ctx : state -> allreduce:(float array -> unit) -> Problem.step_ctx
+val run_post_step : state -> allreduce:(float array -> unit) -> unit
+val run_pre_step : state -> allreduce:(float array -> unit) -> unit
+
+(** {2 Hybrid GPU-target support} *)
+
+val set_ivals_of_comp : state -> int -> unit
+(** Decompose a flat component id of the unknown into index values. *)
+
+val rebind :
+  state -> fields:(string * Fvm.Field.t) list -> u_new:Fvm.Field.t -> state
+(** A state whose closures read/write the given (device-view) storage;
+    time/dt refs shared with the base. *)
+
+val dof_rhs_interior : state -> float
+(** Like {!dof_rhs} but interior faces only (the kernel's part; the CPU
+    adds boundary contributions separately). *)
+
+val boundary_contributions : state -> into:Fvm.Field.t -> unit
+(** Accumulate dt·area·(boundary term)/V for every boundary face and
+    component into [into]. *)
+
+(** {2 Runge-Kutta stages (serial executor)} *)
+
+val sweep_rhs : state -> into:Fvm.Field.t -> unit
+val set_combination : state -> base:Fvm.Field.t -> a:float -> k:Fvm.Field.t -> unit
+
+val dof_flux : state -> float
+(** The surface part of R only (boundary conditions applied). *)
+
+val sweep_point_implicit : state -> unit
+(** Relaxation treated implicitly via the symbolic linearization,
+    advection explicit — removes the dt*max(1/tau) stability bound. *)
+
+val rk_step : state -> unit
+(** One step of the configured scheme (Euler / RK2 midpoint / classic
+    RK4), advancing the unknown in place. *)

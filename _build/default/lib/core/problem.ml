@@ -1,0 +1,259 @@
+(* Script-level problem description: the OCaml counterpart of the paper's
+   Julia input script (initFinch, domain, solverType, timeStepper, mesh,
+   index/variable/coefficient, boundary, postStepFunction,
+   conservationForm, assemblyLoops, useCUDA, solve).
+
+   A [Problem.t] is a mutable builder; code generation happens in
+   [Solve.solve] once everything is declared. *)
+
+open Finch_symbolic
+
+exception Problem_error of string
+
+(* Context handed to boundary-condition callbacks (the paper's
+   user-supplied functions that run on the CPU). *)
+type bc_ctx = {
+  bc_mesh : Fvm.Mesh.t;
+  bc_field : string -> Fvm.Field.t; (* host-side fields of this rank *)
+  bc_coef : string -> Entity.coefficient;
+  bc_face : int;
+  bc_cell : int;               (* interior cell adjacent to the face *)
+  bc_normal : float array;     (* outward unit normal *)
+  bc_ivals : (string * int) list; (* current 0-based index values *)
+  bc_comp : int;               (* flattened component of the variable *)
+  bc_time : float;
+  bc_args : float array;       (* numeric literals from the bc string *)
+}
+
+let bc_ival ctx name =
+  match List.assoc_opt name ctx.bc_ivals with
+  | Some v -> v
+  | None -> raise (Problem_error ("bc callback: unknown index " ^ name))
+
+type bc_callback = bc_ctx -> float
+
+(* Context handed to pre-/post-step callbacks (e.g. the BTE temperature
+   update).  [comp_range] exposes the index subrange owned by this rank in
+   equation-partitioned (band-parallel) runs; [allreduce] sums an array
+   elementwise across ranks (identity for serial runs). *)
+type step_ctx = {
+  st_mesh : Fvm.Mesh.t;
+  st_field : string -> Fvm.Field.t;
+  st_coef : string -> Entity.coefficient;
+  st_time : float;
+  st_dt : float;
+  st_step : int;
+  st_rank : int;
+  st_nranks : int;
+  st_index_range : string -> int * int; (* owned (offset, length), 0-based *)
+  st_allreduce : float array -> unit;
+  st_cells : int array option; (* owned cells in mesh-partitioned runs *)
+}
+
+type step_callback = step_ctx -> unit
+
+type bc_spec =
+  | Bc_expr of Expr.t
+  | Bc_callback of { name : string; args : float array }
+
+type bc = {
+  bc_var : string;
+  bc_region : int;
+  bc_kind : Config.bc_kind;
+  bc_spec : bc_spec;
+}
+
+type initial_spec =
+  | Init_const of float
+  | Init_fn of (float array -> int -> float) (* position, component *)
+
+type t = {
+  name : string;
+  mutable dim : int;
+  mutable solver : Config.solver_type;
+  mutable stepper : Config.time_stepper;
+  mutable dt : float;
+  mutable nsteps : int;
+  mutable mesh : Fvm.Mesh.t option;
+  mutable target : Config.target;
+  mutable indices : Entity.index list;
+  mutable variables : Entity.variable list;
+  mutable coefficients : Entity.coefficient list;
+  mutable callbacks : (string * bc_callback) list;
+  mutable bcs : bc list;
+  mutable initials : (string * initial_spec) list;
+  mutable pre_step : step_callback list;
+  mutable post_step : step_callback list;
+  mutable equations : Transform.equation list;
+  mutable loop_order : string list option; (* e.g. ["b"; "elements"; "d"] *)
+}
+
+let init name =
+  {
+    name;
+    dim = 2;
+    solver = Config.FV;
+    stepper = Config.Euler_explicit;
+    dt = 1e-3;
+    nsteps = 1;
+    mesh = None;
+    target = Config.Cpu Config.Serial;
+    indices = [];
+    variables = [];
+    coefficients = [];
+    callbacks = [];
+    bcs = [];
+    initials = [];
+    pre_step = [];
+    post_step = [];
+    equations = [];
+    loop_order = None;
+  }
+
+(* --- configuration commands, mirroring the paper's script API ---------- *)
+
+let domain p d =
+  if d < 1 || d > 3 then raise (Problem_error "domain must be 1, 2 or 3");
+  p.dim <- d
+
+let solver_type p s = p.solver <- s
+let time_stepper p s = p.stepper <- s
+
+let set_steps p ~dt ~nsteps =
+  if dt <= 0. || nsteps < 1 then raise (Problem_error "set_steps: bad arguments");
+  p.dt <- dt;
+  p.nsteps <- nsteps
+
+let use_cuda ?(spec = Gpu_sim.Spec.a6000) ?(ranks = 1) p =
+  p.target <- Config.Gpu { spec; ranks }
+
+let set_target p t = p.target <- t
+
+let set_mesh p m =
+  if m.Fvm.Mesh.dim <> p.dim then
+    raise (Problem_error "mesh dimension does not match domain");
+  p.mesh <- Some m
+
+let mesh_file p path = set_mesh p (Fvm.Gmsh.read_file path)
+
+(* --- entities ---------------------------------------------------------- *)
+
+let find_index p name = List.find_opt (fun i -> i.Entity.iname = name) p.indices
+
+let index p ~name ~range =
+  if find_index p name <> None then
+    raise (Problem_error ("duplicate index " ^ name));
+  let i = Entity.index ~name ~range in
+  p.indices <- p.indices @ [ i ];
+  i
+
+let find_variable p name =
+  List.find_opt (fun v -> v.Entity.vname = name) p.variables
+
+let variable p ~name ?(location = Entity.Cell) ?(indices = []) () =
+  if find_variable p name <> None then
+    raise (Problem_error ("duplicate variable " ^ name));
+  let v = Entity.variable ~name ~location ~indices () in
+  p.variables <- p.variables @ [ v ];
+  v
+
+let find_coefficient p name =
+  List.find_opt (fun c -> c.Entity.cname = name) p.coefficients
+
+let coefficient p ~name ?index value =
+  if find_coefficient p name <> None then
+    raise (Problem_error ("duplicate coefficient " ^ name));
+  let c = Entity.coefficient ~name ?index value in
+  p.coefficients <- p.coefficients @ [ c ];
+  c
+
+(* --- callbacks and conditions ------------------------------------------ *)
+
+let callback_function p name f = p.callbacks <- (name, f) :: p.callbacks
+
+let find_callback p name = List.assoc_opt name p.callbacks
+
+(* Parse a boundary spec string.  A call form [name(arg, ...)] whose name
+   is a registered callback becomes [Bc_callback] with the numeric literal
+   arguments collected (entity arguments are available to the callback via
+   its context, as in the paper where "the relevant values for parameters
+   ... will be interpreted automatically by Finch").  Anything else is a
+   symbolic expression evaluated per boundary face. *)
+let boundary p var region kind spec_text =
+  (match find_variable p var.Entity.vname with
+   | Some _ -> ()
+   | None -> raise (Problem_error ("boundary: unknown variable " ^ var.Entity.vname)));
+  let parsed =
+    try Parser.parse spec_text
+    with Parser.Parse_error m ->
+      raise (Problem_error ("boundary: parse error: " ^ m))
+  in
+  let var_names = List.map (fun v -> v.Entity.vname) p.variables in
+  let spec =
+    match parsed with
+    | Expr.Call (name, args) when find_callback p name <> None ->
+      let nums =
+        List.filter_map (function Expr.Num x -> Some x | _ -> None) args
+      in
+      Bc_callback { name; args = Array.of_list nums }
+    | e ->
+      Bc_expr
+        (Simplify.simplify (Operators.expand (Transform.resolve_vars var_names e)))
+  in
+  p.bcs <-
+    p.bcs @ [ { bc_var = var.Entity.vname; bc_region = region; bc_kind = kind; bc_spec = spec } ]
+
+let initial p var spec = p.initials <- (var.Entity.vname, spec) :: p.initials
+
+let pre_step_function p f = p.pre_step <- p.pre_step @ [ f ]
+let post_step_function p f = p.post_step <- p.post_step @ [ f ]
+
+(* --- equations ---------------------------------------------------------- *)
+
+let conservation_form p var text =
+  (match p.solver with
+   | Config.FV -> ()
+   | Config.FE ->
+     raise (Problem_error "conservationForm requires the FV solver type"));
+  let var_names = List.map (fun v -> v.Entity.vname) p.variables in
+  let eq = Transform.conservation_form ~var_names var text in
+  (* validate that every referenced entity is declared *)
+  List.iter
+    (fun name ->
+      let known =
+        find_variable p name <> None
+        || find_coefficient p name <> None
+      in
+      if not known then
+        raise (Problem_error ("equation references unknown entity " ^ name)))
+    (Expr.ref_names eq.Transform.parsed);
+  (* and that every bare symbol is a coefficient or a recognized special *)
+  let special s =
+    List.mem s [ "dt"; "t"; "time"; "pi"; "x"; "y"; "z"; "VOLUME"; "FACEAREA";
+                 "SURFACE"; "TIMEDERIVATIVE" ]
+    || (String.length s > 7 && String.sub s 0 7 = "NORMAL_")
+  in
+  List.iter
+    (fun s ->
+      if (not (special s)) && find_coefficient p s = None then
+        raise (Problem_error ("equation references unknown symbol " ^ s)))
+    (Expr.sym_names eq.Transform.expanded);
+  p.equations <- p.equations @ [ eq ];
+  eq
+
+let assembly_loops p order = p.loop_order <- Some order
+
+(* --- misc accessors ----------------------------------------------------- *)
+
+let mesh_exn p =
+  match p.mesh with
+  | Some m -> m
+  | None -> raise (Problem_error "no mesh configured")
+
+let the_equation p =
+  match p.equations with
+  | [ eq ] -> eq
+  | [] -> raise (Problem_error "no equation declared")
+  | _ -> raise (Problem_error "multiple equations not yet supported by targets")
+
+let bcs_for p var = List.filter (fun b -> b.bc_var = var) p.bcs

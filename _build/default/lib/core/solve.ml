@@ -1,0 +1,79 @@
+(* Top-level driver: dispatch a configured problem to its code-generation
+   target and package the results, mirroring the paper's [solve(I)]. *)
+
+type outcome = {
+  u : Fvm.Field.t;                  (* gathered unknown after the run *)
+  fields : (string * Fvm.Field.t) list; (* rank-0 view of all variables *)
+  breakdown : Prt.Breakdown.t;
+  gpu : Target_gpu.result option;   (* present for GPU runs *)
+  states : Lower.state array;
+}
+
+(* Which index is split by band-parallel runs.  Defaults to the last
+   declared index (the paper's band index is declared after the direction
+   index), overridable per call. *)
+let default_band_index (p : Problem.t) =
+  match List.rev p.Problem.indices with
+  | i :: _ -> i.Entity.iname
+  | [] -> raise (Problem.Problem_error "band-parallel run with no indices")
+
+let solve ?band_index ?post_io (p : Problem.t) =
+  match p.Problem.target with
+  | Config.Cpu Config.Serial ->
+    let r = Target_cpu.run_serial p in
+    let st = Target_cpu.primary r in
+    {
+      u = st.Lower.u;
+      fields = st.Lower.fields;
+      breakdown = r.Target_cpu.breakdown;
+      gpu = None;
+      states = r.Target_cpu.states;
+    }
+  | Config.Cpu (Config.Band_parallel n) ->
+    let index =
+      match band_index with Some i -> i | None -> default_band_index p
+    in
+    let r = Target_cpu.run_band_parallel p ~index ~nranks:n in
+    let u = Target_cpu.gather_unknown r in
+    let st = Target_cpu.primary r in
+    {
+      u;
+      fields =
+        List.map
+          (fun (name, f) ->
+            if name = st.Lower.uvar.Entity.vname then name, u else name, f)
+          st.Lower.fields;
+      breakdown = r.Target_cpu.breakdown;
+      gpu = None;
+      states = r.Target_cpu.states;
+    }
+  | Config.Cpu (Config.Cell_parallel n) ->
+    let r = Target_cpu.run_cell_parallel p ~nranks:n in
+    let u = Target_cpu.gather_unknown r in
+    let st = Target_cpu.primary r in
+    {
+      u;
+      fields =
+        List.map
+          (fun (name, f) ->
+            if name = st.Lower.uvar.Entity.vname then name, u else name, f)
+          st.Lower.fields;
+      breakdown = r.Target_cpu.breakdown;
+      gpu = None;
+      states = r.Target_cpu.states;
+    }
+  | Config.Gpu _ ->
+    let r = Target_gpu.run ?post_io p in
+    let st = r.Target_gpu.state in
+    {
+      u = st.Lower.u;
+      fields = st.Lower.fields;
+      breakdown = r.Target_gpu.breakdown;
+      gpu = Some r;
+      states = [| st |];
+    }
+
+let field outcome name =
+  match List.assoc_opt name outcome.fields with
+  | Some f -> f
+  | None -> raise (Problem.Problem_error ("solve outcome: no field " ^ name))

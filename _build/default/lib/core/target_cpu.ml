@@ -1,0 +1,236 @@
+(* CPU code-generation target: serial, band-parallel (equation-partitioned)
+   and cell-parallel (mesh-partitioned) executors, plus a shared-memory
+   multithreaded variant using OCaml domains.
+
+   The distributed strategies run as SPMD rank programs under [Prt.Spmd]
+   (deterministic in-process message passing), which makes them directly
+   comparable — DOF for DOF — with the serial executor.  All executors
+   advance the same lowered state machinery from [Lower]. *)
+
+exception Target_error of string
+
+type result = {
+  states : Lower.state array; (* one per rank; index 0 for serial *)
+  breakdown : Prt.Breakdown.t;
+}
+
+let primary r = r.states.(0)
+
+(* Gather a variable's field across ranks into one full field.  For
+   band-partitioned runs each rank owns a component range of the unknown;
+   for cell-partitioned runs each rank owns a cell range.  Non-unknown
+   variables are taken from rank 0 (every rank computes them fully). *)
+let gather_unknown r =
+  let st0 = r.states.(0) in
+  let out = Fvm.Field.copy st0.Lower.u in
+  Array.iter
+    (fun (st : Lower.state) ->
+      let u = st.Lower.u in
+      match st.Lower.info.Lower.owned_cells with
+      | Some cells ->
+        Array.iter
+          (fun cell ->
+            for comp = 0 to Fvm.Field.ncomp u - 1 do
+              Fvm.Field.set out cell comp (Fvm.Field.get u cell comp)
+            done)
+          cells
+      | None ->
+        (* band-partitioned: copy the owned component ranges *)
+        let ranges = st.Lower.info.Lower.index_ranges in
+        if ranges = [] then ()
+        else
+          (* enumerate owned comps by iterating the state's own loops *)
+          Lower.iterate_dofs st (fun () ->
+              let cell = st.Lower.env.Eval.cell in
+              let c = st.Lower.ucomp () in
+              Fvm.Field.set out cell c (Fvm.Field.get u cell c)))
+    r.states;
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Serial                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let noop_allreduce (_ : float array) = ()
+
+let step_serial (st : Lower.state) =
+  let b = st.Lower.breakdown in
+  Lower.run_pre_step st ~allreduce:noop_allreduce;
+  (* the configured time stepper: forward Euler as in the paper, or an
+     explicit Runge-Kutta scheme (extension) *)
+  Prt.Breakdown.timed b Prt.Breakdown.Intensity (fun () -> Lower.rk_step st);
+  Prt.Breakdown.timed b Prt.Breakdown.Temperature (fun () ->
+      Lower.run_post_step st ~allreduce:noop_allreduce);
+  st.Lower.time := !(st.Lower.time) +. !(st.Lower.dt);
+  incr st.Lower.step
+
+let run_serial (p : Problem.t) =
+  let st = Lower.build p in
+  for _ = 1 to p.Problem.nsteps do
+    step_serial st
+  done;
+  { states = [| st |]; breakdown = st.Lower.breakdown }
+
+(* ------------------------------------------------------------------ *)
+(* Band-parallel: partition a declared index's range across ranks.      *)
+(* ------------------------------------------------------------------ *)
+
+let run_band_parallel (p : Problem.t) ~index ~nranks =
+  let idx =
+    match Problem.find_index p index with
+    | Some i -> i
+    | None -> raise (Target_error ("band-parallel: unknown index " ^ index))
+  in
+  let extent = Entity.index_extent idx in
+  if nranks > extent then
+    raise (Target_error "band-parallel: more ranks than index values");
+  let states = Array.make nranks None in
+  Prt.Spmd.run ~nranks (fun rank ->
+      let off, len = Fvm.Partition.block_range ~nitems:extent ~nparts:nranks rank in
+      let info =
+        { Lower.rank; nranks; owned_cells = None;
+          index_ranges = [ index, (off, len) ] }
+      in
+      let st = Lower.build ~info p in
+      states.(rank) <- Some st;
+      let b = st.Lower.breakdown in
+      for _ = 1 to p.Problem.nsteps do
+        Lower.run_pre_step st ~allreduce:Prt.Spmd.allreduce_sum;
+        Prt.Breakdown.timed b Prt.Breakdown.Intensity (fun () -> Lower.sweep st);
+        Prt.Breakdown.timed b Prt.Breakdown.Intensity (fun () -> Lower.commit st);
+        (* the post-step callback performs the cross-band reduction itself
+           through st_allreduce (the paper's "reduction of intensity across
+           bands" communication) *)
+        Prt.Breakdown.timed b Prt.Breakdown.Temperature (fun () ->
+            Lower.run_post_step st ~allreduce:Prt.Spmd.allreduce_sum);
+        st.Lower.time := !(st.Lower.time) +. !(st.Lower.dt);
+        incr st.Lower.step
+      done);
+  let states =
+    Array.map
+      (function Some st -> st | None -> raise (Target_error "rank did not start"))
+      states
+  in
+  let breakdown =
+    Array.fold_left
+      (fun acc st -> Prt.Breakdown.add acc st.Lower.breakdown)
+      (Prt.Breakdown.zero ()) states
+  in
+  { states; breakdown }
+
+(* ------------------------------------------------------------------ *)
+(* Cell-parallel: RCB mesh partition + halo exchange of the unknown.    *)
+(* ------------------------------------------------------------------ *)
+
+let run_cell_parallel (p : Problem.t) ~nranks =
+  let mesh = Problem.mesh_exn p in
+  let part = Fvm.Partition.rcb_mesh mesh ~nparts:nranks in
+  let halo = Fvm.Halo.build mesh part in
+  let states = Array.make nranks None in
+  let get_state r =
+    match states.(r) with
+    | Some st -> st
+    | None -> raise (Target_error "rank state not ready")
+  in
+  Prt.Spmd.run ~nranks (fun rank ->
+      let info =
+        { Lower.rank; nranks;
+          owned_cells = Some (Fvm.Partition.cells_of_rank part rank);
+          index_ranges = [] }
+      in
+      let st = Lower.build ~info p in
+      states.(rank) <- Some st;
+      (* everyone must be constructed before any exchange *)
+      Prt.Spmd.barrier ();
+      let b = st.Lower.breakdown in
+      for _ = 1 to p.Problem.nsteps do
+        Lower.run_pre_step st ~allreduce:Prt.Spmd.allreduce_sum;
+        Prt.Breakdown.timed b Prt.Breakdown.Intensity (fun () -> Lower.sweep st);
+        Prt.Breakdown.timed b Prt.Breakdown.Intensity (fun () -> Lower.commit st);
+        (* halo exchange: receive ghost-cell values of the unknown from the
+           owning ranks.  The barrier gives BSP semantics; reading the
+           peer's committed buffer stands in for the matched send/recv. *)
+        Prt.Spmd.barrier ();
+        Prt.Breakdown.timed b Prt.Breakdown.Communication (fun () ->
+            List.iter
+              (fun (e : Fvm.Halo.exchange) ->
+                if e.Fvm.Halo.to_rank = rank then begin
+                  let src = (get_state e.Fvm.Halo.from_rank).Lower.u in
+                  let dst = st.Lower.u in
+                  Array.iter
+                    (fun cell ->
+                      for comp = 0 to Fvm.Field.ncomp dst - 1 do
+                        Fvm.Field.set dst cell comp (Fvm.Field.get src cell comp)
+                      done)
+                    e.Fvm.Halo.cells
+                end)
+              halo.Fvm.Halo.exchanges);
+        Prt.Spmd.barrier ();
+        Prt.Breakdown.timed b Prt.Breakdown.Temperature (fun () ->
+            Lower.run_post_step st ~allreduce:Prt.Spmd.allreduce_sum);
+        st.Lower.time := !(st.Lower.time) +. !(st.Lower.dt);
+        incr st.Lower.step
+      done);
+  let states =
+    Array.map
+      (function Some st -> st | None -> raise (Target_error "rank did not start"))
+      states
+  in
+  let breakdown =
+    Array.fold_left
+      (fun acc st -> Prt.Breakdown.add acc st.Lower.breakdown)
+      (Prt.Breakdown.zero ()) states
+  in
+  { states; breakdown }
+
+(* ------------------------------------------------------------------ *)
+(* Shared-memory multithreading: domains over cell ranges.              *)
+(* ------------------------------------------------------------------ *)
+
+(* Each domain gets its own lowered state (own env and closures) sharing
+   the same underlying mesh; fields are shared by pointing every state at
+   rank 0's field storage.  Writes are disjoint (cell ranges), reads of the
+   previous step go through the shared current buffer, so the sweep is
+   race-free. *)
+let run_threaded (p : Problem.t) ~ndomains =
+  if ndomains < 1 then raise (Target_error "run_threaded: ndomains < 1");
+  let mesh = Problem.mesh_exn p in
+  let part = Fvm.Partition.blocks ~nitems:mesh.Fvm.Mesh.ncells ~nparts:ndomains in
+  (* base state: full ownership, runs pre/post-step and initialization *)
+  let base = Lower.build p in
+  (* one worker state per domain, sharing the base's field storage but with
+     its own env and compiled closures so domains never share mutable loop
+     state *)
+  let workers =
+    Array.init ndomains (fun rank ->
+        let info =
+          { Lower.rank; nranks = ndomains;
+            owned_cells = Some (Fvm.Partition.cells_of_rank part rank);
+            index_ranges = [] }
+        in
+        Lower.build ~info ~share_with:base p)
+  in
+  let b = base.Lower.breakdown in
+  for _ = 1 to p.Problem.nsteps do
+    Lower.run_pre_step base ~allreduce:noop_allreduce;
+    Prt.Breakdown.timed b Prt.Breakdown.Intensity (fun () ->
+        let spawned =
+          Array.init (ndomains - 1) (fun i ->
+              Domain.spawn (fun () -> Lower.sweep workers.(i + 1)))
+        in
+        Lower.sweep workers.(0);
+        Array.iter Domain.join spawned);
+    Prt.Breakdown.timed b Prt.Breakdown.Intensity (fun () ->
+        let spawned =
+          Array.init (ndomains - 1) (fun i ->
+              Domain.spawn (fun () -> Lower.commit workers.(i + 1)))
+        in
+        Lower.commit workers.(0);
+        Array.iter Domain.join spawned);
+    Prt.Breakdown.timed b Prt.Breakdown.Temperature (fun () ->
+        Lower.run_post_step base ~allreduce:noop_allreduce);
+    (* time/dt refs are shared between base and workers *)
+    base.Lower.time := !(base.Lower.time) +. !(base.Lower.dt);
+    incr base.Lower.step
+  done;
+  { states = [| base |]; breakdown = b }

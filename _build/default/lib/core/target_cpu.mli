@@ -1,0 +1,37 @@
+(** CPU code-generation target: serial, band-parallel (equation-
+    partitioned) and cell-parallel (mesh-partitioned) executors, plus a
+    shared-memory variant on OCaml domains.
+
+    The distributed strategies run as SPMD rank programs under [Prt.Spmd]
+    (deterministic in-process message passing) and are therefore
+    comparable DOF-for-DOF with the serial executor — the double-buffered
+    explicit scheme makes all of them produce identical results. *)
+
+exception Target_error of string
+
+type result = {
+  states : Lower.state array; (** one per rank; index 0 for serial *)
+  breakdown : Prt.Breakdown.t;
+}
+
+val primary : result -> Lower.state
+
+val gather_unknown : result -> Fvm.Field.t
+(** Reassemble the unknown from the ranks' owned cells / component
+    ranges. *)
+
+val noop_allreduce : float array -> unit
+
+val step_serial : Lower.state -> unit
+val run_serial : Problem.t -> result
+
+val run_band_parallel : Problem.t -> index:string -> nranks:int -> result
+(** Partition the given index's range across ranks; the post-step
+    callback performs its cross-band reduction through [st_allreduce]. *)
+
+val run_cell_parallel : Problem.t -> nranks:int -> result
+(** RCB mesh partition with per-step halo exchange of the unknown. *)
+
+val run_threaded : Problem.t -> ndomains:int -> result
+(** Shared-memory parallel sweep over cell ranges using OCaml domains;
+    each domain has its own env/closures, fields are shared. *)

@@ -1,0 +1,236 @@
+(* Hybrid CPU/GPU code-generation target (paper Section II-B and Fig. 6).
+
+   Per time step the generated program:
+     1. launches the interior-update kernel asynchronously on the device
+        (one thread per degree of freedom, loops flattened);
+     2. computes the boundary contributions on the CPU with the
+        user-supplied callbacks, overlapping the kernel;
+     3. synchronizes, downloads the interior result, and combines it with
+        the boundary part on the host;
+     4. runs the post-step user code (the BTE temperature update) on the
+        host;
+     5. uploads the variables the device needs fresh next step, as decided
+        by the data-movement analysis ([Dataflow]).
+
+   The device is the [Gpu_sim] simulator: kernels really execute (on device
+   buffers that are genuinely distinct memory), and their timing comes from
+   the roofline model, so both numerics and the communication/compute
+   balance are exercised. *)
+
+exception Gpu_error of string
+
+type result = {
+  state : Lower.state;               (* host-side state *)
+  device : Gpu_sim.Memory.device;
+  breakdown : Prt.Breakdown.t;       (* modelled GPU/transfer + real CPU time *)
+  plan : Dataflow.plan;
+  profile_threads : int;             (* grid size used for profiling *)
+}
+
+(* single-device hybrid run; [info] restricts the rank to a band slice in
+   multi-device configurations *)
+let run_single ?post_io ?(info = Lower.serial_rankinfo)
+    ?(allreduce = Target_cpu.noop_allreduce) ~spec (p : Problem.t) =
+  let host = Lower.build ~info p in
+  let mesh = host.Lower.mesh in
+  let ncells = mesh.Fvm.Mesh.ncells in
+  let ncomp = Fvm.Field.ncomp host.Lower.u in
+  let plan = Dataflow.plan_for_problem ?post_io p in
+  let dev = Gpu_sim.Memory.create_device spec in
+  let clock = Gpu_sim.Stream.create_clock () in
+  let stream = Gpu_sim.Stream.create dev in
+  (* Device mirrors for every variable the kernel touches, plus the double
+     buffer for the unknown.  Coefficient arrays are compiled into the
+     kernel closures directly (constant memory). *)
+  let dev_fields =
+    List.map
+      (fun (name, f) ->
+        let buf =
+          Gpu_sim.Memory.alloc dev ~label:name ~size:(Fvm.Field.size f)
+        in
+        let view =
+          Fvm.Field.of_bigarray ~name ~ncells:(Fvm.Field.ncells f)
+            ~ncomp:(Fvm.Field.ncomp f) buf.Gpu_sim.Memory.device_data
+        in
+        name, (buf, view))
+      host.Lower.fields
+  in
+  let u_new_buf =
+    Gpu_sim.Memory.alloc dev ~label:"u_new" ~size:(Fvm.Field.size host.Lower.u_new)
+  in
+  let u_new_view =
+    Fvm.Field.of_bigarray ~name:"u_new" ~ncells ~ncomp
+      u_new_buf.Gpu_sim.Memory.device_data
+  in
+  (* a device-bound state: same problem, env and closures compiled against
+     the device field views *)
+  let dstate =
+    let dev_only = List.map (fun (n, (_, v)) -> n, v) dev_fields in
+    Lower.rebind host ~fields:dev_only ~u_new:u_new_view
+  in
+  (* kernel: one thread per DOF, interior faces only (boundary contributions
+     are the CPU's job) *)
+  let interior_cost =
+    let open Eval in
+    let cv = cost host.Lower.eq.Transform.rvol
+    and cs = cost host.Lower.eq.Transform.rsurf in
+    (* per-thread flops: volume part + one flux per face (quad mesh: 4);
+       the factor on top accounts for index arithmetic and predication in
+       real generated PTX *)
+    let nfaces_per_cell = float_of_int (Array.length mesh.Fvm.Mesh.cell_faces.(0)) in
+    let flops = (cv.flops +. (nfaces_per_cell *. cs.flops)) *. 4.0 in
+    (* effective DRAM traffic per thread: the unknown in and out plus a
+       cache-amortized share of neighbour and coefficient data *)
+    let dram = 8. *. (2. +. (0.25 *. float_of_int (cv.loads + cs.loads))) in
+    { Gpu_sim.Kernel.flops_per_thread = flops; dram_bytes_per_thread = dram }
+  in
+  (* the owned component slice: full range for a single device, a band
+     slice per rank in multi-device runs.  The flattened thread space
+     covers cells x owned components, as the paper's "flatten all of the
+     loops and distribute each degree of freedom to separate threads". *)
+  let owned_comps =
+    let nd =
+      match host.Lower.uvar.Entity.vindices with
+      | first :: _ -> Entity.index_extent first
+      | [] -> 1
+    in
+    match info.Lower.index_ranges with
+    | [] -> Array.init ncomp (fun c -> c)
+    | (_, (off, len)) :: _ ->
+      (* the partitioned index is the unknown's second (slow) index *)
+      Array.init (len * nd) (fun i -> (off * nd) + i)
+  in
+  let n_owned = Array.length owned_comps in
+  let nthreads = ncells * n_owned in
+  let kernel =
+    Gpu_sim.Kernel.make ~name:"interior_update" ~cost:interior_cost (fun tid ->
+        let cell = tid / n_owned and slot = tid mod n_owned in
+        let comp = owned_comps.(slot) in
+        let env = dstate.Lower.env in
+        env.Eval.cell <- cell;
+        Lower.set_ivals_of_comp dstate comp;
+        let v =
+          Fvm.Field.get dstate.Lower.u cell comp
+          +. (!(dstate.Lower.dt) *. Lower.dof_rhs_interior dstate)
+        in
+        Fvm.Field.set dstate.Lower.u_new cell comp v)
+  in
+  (* boundary contribution accumulator on the host *)
+  let u_bdry = Fvm.Field.create ~name:"u_bdry" ~ncells ~ncomp () in
+  let b = host.Lower.breakdown in
+  (* one-time uploads: everything the kernel reads *)
+  List.iter
+    (fun (name, (buf, _)) ->
+      ignore name;
+      let hf = List.assoc name host.Lower.fields in
+      Prt.Breakdown.record b Prt.Breakdown.Communication
+        (Gpu_sim.Memory.h2d dev buf (Fvm.Field.raw hf)))
+    dev_fields;
+  let kernel_time_seen = ref 0. in
+  let every_step_h2d =
+    List.filter_map
+      (fun tr ->
+        if tr.Dataflow.tr_h2d_every_step then Some tr.Dataflow.tr_var else None)
+      plan.Dataflow.transfers
+  in
+  for _ = 1 to p.Problem.nsteps do
+    Lower.run_pre_step host ~allreduce;
+    (* 1. async kernel launch *)
+    Gpu_sim.Stream.kernel stream clock kernel ~nthreads ();
+    (* 2. boundary contributions on the CPU, overlapping the kernel *)
+    Prt.Breakdown.timed b Prt.Breakdown.Boundary (fun () ->
+        Fvm.Field.fill u_bdry 0.;
+        Lower.boundary_contributions host ~into:u_bdry);
+    (* 3. synchronize; download; combine *)
+    Gpu_sim.Stream.synchronize stream clock;
+    Prt.Breakdown.record b Prt.Breakdown.Intensity
+      (dev.Gpu_sim.Memory.kernel_time -. !kernel_time_seen);
+    kernel_time_seen := dev.Gpu_sim.Memory.kernel_time;
+    Prt.Breakdown.record b Prt.Breakdown.Communication
+      (Gpu_sim.Memory.d2h dev u_new_buf (Fvm.Field.raw host.Lower.u_new));
+    Prt.Breakdown.timed b Prt.Breakdown.Intensity (fun () ->
+        for cell = 0 to ncells - 1 do
+          Array.iter
+            (fun comp ->
+              let v =
+                Fvm.Field.get host.Lower.u_new cell comp
+                +. Fvm.Field.get u_bdry cell comp
+              in
+              Fvm.Field.set host.Lower.u cell comp v)
+            owned_comps
+        done);
+    (* 4. post-step user code on the host *)
+    Prt.Breakdown.timed b Prt.Breakdown.Temperature (fun () ->
+        Lower.run_post_step host ~allreduce);
+    (* 5. upload what the device needs fresh *)
+    List.iter
+      (fun name ->
+        match List.assoc_opt name dev_fields with
+        | Some (buf, _) ->
+          let hf = List.assoc name host.Lower.fields in
+          Prt.Breakdown.record b Prt.Breakdown.Communication
+            (Gpu_sim.Memory.h2d dev buf (Fvm.Field.raw hf))
+        | None -> ())
+      every_step_h2d;
+    host.Lower.time := !(host.Lower.time) +. !(host.Lower.dt);
+    incr host.Lower.step
+  done;
+  { state = host; device = dev; breakdown = b; plan; profile_threads = nthreads }
+
+(* Multi-device run: the paper's band-based partitioning across (device,
+   rank) pairs.  Each rank owns a slice of the partitioned index (the
+   unknown's slow index), drives its own simulated device, and joins the
+   others in the temperature update's allreduce through the SPMD runtime.
+   Results are gathered into rank 0's fields. *)
+let run_multi ?post_io ~spec ~ranks (p : Problem.t) =
+  let band_index =
+    match List.rev p.Problem.indices with
+    | i :: _ -> i
+    | [] -> raise (Gpu_error "multi-GPU run needs a partitioned index")
+  in
+  let extent = Entity.index_extent band_index in
+  if ranks > extent then raise (Gpu_error "more GPU ranks than index values");
+  let results = Array.make ranks None in
+  Prt.Spmd.run ~nranks:ranks (fun rank ->
+      let off, len =
+        Fvm.Partition.block_range ~nitems:extent ~nparts:ranks rank
+      in
+      let info =
+        { Lower.rank; nranks = ranks; owned_cells = None;
+          index_ranges = [ band_index.Entity.iname, (off, len) ] }
+      in
+      let r =
+        run_single ?post_io ~info ~allreduce:Prt.Spmd.allreduce_sum ~spec p
+      in
+      results.(rank) <- Some r);
+  let results =
+    Array.map
+      (function Some r -> r | None -> raise (Gpu_error "rank did not run"))
+      results
+  in
+  (* gather the band slices into rank 0's unknown *)
+  let r0 = results.(0) in
+  let u0 = r0.state.Lower.u in
+  Array.iter
+    (fun (r : result) ->
+      let st = r.state in
+      Lower.iterate_dofs st (fun () ->
+          let cell = st.Lower.env.Eval.cell in
+          let c = st.Lower.ucomp () in
+          Fvm.Field.set u0 cell c (Fvm.Field.get st.Lower.u cell c)))
+    results;
+  let breakdown =
+    Array.fold_left
+      (fun acc r -> Prt.Breakdown.add acc r.breakdown)
+      (Prt.Breakdown.zero ()) results
+  in
+  { r0 with breakdown }, results
+
+let run ?post_io (p : Problem.t) =
+  let spec, ranks =
+    match p.Problem.target with
+    | Config.Gpu { spec; ranks } -> spec, ranks
+    | Config.Cpu _ -> raise (Gpu_error "problem target is not a GPU")
+  in
+  if ranks <= 1 then run_single ?post_io ~spec p
+  else fst (run_multi ?post_io ~spec ~ranks p)

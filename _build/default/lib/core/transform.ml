@@ -1,0 +1,160 @@
+(* The DSL's symbolic pipeline (paper Section II):
+
+   1. parse the conservation-form input string;
+   2. expand operators ([upwind], [surface], user-defined) to obtain the
+      "expanded symbolic representation";
+   3. apply the time-stepping scheme (forward Euler shown in the paper;
+      RK schemes reuse the same right-hand side staged);
+   4. classify terms into LHS volume / RHS volume / RHS surface groups.
+
+   Conventions (matching the paper's worked example):
+   - the input expression is the right-hand side of
+       d/dt (integral of u dV) = integral of (volume terms) dV
+                                 + integral of (surface terms) dA
+     where surface terms are written inside [surface(...)] and carry their
+     own sign — e.g. an outward advective flux enters as
+     [- surface(upwind(b, u))];
+   - the expanded form is  0 = -TIMEDERIVATIVE*u + (input terms);
+   - forward Euler produces  u = u + dt*(input terms), with SURFACE-marked
+     terms later discretized as (1/V) * sum over faces of (area * integrand). *)
+
+open Finch_symbolic
+
+exception Equation_error of string
+
+type classified = {
+  lhs_volume : Expr.t list;  (* unknown-side terms (the -u of the update) *)
+  rhs_volume : Expr.t list;  (* known volume terms, dt applied *)
+  rhs_surface : Expr.t list; (* known surface terms, dt applied, SURFACE kept *)
+}
+
+type equation = {
+  eq_var : string;        (* the unknown being advanced *)
+  u_expr : Expr.t;        (* the unknown with its declared indices *)
+  input_text : string;
+  parsed : Expr.t;
+  expanded : Expr.t;      (* -TIMEDERIVATIVE*u + expanded input *)
+  stepped : Expr.t;       (* u + dt * R (forward-Euler symbolic form) *)
+  classified : classified;
+  (* execution decomposition: R = rvol + surface terms with the marker
+     stripped; these are what the code generators lower. *)
+  rvol : Expr.t;          (* volume part of R *)
+  rsurf : Expr.t;         (* surface integrand (flux), marker stripped *)
+}
+
+let time_derivative_marker = "TIMEDERIVATIVE"
+
+(* A bare identifier in the input may be a declared variable referenced
+   without indices (a plain scalar variable like the quickstart's [u]);
+   promote those symbols to entity references so side-tagging and field
+   binding see them. *)
+let resolve_vars var_names e =
+  Expr.rewrite
+    (function
+      | Expr.Sym s when List.mem s var_names -> Expr.Ref (s, [], Expr.Here)
+      | x -> x)
+    e
+
+(* The unknown as referenced in the update: the variable with its declared
+   index variables, e.g. I[d,b]. *)
+let unknown_ref (v : Entity.variable) =
+  Expr.ref_ v.Entity.vname
+    (List.map (fun i -> Expr.Ivar i.Entity.iname) v.Entity.vindices)
+
+let conservation_form ?(var_names = []) (v : Entity.variable) text =
+  let parsed =
+    try Parser.parse text
+    with Parser.Parse_error msg ->
+      raise (Equation_error (Printf.sprintf "parse error in %S: %s" text msg))
+  in
+  let var_names =
+    if List.mem v.Entity.vname var_names then var_names
+    else v.Entity.vname :: var_names
+  in
+  let parsed = resolve_vars var_names parsed in
+  let input_expanded = Simplify.expand (Operators.expand parsed) in
+  let u = unknown_ref v in
+  let expanded =
+    Simplify.simplify
+      (Expr.add [ Expr.neg (Expr.mul [ Expr.sym time_derivative_marker; u ]); input_expanded ])
+  in
+  (* forward-Euler symbolic form: u = u + dt * R *)
+  let r = input_expanded in
+  let stepped =
+    Simplify.expand (Expr.add [ u; Expr.mul [ Expr.sym "dt"; r ] ])
+  in
+  let surf_terms, vol_terms =
+    Simplify.partition_terms Operators.is_surface_term stepped
+  in
+  let classified =
+    {
+      lhs_volume = [ Expr.neg u ];
+      rhs_volume = vol_terms;
+      rhs_surface = surf_terms;
+    }
+  in
+  (* Execution decomposition of R itself (no u0 term, no dt). *)
+  let r_surf_terms, r_vol_terms =
+    Simplify.partition_terms Operators.is_surface_term (Simplify.expand r)
+  in
+  let rvol = Simplify.simplify (Expr.add r_vol_terms) in
+  let rsurf =
+    Simplify.simplify
+      (Expr.add (List.map Operators.strip_surface r_surf_terms))
+  in
+  {
+    eq_var = v.Entity.vname;
+    u_expr = u;
+    input_text = text;
+    parsed;
+    expanded;
+    stepped;
+    classified;
+    rvol;
+    rsurf;
+  }
+
+(* Linearization of the volume term with respect to the unknown:
+   b = -d(rvol)/du, evaluated by substituting the unknown's (Here-side)
+   references with a fresh scalar symbol and differentiating symbolically.
+   Used by the point-implicit stepper: with rvol affine in u (the BTE's
+   (Io - I)*beta), the update
+     u' = (u + dt*(rvol(u) + b*u + flux)) / (1 + dt*b)
+   treats relaxation implicitly and is exact for affine sources. *)
+let linvar = "__pointimplicit_u"
+
+let rvol_linearization (eq : equation) =
+  let substituted =
+    Expr.subst_ref eq.eq_var (fun _ _ -> Expr.sym linvar) eq.rvol
+  in
+  let db = Diff.d linvar substituted in
+  if Expr.contains_sym linvar db then
+    raise
+      (Equation_error
+         "point-implicit stepper requires a volume term affine in the unknown");
+  Simplify.simplify (Expr.neg db)
+
+(* Pretty reports matching the paper's printouts. *)
+
+let report_expanded eq = Printer.to_finch_string eq.expanded
+
+let report_stepped eq =
+  Printf.sprintf "%s = %s"
+    (Printer.to_finch_string eq.u_expr)
+    (Printer.to_finch_string eq.stepped)
+
+let report_classified eq =
+  let block title terms =
+    let body =
+      match terms with
+      | [] -> "0"
+      | ts -> Printer.to_finch_string (Simplify.simplify (Expr.add ts))
+    in
+    title ^ ":\n  " ^ body
+  in
+  String.concat "\n"
+    [
+      block "LHS volume" eq.classified.lhs_volume;
+      block "RHS volume" eq.classified.rhs_volume;
+      block "RHS surface" eq.classified.rhs_surface;
+    ]

@@ -1,0 +1,54 @@
+(** The DSL's symbolic pipeline (paper Section II): parse → operator
+    expansion → time-stepping transform → LHS/RHS x volume/surface term
+    classification.
+
+    Sign convention (matching the paper's worked example): the input is the
+    right-hand side of d/dt ∫u dV = ∫(volume terms) dV + ∮(surface terms)
+    dA, surface terms written inside [surface(...)] with their own sign;
+    forward Euler yields u = u + dt·R with SURFACE-marked terms later
+    discretized as (1/V) Σ_faces area · integrand. *)
+
+open Finch_symbolic
+
+exception Equation_error of string
+
+type classified = {
+  lhs_volume : Expr.t list;  (** unknown-side terms (the -u of the update) *)
+  rhs_volume : Expr.t list;  (** known volume terms, dt applied *)
+  rhs_surface : Expr.t list; (** known surface terms, dt applied, marker kept *)
+}
+
+type equation = {
+  eq_var : string;
+  u_expr : Expr.t;        (** the unknown with its declared indices *)
+  input_text : string;
+  parsed : Expr.t;
+  expanded : Expr.t;      (** -TIMEDERIVATIVE*u + expanded input *)
+  stepped : Expr.t;       (** u + dt * R (forward-Euler symbolic form) *)
+  classified : classified;
+  rvol : Expr.t;          (** volume part of R (execution form) *)
+  rsurf : Expr.t;         (** surface integrand of R, marker stripped *)
+}
+
+val time_derivative_marker : string
+
+val resolve_vars : string list -> Expr.t -> Expr.t
+(** Promote bare identifiers naming declared variables to entity
+    references (so side-tagging and field binding see them). *)
+
+val unknown_ref : Entity.variable -> Expr.t
+
+val conservation_form :
+  ?var_names:string list -> Entity.variable -> string -> equation
+(** Run the full pipeline on a conservation-form input string for the
+    given unknown. Raises {!Equation_error} on parse failures. *)
+
+val rvol_linearization : equation -> Expr.t
+(** b = -d(rvol)/du (symbolic). Raises {!Equation_error} when the volume
+    term is not affine in the unknown. *)
+
+val report_expanded : equation -> string
+(** The paper-style "expanded symbolic representation" printout. *)
+
+val report_stepped : equation -> string
+val report_classified : equation -> string

@@ -1,0 +1,1 @@
+lib/fem/assembly.ml: Array Float Fvm La List P1

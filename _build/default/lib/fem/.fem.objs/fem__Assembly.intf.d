@@ -1,0 +1,1 @@
+lib/fem/assembly.mli: Fvm La P1

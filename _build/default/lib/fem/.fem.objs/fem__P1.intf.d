@@ -1,0 +1,1 @@
+lib/fem/p1.mli:

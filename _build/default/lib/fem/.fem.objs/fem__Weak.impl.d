@@ -1,0 +1,1 @@
+lib/fem/weak.ml: Array Assembly Expr Finch Finch_symbolic Float Fvm La List Parser Printf Simplify

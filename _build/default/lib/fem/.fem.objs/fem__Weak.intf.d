@@ -1,0 +1,1 @@
+lib/fem/weak.mli: Assembly Finch_symbolic La

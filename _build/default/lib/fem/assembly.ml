@@ -1,0 +1,162 @@
+(* Global finite-element assembly over a triangular Fvm.Mesh.
+
+   Unknowns live at mesh vertices (the FVM substrate's meshes carry the
+   vertex data needed here).  Dirichlet conditions are imposed by row
+   substitution: constrained rows become identity, and their known values
+   are moved to the right-hand side, keeping the system symmetric for CG
+   (the column entries are eliminated too). *)
+
+exception Fem_error of string
+
+type space = {
+  mesh : Fvm.Mesh.t;
+  elements : P1.element array;
+  nnodes : int;
+}
+
+let space_of_mesh (mesh : Fvm.Mesh.t) =
+  if mesh.Fvm.Mesh.dim <> 2 then raise (Fem_error "FEM space needs a 2-D mesh");
+  Array.iter
+    (fun verts ->
+      if Array.length verts <> 3 then
+        raise (Fem_error "FEM space needs a triangulated mesh"))
+    mesh.Fvm.Mesh.cell_vertices;
+  {
+    mesh;
+    elements =
+      Array.map (P1.element_of mesh.Fvm.Mesh.coords) mesh.Fvm.Mesh.cell_vertices;
+    nnodes = mesh.Fvm.Mesh.nvertices;
+  }
+
+(* assemble c * stiffness + m * mass as triplets *)
+let operator_triplets sp ~stiffness ~mass =
+  let triplets = ref [] in
+  Array.iter
+    (fun e ->
+      let k = P1.local_stiffness e and mm = P1.local_mass e in
+      for i = 0 to 2 do
+        for j = 0 to 2 do
+          let v = (stiffness *. k.(i).(j)) +. (mass *. mm.(i).(j)) in
+          if v <> 0. then
+            triplets := (e.P1.verts.(i), e.P1.verts.(j), v) :: !triplets
+        done
+      done)
+    sp.elements;
+  !triplets
+
+let assemble_operator sp ~stiffness ~mass =
+  La.Csr.of_triplets ~nrows:sp.nnodes ~ncols:sp.nnodes
+    (operator_triplets sp ~stiffness ~mass)
+
+let assemble_load sp f =
+  let b = Array.make sp.nnodes 0. in
+  Array.iter
+    (fun e ->
+      let l = P1.local_load e f in
+      for i = 0 to 2 do
+        b.(e.P1.verts.(i)) <- b.(e.P1.verts.(i)) +. l.(i)
+      done)
+    sp.elements;
+  b
+
+(* nodes lying on boundary faces of the given regions *)
+let boundary_nodes sp ~regions =
+  let mesh = sp.mesh in
+  let mark = Array.make sp.nnodes false in
+  Array.iter
+    (fun f ->
+      if List.mem mesh.Fvm.Mesh.face_bid.(f) regions then begin
+        (* a boundary face's endpoints: find the cell edge whose midpoint is
+           the face centroid *)
+        let c = mesh.Fvm.Mesh.face_cell1.(f) in
+        let verts = mesh.Fvm.Mesh.cell_vertices.(c) in
+        let n = Array.length verts in
+        let fc = Fvm.Mesh.face_centroid mesh f in
+        for i = 0 to n - 1 do
+          let v1 = verts.(i) and v2 = verts.((i + 1) mod n) in
+          let mx = (mesh.Fvm.Mesh.coords.(v1 * 2) +. mesh.Fvm.Mesh.coords.(v2 * 2)) /. 2. in
+          let my =
+            (mesh.Fvm.Mesh.coords.((v1 * 2) + 1) +. mesh.Fvm.Mesh.coords.((v2 * 2) + 1))
+            /. 2.
+          in
+          if Float.abs (mx -. fc.(0)) < 1e-12 && Float.abs (my -. fc.(1)) < 1e-12
+          then begin
+            mark.(v1) <- true;
+            mark.(v2) <- true
+          end
+        done
+      end)
+    mesh.Fvm.Mesh.boundary_faces;
+  mark
+
+(* Impose u = g on the marked nodes symmetrically: subtract the known
+   columns from b, zero the rows/columns, set unit diagonal and b = g. *)
+let apply_dirichlet a b ~marked ~value =
+  let n = Array.length b in
+  let g = Array.init n (fun i -> if marked.(i) then value i else 0.) in
+  (* b := b - A g on unconstrained rows *)
+  let ag = La.Csr.mul a g in
+  let triplets = ref [] in
+  for r = 0 to n - 1 do
+    if marked.(r) then begin
+      triplets := (r, r, 1.) :: !triplets;
+      b.(r) <- g.(r)
+    end
+    else begin
+      b.(r) <- b.(r) -. ag.(r);
+      La.Csr.iter_row a r (fun c v ->
+          if not marked.(c) then triplets := (r, c, v) :: !triplets)
+    end
+  done;
+  La.Csr.of_triplets ~nrows:n ~ncols:n !triplets
+
+(* value of the P1 field at a point inside element [e] (barycentric) *)
+let interpolate sp u pos =
+  let inside e =
+    let x i = sp.mesh.Fvm.Mesh.coords.((e.P1.verts.(i) * 2) + 0)
+    and y i = sp.mesh.Fvm.Mesh.coords.((e.P1.verts.(i) * 2) + 1) in
+    let sign (x1, y1) (x2, y2) (x3, y3) =
+      ((x1 -. x3) *. (y2 -. y3)) -. ((x2 -. x3) *. (y1 -. y3))
+    in
+    let p = pos.(0), pos.(1) in
+    let a = x 0, y 0 and b = x 1, y 1 and c = x 2, y 2 in
+    let d1 = sign p a b and d2 = sign p b c and d3 = sign p c a in
+    let neg = d1 < -1e-12 || d2 < -1e-12 || d3 < -1e-12 in
+    let pos_ = d1 > 1e-12 || d2 > 1e-12 || d3 > 1e-12 in
+    not (neg && pos_)
+  in
+  let rec find i =
+    if i >= Array.length sp.elements then raise Not_found
+    else if inside sp.elements.(i) then sp.elements.(i)
+    else find (i + 1)
+  in
+  let e = find 0 in
+  (* barycentric weights via the element gradients *)
+  let x1 = sp.mesh.Fvm.Mesh.coords.((e.P1.verts.(0) * 2) + 0) in
+  let y1 = sp.mesh.Fvm.Mesh.coords.((e.P1.verts.(0) * 2) + 1) in
+  let l2 =
+    (e.P1.grads.(1).(0) *. (pos.(0) -. x1)) +. (e.P1.grads.(1).(1) *. (pos.(1) -. y1))
+  in
+  let l3 =
+    (e.P1.grads.(2).(0) *. (pos.(0) -. x1)) +. (e.P1.grads.(2).(1) *. (pos.(1) -. y1))
+  in
+  let l1 = 1. -. l2 -. l3 in
+  (l1 *. u.(e.P1.verts.(0))) +. (l2 *. u.(e.P1.verts.(1))) +. (l3 *. u.(e.P1.verts.(2)))
+
+(* L2 norm of (u_h - u_exact) with a vertex-based rule *)
+let l2_error sp u exact =
+  let acc = ref 0. in
+  Array.iter
+    (fun e ->
+      let mean_sq = ref 0. in
+      for i = 0 to 2 do
+        let v = e.P1.verts.(i) in
+        let pos =
+          [| sp.mesh.Fvm.Mesh.coords.(v * 2); sp.mesh.Fvm.Mesh.coords.((v * 2) + 1) |]
+        in
+        let d = u.(v) -. exact pos in
+        mean_sq := !mean_sq +. (d *. d /. 3.)
+      done;
+      acc := !acc +. (e.P1.area *. !mean_sq))
+    sp.elements;
+  sqrt !acc

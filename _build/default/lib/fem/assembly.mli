@@ -1,0 +1,39 @@
+(** Global P1 assembly over triangulated {!Fvm.Mesh} meshes.
+
+    Unknowns live at mesh vertices. Dirichlet conditions are imposed
+    symmetrically (row/column elimination with the known values moved to
+    the right-hand side), keeping systems SPD for CG. *)
+
+exception Fem_error of string
+
+type space = {
+  mesh : Fvm.Mesh.t;
+  elements : P1.element array;
+  nnodes : int;
+}
+
+val space_of_mesh : Fvm.Mesh.t -> space
+(** Raises {!Fem_error} unless the mesh is 2-D and fully triangular. *)
+
+val operator_triplets :
+  space -> stiffness:float -> mass:float -> (int * int * float) list
+
+val assemble_operator : space -> stiffness:float -> mass:float -> La.Csr.t
+(** c_K * stiffness + c_M * mass. *)
+
+val assemble_load : space -> (float array -> float) -> float array
+
+val boundary_nodes : space -> regions:int list -> bool array
+(** Nodes lying on boundary faces of the given regions. *)
+
+val apply_dirichlet :
+  La.Csr.t -> float array -> marked:bool array -> value:(int -> float) ->
+  La.Csr.t
+(** Returns the constrained (still symmetric) matrix; modifies [b] in
+    place. *)
+
+val interpolate : space -> float array -> float array -> float
+(** P1 interpolation of a nodal field at a point; raises [Not_found]
+    outside the mesh. *)
+
+val l2_error : space -> float array -> (float array -> float) -> float

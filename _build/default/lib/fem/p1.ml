@@ -1,0 +1,52 @@
+(* Linear (P1) triangular finite elements.
+
+   Shape functions on a triangle with vertices p1, p2, p3 are the
+   barycentric coordinates; their gradients are constant per element,
+   which makes the local stiffness matrix a closed form and the local
+   mass matrix the classic (area/12) * [2 1 1; 1 2 1; 1 1 2]. *)
+
+type element = {
+  verts : int array;        (* 3 vertex ids *)
+  area : float;
+  grads : float array array;(* 3 gradients, 2 components each *)
+  centroid : float array;
+}
+
+(* element geometry from vertex coordinates *)
+let element_of coords verts =
+  let x i = coords.((verts.(i) * 2) + 0) and y i = coords.((verts.(i) * 2) + 1) in
+  let x1 = x 0 and y1 = y 0 in
+  let x2 = x 1 and y2 = y 1 in
+  let x3 = x 2 and y3 = y 2 in
+  let det = ((x2 -. x1) *. (y3 -. y1)) -. ((x3 -. x1) *. (y2 -. y1)) in
+  if Float.abs det < 1e-300 then invalid_arg "P1.element_of: degenerate triangle";
+  let area = Float.abs det /. 2. in
+  (* grad of barycentric lambda_i: perpendicular to the opposite edge *)
+  let grads =
+    [| [| (y2 -. y3) /. det; (x3 -. x2) /. det |];
+       [| (y3 -. y1) /. det; (x1 -. x3) /. det |];
+       [| (y1 -. y2) /. det; (x2 -. x1) /. det |] |]
+  in
+  {
+    verts = Array.copy verts;
+    area;
+    grads;
+    centroid = [| (x1 +. x2 +. x3) /. 3.; (y1 +. y2 +. y3) /. 3. |];
+  }
+
+(* local stiffness: K_ij = area * (grad_i . grad_j) *)
+let local_stiffness e =
+  Array.init 3 (fun i ->
+      Array.init 3 (fun j ->
+          e.area
+          *. ((e.grads.(i).(0) *. e.grads.(j).(0))
+              +. (e.grads.(i).(1) *. e.grads.(j).(1)))))
+
+(* local (consistent) mass: M_ij = area/12 * (1 + delta_ij) *)
+let local_mass e =
+  Array.init 3 (fun i ->
+      Array.init 3 (fun j -> e.area /. 12. *. if i = j then 2. else 1.))
+
+(* local load for a source evaluated at the centroid (one-point rule,
+   exact for constant sources and O(h^2) otherwise) *)
+let local_load e f = Array.make 3 (e.area /. 3. *. f e.centroid)

@@ -1,0 +1,22 @@
+(** Linear (P1) triangular finite elements: barycentric shape functions,
+    constant per-element gradients, closed-form local matrices. *)
+
+type element = {
+  verts : int array;          (** 3 vertex ids *)
+  area : float;
+  grads : float array array;  (** gradient of each shape function *)
+  centroid : float array;
+}
+
+val element_of : float array -> int array -> element
+(** From flat vertex coordinates and three vertex ids; raises
+    [Invalid_argument] on degenerate triangles. *)
+
+val local_stiffness : element -> float array array
+(** K_ij = area * grad_i . grad_j; rows sum to zero. *)
+
+val local_mass : element -> float array array
+(** Consistent mass: (area/12) (1 + delta_ij); entries sum to the area. *)
+
+val local_load : element -> (float array -> float) -> float array
+(** One-point (centroid) rule. *)

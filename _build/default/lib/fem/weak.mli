@@ -1,0 +1,48 @@
+(** Weak-form input for the finite-element path — the paper's remark that
+    with FEM the DSL's terms are "organized into linear and bilinear
+    groups" made concrete: parse a weak-form string over trial [u] and
+    test [v], classify the expanded terms, lower the canonical patterns
+    (diffusion [gradgrad(u,v)], reaction [u*v], source [f*v]) to assembly
+    coefficients, and drive steady and transient solves. *)
+
+exception Weak_error of string
+
+type classified_term =
+  | Bilinear_stiffness of float
+  | Bilinear_mass of float
+  | Linear_load of (float array -> float)
+
+type form = {
+  stiffness : float;
+  mass : float;
+  load : float array -> float;
+  bilinear_terms : int;
+  linear_terms : int;
+}
+
+val grad_marker : string
+
+val classify_term :
+  coef_value:(string -> float) -> Finch_symbolic.Expr.t -> classified_term
+(** Raises {!Weak_error} for terms outside the supported patterns (e.g.
+    nonlinear in the trial function). *)
+
+val parse_form : ?coef_value:(string -> float) -> string -> form
+(** The load may reference [x], [y] and [pi]; named scalar coefficients
+    resolve through [coef_value]. *)
+
+val report : form -> string
+(** The paper-style classification printout. *)
+
+val solve_steady :
+  Assembly.space -> form -> dirichlet_regions:int list ->
+  dirichlet_value:(float array -> float) -> float array * La.Solvers.stats
+(** The form is the equation's left-hand side with load terms entered
+    negated (matching the FVM sign convention); solves with
+    Jacobi-preconditioned CG. *)
+
+val solve_heat :
+  Assembly.space -> alpha:float -> source:(float array -> float) ->
+  dirichlet_regions:int list -> dirichlet_value:(float array -> float) ->
+  dt:float -> nsteps:int -> initial:(float array -> float) -> float array
+(** Backward-Euler steps of u_t = alpha Laplace(u) + f. *)

@@ -1,0 +1,1 @@
+lib/fvm/field.ml: Array Bigarray Float Mesh Printf

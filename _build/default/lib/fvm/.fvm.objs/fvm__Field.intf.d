@@ -1,0 +1,1 @@
+lib/fvm/field.mli: Bigarray Mesh

@@ -1,0 +1,1 @@
+lib/fvm/gmsh.ml: Array Buffer Float Hashtbl List Mesh Printf String

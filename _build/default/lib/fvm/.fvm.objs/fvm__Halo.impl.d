@@ -1,0 +1,1 @@
+lib/fvm/halo.ml: Array Hashtbl List Mesh Partition

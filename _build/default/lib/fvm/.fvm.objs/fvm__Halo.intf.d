@@ -1,0 +1,1 @@
+lib/fvm/halo.mli: Mesh Partition

@@ -1,0 +1,1 @@
+lib/fvm/mesh.ml: Array Float Hashtbl List Printf

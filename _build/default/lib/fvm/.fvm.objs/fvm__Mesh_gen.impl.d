@@ -1,0 +1,1 @@
+lib/fvm/mesh_gen.ml: Array List Mesh Printf

@@ -1,0 +1,1 @@
+lib/fvm/mesh_gen.mli: Mesh

@@ -1,0 +1,1 @@
+lib/fvm/partition.ml: Array Float List Mesh

@@ -1,0 +1,1 @@
+lib/fvm/vec.ml: Array Float

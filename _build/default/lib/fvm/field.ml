@@ -1,0 +1,118 @@
+(* Cell-centred field storage.
+
+   A field holds [ncomp] components per cell in a flat Bigarray (row:
+   cell-major by default, i.e. value (cell, comp) lives at
+   cell*ncomp + comp).  Multi-index variables such as I[d,b] flatten their
+   index space into components; the component layout/order is owned by the
+   caller (the DSL's loop-ordering configuration). *)
+
+type layout =
+  | Cell_major (* (cell, comp) -> cell*ncomp + comp : good for per-cell work *)
+  | Comp_major (* (cell, comp) -> comp*ncells + cell : good for per-band sweeps *)
+
+type t = {
+  name : string;
+  ncells : int;
+  ncomp : int;
+  layout : layout;
+  data :
+    (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+}
+
+let create ?(layout = Cell_major) ~name ~ncells ~ncomp () =
+  if ncells < 1 || ncomp < 1 then invalid_arg "Field.create";
+  let data =
+    Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (ncells * ncomp)
+  in
+  Bigarray.Array1.fill data 0.;
+  { name; ncells; ncomp; layout; data }
+
+(* View an existing bigarray (e.g. simulated device memory) as a field. *)
+let of_bigarray ?(layout = Cell_major) ~name ~ncells ~ncomp data =
+  if Bigarray.Array1.dim data <> ncells * ncomp then
+    invalid_arg "Field.of_bigarray: size mismatch";
+  { name; ncells; ncomp; layout; data }
+
+let name t = t.name
+let ncells t = t.ncells
+let ncomp t = t.ncomp
+let size t = t.ncells * t.ncomp
+let layout t = t.layout
+
+let idx t cell comp =
+  match t.layout with
+  | Cell_major -> (cell * t.ncomp) + comp
+  | Comp_major -> (comp * t.ncells) + cell
+
+let get t cell comp = Bigarray.Array1.unsafe_get t.data (idx t cell comp)
+let set t cell comp v = Bigarray.Array1.unsafe_set t.data (idx t cell comp) v
+
+let get_checked t cell comp =
+  if cell < 0 || cell >= t.ncells || comp < 0 || comp >= t.ncomp then
+    invalid_arg
+      (Printf.sprintf "Field.get %s: (%d,%d) out of range" t.name cell comp);
+  get t cell comp
+
+let fill t v = Bigarray.Array1.fill t.data v
+
+let blit ~src ~dst =
+  if size src <> size dst || src.layout <> dst.layout then
+    invalid_arg "Field.blit: incompatible fields";
+  Bigarray.Array1.blit src.data dst.data
+
+let copy t =
+  let c = create ~layout:t.layout ~name:t.name ~ncells:t.ncells ~ncomp:t.ncomp () in
+  Bigarray.Array1.blit t.data c.data;
+  c
+
+let init t f =
+  for cell = 0 to t.ncells - 1 do
+    for comp = 0 to t.ncomp - 1 do
+      set t cell comp (f cell comp)
+    done
+  done
+
+let iter t f =
+  for cell = 0 to t.ncells - 1 do
+    for comp = 0 to t.ncomp - 1 do
+      f cell comp (get t cell comp)
+    done
+  done
+
+let fold t f acc =
+  let acc = ref acc in
+  iter t (fun cell comp v -> acc := f !acc cell comp v);
+  !acc
+
+let max_abs t = fold t (fun m _ _ v -> Float.max m (Float.abs v)) 0.
+
+let max_abs_diff a b =
+  if size a <> size b then invalid_arg "Field.max_abs_diff";
+  let m = ref 0. in
+  for cell = 0 to a.ncells - 1 do
+    for comp = 0 to a.ncomp - 1 do
+      m := Float.max !m (Float.abs (get a cell comp -. get b cell comp))
+    done
+  done;
+  !m
+
+(* Sum of one component over all cells (used by reductions/tests). *)
+let sum_comp t comp =
+  let s = ref 0. in
+  for cell = 0 to t.ncells - 1 do
+    s := !s +. get t cell comp
+  done;
+  !s
+
+(* Volume-weighted integral of a component over the mesh. *)
+let integral t (m : Mesh.t) comp =
+  if t.ncells <> m.Mesh.ncells then invalid_arg "Field.integral: mesh mismatch";
+  let s = ref 0. in
+  for cell = 0 to t.ncells - 1 do
+    s := !s +. (get t cell comp *. m.Mesh.cell_volume.(cell))
+  done;
+  !s
+
+(* Raw access for kernel compilation: the underlying bigarray plus the
+   layout parameters needed to compute offsets without going through [t]. *)
+let raw t = t.data

@@ -1,0 +1,50 @@
+(** Cell-centred field storage: [ncomp] float64 components per cell in one
+    flat Bigarray.
+
+    Multi-index DSL variables (e.g. I[d,b]) flatten their index space into
+    components; the component ordering is owned by the caller. *)
+
+type layout =
+  | Cell_major (** (cell, comp) at cell*ncomp + comp — per-cell work *)
+  | Comp_major (** (cell, comp) at comp*ncells + cell — per-band sweeps *)
+
+type t
+
+val create : ?layout:layout -> name:string -> ncells:int -> ncomp:int -> unit -> t
+(** Zero-initialised. *)
+
+val of_bigarray :
+  ?layout:layout -> name:string -> ncells:int -> ncomp:int ->
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t -> t
+(** View an existing bigarray (e.g. simulated device memory) as a field;
+    writes go through to the backing storage. *)
+
+val name : t -> string
+val ncells : t -> int
+val ncomp : t -> int
+val size : t -> int
+val layout : t -> layout
+
+val get : t -> int -> int -> float
+(** [get t cell comp]; unchecked (hot path). *)
+
+val set : t -> int -> int -> float -> unit
+
+val get_checked : t -> int -> int -> float
+(** Bounds-checked accessor; raises [Invalid_argument]. *)
+
+val fill : t -> float -> unit
+val blit : src:t -> dst:t -> unit
+val copy : t -> t
+val init : t -> (int -> int -> float) -> unit
+val iter : t -> (int -> int -> float -> unit) -> unit
+val fold : t -> ('a -> int -> int -> float -> 'a) -> 'a -> 'a
+val max_abs : t -> float
+val max_abs_diff : t -> t -> float
+val sum_comp : t -> int -> float
+
+val integral : t -> Mesh.t -> int -> float
+(** Volume-weighted integral of one component over the mesh. *)
+
+val raw : t -> (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** The backing storage (for transfers and kernel binding). *)

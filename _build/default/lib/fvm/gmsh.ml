@@ -1,0 +1,220 @@
+(* Gmsh MSH 2.2 ASCII reader/writer (the subset the DSL needs).
+
+   Supported element types: 1 = 2-node line (boundary tagging),
+   2 = 3-node triangle, 3 = 4-node quadrangle.  The first tag of an element
+   (the physical group) is used as the boundary-region id for lines.
+   Boundary faces with no matching line element fall back to region 1. *)
+
+type parsed = {
+  nodes : float array;            (* nnodes * 2, z dropped *)
+  surface_cells : int array array;(* triangles and quads, 0-based vertex ids *)
+  boundary_edges : ((int * int) * int) list; (* sorted vertex pair -> tag *)
+}
+
+exception Format_error of string
+
+let split_ws s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun x -> x <> "")
+
+let parse_lines lines =
+  let lines = Array.of_list lines in
+  let n = Array.length lines in
+  let pos = ref 0 in
+  let next () =
+    if !pos >= n then raise (Format_error "unexpected end of file");
+    let l = String.trim lines.(!pos) in
+    incr pos;
+    l
+  in
+  let find_section name =
+    let rec go () =
+      if !pos >= n then None
+      else
+        let l = String.trim lines.(!pos) in
+        incr pos;
+        if l = name then Some () else go ()
+    in
+    pos := 0;
+    go ()
+  in
+  (* $MeshFormat *)
+  (match find_section "$MeshFormat" with
+   | None -> raise (Format_error "missing $MeshFormat")
+   | Some () ->
+     let l = next () in
+     (match split_ws l with
+      | v :: _ when String.length v >= 1 && v.[0] = '2' -> ()
+      | v :: _ -> raise (Format_error ("unsupported MSH version " ^ v))
+      | [] -> raise (Format_error "empty $MeshFormat")));
+  (* $Nodes *)
+  (match find_section "$Nodes" with
+   | None -> raise (Format_error "missing $Nodes")
+   | Some () -> ());
+  let nnodes = int_of_string (next ()) in
+  let nodes = Array.make (nnodes * 2) 0. in
+  let id_map = Hashtbl.create nnodes in
+  for i = 0 to nnodes - 1 do
+    match split_ws (next ()) with
+    | id :: x :: y :: _ ->
+      Hashtbl.replace id_map (int_of_string id) i;
+      nodes.((i * 2) + 0) <- float_of_string x;
+      nodes.((i * 2) + 1) <- float_of_string y
+    | _ -> raise (Format_error "bad node line")
+  done;
+  (* $Elements *)
+  (match find_section "$Elements" with
+   | None -> raise (Format_error "missing $Elements")
+   | Some () -> ());
+  let nelems = int_of_string (next ()) in
+  let cells = ref [] and edges = ref [] in
+  let node i =
+    match Hashtbl.find_opt id_map i with
+    | Some v -> v
+    | None -> raise (Format_error (Printf.sprintf "unknown node id %d" i))
+  in
+  for _ = 1 to nelems do
+    match List.map int_of_string (split_ws (next ())) with
+    | _ :: etype :: ntags :: rest ->
+      let tags, verts =
+        let rec take k acc l =
+          if k = 0 then List.rev acc, l
+          else
+            match l with
+            | [] -> raise (Format_error "bad element line")
+            | x :: l' -> take (k - 1) (x :: acc) l'
+        in
+        take ntags [] rest
+      in
+      let phys = match tags with t :: _ -> t | [] -> 1 in
+      (match etype, verts with
+       | 1, [ a; b ] ->
+         let a = node a and b = node b in
+         let key = if a < b then a, b else b, a in
+         edges := (key, phys) :: !edges
+       | 2, [ a; b; c ] -> cells := [| node a; node b; node c |] :: !cells
+       | 3, [ a; b; c; d ] -> cells := [| node a; node b; node c; node d |] :: !cells
+       | 15, _ -> () (* point elements: ignore *)
+       | t, _ -> raise (Format_error (Printf.sprintf "unsupported element type %d" t)))
+    | _ -> raise (Format_error "bad element line")
+  done;
+  {
+    nodes;
+    surface_cells = Array.of_list (List.rev !cells);
+    boundary_edges = !edges;
+  }
+
+(* Ensure counter-clockwise orientation of each cell. *)
+let orient_ccw coords cells =
+  Array.map
+    (fun verts ->
+      let n = Array.length verts in
+      let x i = coords.((verts.(i) * 2) + 0) and y i = coords.((verts.(i) * 2) + 1) in
+      let a = ref 0. in
+      for i = 0 to n - 1 do
+        let j = (i + 1) mod n in
+        a := !a +. ((x i *. y j) -. (x j *. y i))
+      done;
+      if !a < 0. then begin
+        let r = Array.copy verts in
+        let n = Array.length r in
+        for i = 0 to n - 1 do
+          r.(i) <- verts.(n - 1 - i)
+        done;
+        r
+      end
+      else verts)
+    cells
+
+let mesh_of_parsed p =
+  let cells = orient_ccw p.nodes p.surface_cells in
+  (* Map boundary-edge midpoints to tags so the centroid-based classifier can
+     recover the region id; midpoints are computed with the same arithmetic
+     as Mesh.of_cells_2d so lookups are exact. *)
+  let mid_tbl = Hashtbl.create 64 in
+  List.iter
+    (fun ((a, b), tag) ->
+      let mx = (p.nodes.(a * 2) +. p.nodes.(b * 2)) /. 2. in
+      let my = (p.nodes.((a * 2) + 1) +. p.nodes.((b * 2) + 1)) /. 2. in
+      Hashtbl.replace mid_tbl (mx, my) tag)
+    p.boundary_edges;
+  let classify ctr _nrm =
+    match Hashtbl.find_opt mid_tbl (ctr.(0), ctr.(1)) with
+    | Some tag when tag >= 1 -> tag
+    | _ -> 1
+  in
+  Mesh.of_cells_2d ~coords:p.nodes ~cells ~classify
+
+let read_string s =
+  let lines = String.split_on_char '\n' s in
+  mesh_of_parsed (parse_lines lines)
+
+let read_file path =
+  let ic = open_in path in
+  let buf = Buffer.create 65536 in
+  (try
+     while true do
+       Buffer.add_string buf (input_line ic);
+       Buffer.add_char buf '\n'
+     done
+   with End_of_file -> close_in ic);
+  read_string (Buffer.contents buf)
+
+let write_string (m : Mesh.t) =
+  if m.Mesh.dim <> 2 then invalid_arg "Gmsh.write_string: 2-D meshes only";
+  let buf = Buffer.create 65536 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "$MeshFormat\n2.2 0 8\n$EndMeshFormat\n";
+  pr "$Nodes\n%d\n" m.Mesh.nvertices;
+  for v = 0 to m.Mesh.nvertices - 1 do
+    pr "%d %.17g %.17g 0\n" (v + 1) m.Mesh.coords.(v * 2) m.Mesh.coords.((v * 2) + 1)
+  done;
+  pr "$EndNodes\n";
+  let bfaces = m.Mesh.boundary_faces in
+  pr "$Elements\n%d\n" (Array.length bfaces + m.Mesh.ncells);
+  let eid = ref 0 in
+  Array.iter
+    (fun f ->
+      incr eid;
+      (* recover the face's endpoints from the owning cell's vertex list *)
+      let c = m.Mesh.face_cell1.(f) in
+      let verts = m.Mesh.cell_vertices.(c) in
+      let n = Array.length verts in
+      let fc = Mesh.face_centroid m f in
+      let found = ref None in
+      for i = 0 to n - 1 do
+        let v1 = verts.(i) and v2 = verts.((i + 1) mod n) in
+        let mx = (m.Mesh.coords.(v1 * 2) +. m.Mesh.coords.(v2 * 2)) /. 2. in
+        let my =
+          (m.Mesh.coords.((v1 * 2) + 1) +. m.Mesh.coords.((v2 * 2) + 1)) /. 2.
+        in
+        if Float.abs (mx -. fc.(0)) < 1e-12 && Float.abs (my -. fc.(1)) < 1e-12
+        then found := Some (v1, v2)
+      done;
+      match !found with
+      | Some (v1, v2) ->
+        pr "%d 1 2 %d %d %d %d\n" !eid m.Mesh.face_bid.(f) m.Mesh.face_bid.(f)
+          (v1 + 1) (v2 + 1)
+      | None -> invalid_arg "Gmsh.write_string: cannot locate boundary edge")
+    bfaces;
+  Array.iteri
+    (fun c verts ->
+      incr eid;
+      match Array.length verts with
+      | 3 ->
+        pr "%d 2 2 0 0 %d %d %d\n" !eid (verts.(0) + 1) (verts.(1) + 1)
+          (verts.(2) + 1)
+      | 4 ->
+        pr "%d 3 2 0 0 %d %d %d %d\n" !eid (verts.(0) + 1) (verts.(1) + 1)
+          (verts.(2) + 1) (verts.(3) + 1)
+      | n ->
+        invalid_arg (Printf.sprintf "Gmsh.write_string: %d-gon cell %d" n c))
+    m.Mesh.cell_vertices;
+  pr "$EndElements\n";
+  Buffer.contents buf
+
+let write_file path m =
+  let oc = open_out path in
+  output_string oc (write_string m);
+  close_out oc

@@ -1,0 +1,18 @@
+(** Gmsh MSH 2.2 ASCII reader/writer (the subset the DSL needs).
+
+    Supported elements: 2-node lines (boundary region tags via the first
+    physical tag), 3-node triangles, 4-node quadrangles; point elements are
+    ignored. Clockwise cells are reoriented. Boundary faces without a line
+    element default to region 1. *)
+
+exception Format_error of string
+
+val read_string : string -> Mesh.t
+val read_file : string -> Mesh.t
+
+val write_string : Mesh.t -> string
+(** 2-D meshes only; emits nodes, one tagged line element per boundary
+    face, and the surface elements. Raises [Invalid_argument] on non-2-D
+    input or cells that are neither triangles nor quadrangles. *)
+
+val write_file : string -> Mesh.t -> unit

@@ -1,0 +1,97 @@
+(* Halo (ghost) exchange plans for cell-based mesh partitioning.
+
+   For a given partition, each rank owns a set of cells; flux computation on
+   a cut face needs the neighbour cell's values, so those cells are ghosts
+   to be received each step.  The plan records, per ordered rank pair
+   (r -> r'), the owned cells r must send to r'.  By symmetry of face
+   adjacency the receive list of r from r' is r''s send list to r. *)
+
+type exchange = {
+  from_rank : int;
+  to_rank : int;
+  cells : int array; (* cells owned by [from_rank], ghosts on [to_rank] *)
+}
+
+type t = {
+  nranks : int;
+  exchanges : exchange list;
+  (* ghost cells each rank needs (union over incoming exchanges) *)
+  ghosts : int array array;
+}
+
+let build (m : Mesh.t) (p : Partition.t) =
+  let nranks = Partition.nparts p in
+  (* (sender, receiver) -> cell set *)
+  let tbl : (int * int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
+  let add sender receiver cell =
+    let key = sender, receiver in
+    let set =
+      match Hashtbl.find_opt tbl key with
+      | Some s -> s
+      | None ->
+        let s = Hashtbl.create 64 in
+        Hashtbl.add tbl key s;
+        s
+    in
+    Hashtbl.replace set cell ()
+  in
+  for f = 0 to m.Mesh.nfaces - 1 do
+    let c1 = m.Mesh.face_cell1.(f) and c2 = m.Mesh.face_cell2.(f) in
+    if c2 >= 0 then begin
+      let r1 = Partition.owner p c1 and r2 = Partition.owner p c2 in
+      if r1 <> r2 then begin
+        add r1 r2 c1;
+        add r2 r1 c2
+      end
+    end
+  done;
+  let exchanges =
+    Hashtbl.fold
+      (fun (s, r) set acc ->
+        let cells =
+          Hashtbl.fold (fun c () l -> c :: l) set [] |> List.sort compare
+          |> Array.of_list
+        in
+        { from_rank = s; to_rank = r; cells } :: acc)
+      tbl []
+    |> List.sort (fun a b ->
+           compare (a.from_rank, a.to_rank) (b.from_rank, b.to_rank))
+  in
+  let ghosts = Array.make nranks [] in
+  List.iter
+    (fun e -> ghosts.(e.to_rank) <- e.cells :: ghosts.(e.to_rank))
+    exchanges;
+  let ghosts =
+    Array.map
+      (fun lists ->
+        List.concat_map Array.to_list lists |> List.sort_uniq compare
+        |> Array.of_list)
+      ghosts
+  in
+  { nranks; exchanges; ghosts }
+
+(* Total number of (cell) values a rank sends per exchange round. *)
+let send_count t r =
+  List.fold_left
+    (fun acc e -> if e.from_rank = r then acc + Array.length e.cells else acc)
+    0 t.exchanges
+
+let recv_count t r = Array.length t.ghosts.(r)
+
+(* Bytes moved by rank [r] per exchange round for a field with [ncomp]
+   components of [bytes_per] bytes each (send + receive). *)
+let bytes_per_round t r ~ncomp ~bytes_per =
+  (send_count t r + recv_count t r) * ncomp * bytes_per
+
+let max_send_count t =
+  let mx = ref 0 in
+  for r = 0 to t.nranks - 1 do
+    mx := max !mx (send_count t r)
+  done;
+  !mx
+
+let neighbour_ranks t r =
+  List.filter_map
+    (fun e -> if e.from_rank = r then Some e.to_rank else None)
+    t.exchanges
+  |> List.sort_uniq compare

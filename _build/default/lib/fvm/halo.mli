@@ -1,0 +1,30 @@
+(** Halo (ghost-cell) exchange plans for mesh-partitioned runs.
+
+    For each ordered rank pair, the plan lists the cells the sender owns
+    that the receiver needs as ghosts (cells adjacent across cut faces). *)
+
+type exchange = {
+  from_rank : int;
+  to_rank : int;
+  cells : int array; (** owned by [from_rank], ghosts on [to_rank] *)
+}
+
+type t = {
+  nranks : int;
+  exchanges : exchange list;
+  ghosts : int array array; (** ghost cells needed by each rank *)
+}
+
+val build : Mesh.t -> Partition.t -> t
+
+val send_count : t -> int -> int
+(** Cells rank [r] sends per exchange round. *)
+
+val recv_count : t -> int -> int
+
+val bytes_per_round : t -> int -> ncomp:int -> bytes_per:int -> int
+(** Bytes moved by a rank per round (send + receive) for a field with
+    [ncomp] components of [bytes_per] bytes. *)
+
+val max_send_count : t -> int
+val neighbour_ranks : t -> int -> int list

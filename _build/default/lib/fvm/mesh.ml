@@ -1,0 +1,270 @@
+(* Finite-volume mesh representation.
+
+   Storage is struct-of-arrays for the hot paths (flux loops touch
+   [face_cell1]/[face_cell2]/[face_normal]/[face_area] for every face of
+   every cell each step).  Faces are oriented: the normal points out of
+   [cell1] into [cell2]; boundary faces have [cell2 = -1] and a positive
+   boundary-region id. *)
+
+type t = {
+  dim : int;
+  ncells : int;
+  nfaces : int;
+  nvertices : int;
+  coords : float array;          (* nvertices * dim vertex coordinates *)
+  cell_vertices : int array array;
+  cell_centroid : float array;   (* ncells * dim *)
+  cell_volume : float array;     (* ncells; area in 2-D, length in 1-D *)
+  cell_faces : int array array;  (* face ids per cell *)
+  face_cell1 : int array;
+  face_cell2 : int array;        (* -1 on the boundary *)
+  face_area : float array;       (* length in 2-D, 1.0 in 1-D *)
+  face_normal : float array;     (* nfaces * dim, unit, outward from cell1 *)
+  face_centroid : float array;   (* nfaces * dim *)
+  face_bid : int array;          (* 0 interior, >0 boundary region id *)
+  boundary_faces : int array;    (* ids of all boundary faces *)
+}
+
+let dim m = m.dim
+let ncells m = m.ncells
+let nfaces m = m.nfaces
+
+let cell_centroid m c = Array.init m.dim (fun k -> m.cell_centroid.((c * m.dim) + k))
+let face_centroid m f = Array.init m.dim (fun k -> m.face_centroid.((f * m.dim) + k))
+let face_normal m f = Array.init m.dim (fun k -> m.face_normal.((f * m.dim) + k))
+
+let is_boundary_face m f = m.face_bid.(f) > 0
+
+(* Neighbour of [c] across face [f]; -1 if [f] is a boundary face. *)
+let neighbour m f c =
+  if m.face_cell1.(f) = c then m.face_cell2.(f)
+  else m.face_cell1.(f)
+
+(* Sign of the stored normal as seen from cell [c]: +1 if it points out of
+   [c] (i.e. [c] owns the face), -1 otherwise. *)
+let normal_sign m f c = if m.face_cell1.(f) = c then 1. else -1.
+
+let boundary_regions m =
+  let tbl = Hashtbl.create 8 in
+  Array.iter
+    (fun f ->
+      let b = m.face_bid.(f) in
+      if b > 0 && not (Hashtbl.mem tbl b) then Hashtbl.add tbl b ())
+    m.boundary_faces;
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])
+
+let faces_of_region m bid =
+  Array.to_list m.boundary_faces
+  |> List.filter (fun f -> m.face_bid.(f) = bid)
+  |> Array.of_list
+
+(* ------------------------------------------------------------------ *)
+(* Construction from cell-vertex connectivity (1-D and 2-D).           *)
+(* ------------------------------------------------------------------ *)
+
+(* Shoelace area and centroid of a polygon given CCW vertex ids. *)
+let polygon_area_centroid coords dim verts =
+  assert (dim = 2);
+  let n = Array.length verts in
+  let x i = coords.((verts.(i) * 2) + 0) and y i = coords.((verts.(i) * 2) + 1) in
+  let a = ref 0. and cx = ref 0. and cy = ref 0. in
+  for i = 0 to n - 1 do
+    let j = (i + 1) mod n in
+    let cross = (x i *. y j) -. (x j *. y i) in
+    a := !a +. cross;
+    cx := !cx +. ((x i +. x j) *. cross);
+    cy := !cy +. ((y i +. y j) *. cross)
+  done;
+  let a = !a /. 2. in
+  if Float.abs a < 1e-300 then invalid_arg "Mesh: degenerate cell";
+  let cx = !cx /. (6. *. a) and cy = !cy /. (6. *. a) in
+  Float.abs a, [| cx; cy |]
+
+(* Build a 2-D mesh from vertex coordinates and per-cell CCW vertex lists.
+   [classify] maps a boundary face's centroid and outward normal to a
+   boundary-region id (>= 1). *)
+let of_cells_2d ~coords ~cells ~classify =
+  let dim = 2 in
+  let nvertices = Array.length coords / dim in
+  let ncells = Array.length cells in
+  let cell_centroid = Array.make (ncells * dim) 0. in
+  let cell_volume = Array.make ncells 0. in
+  Array.iteri
+    (fun c verts ->
+      let a, ctr = polygon_area_centroid coords dim verts in
+      cell_volume.(c) <- a;
+      cell_centroid.((c * dim) + 0) <- ctr.(0);
+      cell_centroid.((c * dim) + 1) <- ctr.(1))
+    cells;
+  (* discover faces by hashing sorted edge endpoints *)
+  let edge_tbl : (int * int, int) Hashtbl.t = Hashtbl.create (ncells * 4) in
+  let face_cell1 = ref [] and face_cell2 = Hashtbl.create (ncells * 4) in
+  let face_verts = ref [] in
+  let nfaces = ref 0 in
+  let cell_faces = Array.make ncells [] in
+  Array.iteri
+    (fun c verts ->
+      let n = Array.length verts in
+      for i = 0 to n - 1 do
+        let v1 = verts.(i) and v2 = verts.((i + 1) mod n) in
+        let key = if v1 < v2 then v1, v2 else v2, v1 in
+        match Hashtbl.find_opt edge_tbl key with
+        | Some f ->
+          Hashtbl.replace face_cell2 f c;
+          cell_faces.(c) <- f :: cell_faces.(c)
+        | None ->
+          let f = !nfaces in
+          incr nfaces;
+          Hashtbl.add edge_tbl key f;
+          face_cell1 := (f, c) :: !face_cell1;
+          face_verts := (f, (v1, v2)) :: !face_verts;
+          cell_faces.(c) <- f :: cell_faces.(c)
+      done)
+    cells;
+  let nf = !nfaces in
+  let fc1 = Array.make nf (-1) and fc2 = Array.make nf (-1) in
+  List.iter (fun (f, c) -> fc1.(f) <- c) !face_cell1;
+  Hashtbl.iter (fun f c -> fc2.(f) <- c) face_cell2;
+  let fverts = Array.make nf (0, 0) in
+  List.iter (fun (f, vv) -> fverts.(f) <- vv) !face_verts;
+  let face_area = Array.make nf 0. in
+  let face_normal = Array.make (nf * dim) 0. in
+  let face_centroid_a = Array.make (nf * dim) 0. in
+  let face_bid = Array.make nf 0 in
+  for f = 0 to nf - 1 do
+    let v1, v2 = fverts.(f) in
+    let x1 = coords.((v1 * 2) + 0) and y1 = coords.((v1 * 2) + 1) in
+    let x2 = coords.((v2 * 2) + 0) and y2 = coords.((v2 * 2) + 1) in
+    let ex = x2 -. x1 and ey = y2 -. y1 in
+    let len = sqrt ((ex *. ex) +. (ey *. ey)) in
+    face_area.(f) <- len;
+    face_centroid_a.((f * 2) + 0) <- (x1 +. x2) /. 2.;
+    face_centroid_a.((f * 2) + 1) <- (y1 +. y2) /. 2.;
+    (* edge rotated by -90 degrees, then oriented outward from cell1 *)
+    let nx = ey /. len and ny = -.ex /. len in
+    let c1 = fc1.(f) in
+    let dx = face_centroid_a.((f * 2) + 0) -. cell_centroid.((c1 * 2) + 0) in
+    let dy = face_centroid_a.((f * 2) + 1) -. cell_centroid.((c1 * 2) + 1) in
+    let s = if (nx *. dx) +. (ny *. dy) >= 0. then 1. else -1. in
+    face_normal.((f * 2) + 0) <- s *. nx;
+    face_normal.((f * 2) + 1) <- s *. ny;
+    if fc2.(f) < 0 then begin
+      let ctr = [| face_centroid_a.(f * 2); face_centroid_a.((f * 2) + 1) |] in
+      let nrm = [| face_normal.(f * 2); face_normal.((f * 2) + 1) |] in
+      let bid = classify ctr nrm in
+      if bid < 1 then invalid_arg "Mesh: boundary classifier returned id < 1";
+      face_bid.(f) <- bid
+    end
+  done;
+  let boundary_faces =
+    Array.of_list
+      (List.filter (fun f -> face_bid.(f) > 0) (List.init nf (fun f -> f)))
+  in
+  {
+    dim;
+    ncells;
+    nfaces = nf;
+    nvertices;
+    coords;
+    cell_vertices = cells;
+    cell_centroid;
+    cell_volume;
+    cell_faces = Array.map (fun l -> Array.of_list (List.rev l)) cell_faces;
+    face_cell1 = fc1;
+    face_cell2 = fc2;
+    face_area;
+    face_normal;
+    face_centroid = face_centroid_a;
+    face_bid;
+    boundary_faces;
+  }
+
+(* 1-D mesh on [0, length] with [n] uniform cells.  Faces are points with
+   unit "area"; region 1 is the left end, region 2 the right end. *)
+let line ~n ~length =
+  if n < 1 then invalid_arg "Mesh.line: need at least one cell";
+  let dim = 1 in
+  let dx = length /. float_of_int n in
+  let coords = Array.init (n + 1) (fun i -> float_of_int i *. dx) in
+  let ncells = n and nfaces = n + 1 in
+  let cell_centroid = Array.init n (fun c -> (float_of_int c +. 0.5) *. dx) in
+  let cell_volume = Array.make n dx in
+  let face_cell1 = Array.init nfaces (fun f -> if f = 0 then 0 else f - 1) in
+  let face_cell2 =
+    Array.init nfaces (fun f -> if f = 0 || f = n then -1 else f)
+  in
+  let face_area = Array.make nfaces 1. in
+  let face_normal =
+    Array.init nfaces (fun f -> if f = 0 then -1. else 1.)
+  in
+  let face_centroid = Array.copy coords in
+  let face_bid =
+    Array.init nfaces (fun f -> if f = 0 then 1 else if f = n then 2 else 0)
+  in
+  let cell_faces = Array.init n (fun c -> [| c; c + 1 |]) in
+  {
+    dim;
+    ncells;
+    nfaces;
+    nvertices = n + 1;
+    coords;
+    cell_vertices = Array.init n (fun c -> [| c; c + 1 |]);
+    cell_centroid;
+    cell_volume;
+    cell_faces;
+    face_cell1;
+    face_cell2;
+    face_area;
+    face_normal;
+    face_centroid;
+    face_bid;
+    boundary_faces = [| 0; n |];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Consistency checking (used by tests and after Gmsh import).          *)
+(* ------------------------------------------------------------------ *)
+
+type check_error = string
+
+let check m : (unit, check_error list) result =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  if m.ncells < 1 then err "mesh has no cells";
+  for f = 0 to m.nfaces - 1 do
+    if m.face_cell1.(f) < 0 || m.face_cell1.(f) >= m.ncells then
+      err "face %d: bad cell1 %d" f m.face_cell1.(f);
+    if m.face_cell2.(f) >= m.ncells then err "face %d: bad cell2" f;
+    if m.face_cell2.(f) < 0 && m.face_bid.(f) <= 0 then
+      err "face %d: boundary face without region id" f;
+    if m.face_cell2.(f) >= 0 && m.face_bid.(f) <> 0 then
+      err "face %d: interior face with region id %d" f m.face_bid.(f);
+    if m.face_area.(f) <= 0. then err "face %d: non-positive area" f;
+    let n2 = ref 0. in
+    for k = 0 to m.dim - 1 do
+      let v = m.face_normal.((f * m.dim) + k) in
+      n2 := !n2 +. (v *. v)
+    done;
+    if Float.abs (!n2 -. 1.) > 1e-9 then err "face %d: non-unit normal" f
+  done;
+  for c = 0 to m.ncells - 1 do
+    if m.cell_volume.(c) <= 0. then err "cell %d: non-positive volume" c;
+    (* divergence-free constant field: sum of outward area-weighted normals
+       over each cell's faces must vanish (closed polygon) *)
+    let acc = Array.make m.dim 0. in
+    Array.iter
+      (fun f ->
+        let s = normal_sign m f c in
+        for k = 0 to m.dim - 1 do
+          acc.(k) <- acc.(k) +. (s *. m.face_area.(f) *. m.face_normal.((f * m.dim) + k))
+        done)
+      m.cell_faces.(c);
+    Array.iteri
+      (fun k v ->
+        if Float.abs v > 1e-9 *. (1. +. m.cell_volume.(c)) then
+          err "cell %d: faces do not close (component %d residual %g)" c k v)
+      acc
+  done;
+  match !errs with [] -> Ok () | l -> Error (List.rev l)
+
+let total_volume m = Array.fold_left ( +. ) 0. m.cell_volume

@@ -1,0 +1,73 @@
+(** Finite-volume mesh: cells, oriented faces, boundary regions.
+
+    Storage is struct-of-arrays for the hot flux loops. Faces are oriented:
+    the stored unit normal points out of [face_cell1] into [face_cell2];
+    boundary faces have [face_cell2 = -1] and a positive region id. *)
+
+type t = {
+  dim : int;
+  ncells : int;
+  nfaces : int;
+  nvertices : int;
+  coords : float array;            (** nvertices * dim vertex coordinates *)
+  cell_vertices : int array array;
+  cell_centroid : float array;     (** ncells * dim *)
+  cell_volume : float array;       (** area in 2-D, length in 1-D *)
+  cell_faces : int array array;    (** face ids bounding each cell *)
+  face_cell1 : int array;          (** owning cell *)
+  face_cell2 : int array;          (** neighbour, or -1 on the boundary *)
+  face_area : float array;         (** length in 2-D, 1.0 in 1-D *)
+  face_normal : float array;       (** nfaces * dim, unit, outward from cell1 *)
+  face_centroid : float array;
+  face_bid : int array;            (** 0 interior, >0 boundary region id *)
+  boundary_faces : int array;
+}
+
+val dim : t -> int
+val ncells : t -> int
+val nfaces : t -> int
+
+val cell_centroid : t -> int -> float array
+val face_centroid : t -> int -> float array
+val face_normal : t -> int -> float array
+(** Fresh arrays of length [dim]. *)
+
+val is_boundary_face : t -> int -> bool
+
+val neighbour : t -> int -> int -> int
+(** [neighbour m f c] is the cell across face [f] from cell [c]; -1 when
+    [f] is a boundary face. *)
+
+val normal_sign : t -> int -> int -> float
+(** +1.0 if the stored normal points out of the given cell (i.e. the cell
+    owns the face), -1.0 otherwise. *)
+
+val boundary_regions : t -> int list
+(** Distinct boundary region ids, sorted. *)
+
+val faces_of_region : t -> int -> int array
+
+val polygon_area_centroid : float array -> int -> int array -> float * float array
+(** Shoelace area (absolute) and centroid of a CCW polygon given vertex
+    ids into a coordinate array; 2-D only. *)
+
+val of_cells_2d :
+  coords:float array ->
+  cells:int array array ->
+  classify:(float array -> float array -> int) ->
+  t
+(** Build a 2-D mesh from vertex coordinates and per-cell CCW vertex
+    lists; faces are discovered by edge hashing. [classify centre normal]
+    assigns each boundary face its region id (>= 1). *)
+
+val line : n:int -> length:float -> t
+(** 1-D mesh on [0,length]: region 1 = left end, 2 = right end. *)
+
+type check_error = string
+
+val check : t -> (unit, check_error list) result
+(** Structural and geometric invariants: indices in range, unit normals,
+    positive areas/volumes, and closure (the area-weighted outward normals
+    of every cell sum to zero). *)
+
+val total_volume : t -> float

@@ -1,0 +1,243 @@
+(* Internal mesh generation utility (the DSL's "simple generation utility").
+
+   Structured rectangles/boxes of uniform cells.  Boundary regions follow the
+   paper's numbering for the BTE demonstration:
+
+     2-D: 1 = bottom (y = 0), 2 = right, 3 = top, 4 = left
+     3-D: 1 = bottom (z = 0), 2 = top, 3..6 = y=0, x=Lx, y=Ly, x=0
+
+   A custom classifier can override this. *)
+
+let default_classify_2d ~lx ~ly ctr nrm =
+  let eps = 1e-9 *. (lx +. ly) in
+  ignore ctr;
+  if nrm.(1) < -0.5 then 1
+  else if nrm.(0) > 0.5 then 2
+  else if nrm.(1) > 0.5 then 3
+  else if nrm.(0) < -0.5 then 4
+  else invalid_arg (Printf.sprintf "unclassifiable boundary normal (eps=%g)" eps)
+
+(* Uniform [nx] x [ny] grid of quadrilateral cells on [0,lx] x [0,ly]. *)
+let rectangle ?classify ~nx ~ny ~lx ~ly () =
+  if nx < 1 || ny < 1 then invalid_arg "Mesh_gen.rectangle: empty grid";
+  let classify =
+    match classify with Some f -> f | None -> default_classify_2d ~lx ~ly
+  in
+  let nvx = nx + 1 and nvy = ny + 1 in
+  let coords = Array.make (nvx * nvy * 2) 0. in
+  let dx = lx /. float_of_int nx and dy = ly /. float_of_int ny in
+  for j = 0 to nvy - 1 do
+    for i = 0 to nvx - 1 do
+      let v = (j * nvx) + i in
+      coords.((v * 2) + 0) <- float_of_int i *. dx;
+      coords.((v * 2) + 1) <- float_of_int j *. dy
+    done
+  done;
+  let cells =
+    Array.init (nx * ny) (fun c ->
+        let i = c mod nx and j = c / nx in
+        let v00 = (j * nvx) + i in
+        let v10 = v00 + 1 in
+        let v01 = v00 + nvx in
+        let v11 = v01 + 1 in
+        (* counter-clockwise *)
+        [| v00; v10; v11; v01 |])
+  in
+  Mesh.of_cells_2d ~coords ~cells ~classify
+
+(* Cell id at structured position (i, j) of an [nx] x [ny] rectangle. *)
+let cell_at ~nx i j = (j * nx) + i
+
+(* A strip of triangles: each rectangle cell split along its diagonal.
+   Exercises the general polygonal path of the mesh builder. *)
+let triangulated_rectangle ?classify ~nx ~ny ~lx ~ly () =
+  if nx < 1 || ny < 1 then invalid_arg "Mesh_gen.triangulated_rectangle: empty grid";
+  let classify =
+    match classify with Some f -> f | None -> default_classify_2d ~lx ~ly
+  in
+  let nvx = nx + 1 and nvy = ny + 1 in
+  let coords = Array.make (nvx * nvy * 2) 0. in
+  let dx = lx /. float_of_int nx and dy = ly /. float_of_int ny in
+  for j = 0 to nvy - 1 do
+    for i = 0 to nvx - 1 do
+      let v = (j * nvx) + i in
+      coords.((v * 2) + 0) <- float_of_int i *. dx;
+      coords.((v * 2) + 1) <- float_of_int j *. dy
+    done
+  done;
+  let cells =
+    Array.init (nx * ny * 2) (fun t ->
+        let c = t / 2 and half = t mod 2 in
+        let i = c mod nx and j = c / nx in
+        let v00 = (j * nvx) + i in
+        let v10 = v00 + 1 in
+        let v01 = v00 + nvx in
+        let v11 = v01 + 1 in
+        if half = 0 then [| v00; v10; v11 |] else [| v00; v11; v01 |])
+  in
+  Mesh.of_cells_2d ~coords ~cells ~classify
+
+(* 1-D re-export for convenience. *)
+let line = Mesh.line
+
+(* Uniform [nx] x [ny] x [nz] box of hexahedral cells on
+   [0,lx] x [0,ly] x [0,lz].  Faces are axis-aligned; boundary regions:
+   1 = bottom (z=0), 2 = top (z=lz), 3 = y=0, 4 = x=lx, 5 = y=ly, 6 = x=0.
+   Built directly (no polygon machinery); supports the paper's coarse 3-D
+   runs. *)
+let box ~nx ~ny ~nz ~lx ~ly ~lz () =
+  if nx < 1 || ny < 1 || nz < 1 then invalid_arg "Mesh_gen.box: empty grid";
+  let dim = 3 in
+  let dx = lx /. float_of_int nx
+  and dy = ly /. float_of_int ny
+  and dz = lz /. float_of_int nz in
+  let ncells = nx * ny * nz in
+  let cell_id i j k = (((k * ny) + j) * nx) + i in
+  let cell_centroid = Array.make (ncells * dim) 0. in
+  let cell_volume = Array.make ncells (dx *. dy *. dz) in
+  for k = 0 to nz - 1 do
+    for j = 0 to ny - 1 do
+      for i = 0 to nx - 1 do
+        let c = cell_id i j k in
+        cell_centroid.((c * 3) + 0) <- (float_of_int i +. 0.5) *. dx;
+        cell_centroid.((c * 3) + 1) <- (float_of_int j +. 0.5) *. dy;
+        cell_centroid.((c * 3) + 2) <- (float_of_int k +. 0.5) *. dz
+      done
+    done
+  done;
+  (* faces: x-normal (nx+1)*ny*nz, y-normal nx*(ny+1)*nz, z-normal nx*ny*(nz+1) *)
+  let nfx = (nx + 1) * ny * nz in
+  let nfy = nx * (ny + 1) * nz in
+  let nfz = nx * ny * (nz + 1) in
+  let nfaces = nfx + nfy + nfz in
+  let face_cell1 = Array.make nfaces (-1) in
+  let face_cell2 = Array.make nfaces (-1) in
+  let face_area = Array.make nfaces 0. in
+  let face_normal = Array.make (nfaces * dim) 0. in
+  let face_centroid = Array.make (nfaces * dim) 0. in
+  let face_bid = Array.make nfaces 0 in
+  let cell_faces = Array.make ncells [] in
+  let add_face f ~c1 ~c2 ~area ~normal ~centroid ~bid =
+    face_cell1.(f) <- c1;
+    face_cell2.(f) <- c2;
+    face_area.(f) <- area;
+    for m = 0 to 2 do
+      face_normal.((f * 3) + m) <- normal.(m);
+      face_centroid.((f * 3) + m) <- centroid.(m)
+    done;
+    face_bid.(f) <- bid;
+    cell_faces.(c1) <- f :: cell_faces.(c1);
+    if c2 >= 0 then cell_faces.(c2) <- f :: cell_faces.(c2)
+  in
+  (* x-normal faces at plane i (0..nx) between cells (i-1,j,k) and (i,j,k);
+     the stored normal points in +x, so cell1 is the low-x cell when it
+     exists (interior and x=lx boundary); on the x=0 boundary the owner is
+     the high-x cell and the normal points in -x *)
+  let f = ref 0 in
+  for k = 0 to nz - 1 do
+    for j = 0 to ny - 1 do
+      for i = 0 to nx do
+        let centroid =
+          [| float_of_int i *. dx; (float_of_int j +. 0.5) *. dy;
+             (float_of_int k +. 0.5) *. dz |]
+        in
+        (if i = 0 then
+           add_face !f ~c1:(cell_id 0 j k) ~c2:(-1) ~area:(dy *. dz)
+             ~normal:[| -1.; 0.; 0. |] ~centroid ~bid:6
+         else if i = nx then
+           add_face !f ~c1:(cell_id (nx - 1) j k) ~c2:(-1) ~area:(dy *. dz)
+             ~normal:[| 1.; 0.; 0. |] ~centroid ~bid:4
+         else
+           add_face !f ~c1:(cell_id (i - 1) j k) ~c2:(cell_id i j k)
+             ~area:(dy *. dz) ~normal:[| 1.; 0.; 0. |] ~centroid ~bid:0);
+        incr f
+      done
+    done
+  done;
+  for k = 0 to nz - 1 do
+    for j = 0 to ny do
+      for i = 0 to nx - 1 do
+        let centroid =
+          [| (float_of_int i +. 0.5) *. dx; float_of_int j *. dy;
+             (float_of_int k +. 0.5) *. dz |]
+        in
+        (if j = 0 then
+           add_face !f ~c1:(cell_id i 0 k) ~c2:(-1) ~area:(dx *. dz)
+             ~normal:[| 0.; -1.; 0. |] ~centroid ~bid:3
+         else if j = ny then
+           add_face !f ~c1:(cell_id i (ny - 1) k) ~c2:(-1) ~area:(dx *. dz)
+             ~normal:[| 0.; 1.; 0. |] ~centroid ~bid:5
+         else
+           add_face !f ~c1:(cell_id i (j - 1) k) ~c2:(cell_id i j k)
+             ~area:(dx *. dz) ~normal:[| 0.; 1.; 0. |] ~centroid ~bid:0);
+        incr f
+      done
+    done
+  done;
+  for k = 0 to nz do
+    for j = 0 to ny - 1 do
+      for i = 0 to nx - 1 do
+        let centroid =
+          [| (float_of_int i +. 0.5) *. dx; (float_of_int j +. 0.5) *. dy;
+             float_of_int k *. dz |]
+        in
+        (if k = 0 then
+           add_face !f ~c1:(cell_id i j 0) ~c2:(-1) ~area:(dx *. dy)
+             ~normal:[| 0.; 0.; -1. |] ~centroid ~bid:1
+         else if k = nz then
+           add_face !f ~c1:(cell_id i j (nz - 1)) ~c2:(-1) ~area:(dx *. dy)
+             ~normal:[| 0.; 0.; 1. |] ~centroid ~bid:2
+         else
+           add_face !f ~c1:(cell_id i j (k - 1)) ~c2:(cell_id i j k)
+             ~area:(dx *. dy) ~normal:[| 0.; 0.; 1. |] ~centroid ~bid:0);
+        incr f
+      done
+    done
+  done;
+  assert (!f = nfaces);
+  let boundary_faces =
+    Array.of_list
+      (List.filter (fun f -> face_bid.(f) > 0) (List.init nfaces (fun f -> f)))
+  in
+  (* vertices of the box grid (for completeness; not used by the solver) *)
+  let nvx = nx + 1 and nvy = ny + 1 and nvz = nz + 1 in
+  let coords = Array.make (nvx * nvy * nvz * 3) 0. in
+  for k = 0 to nvz - 1 do
+    for j = 0 to nvy - 1 do
+      for i = 0 to nvx - 1 do
+        let v = (((k * nvy) + j) * nvx) + i in
+        coords.((v * 3) + 0) <- float_of_int i *. dx;
+        coords.((v * 3) + 1) <- float_of_int j *. dy;
+        coords.((v * 3) + 2) <- float_of_int k *. dz
+      done
+    done
+  done;
+  let vert i j k = (((k * nvy) + j) * nvx) + i in
+  let cell_vertices =
+    Array.init ncells (fun c ->
+        let i = c mod nx and j = c / nx mod ny and k = c / (nx * ny) in
+        [| vert i j k; vert (i + 1) j k; vert (i + 1) (j + 1) k;
+           vert i (j + 1) k; vert i j (k + 1); vert (i + 1) j (k + 1);
+           vert (i + 1) (j + 1) (k + 1); vert i (j + 1) (k + 1) |])
+  in
+  {
+    Mesh.dim;
+    ncells;
+    nfaces;
+    nvertices = nvx * nvy * nvz;
+    coords;
+    cell_vertices;
+    cell_centroid;
+    cell_volume;
+    cell_faces = Array.map (fun l -> Array.of_list (List.rev l)) cell_faces;
+    face_cell1;
+    face_cell2;
+    face_area;
+    face_normal;
+    face_centroid;
+    face_bid;
+    boundary_faces;
+  }
+
+(* 3-D structured cell id helper *)
+let cell_at_3d ~nx ~ny i j k = (((k * ny) + j) * nx) + i

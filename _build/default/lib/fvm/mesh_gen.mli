@@ -1,0 +1,34 @@
+(** Structured mesh generation (the DSL's internal "simple generation
+    utility").
+
+    Default boundary-region numbering:
+    - 2-D rectangle: 1 = bottom (y=0), 2 = right, 3 = top, 4 = left;
+    - 3-D box: 1 = bottom (z=0), 2 = top, 3 = y=0, 4 = x=lx, 5 = y=ly,
+      6 = x=0;
+    - 1-D line: 1 = left end, 2 = right end. *)
+
+val default_classify_2d :
+  lx:float -> ly:float -> float array -> float array -> int
+
+val rectangle :
+  ?classify:(float array -> float array -> int) ->
+  nx:int -> ny:int -> lx:float -> ly:float -> unit -> Mesh.t
+(** Uniform grid of quadrilateral cells on [0,lx] x [0,ly]. *)
+
+val cell_at : nx:int -> int -> int -> int
+(** [cell_at ~nx i j] is the cell id at structured position (i, j). *)
+
+val triangulated_rectangle :
+  ?classify:(float array -> float array -> int) ->
+  nx:int -> ny:int -> lx:float -> ly:float -> unit -> Mesh.t
+(** Each grid cell split into two triangles (exercises the general
+    polygonal construction path). *)
+
+val line : n:int -> length:float -> Mesh.t
+
+val box :
+  nx:int -> ny:int -> nz:int -> lx:float -> ly:float -> lz:float -> unit ->
+  Mesh.t
+(** Uniform hexahedral box; supports the paper's coarse 3-D runs. *)
+
+val cell_at_3d : nx:int -> ny:int -> int -> int -> int -> int

@@ -1,0 +1,137 @@
+(* Mesh and index-space partitioning (METIS substitute).
+
+   Two partitioners are provided:
+   - recursive coordinate bisection over cell centroids (for meshes), and
+   - contiguous block partitioning of an index range (for the paper's
+     band-parallel strategy, where equations rather than cells are split). *)
+
+type t = {
+  nparts : int;
+  owner : int array; (* item -> rank *)
+}
+
+let nparts p = p.nparts
+let owner p i = p.owner.(i)
+let nitems p = Array.length p.owner
+
+let cells_of_rank p r =
+  let acc = ref [] in
+  for i = Array.length p.owner - 1 downto 0 do
+    if p.owner.(i) = r then acc := i :: !acc
+  done;
+  Array.of_list !acc
+
+let counts p =
+  let c = Array.make p.nparts 0 in
+  Array.iter (fun r -> c.(r) <- c.(r) + 1) p.owner;
+  c
+
+(* max/avg item count over ranks; 1.0 is perfect. *)
+let imbalance p =
+  let c = counts p in
+  let mx = Array.fold_left max 0 c in
+  let avg = float_of_int (Array.length p.owner) /. float_of_int p.nparts in
+  float_of_int mx /. avg
+
+(* Contiguous block partition of [0, nitems): block sizes differ by at most
+   one.  Used for bands (and for direction-parallel experiments). *)
+let blocks ~nitems ~nparts =
+  if nparts < 1 || nitems < 1 then invalid_arg "Partition.blocks";
+  if nparts > nitems then
+    invalid_arg "Partition.blocks: more parts than items";
+  let owner = Array.make nitems 0 in
+  let base = nitems / nparts and extra = nitems mod nparts in
+  let i = ref 0 in
+  for r = 0 to nparts - 1 do
+    let sz = base + if r < extra then 1 else 0 in
+    for _ = 1 to sz do
+      owner.(!i) <- r;
+      incr i
+    done
+  done;
+  { nparts; owner }
+
+let block_range ~nitems ~nparts r =
+  let base = nitems / nparts and extra = nitems mod nparts in
+  let start = (r * base) + min r extra in
+  let sz = base + if r < extra then 1 else 0 in
+  start, sz
+
+(* Recursive coordinate bisection: split the item set along its widest
+   coordinate extent at the weighted median, recursing until [nparts]
+   pieces exist.  Handles non-power-of-two counts by splitting part counts
+   proportionally. *)
+let rcb ~coords ~dim ~nitems ~nparts =
+  if nparts < 1 || nitems < 1 then invalid_arg "Partition.rcb";
+  if nparts > nitems then invalid_arg "Partition.rcb: more parts than items";
+  let owner = Array.make nitems 0 in
+  let rec go items rank0 nparts =
+    if nparts = 1 then
+      Array.iter (fun i -> owner.(i) <- rank0) items
+    else begin
+      (* widest axis *)
+      let lo = Array.make dim infinity and hi = Array.make dim neg_infinity in
+      Array.iter
+        (fun i ->
+          for k = 0 to dim - 1 do
+            let x = coords.((i * dim) + k) in
+            if x < lo.(k) then lo.(k) <- x;
+            if x > hi.(k) then hi.(k) <- x
+          done)
+        items;
+      let axis = ref 0 and best = ref neg_infinity in
+      for k = 0 to dim - 1 do
+        let w = hi.(k) -. lo.(k) in
+        if w > !best then begin
+          best := w;
+          axis := k
+        end
+      done;
+      let axis = !axis in
+      let sorted = Array.copy items in
+      Array.sort
+        (fun a b ->
+          let c = Float.compare coords.((a * dim) + axis) coords.((b * dim) + axis) in
+          if c <> 0 then c else compare a b)
+        sorted;
+      let np_left = nparts / 2 in
+      let np_right = nparts - np_left in
+      let n = Array.length sorted in
+      let cut = n * np_left / nparts in
+      let left = Array.sub sorted 0 cut in
+      let right = Array.sub sorted cut (n - cut) in
+      go left rank0 np_left;
+      go right (rank0 + np_left) np_right
+    end
+  in
+  go (Array.init nitems (fun i -> i)) 0 nparts;
+  { nparts; owner }
+
+let rcb_mesh (m : Mesh.t) ~nparts =
+  rcb ~coords:m.Mesh.cell_centroid ~dim:m.Mesh.dim ~nitems:m.Mesh.ncells ~nparts
+
+(* Number of interior mesh faces whose two cells live on different ranks —
+   the communication volume proxy for cell-based partitioning. *)
+let edge_cut (m : Mesh.t) p =
+  let cut = ref 0 in
+  for f = 0 to m.Mesh.nfaces - 1 do
+    let c2 = m.Mesh.face_cell2.(f) in
+    if c2 >= 0 && p.owner.(m.Mesh.face_cell1.(f)) <> p.owner.(c2) then incr cut
+  done;
+  !cut
+
+(* For each rank, the set of neighbouring ranks it shares cut faces with. *)
+let rank_adjacency (m : Mesh.t) p =
+  let adj = Array.make p.nparts [] in
+  let add r r' = if not (List.mem r' adj.(r)) then adj.(r) <- r' :: adj.(r) in
+  for f = 0 to m.Mesh.nfaces - 1 do
+    let c2 = m.Mesh.face_cell2.(f) in
+    if c2 >= 0 then begin
+      let r1 = p.owner.(m.Mesh.face_cell1.(f)) and r2 = p.owner.(c2) in
+      if r1 <> r2 then begin
+        add r1 r2;
+        add r2 r1
+      end
+    end
+  done;
+  Array.map (List.sort compare) adj

@@ -1,0 +1,38 @@
+(** Mesh and index-space partitioning (METIS stand-in).
+
+    [blocks] splits an index range into contiguous, balanced blocks (the
+    paper's band-parallel strategy); [rcb]/[rcb_mesh] is recursive
+    coordinate bisection over positions (cell-parallel strategy). *)
+
+type t
+
+val nparts : t -> int
+val owner : t -> int -> int
+val nitems : t -> int
+val cells_of_rank : t -> int -> int array
+val counts : t -> int array
+
+val imbalance : t -> float
+(** max over ranks of items / (average items); 1.0 is perfect. *)
+
+val blocks : nitems:int -> nparts:int -> t
+(** Contiguous blocks whose sizes differ by at most one. Raises
+    [Invalid_argument] if [nparts > nitems]. *)
+
+val block_range : nitems:int -> nparts:int -> int -> int * int
+(** [(offset, length)] of a rank's block, consistent with {!blocks}. *)
+
+val rcb : coords:float array -> dim:int -> nitems:int -> nparts:int -> t
+(** Recursive coordinate bisection over [nitems] points (positions in a
+    flat [nitems*dim] array), splitting the widest extent at the weighted
+    median. Handles non-power-of-two part counts. *)
+
+val rcb_mesh : Mesh.t -> nparts:int -> t
+(** {!rcb} over the mesh's cell centroids. *)
+
+val edge_cut : Mesh.t -> t -> int
+(** Interior faces whose two cells live on different ranks — the
+    communication-volume proxy for mesh partitioning. *)
+
+val rank_adjacency : Mesh.t -> t -> int list array
+(** For each rank, the sorted ranks it shares cut faces with. *)

@@ -1,0 +1,33 @@
+(* Small dense vector helpers used by mesh geometry (dimension 1-3).
+   Vectors are plain float arrays of length [dim]. *)
+
+let dot a b =
+  let n = Array.length a in
+  let s = ref 0. in
+  for i = 0 to n - 1 do
+    s := !s +. (a.(i) *. b.(i))
+  done;
+  !s
+
+let norm a = sqrt (dot a a)
+
+let scale c a = Array.map (fun x -> c *. x) a
+
+let add a b = Array.mapi (fun i x -> x +. b.(i)) a
+
+let sub a b = Array.mapi (fun i x -> x -. b.(i)) a
+
+let normalize a =
+  let n = norm a in
+  if n = 0. then invalid_arg "Vec.normalize: zero vector";
+  scale (1. /. n) a
+
+(* Reflect vector [v] about a plane with unit normal [n]:
+   v - 2 (v.n) n.  Used by specular boundary conditions. *)
+let reflect v n =
+  let c = 2. *. dot v n in
+  Array.mapi (fun i x -> x -. (c *. n.(i))) v
+
+let equal_eps eps a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= eps) a b

@@ -1,0 +1,17 @@
+(** Small dense-vector helpers for mesh geometry (dimension 1-3).
+    Vectors are plain float arrays of length [dim]. *)
+
+val dot : float array -> float array -> float
+val norm : float array -> float
+val scale : float -> float array -> float array
+val add : float array -> float array -> float array
+val sub : float array -> float array -> float array
+
+val normalize : float array -> float array
+(** Raises [Invalid_argument] on the zero vector. *)
+
+val reflect : float array -> float array -> float array
+(** [reflect v n] is v - 2 (v.n) n for unit normal [n] — specular
+    reflection, used by symmetry boundary conditions. *)
+
+val equal_eps : float -> float array -> float array -> bool

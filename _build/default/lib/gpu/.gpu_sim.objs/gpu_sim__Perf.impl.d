@@ -1,0 +1,1 @@
+lib/gpu/perf.ml: Float Format Memory Spec

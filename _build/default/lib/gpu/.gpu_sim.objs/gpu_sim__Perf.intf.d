@@ -1,0 +1,1 @@
+lib/gpu/perf.mli: Format Memory

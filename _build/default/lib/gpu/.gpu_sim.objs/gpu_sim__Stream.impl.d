@@ -1,0 +1,1 @@
+lib/gpu/stream.ml: Float Kernel Memory

@@ -1,0 +1,1 @@
+lib/gpu/stream.mli: Bigarray Kernel Memory

@@ -1,0 +1,47 @@
+(* SPMD kernel execution on the simulated device.
+
+   A kernel body receives a global thread index and runs real OCaml code
+   against device buffers.  Launch semantics mirror CUDA's flat 1-D grid:
+   one thread per degree of freedom, the grid rounded up to whole blocks,
+   excess threads guarded out by the body itself (the generated code emits
+   the guard, as CUDA codegen would).
+
+   The cost annotation gives modelled per-thread FLOPs and DRAM bytes; the
+   launch advances the device timeline by the roofline time. *)
+
+type cost = {
+  flops_per_thread : float;
+  dram_bytes_per_thread : float;
+}
+
+type t = {
+  name : string;
+  cost : cost;
+  body : int -> unit; (* global thread index *)
+}
+
+let make ~name ~cost body = { name; cost; body }
+
+(* Launch [k] over [nthreads] logical threads with blocks of [block] threads.
+   Returns the modelled kernel duration.  Execution itself is sequential
+   over threads — simulating the SPMD model, not racing it — which keeps
+   results deterministic and bit-reproducible. *)
+let launch dev k ~nthreads ?(block = 256) () =
+  if nthreads < 1 then invalid_arg "Kernel.launch: empty grid";
+  let nblocks = (nthreads + block - 1) / block in
+  let launched = nblocks * block in
+  for tid = 0 to launched - 1 do
+    (* guard: threads past the logical range are no-ops, as in generated
+       CUDA where the body begins with [if (tid >= n) return;] *)
+    if tid < nthreads then k.body tid
+  done;
+  let flops = k.cost.flops_per_thread *. float_of_int nthreads in
+  let dram = k.cost.dram_bytes_per_thread *. float_of_int nthreads in
+  let t =
+    Spec.kernel_time dev.Memory.spec ~threads:nthreads ~flops ~dram_bytes:dram
+  in
+  dev.Memory.kernel_time <- dev.Memory.kernel_time +. t;
+  dev.Memory.kernel_launches <- dev.Memory.kernel_launches + 1;
+  dev.Memory.flops <- dev.Memory.flops +. flops;
+  dev.Memory.dram_bytes <- dev.Memory.dram_bytes +. dram;
+  t

@@ -1,0 +1,25 @@
+(** SPMD kernel execution on the simulated device.
+
+    A kernel body receives a global thread index and runs real code
+    against device buffers; launches mirror CUDA's flat 1-D grid with the
+    excess threads of the last block guarded out. Execution is sequential
+    over threads (deterministic, bit-reproducible); timing comes from the
+    roofline model via the per-thread cost annotation. *)
+
+type cost = {
+  flops_per_thread : float;
+  dram_bytes_per_thread : float;
+}
+
+type t = {
+  name : string;
+  cost : cost;
+  body : int -> unit;
+}
+
+val make : name:string -> cost:cost -> (int -> unit) -> t
+
+val launch : Memory.device -> t -> nthreads:int -> ?block:int -> unit -> float
+(** Execute over [nthreads] logical threads (blocks of [block], default
+    256); returns the modelled kernel duration and updates the device's
+    counters. *)

@@ -1,0 +1,89 @@
+(* Simulated device memory.
+
+   A buffer owns a real, separate float64 array standing for device global
+   memory.  Host <-> device transfers genuinely copy data, so generated code
+   that forgets a transfer produces wrong numbers — the simulator preserves
+   the failure modes of the real programming model, not just its timings.
+   All transfer traffic is accounted on the owning device's profiler. *)
+
+type buffer = {
+  label : string;
+  device_data :
+    (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  mutable h2d_count : int;
+  mutable d2h_count : int;
+}
+
+type device = {
+  spec : Spec.t;
+  id : int;
+  mutable buffers : buffer list;
+  mutable bytes_h2d : int;
+  mutable bytes_d2h : int;
+  mutable transfer_time : float;   (* modelled seconds spent on PCIe *)
+  mutable kernel_time : float;     (* modelled seconds of kernel execution *)
+  mutable kernel_launches : int;
+  mutable flops : float;           (* accumulated modelled FLOPs *)
+  mutable dram_bytes : float;      (* accumulated modelled DRAM traffic *)
+  mutable busy_until : float;      (* device timeline position (s) *)
+}
+
+let create_device ?(id = 0) spec =
+  {
+    spec;
+    id;
+    buffers = [];
+    bytes_h2d = 0;
+    bytes_d2h = 0;
+    transfer_time = 0.;
+    kernel_time = 0.;
+    kernel_launches = 0;
+    flops = 0.;
+    dram_bytes = 0.;
+    busy_until = 0.;
+  }
+
+let alloc dev ~label ~size =
+  if size < 1 then invalid_arg "Memory.alloc: empty buffer";
+  let device_data =
+    Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout size
+  in
+  Bigarray.Array1.fill device_data 0.;
+  let b = { label; device_data; h2d_count = 0; d2h_count = 0 } in
+  dev.buffers <- b :: dev.buffers;
+  b
+
+let size b = Bigarray.Array1.dim b.device_data
+let bytes b = size b * 8
+
+(* Copy host array into device buffer; returns modelled transfer seconds. *)
+let h2d dev b host =
+  if Bigarray.Array1.dim host <> size b then
+    invalid_arg ("Memory.h2d: size mismatch for " ^ b.label);
+  Bigarray.Array1.blit host b.device_data;
+  b.h2d_count <- b.h2d_count + 1;
+  let t = Spec.transfer_time dev.spec ~bytes:(bytes b) in
+  dev.bytes_h2d <- dev.bytes_h2d + bytes b;
+  dev.transfer_time <- dev.transfer_time +. t;
+  t
+
+(* Copy device buffer back into host array; returns modelled seconds. *)
+let d2h dev b host =
+  if Bigarray.Array1.dim host <> size b then
+    invalid_arg ("Memory.d2h: size mismatch for " ^ b.label);
+  Bigarray.Array1.blit b.device_data host;
+  b.d2h_count <- b.d2h_count + 1;
+  let t = Spec.transfer_time dev.spec ~bytes:(bytes b) in
+  dev.bytes_d2h <- dev.bytes_d2h + bytes b;
+  dev.transfer_time <- dev.transfer_time +. t;
+  t
+
+let reset_counters dev =
+  dev.bytes_h2d <- 0;
+  dev.bytes_d2h <- 0;
+  dev.transfer_time <- 0.;
+  dev.kernel_time <- 0.;
+  dev.kernel_launches <- 0;
+  dev.flops <- 0.;
+  dev.dram_bytes <- 0.;
+  dev.busy_until <- 0.

@@ -1,0 +1,46 @@
+(** Simulated device memory.
+
+    Buffers own genuinely separate storage standing for device global
+    memory: host <-> device transfers really copy, so generated code that
+    forgets a transfer computes wrong numbers — the simulator preserves the
+    programming model's failure modes, not just its timings. Transfer and
+    kernel activity is accounted on the owning device. *)
+
+type buffer = {
+  label : string;
+  device_data :
+    (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  mutable h2d_count : int;
+  mutable d2h_count : int;
+}
+
+type device = {
+  spec : Spec.t;
+  id : int;
+  mutable buffers : buffer list;
+  mutable bytes_h2d : int;
+  mutable bytes_d2h : int;
+  mutable transfer_time : float;   (** modelled PCIe seconds *)
+  mutable kernel_time : float;     (** modelled kernel seconds *)
+  mutable kernel_launches : int;
+  mutable flops : float;
+  mutable dram_bytes : float;
+  mutable busy_until : float;
+}
+
+val create_device : ?id:int -> Spec.t -> device
+val alloc : device -> label:string -> size:int -> buffer
+val size : buffer -> int
+val bytes : buffer -> int
+
+val h2d :
+  device -> buffer ->
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t -> float
+(** Copy host data to the device; returns the modelled transfer seconds.
+    Raises [Invalid_argument] on size mismatch. *)
+
+val d2h :
+  device -> buffer ->
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t -> float
+
+val reset_counters : device -> unit

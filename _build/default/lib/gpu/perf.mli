@@ -1,0 +1,22 @@
+(** nvprof-style profiling report: the three metrics the paper's Section
+    III-D table gives for the BTE intensity kernel on one A6000 (SM
+    utilization, memory throughput fraction, FLOP fraction of DP peak). *)
+
+type report = {
+  device : string;
+  kernel_time : float;
+  transfer_time : float;
+  kernel_launches : int;
+  sm_utilization : float;      (** 0..1 *)
+  mem_throughput_frac : float; (** achieved DRAM rate over peak *)
+  flop_frac_of_peak : float;   (** achieved FLOP rate over fp64 peak *)
+  bytes_h2d : int;
+  bytes_d2h : int;
+}
+
+val report : Memory.device -> avg_threads:int -> report
+(** [avg_threads] is the typical grid size of the profiled launches; it
+    determines the occupancy term of SM utilization. *)
+
+val pp : Format.formatter -> report -> unit
+val to_string : report -> string

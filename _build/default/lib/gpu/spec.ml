@@ -1,0 +1,77 @@
+(* GPU device specifications used by the performance model.
+
+   Numbers are the published figures for the cards used in the paper's
+   evaluation (NVIDIA RTX A6000 and A100) plus generic PCIe parameters.
+   [fp64_issue_efficiency] is the fraction of double-precision peak a
+   well-shaped compute-bound kernel achieves in practice; the paper's own
+   profiling of the BTE kernel reports 49% of DP peak at 86% SM utilization,
+   which is what the default reproduces. *)
+
+type t = {
+  name : string;
+  sm_count : int;
+  max_threads_per_sm : int;
+  fp64_peak_flops : float;        (* FLOP/s, double precision *)
+  fp32_peak_flops : float;
+  mem_bandwidth : float;          (* bytes/s, device global memory *)
+  pcie_bandwidth : float;         (* bytes/s, host <-> device *)
+  pcie_latency : float;           (* seconds per transfer *)
+  kernel_launch_overhead : float; (* seconds per launch *)
+  fp64_issue_efficiency : float;  (* achieved fraction of DP peak *)
+  mem_efficiency : float;         (* achieved fraction of DRAM bandwidth *)
+}
+
+(* NVIDIA RTX A6000: 84 SMs, 38.7 TFLOPS FP32, FP64 = FP32/32, 768 GB/s. *)
+let a6000 = {
+  name = "A6000";
+  sm_count = 84;
+  max_threads_per_sm = 1536;
+  fp64_peak_flops = 38.7e12 /. 32.;
+  fp32_peak_flops = 38.7e12;
+  mem_bandwidth = 768e9;
+  pcie_bandwidth = 16e9;
+  pcie_latency = 10e-6;
+  kernel_launch_overhead = 5e-6;
+  fp64_issue_efficiency = 0.49;
+  mem_efficiency = 0.8;
+}
+
+(* NVIDIA A100 (SXM 40GB): 108 SMs, 9.7 TFLOPS FP64, 1555 GB/s HBM2. *)
+let a100 = {
+  name = "A100";
+  sm_count = 108;
+  max_threads_per_sm = 2048;
+  fp64_peak_flops = 9.7e12;
+  fp32_peak_flops = 19.5e12;
+  mem_bandwidth = 1555e9;
+  pcie_bandwidth = 25e9;
+  pcie_latency = 10e-6;
+  kernel_launch_overhead = 5e-6;
+  fp64_issue_efficiency = 0.49;
+  mem_efficiency = 0.8;
+}
+
+let by_name = function
+  | "A6000" | "a6000" -> a6000
+  | "A100" | "a100" -> a100
+  | other -> invalid_arg ("Spec.by_name: unknown device " ^ other)
+
+(* Time to move [bytes] across PCIe, one direction. *)
+let transfer_time spec ~bytes =
+  if bytes = 0 then 0.
+  else spec.pcie_latency +. (float_of_int bytes /. spec.pcie_bandwidth)
+
+(* Roofline kernel-time model.  [threads] concurrent threads with
+   [flops] total double-precision operations and [dram_bytes] total DRAM
+   traffic.  Occupancy below one SM's worth of warps scales throughput
+   down (tiny grids cannot saturate the device). *)
+let kernel_time spec ~threads ~flops ~dram_bytes =
+  let capacity = float_of_int (spec.sm_count * spec.max_threads_per_sm) in
+  let occupancy = Float.min 1. (float_of_int threads /. capacity) in
+  (* Very small grids still progress at at least one SM's rate. *)
+  let occupancy = Float.max occupancy (1. /. float_of_int spec.sm_count) in
+  let flop_rate = spec.fp64_peak_flops *. spec.fp64_issue_efficiency *. occupancy in
+  let mem_rate = spec.mem_bandwidth *. spec.mem_efficiency *. occupancy in
+  let t_compute = flops /. flop_rate in
+  let t_memory = dram_bytes /. mem_rate in
+  spec.kernel_launch_overhead +. Float.max t_compute t_memory

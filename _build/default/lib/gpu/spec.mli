@@ -1,0 +1,34 @@
+(** GPU device specifications and the roofline timing model.
+
+    Default parameters are the published figures for the cards in the
+    paper's evaluation (RTX A6000, A100); [fp64_issue_efficiency] is the
+    fraction of double-precision peak a well-shaped compute-bound kernel
+    achieves (the paper's own BTE-kernel profile: 49% of DP peak). *)
+
+type t = {
+  name : string;
+  sm_count : int;
+  max_threads_per_sm : int;
+  fp64_peak_flops : float;
+  fp32_peak_flops : float;
+  mem_bandwidth : float;          (** bytes/s, device global memory *)
+  pcie_bandwidth : float;         (** bytes/s, host <-> device *)
+  pcie_latency : float;           (** seconds per transfer *)
+  kernel_launch_overhead : float; (** seconds per launch *)
+  fp64_issue_efficiency : float;  (** achieved fraction of DP peak *)
+  mem_efficiency : float;         (** achieved fraction of DRAM bandwidth *)
+}
+
+val a6000 : t
+val a100 : t
+
+val by_name : string -> t
+(** "A6000"/"a6000" or "A100"/"a100"; raises [Invalid_argument] otherwise. *)
+
+val transfer_time : t -> bytes:int -> float
+(** PCIe latency + bytes/bandwidth; 0 for 0 bytes. *)
+
+val kernel_time : t -> threads:int -> flops:float -> dram_bytes:float -> float
+(** Roofline: launch overhead + max(compute, memory) time, with throughput
+    scaled down when [threads] cannot fill the device (occupancy), floored
+    at one SM's worth. *)

@@ -1,0 +1,61 @@
+(* Asynchronous streams over the simulated device.
+
+   The host enqueues operations; each op executes immediately (data effects
+   are synchronous in the simulator) but its *modelled* duration is appended
+   to the stream's timeline.  [synchronize] advances the host clock to the
+   stream tail, so a driver can overlap modelled CPU work with modelled GPU
+   work exactly the way the paper's generated code overlaps the boundary
+   callback with the interior kernel (Fig. 6). *)
+
+type t = {
+  device : Memory.device;
+  mutable tail : float; (* stream completion time on the host clock *)
+}
+
+type host_clock = { mutable now : float }
+
+let create_clock () = { now = 0. }
+
+let create device = { device; tail = 0. }
+
+(* Model: enqueueing costs the host a few microseconds. *)
+let enqueue_overhead = 2e-6
+
+(* Enqueue an operation whose modelled duration is [dur]; the real effect
+   [f] runs now.  The op starts when both the host has issued it and the
+   stream is free. *)
+let enqueue st clock ~dur f =
+  let result = f () in
+  clock.now <- clock.now +. enqueue_overhead;
+  let start = Float.max clock.now st.tail in
+  st.tail <- start +. dur;
+  result
+
+let kernel st clock k ~nthreads ?(block = 256) () =
+  let dur = ref 0. in
+  enqueue st clock
+    ~dur:0. (* duration computed inside; patch tail after *)
+    (fun () -> dur := Kernel.launch st.device k ~nthreads ~block ());
+  st.tail <- st.tail +. !dur
+
+let h2d st clock buf host =
+  let dur = ref 0. in
+  enqueue st clock ~dur:0. (fun () -> dur := Memory.h2d st.device buf host);
+  st.tail <- st.tail +. !dur
+
+let d2h st clock buf host =
+  let dur = ref 0. in
+  enqueue st clock ~dur:0. (fun () -> dur := Memory.d2h st.device buf host);
+  st.tail <- st.tail +. !dur
+
+(* Host-side work of modelled duration [dur] (e.g. the boundary callback)
+   overlapping whatever the stream is doing. *)
+let host_work clock ~dur f =
+  let result = f () in
+  clock.now <- clock.now +. dur;
+  result
+
+(* Block the host until the stream drains. *)
+let synchronize st clock = clock.now <- Float.max clock.now st.tail
+
+let pending st clock = st.tail > clock.now

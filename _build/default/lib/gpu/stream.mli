@@ -1,0 +1,32 @@
+(** Asynchronous streams over the simulated device.
+
+    Data effects happen immediately; modelled durations accumulate on the
+    stream's timeline. [synchronize] advances the host clock to the stream
+    tail, so a driver can overlap modelled CPU work with modelled GPU work
+    exactly as the paper's generated code overlaps the boundary callback
+    with the interior kernel (Fig. 6). *)
+
+type t = { device : Memory.device; mutable tail : float }
+type host_clock = { mutable now : float }
+
+val create_clock : unit -> host_clock
+val create : Memory.device -> t
+
+val enqueue_overhead : float
+(** Host-side cost of issuing one operation. *)
+
+val enqueue : t -> host_clock -> dur:float -> (unit -> 'a) -> 'a
+
+val kernel : t -> host_clock -> Kernel.t -> nthreads:int -> ?block:int -> unit -> unit
+val h2d :
+  t -> host_clock -> Memory.buffer ->
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t -> unit
+val d2h :
+  t -> host_clock -> Memory.buffer ->
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t -> unit
+
+val host_work : host_clock -> dur:float -> (unit -> 'a) -> 'a
+(** CPU work of modelled duration [dur] overlapping the stream. *)
+
+val synchronize : t -> host_clock -> unit
+val pending : t -> host_clock -> bool

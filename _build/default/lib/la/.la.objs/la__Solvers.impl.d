@@ -1,0 +1,1 @@
+lib/la/solvers.ml: Array Csr Float

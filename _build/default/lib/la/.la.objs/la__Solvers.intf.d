@@ -1,0 +1,1 @@
+lib/la/solvers.mli: Csr

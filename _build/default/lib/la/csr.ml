@@ -1,0 +1,112 @@
+(* Compressed-sparse-row matrices.
+
+   Assembled from (row, col, value) triplets with duplicate summation —
+   the natural output of finite-element assembly — and consumed by the
+   iterative solvers.  The IR-level remark in the paper (linear-algebra
+   operations must stay abstract because "different data layouts" suit
+   different targets) is realized here as the usual CSR layout for CPU
+   sparse matrix-vector products. *)
+
+type t = {
+  nrows : int;
+  ncols : int;
+  row_ptr : int array;   (* length nrows+1 *)
+  col_idx : int array;
+  values : float array;
+}
+
+let nrows m = m.nrows
+let ncols m = m.ncols
+let nnz m = Array.length m.values
+
+(* Build from triplets; duplicates are summed, explicit zeros kept out. *)
+let of_triplets ~nrows ~ncols triplets =
+  if nrows < 1 || ncols < 1 then invalid_arg "Csr.of_triplets: empty shape";
+  List.iter
+    (fun (r, c, _) ->
+      if r < 0 || r >= nrows || c < 0 || c >= ncols then
+        invalid_arg
+          (Printf.sprintf "Csr.of_triplets: entry (%d,%d) out of %dx%d" r c nrows
+             ncols))
+    triplets;
+  (* bucket by row, then sort and merge columns *)
+  let buckets = Array.make nrows [] in
+  List.iter (fun (r, c, v) -> buckets.(r) <- (c, v) :: buckets.(r)) triplets;
+  let row_ptr = Array.make (nrows + 1) 0 in
+  let cols = ref [] and vals = ref [] in
+  let count = ref 0 in
+  for r = 0 to nrows - 1 do
+    let entries = List.sort (fun (c1, _) (c2, _) -> compare c1 c2) buckets.(r) in
+    let rec merge = function
+      | [] -> []
+      | [ e ] -> [ e ]
+      | (c1, v1) :: (c2, v2) :: rest when c1 = c2 -> merge ((c1, v1 +. v2) :: rest)
+      | e :: rest -> e :: merge rest
+    in
+    let merged = List.filter (fun (_, v) -> v <> 0.) (merge entries) in
+    List.iter
+      (fun (c, v) ->
+        cols := c :: !cols;
+        vals := v :: !vals;
+        incr count)
+      merged;
+    row_ptr.(r + 1) <- !count
+  done;
+  {
+    nrows;
+    ncols;
+    row_ptr;
+    col_idx = Array.of_list (List.rev !cols);
+    values = Array.of_list (List.rev !vals);
+  }
+
+(* y := A x *)
+let spmv m x y =
+  if Array.length x <> m.ncols || Array.length y <> m.nrows then
+    invalid_arg "Csr.spmv: size mismatch";
+  for r = 0 to m.nrows - 1 do
+    let acc = ref 0. in
+    for k = m.row_ptr.(r) to m.row_ptr.(r + 1) - 1 do
+      acc := !acc +. (m.values.(k) *. x.(m.col_idx.(k)))
+    done;
+    y.(r) <- !acc
+  done
+
+let mul m x =
+  let y = Array.make m.nrows 0. in
+  spmv m x y;
+  y
+
+let diagonal m =
+  let d = Array.make m.nrows 0. in
+  for r = 0 to m.nrows - 1 do
+    for k = m.row_ptr.(r) to m.row_ptr.(r + 1) - 1 do
+      if m.col_idx.(k) = r then d.(r) <- m.values.(k)
+    done
+  done;
+  d
+
+let get m r c =
+  let v = ref 0. in
+  for k = m.row_ptr.(r) to m.row_ptr.(r + 1) - 1 do
+    if m.col_idx.(k) = c then v := m.values.(k)
+  done;
+  !v
+
+let iter_row m r f =
+  for k = m.row_ptr.(r) to m.row_ptr.(r + 1) - 1 do
+    f m.col_idx.(k) m.values.(k)
+  done
+
+(* symmetry check (structural + numeric, within eps) for SPD solvers *)
+let is_symmetric ?(eps = 1e-12) m =
+  if m.nrows <> m.ncols then false
+  else begin
+    let ok = ref true in
+    for r = 0 to m.nrows - 1 do
+      iter_row m r (fun c v ->
+          if Float.abs (v -. get m c r) > eps *. (1. +. Float.abs v) then
+            ok := false)
+    done;
+    !ok
+  end

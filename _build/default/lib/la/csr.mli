@@ -1,0 +1,28 @@
+(** Compressed-sparse-row matrices, assembled from (row, col, value)
+    triplets with duplicate summation — the natural output of
+    finite-element assembly. *)
+
+type t = {
+  nrows : int;
+  ncols : int;
+  row_ptr : int array;
+  col_idx : int array;
+  values : float array;
+}
+
+val nrows : t -> int
+val ncols : t -> int
+val nnz : t -> int
+
+val of_triplets : nrows:int -> ncols:int -> (int * int * float) list -> t
+(** Duplicates are summed; exact zeros dropped; out-of-range entries raise
+    [Invalid_argument]. *)
+
+val spmv : t -> float array -> float array -> unit
+(** [spmv a x y] sets y := A x. *)
+
+val mul : t -> float array -> float array
+val diagonal : t -> float array
+val get : t -> int -> int -> float
+val iter_row : t -> int -> (int -> float -> unit) -> unit
+val is_symmetric : ?eps:float -> t -> bool

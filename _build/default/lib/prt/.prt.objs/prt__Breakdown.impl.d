@@ -1,0 +1,1 @@
+lib/prt/breakdown.ml: Format Printf Unix

@@ -1,0 +1,1 @@
+lib/prt/breakdown.mli: Format

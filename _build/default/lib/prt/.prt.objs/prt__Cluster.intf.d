@@ -1,0 +1,1 @@
+lib/prt/cluster.mli:

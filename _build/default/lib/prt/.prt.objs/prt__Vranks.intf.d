@@ -1,0 +1,1 @@
+lib/prt/vranks.mli:

@@ -1,0 +1,86 @@
+(* Phase-time accounting: the paper's execution-time breakdowns (Figs. 5
+   and 8) split wall time into "solve for intensity", "temperature update"
+   and "communication".  This module is the common currency for both the
+   analytic performance model and the instrumented real runs. *)
+
+type t = {
+  mutable intensity : float;     (* s spent updating I *)
+  mutable temperature : float;   (* s spent in the temperature update *)
+  mutable communication : float; (* s in MPI-like or host<->device traffic *)
+  mutable boundary : float;      (* s in boundary callbacks *)
+  mutable other : float;
+}
+
+let zero () =
+  { intensity = 0.; temperature = 0.; communication = 0.; boundary = 0.; other = 0. }
+
+let make ~intensity ~temperature ~communication ?(boundary = 0.) ?(other = 0.) () =
+  { intensity; temperature; communication; boundary; other }
+
+let total b = b.intensity +. b.temperature +. b.communication +. b.boundary +. b.other
+
+let add a b =
+  {
+    intensity = a.intensity +. b.intensity;
+    temperature = a.temperature +. b.temperature;
+    communication = a.communication +. b.communication;
+    boundary = a.boundary +. b.boundary;
+    other = a.other +. b.other;
+  }
+
+let scale c b =
+  {
+    intensity = c *. b.intensity;
+    temperature = c *. b.temperature;
+    communication = c *. b.communication;
+    boundary = c *. b.boundary;
+    other = c *. b.other;
+  }
+
+type percentages = {
+  pct_intensity : float;
+  pct_temperature : float;
+  pct_communication : float;
+  pct_boundary : float;
+  pct_other : float;
+}
+
+let percentages b =
+  let t = total b in
+  if t <= 0. then
+    { pct_intensity = 0.; pct_temperature = 0.; pct_communication = 0.;
+      pct_boundary = 0.; pct_other = 0. }
+  else
+    {
+      pct_intensity = 100. *. b.intensity /. t;
+      pct_temperature = 100. *. b.temperature /. t;
+      pct_communication = 100. *. b.communication /. t;
+      pct_boundary = 100. *. b.boundary /. t;
+      pct_other = 100. *. b.other /. t;
+    }
+
+let pp ppf b =
+  let p = percentages b in
+  Format.fprintf ppf
+    "intensity %.1f%% | temperature %.1f%% | communication %.1f%%%s (total %.3g s)"
+    p.pct_intensity p.pct_temperature p.pct_communication
+    (if b.boundary > 0. then Printf.sprintf " | boundary %.1f%%" p.pct_boundary
+     else "")
+    (total b)
+
+(* Wall-clock phase timer for instrumented real runs. *)
+type phase = Intensity | Temperature | Communication | Boundary | Other
+
+let record b phase dt =
+  match phase with
+  | Intensity -> b.intensity <- b.intensity +. dt
+  | Temperature -> b.temperature <- b.temperature +. dt
+  | Communication -> b.communication <- b.communication +. dt
+  | Boundary -> b.boundary <- b.boundary +. dt
+  | Other -> b.other <- b.other +. dt
+
+let timed b phase f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  record b phase (Unix.gettimeofday () -. t0);
+  r

@@ -1,0 +1,40 @@
+(** Phase-time accounting — the currency of the paper's execution-time
+    breakdowns (Figs. 5 and 8): intensity solve / temperature update /
+    communication (plus boundary and other). *)
+
+type t = {
+  mutable intensity : float;
+  mutable temperature : float;
+  mutable communication : float;
+  mutable boundary : float;
+  mutable other : float;
+}
+
+val zero : unit -> t
+
+val make :
+  intensity:float -> temperature:float -> communication:float ->
+  ?boundary:float -> ?other:float -> unit -> t
+
+val total : t -> float
+val add : t -> t -> t
+val scale : float -> t -> t
+
+type percentages = {
+  pct_intensity : float;
+  pct_temperature : float;
+  pct_communication : float;
+  pct_boundary : float;
+  pct_other : float;
+}
+
+val percentages : t -> percentages
+val pp : Format.formatter -> t -> unit
+
+type phase = Intensity | Temperature | Communication | Boundary | Other
+
+val record : t -> phase -> float -> unit
+(** Add [dt] seconds to a phase. *)
+
+val timed : t -> phase -> (unit -> 'a) -> 'a
+(** Run a thunk, recording its wall-clock duration against a phase. *)

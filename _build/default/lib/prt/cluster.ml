@@ -1,0 +1,70 @@
+(* Cluster and network model for the strong-scaling studies.
+
+   The paper's evaluation ran on two-socket Intel Xeon Cascade Lake nodes
+   (40 cores, 192 GB) connected by a commodity interconnect.  Reproducing
+   320-rank strong-scaling curves requires a machine model; we use the
+   standard alpha-beta (latency-bandwidth) model for point-to-point
+   messages and tree-based collectives.
+
+   Calibration: [cpu_dof_update_time] anchors the sequential execution time
+   of the paper's Finch/Julia CPU code (Fig. 9: about 2.4e3 s for 100 steps
+   of the 1.6e7-DOF problem => 1.5e-6 s per DOF update); the Fortran
+   reference is the paper's stated ~2x faster.  The network parameters are
+   typical for the cluster class (2 us latency, ~12.5 GB/s effective). *)
+
+type node = {
+  name : string;
+  cores_per_node : int;
+  cpu_dof_update_time : float;     (* s per intensity DOF update, 1 core *)
+  fortran_dof_update_time : float; (* same, hand-written Fortran code *)
+  temp_update_time_per_cell : float; (* s per cell per step (Newton + reduce) *)
+  boundary_time_per_face_dof : float; (* s per boundary face DOF per step *)
+}
+
+let cascade_lake = {
+  name = "XeonSP Cascade Lake";
+  cores_per_node = 40;
+  cpu_dof_update_time = 1.5e-6;
+  fortran_dof_update_time = 0.75e-6;
+  temp_update_time_per_cell = 65e-6;
+  boundary_time_per_face_dof = 2.0e-6;
+}
+
+type network = {
+  alpha : float; (* per-message latency, s *)
+  beta : float;  (* per-byte time, s *)
+}
+
+let default_network = { alpha = 2e-6; beta = 1. /. 12.5e9 }
+
+(* Point-to-point message time. *)
+let p2p net ~bytes = net.alpha +. (float_of_int bytes *. net.beta)
+
+(* Tree allreduce over [p] ranks of an [bytes]-sized payload:
+   reduce-scatter + allgather costs ~ 2 log2(p) latency terms and
+   2 (p-1)/p of the data per rank (Rabenseifner); we use the common
+   simplification 2*ceil(log2 p)*(alpha + bytes*beta). *)
+let allreduce net ~p ~bytes =
+  if p <= 1 then 0.
+  else
+    let lg = ceil (log (float_of_int p) /. log 2.) in
+    2. *. lg *. (net.alpha +. (float_of_int bytes *. net.beta))
+
+(* Allgather of [bytes_per_rank] from each of [p] ranks (ring): (p-1)
+   rounds moving one chunk each. *)
+let allgather net ~p ~bytes_per_rank =
+  if p <= 1 then 0.
+  else
+    float_of_int (p - 1) *. (net.alpha +. (float_of_int bytes_per_rank *. net.beta))
+
+(* Halo exchange for one rank: one message per neighbour, sends and the
+   matching receives overlapping; cost = sum over neighbours of p2p. *)
+let halo_exchange net ~neighbour_bytes =
+  List.fold_left (fun acc b -> acc +. p2p net ~bytes:b) 0. neighbour_bytes
+
+(* Broadcast of [bytes] to [p] ranks (binomial tree). *)
+let broadcast net ~p ~bytes =
+  if p <= 1 then 0.
+  else
+    let lg = ceil (log (float_of_int p) /. log 2.) in
+    lg *. (net.alpha +. (float_of_int bytes *. net.beta))

@@ -1,0 +1,35 @@
+(** Cluster node description and alpha-beta network cost models used by
+    the strong-scaling studies (the paper's evaluation platform is
+    modelled, not available; see DESIGN.md). *)
+
+type node = {
+  name : string;
+  cores_per_node : int;
+  cpu_dof_update_time : float;       (** s per intensity DOF update, 1 core *)
+  fortran_dof_update_time : float;
+  temp_update_time_per_cell : float;
+  boundary_time_per_face_dof : float;
+}
+
+val cascade_lake : node
+(** The paper's two-socket 40-core Cascade Lake node, with unit costs
+    anchored to its sequential measurements. *)
+
+type network = {
+  alpha : float; (** per-message latency, s *)
+  beta : float;  (** per-byte time, s *)
+}
+
+val default_network : network
+
+val p2p : network -> bytes:int -> float
+val allreduce : network -> p:int -> bytes:int -> float
+(** Tree allreduce: ~ 2 ceil(log2 p) (alpha + bytes*beta); 0 for p <= 1. *)
+
+val allgather : network -> p:int -> bytes_per_rank:int -> float
+(** Ring allgather: (p-1) rounds of one chunk. *)
+
+val halo_exchange : network -> neighbour_bytes:int list -> float
+(** Sum of point-to-point costs over a rank's neighbours. *)
+
+val broadcast : network -> p:int -> bytes:int -> float

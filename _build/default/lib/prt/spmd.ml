@@ -1,0 +1,108 @@
+(* Effects-based SPMD executor: a miniature MPI.
+
+   Rank programs are plain functions that perform [barrier] and
+   [allreduce_sum] collectives.  The scheduler runs each rank until it
+   reaches a collective, suspends it (capturing its continuation), and when
+   every rank has arrived performs the combination and resumes them all.
+   This gives bulk-synchronous message-passing semantics inside a single
+   process — deterministic, debuggable, and bit-identical to a sequential
+   reference — which is how the distributed BTE strategies are verified.
+
+   Collective mismatches (some ranks finished or at a different collective
+   while others wait) are detected and reported, as a real MPI run would
+   deadlock. *)
+
+type _ Effect.t +=
+  | Barrier : unit Effect.t
+  | Allreduce_sum : float array -> unit Effect.t
+      (* in-place elementwise sum across all ranks *)
+
+exception Spmd_error of string
+
+let barrier () = Effect.perform Barrier
+let allreduce_sum a = Effect.perform (Allreduce_sum a)
+
+type suspended =
+  | Running
+  | At_barrier of (unit, unit) Effect.Deep.continuation
+  | At_allreduce of float array * (unit, unit) Effect.Deep.continuation
+  | Finished
+
+let run ~nranks (program : int -> unit) =
+  if nranks < 1 then invalid_arg "Spmd.run";
+  let states = Array.make nranks Running in
+  let start rank =
+    let open Effect.Deep in
+    match_with program rank
+      {
+        retc = (fun () -> states.(rank) <- Finished);
+        exnc = raise;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Barrier ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  states.(rank) <- At_barrier k)
+            | Allreduce_sum arr ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  states.(rank) <- At_allreduce (arr, k))
+            | _ -> None);
+      }
+  in
+  for r = 0 to nranks - 1 do
+    start r
+  done;
+  let rec drive () =
+    let barriers = ref [] and reduces = ref [] and nfinished = ref 0 in
+    Array.iteri
+      (fun r s ->
+        match s with
+        | At_barrier k -> barriers := (r, k) :: !barriers
+        | At_allreduce (a, k) -> reduces := (r, a, k) :: !reduces
+        | Finished -> incr nfinished
+        | Running -> raise (Spmd_error "internal: rank still marked running"))
+      states;
+    if !nfinished = nranks then ()
+    else begin
+      (match List.rev !barriers, List.rev !reduces with
+       | bs, [] when List.length bs = nranks ->
+         List.iter
+           (fun (r, k) ->
+             states.(r) <- Running;
+             Effect.Deep.continue k ())
+           bs
+       | [], rs when List.length rs = nranks ->
+         (match rs with
+          | [] -> ()
+          | (_, first, _) :: rest ->
+            let len = Array.length first in
+            List.iter
+              (fun (_, a, _) ->
+                if Array.length a <> len then
+                  raise (Spmd_error "allreduce length mismatch across ranks"))
+              rest;
+            let acc = Array.make len 0. in
+            List.iter
+              (fun (_, a, _) ->
+                for i = 0 to len - 1 do
+                  acc.(i) <- acc.(i) +. a.(i)
+                done)
+              rs;
+            List.iter (fun (_, a, _) -> Array.blit acc 0 a 0 len) rs);
+         List.iter
+           (fun (r, _, k) ->
+             states.(r) <- Running;
+             Effect.Deep.continue k ())
+           rs
+       | _ ->
+         raise
+           (Spmd_error
+              (Printf.sprintf
+                 "collective mismatch: %d at barrier, %d at allreduce, %d finished of %d ranks"
+                 (List.length !barriers) (List.length !reduces) !nfinished nranks)));
+      drive ()
+    end
+  in
+  drive ()

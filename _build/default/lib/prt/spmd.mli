@@ -1,0 +1,25 @@
+(** Effects-based SPMD executor: a miniature in-process MPI.
+
+    Rank programs are plain functions performing collectives; the scheduler
+    suspends each rank at a collective (capturing its continuation),
+    combines once all ranks have arrived, and resumes them. Execution is
+    deterministic and bulk-synchronous, so distributed solvers can be
+    verified bit-for-bit against sequential references. *)
+
+exception Spmd_error of string
+(** Raised on collective mismatches (some ranks finished or waiting at a
+    different collective — a deadlock in a real MPI run) and on allreduce
+    length disagreements. *)
+
+val barrier : unit -> unit
+(** Block until every rank reaches a barrier. Must be called from inside
+    {!run}. *)
+
+val allreduce_sum : float array -> unit
+(** Elementwise sum across all ranks, in place: after the call every
+    rank's array holds the global sums. Must be called from inside
+    {!run}. *)
+
+val run : nranks:int -> (int -> unit) -> unit
+(** [run ~nranks program] executes [program rank] for every rank under the
+    collective scheduler and returns when all ranks finish. *)

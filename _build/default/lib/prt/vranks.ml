@@ -1,0 +1,44 @@
+(* Virtual-rank BSP executor.
+
+   Correctness tests of the distributed strategies run all ranks inside one
+   process: a program is a sequence of supersteps; within a superstep every
+   rank's local work runs (sequentially, in rank order), then the exchange
+   function moves data between rank-local states.  This gives exactly the
+   semantics of a bulk-synchronous MPI program without needing real
+   processes, so decomposed solvers can be checked bit-for-bit against the
+   sequential solver. *)
+
+type 'state t = {
+  nranks : int;
+  states : 'state array;
+}
+
+let create ~nranks ~init =
+  if nranks < 1 then invalid_arg "Vranks.create";
+  { nranks; states = Array.init nranks init }
+
+let nranks t = t.nranks
+let state t r = t.states.(r)
+
+(* One superstep: local computation on every rank, then a global exchange
+   with access to all states (standing in for the network). *)
+let superstep t ~compute ~exchange =
+  for r = 0 to t.nranks - 1 do
+    compute r t.states.(r)
+  done;
+  exchange t.states
+
+(* Allreduce helper over float arrays held by an accessor. *)
+let allreduce_sum t ~get ~set ~len =
+  let acc = Array.make len 0. in
+  for r = 0 to t.nranks - 1 do
+    let a = get t.states.(r) in
+    for i = 0 to len - 1 do
+      acc.(i) <- acc.(i) +. a.(i)
+    done
+  done;
+  for r = 0 to t.nranks - 1 do
+    set t.states.(r) acc
+  done
+
+let iter_ranks t f = Array.iteri f t.states

@@ -1,0 +1,25 @@
+(** Virtual-rank BSP executor: explicit supersteps over per-rank states.
+
+    A simpler alternative to {!Spmd} when the program structure is already
+    bulk-synchronous: run every rank's local computation, then exchange
+    through a function that sees all states. *)
+
+type 'state t
+
+val create : nranks:int -> init:(int -> 'state) -> 'state t
+val nranks : 'state t -> int
+val state : 'state t -> int -> 'state
+
+val superstep :
+  'state t ->
+  compute:(int -> 'state -> unit) ->
+  exchange:('state array -> unit) ->
+  unit
+
+val allreduce_sum :
+  'state t ->
+  get:('state -> float array) ->
+  set:('state -> float array -> unit) ->
+  len:int -> unit
+
+val iter_ranks : 'state t -> (int -> 'state -> unit) -> unit

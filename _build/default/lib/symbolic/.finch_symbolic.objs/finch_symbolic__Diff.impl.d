@@ -1,0 +1,1 @@
+lib/symbolic/diff.ml: Expr List Printf Simplify String

@@ -1,0 +1,1 @@
+lib/symbolic/diff.mli: Expr

@@ -1,0 +1,1 @@
+lib/symbolic/expr.ml: Float List Printf Stdlib String

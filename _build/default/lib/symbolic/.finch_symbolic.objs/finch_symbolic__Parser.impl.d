@@ -1,0 +1,1 @@
+lib/symbolic/parser.ml: Expr Float Lexer List Printf

@@ -1,0 +1,1 @@
+lib/symbolic/parser.mli: Expr

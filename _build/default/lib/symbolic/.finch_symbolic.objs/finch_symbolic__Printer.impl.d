@@ -1,0 +1,1 @@
+lib/symbolic/printer.ml: Expr Float Format List Printf Simplify String

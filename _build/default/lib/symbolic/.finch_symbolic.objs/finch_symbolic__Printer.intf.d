@@ -1,0 +1,1 @@
+lib/symbolic/printer.mli: Expr Format

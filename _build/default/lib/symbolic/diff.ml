@@ -1,0 +1,54 @@
+(* Symbolic differentiation with respect to a scalar symbol.
+
+   Used by the DSL for linearization of source terms (Newton-type updates)
+   and by the BTE layer for d(I0)/dT checks; also a good stress test of the
+   expression algebra. *)
+
+open Expr
+
+let rec d x e =
+  match e with
+  | Num _ -> zero
+  | Sym s -> if String.equal s x then one else zero
+  | Ref _ -> zero (* entity references are opaque w.r.t. scalar symbols *)
+  | Add es -> Simplify.simplify (add (List.map (d x) es))
+  | Mul es ->
+    (* product rule over the n-ary list *)
+    let rec go before = function
+      | [] -> []
+      | f :: after ->
+        let term = mul (List.rev_append before (d x f :: after)) in
+        term :: go (f :: before) after
+    in
+    Simplify.simplify (add (go [] es))
+  | Pow (a, Num n) ->
+    Simplify.simplify (mul [ Num n; Pow (a, Num (n -. 1.)); d x a ])
+  | Pow (a, b) ->
+    (* general case: d(a^b) = a^b * (b' ln a + b a'/a) *)
+    Simplify.simplify
+      (mul
+         [ Pow (a, b);
+           add [ mul [ d x b; call "log" [ a ] ]; mul [ b; d x a; pow a (Num (-1.)) ] ] ])
+  | Call (name, [ a ]) ->
+    let da = d x a in
+    let outer =
+      match name with
+      | "sin" -> call "cos" [ a ]
+      | "cos" -> neg (call "sin" [ a ])
+      | "tan" -> add [ one; pow (call "tan" [ a ]) (Num 2.) ]
+      | "exp" -> call "exp" [ a ]
+      | "log" -> pow a (Num (-1.))
+      | "sqrt" -> mul [ Num 0.5; pow a (Num (-0.5)) ]
+      | "sinh" -> call "cosh" [ a ]
+      | "cosh" -> call "sinh" [ a ]
+      | "tanh" -> sub one (pow (call "tanh" [ a ]) (Num 2.))
+      | other -> call (other ^ "'") [ a ]  (* unknown: formal derivative *)
+    in
+    Simplify.simplify (mul [ outer; da ])
+  | Call (name, args) ->
+    invalid_arg
+      (Printf.sprintf "Diff.d: cannot differentiate %s/%d" name (List.length args))
+  | Cmp _ -> zero (* piecewise-constant almost everywhere *)
+  | Cond (c, t, e') -> Cond (c, d x t, d x e')
+
+let derivative = d

@@ -1,0 +1,10 @@
+(** Symbolic differentiation with respect to a scalar symbol. *)
+
+val d : string -> Expr.t -> Expr.t
+(** [d x e] is de/dx, simplified. Entity references and comparisons are
+    treated as constants; unknown single-argument functions [f] get a formal
+    derivative [f']. Raises [Invalid_argument] for unknown multi-argument
+    functions. *)
+
+val derivative : string -> Expr.t -> Expr.t
+(** Alias for {!d}. *)

@@ -1,0 +1,284 @@
+(* Symbolic expression AST for the Finch DSL.
+
+   This is the stand-in for SymEngine in the original Julia implementation.
+   Expressions are kept in a lightly-normalized n-ary form: [Add] and [Mul]
+   hold flattened argument lists, numeric literals are plain floats, and
+   entity references carry their index lists and a "side" tag used by
+   surface terms to distinguish the two cells sharing a face (the paper's
+   CELL1_u / CELL2_u symbols). *)
+
+type side =
+  | Here   (* value in the current cell / no face context *)
+  | Cell1  (* owning cell of a face *)
+  | Cell2  (* neighbour cell of a face *)
+
+type cmp_op = Gt | Ge | Lt | Le | Eq | Ne
+
+type index_ref =
+  | Ivar of string          (* a named index, e.g. [d] *)
+  | Iconst of int           (* a literal index, e.g. [3] *)
+  | Ishift of string * int  (* a shifted index, e.g. [d+1] *)
+
+type t =
+  | Num of float
+  | Sym of string                       (* scalar symbol: dt, NORMAL_1, ... *)
+  | Ref of string * index_ref list * side  (* entity reference: I[d,b] *)
+  | Add of t list
+  | Mul of t list
+  | Pow of t * t
+  | Call of string * t list             (* operator/function application *)
+  | Cmp of cmp_op * t * t               (* comparison, used inside Cond *)
+  | Cond of t * t * t                   (* conditional(test, then, else) *)
+
+let zero = Num 0.
+let one = Num 1.
+let num x = Num x
+let sym s = Sym s
+let ref_ ?(side = Here) name indices = Ref (name, indices, side)
+
+let add = function [] -> zero | [ e ] -> e | es -> Add es
+let mul = function [] -> one | [ e ] -> e | es -> Mul es
+let neg e = Mul [ Num (-1.); e ]
+let sub a b = Add [ a; neg b ]
+let div a b = Mul [ a; Pow (b, Num (-1.)) ]
+let pow a b = Pow (a, b)
+let call name args = Call (name, args)
+let cond test then_ else_ = Cond (test, then_, else_)
+let cmp op a b = Cmp (op, a, b)
+
+let cmp_op_string = function
+  | Gt -> ">"
+  | Ge -> ">="
+  | Lt -> "<"
+  | Le -> "<="
+  | Eq -> "=="
+  | Ne -> "!="
+
+let side_string = function Here -> "" | Cell1 -> "CELL1_" | Cell2 -> "CELL2_"
+
+let index_ref_string = function
+  | Ivar s -> s
+  | Iconst i -> string_of_int i
+  | Ishift (s, k) ->
+    if k >= 0 then Printf.sprintf "%s+%d" s k else Printf.sprintf "%s-%d" s (-k)
+
+(* Structural equality.  Floats are compared exactly: the simplifier only
+   produces floats from exact arithmetic on user input, so this is the
+   behaviour we want for term collection. *)
+let rec equal a b =
+  match a, b with
+  | Num x, Num y -> Float.equal x y
+  | Sym x, Sym y -> String.equal x y
+  | Ref (n1, i1, s1), Ref (n2, i2, s2) ->
+    String.equal n1 n2 && s1 = s2
+    && List.length i1 = List.length i2
+    && List.for_all2 (fun a b -> a = b) i1 i2
+  | Add xs, Add ys | Mul xs, Mul ys ->
+    List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Pow (a1, b1), Pow (a2, b2) -> equal a1 a2 && equal b1 b2
+  | Call (n1, a1), Call (n2, a2) ->
+    String.equal n1 n2 && List.length a1 = List.length a2
+    && List.for_all2 equal a1 a2
+  | Cmp (o1, a1, b1), Cmp (o2, a2, b2) -> o1 = o2 && equal a1 a2 && equal b1 b2
+  | Cond (c1, t1, e1), Cond (c2, t2, e2) ->
+    equal c1 c2 && equal t1 t2 && equal e1 e2
+  | (Num _ | Sym _ | Ref _ | Add _ | Mul _ | Pow _ | Call _ | Cmp _ | Cond _), _
+    -> false
+
+(* A total order on expressions used for canonical sorting of n-ary
+   argument lists.  The particular order is unimportant as long as it is
+   total and stable. *)
+let rec compare_expr a b =
+  let rank = function
+    | Num _ -> 0
+    | Sym _ -> 1
+    | Ref _ -> 2
+    | Pow _ -> 3
+    | Mul _ -> 4
+    | Add _ -> 5
+    | Call _ -> 6
+    | Cmp _ -> 7
+    | Cond _ -> 8
+  in
+  match a, b with
+  | Num x, Num y -> Float.compare x y
+  | Sym x, Sym y -> String.compare x y
+  | Ref (n1, i1, s1), Ref (n2, i2, s2) ->
+    let c = String.compare n1 n2 in
+    if c <> 0 then c
+    else
+      let c = Stdlib.compare i1 i2 in
+      if c <> 0 then c else Stdlib.compare s1 s2
+  | Add xs, Add ys | Mul xs, Mul ys -> compare_list xs ys
+  | Pow (a1, b1), Pow (a2, b2) ->
+    let c = compare_expr a1 a2 in
+    if c <> 0 then c else compare_expr b1 b2
+  | Call (n1, a1), Call (n2, a2) ->
+    let c = String.compare n1 n2 in
+    if c <> 0 then c else compare_list a1 a2
+  | Cmp (o1, a1, b1), Cmp (o2, a2, b2) ->
+    let c = Stdlib.compare o1 o2 in
+    if c <> 0 then c
+    else
+      let c = compare_expr a1 a2 in
+      if c <> 0 then c else compare_expr b1 b2
+  | Cond (c1, t1, e1), Cond (c2, t2, e2) ->
+    let c = compare_expr c1 c2 in
+    if c <> 0 then c
+    else
+      let c = compare_expr t1 t2 in
+      if c <> 0 then c else compare_expr e1 e2
+  | _ -> Stdlib.compare (rank a) (rank b)
+
+and compare_list xs ys =
+  match xs, ys with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs', y :: ys' ->
+    let c = compare_expr x y in
+    if c <> 0 then c else compare_list xs' ys'
+
+(* Generic bottom-up rewrite: applies [f] to every node after rewriting
+   its children. *)
+let rec rewrite f e =
+  let e' =
+    match e with
+    | Num _ | Sym _ | Ref _ -> e
+    | Add es -> Add (List.map (rewrite f) es)
+    | Mul es -> Mul (List.map (rewrite f) es)
+    | Pow (a, b) -> Pow (rewrite f a, rewrite f b)
+    | Call (n, args) -> Call (n, List.map (rewrite f) args)
+    | Cmp (op, a, b) -> Cmp (op, rewrite f a, rewrite f b)
+    | Cond (c, t, el) -> Cond (rewrite f c, rewrite f t, rewrite f el)
+  in
+  f e'
+
+let rec fold f acc e =
+  let acc = f acc e in
+  match e with
+  | Num _ | Sym _ | Ref _ -> acc
+  | Add es | Mul es | Call (_, es) -> List.fold_left (fold f) acc es
+  | Pow (a, b) | Cmp (_, a, b) -> fold f (fold f acc a) b
+  | Cond (c, t, el) -> fold f (fold f (fold f acc c) t) el
+
+(* All entity references appearing in an expression, with duplicates
+   removed (structural). *)
+let refs e =
+  let collect acc = function Ref (n, i, s) -> (n, i, s) :: acc | _ -> acc in
+  List.rev (fold collect [] e)
+  |> List.fold_left (fun acc r -> if List.mem r acc then acc else r :: acc) []
+  |> List.rev
+
+let ref_names e =
+  refs e
+  |> List.map (fun (n, _, _) -> n)
+  |> List.fold_left (fun acc n -> if List.mem n acc then acc else n :: acc) []
+  |> List.rev
+
+(* Symbols (scalar, non-indexed) appearing in an expression. *)
+let sym_names e =
+  let collect acc = function Sym s -> s :: acc | _ -> acc in
+  List.rev (fold collect [] e)
+  |> List.fold_left (fun acc n -> if List.mem n acc then acc else n :: acc) []
+  |> List.rev
+
+(* Index variables used anywhere in the expression. *)
+let index_names e =
+  let of_ref acc = function
+    | Ref (_, idx, _) ->
+      List.fold_left
+        (fun acc -> function
+          | Ivar s | Ishift (s, _) -> if List.mem s acc then acc else s :: acc
+          | Iconst _ -> acc)
+        acc idx
+    | _ -> acc
+  in
+  List.rev (fold of_ref [] e)
+
+let contains_ref name e =
+  fold (fun found n -> found || match n with Ref (n', _, _) -> String.equal n' name | _ -> false)
+    false e
+
+let contains_sym name e =
+  fold (fun found n -> found || match n with Sym s -> String.equal s name | _ -> false)
+    false e
+
+let contains_call name e =
+  fold (fun found n -> found || match n with Call (c, _) -> String.equal c name | _ -> false)
+    false e
+
+(* Substitute every occurrence of symbol [name] with expression [v]. *)
+let subst_sym name v e =
+  rewrite (function Sym s when String.equal s name -> v | x -> x) e
+
+(* Substitute references to entity [name] (regardless of indices) using
+   [f indices side]. *)
+let subst_ref name f e =
+  rewrite
+    (function Ref (n, idx, side) when String.equal n name -> f idx side | x -> x)
+    e
+
+(* Re-tag all Here references with [side]; used when splitting an
+   expression into this-cell / neighbour-cell contributions. *)
+let retag_side side e =
+  rewrite (function Ref (n, idx, Here) -> Ref (n, idx, side) | x -> x) e
+
+let size e = fold (fun n _ -> n + 1) 0 e
+
+(* Numeric evaluation against environments; the basis for the qcheck
+   soundness tests of the simplifier.  [env_sym] resolves scalar symbols,
+   [env_ref] resolves entity references. *)
+let eval ~env_sym ~env_ref e =
+  let rec go e =
+    match e with
+    | Num x -> x
+    | Sym s -> env_sym s
+    | Ref (n, idx, side) -> env_ref n idx side
+    | Add es -> List.fold_left (fun a e -> a +. go e) 0. es
+    | Mul es -> List.fold_left (fun a e -> a *. go e) 1. es
+    | Pow (a, b) ->
+      let base = go a and ex = go b in
+      if Float.is_integer ex && Float.abs ex <= 16. then begin
+        (* Exact small integer powers, including negative bases. *)
+        let n = int_of_float ex in
+        let rec ipow acc b n = if n = 0 then acc else ipow (acc *. b) b (n - 1) in
+        if n >= 0 then ipow 1. base n else 1. /. ipow 1. base (-n)
+      end
+      else Float.pow base ex
+    | Call (name, args) -> eval_call name (List.map go args)
+    | Cmp (op, a, b) ->
+      let x = go a and y = go b in
+      let holds =
+        match op with
+        | Gt -> x > y
+        | Ge -> x >= y
+        | Lt -> x < y
+        | Le -> x <= y
+        | Eq -> Float.equal x y
+        | Ne -> not (Float.equal x y)
+      in
+      if holds then 1. else 0.
+    | Cond (c, t, el) -> if go c <> 0. then go t else go el
+  and eval_call name args =
+    match name, args with
+    | "sin", [ x ] -> sin x
+    | "cos", [ x ] -> cos x
+    | "tan", [ x ] -> tan x
+    | "exp", [ x ] -> exp x
+    | "log", [ x ] -> log x
+    | "sqrt", [ x ] -> sqrt x
+    | "abs", [ x ] -> Float.abs x
+    | "min", [ x; y ] -> Float.min x y
+    | "max", [ x; y ] -> Float.max x y
+    | "sinh", [ x ] -> sinh x
+    | "cosh", [ x ] -> cosh x
+    | "tanh", [ x ] -> tanh x
+    | _ -> invalid_arg (Printf.sprintf "Expr.eval: unknown function %s/%d" name (List.length args))
+  in
+  go e
+
+(* The functions with a numeric evaluation rule built into [eval]. *)
+let known_functions =
+  [ "sin"; "cos"; "tan"; "exp"; "log"; "sqrt"; "abs"; "min"; "max";
+    "sinh"; "cosh"; "tanh" ]

@@ -1,0 +1,109 @@
+(** Symbolic expression AST — the SymEngine substitute underlying the DSL.
+
+    Expressions are n-ary for [Add]/[Mul]; entity references carry an index
+    list and a face-side tag (the paper's [CELL1_u]/[CELL2_u] distinction for
+    surface terms). *)
+
+(** Which cell of a face an entity reference refers to. *)
+type side =
+  | Here   (** the current cell, or no face context *)
+  | Cell1  (** owning cell of a face *)
+  | Cell2  (** neighbour cell across a face *)
+
+type cmp_op = Gt | Ge | Lt | Le | Eq | Ne
+
+(** One position of an entity's index list. *)
+type index_ref =
+  | Ivar of string          (** named index, e.g. [I[d]] *)
+  | Iconst of int           (** literal index *)
+  | Ishift of string * int  (** shifted index, e.g. [I[d+1]] *)
+
+type t =
+  | Num of float
+  | Sym of string                          (** scalar symbol: [dt], [NORMAL_1] *)
+  | Ref of string * index_ref list * side  (** entity reference: [I[d,b]] *)
+  | Add of t list
+  | Mul of t list
+  | Pow of t * t
+  | Call of string * t list                (** operator / function application *)
+  | Cmp of cmp_op * t * t
+  | Cond of t * t * t                      (** [conditional(test, then, else)] *)
+
+val zero : t
+val one : t
+val num : float -> t
+val sym : string -> t
+
+val ref_ : ?side:side -> string -> index_ref list -> t
+(** [ref_ name indices] builds an entity reference; [side] defaults to
+    {!Here}. *)
+
+val add : t list -> t
+(** n-ary sum; [add []] is [zero], singletons collapse. *)
+
+val mul : t list -> t
+(** n-ary product; [mul []] is [one], singletons collapse. *)
+
+val neg : t -> t
+val sub : t -> t -> t
+val div : t -> t -> t
+(** [div a b] is represented as [a * b^-1]. *)
+
+val pow : t -> t -> t
+val call : string -> t list -> t
+val cond : t -> t -> t -> t
+val cmp : cmp_op -> t -> t -> t
+
+val cmp_op_string : cmp_op -> string
+val side_string : side -> string
+val index_ref_string : index_ref -> string
+
+val equal : t -> t -> bool
+(** Structural equality (floats compared exactly). *)
+
+val compare_expr : t -> t -> int
+(** A total order used for canonical sorting of argument lists. *)
+
+val rewrite : (t -> t) -> t -> t
+(** Bottom-up rewrite: children first, then the node itself. *)
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Pre-order fold over all nodes. *)
+
+val refs : t -> (string * index_ref list * side) list
+(** All distinct entity references, in first-occurrence order. *)
+
+val ref_names : t -> string list
+(** Distinct referenced entity names, in first-occurrence order. *)
+
+val sym_names : t -> string list
+(** Distinct scalar symbol names, in first-occurrence order. *)
+
+val index_names : t -> string list
+(** Distinct index-variable names used by any reference. *)
+
+val contains_ref : string -> t -> bool
+val contains_sym : string -> t -> bool
+val contains_call : string -> t -> bool
+
+val subst_sym : string -> t -> t -> t
+(** [subst_sym name v e] replaces every [Sym name] in [e] by [v]. *)
+
+val subst_ref : string -> (index_ref list -> side -> t) -> t -> t
+(** [subst_ref name f e] replaces every reference to entity [name]. *)
+
+val retag_side : side -> t -> t
+(** Re-tag every {!Here} reference with the given side. *)
+
+val size : t -> int
+(** Node count. *)
+
+val eval :
+  env_sym:(string -> float) ->
+  env_ref:(string -> index_ref list -> side -> float) ->
+  t -> float
+(** Numeric evaluation. Comparisons yield 1.0/0.0; [Cond] tests against 0.
+    Raises [Invalid_argument] on unknown function calls. *)
+
+val known_functions : string list
+(** Function names that {!eval} can evaluate. *)

@@ -1,0 +1,119 @@
+(* Tokenizer for the DSL's expression strings, e.g.
+   "(Io[b] - I[d,b]) / beta[b] + surface(vg[b] * upwind([Sx[d];Sy[d]], I[d,b]))" *)
+
+type token =
+  | TNum of float
+  | TIdent of string
+  | TPlus
+  | TMinus
+  | TStar
+  | TSlash
+  | TCaret
+  | TLParen
+  | TRParen
+  | TLBracket
+  | TRBracket
+  | TComma
+  | TSemi
+  | TGt
+  | TGe
+  | TLt
+  | TLe
+  | TEqEq
+  | TNe
+  | TEOF
+
+exception Lex_error of string * int  (* message, position *)
+
+let token_string = function
+  | TNum x -> Printf.sprintf "%g" x
+  | TIdent s -> s
+  | TPlus -> "+"
+  | TMinus -> "-"
+  | TStar -> "*"
+  | TSlash -> "/"
+  | TCaret -> "^"
+  | TLParen -> "("
+  | TRParen -> ")"
+  | TLBracket -> "["
+  | TRBracket -> "]"
+  | TComma -> ","
+  | TSemi -> ";"
+  | TGt -> ">"
+  | TGe -> ">="
+  | TLt -> "<"
+  | TLe -> "<="
+  | TEqEq -> "=="
+  | TNe -> "!="
+  | TEOF -> "<eof>"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(* Tokenize the whole string.  Numbers accept [1], [1.5], [1e-3], [1.5e+10]. *)
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let emit t = toks := t :: !toks in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_digit c || (c = '.' && !i + 1 < n && is_digit s.[!i + 1]) then begin
+      let start = !i in
+      while !i < n && is_digit s.[!i] do incr i done;
+      if !i < n && s.[!i] = '.' then begin
+        incr i;
+        while !i < n && is_digit s.[!i] do incr i done
+      end;
+      if !i < n && (s.[!i] = 'e' || s.[!i] = 'E') then begin
+        let save = !i in
+        incr i;
+        if !i < n && (s.[!i] = '+' || s.[!i] = '-') then incr i;
+        if !i < n && is_digit s.[!i] then
+          while !i < n && is_digit s.[!i] do incr i done
+        else i := save (* not an exponent after all *)
+      end;
+      let text = String.sub s start (!i - start) in
+      match float_of_string_opt text with
+      | Some x -> emit (TNum x)
+      | None -> raise (Lex_error (Printf.sprintf "bad number %S" text, start))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char s.[!i] do incr i done;
+      emit (TIdent (String.sub s start (!i - start)))
+    end
+    else begin
+      let two =
+        if !i + 1 < n then Some (String.sub s !i 2) else None
+      in
+      match two with
+      | Some ">=" -> emit TGe; i := !i + 2
+      | Some "<=" -> emit TLe; i := !i + 2
+      | Some "==" -> emit TEqEq; i := !i + 2
+      | Some "!=" -> emit TNe; i := !i + 2
+      | _ ->
+        (match c with
+         | '+' -> emit TPlus
+         | '-' -> emit TMinus
+         | '*' -> emit TStar
+         | '/' -> emit TSlash
+         | '^' -> emit TCaret
+         | '(' -> emit TLParen
+         | ')' -> emit TRParen
+         | '[' -> emit TLBracket
+         | ']' -> emit TRBracket
+         | ',' -> emit TComma
+         | ';' -> emit TSemi
+         | '>' -> emit TGt
+         | '<' -> emit TLt
+         | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, !i)));
+        incr i
+    end
+  done;
+  emit TEOF;
+  List.rev !toks

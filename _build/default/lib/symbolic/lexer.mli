@@ -1,0 +1,32 @@
+(** Tokenizer for the DSL's expression strings. *)
+
+type token =
+  | TNum of float
+  | TIdent of string
+  | TPlus
+  | TMinus
+  | TStar
+  | TSlash
+  | TCaret
+  | TLParen
+  | TRParen
+  | TLBracket
+  | TRBracket
+  | TComma
+  | TSemi
+  | TGt
+  | TGe
+  | TLt
+  | TLe
+  | TEqEq
+  | TNe
+  | TEOF
+
+exception Lex_error of string * int
+(** Message and character position. *)
+
+val token_string : token -> string
+
+val tokenize : string -> token list
+(** Whole-string tokenization ending in {!TEOF}. Numbers accept integer,
+    decimal and exponent forms. *)

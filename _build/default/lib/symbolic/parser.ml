@@ -1,0 +1,206 @@
+(* Recursive-descent parser turning DSL expression strings into Expr.t.
+
+   Grammar (lowest to highest precedence):
+
+     cexpr  := expr (cmpop expr)?
+     expr   := term (('+'|'-') term)*
+     term   := unary (('*'|'/') unary)*
+     unary  := '-' unary | power
+     power  := atom ('^' unary)?
+     atom   := number
+             | ident '[' indices ']'        -- entity reference
+             | ident '(' cexpr, ... ')'     -- function / operator call
+             | ident                        -- scalar symbol
+             | '(' cexpr ')'
+             | '[' cexpr (';' cexpr)* ']'   -- vector literal -> Call "vector"
+     index  := ident | ident '+' int | ident '-' int | int
+
+   Division [a/b] becomes [a * b^-1], matching the internal representation. *)
+
+open Expr
+
+exception Parse_error of string
+
+type state = { mutable toks : Lexer.token list }
+
+let peek st = match st.toks with [] -> Lexer.TEOF | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st t =
+  if peek st = t then advance st
+  else
+    raise
+      (Parse_error
+         (Printf.sprintf "expected %s but found %s" (Lexer.token_string t)
+            (Lexer.token_string (peek st))))
+
+let parse_index st =
+  match peek st with
+  | Lexer.TNum x when Float.is_integer x ->
+    advance st;
+    Iconst (int_of_float x)
+  | Lexer.TIdent name -> (
+    advance st;
+    match peek st with
+    | Lexer.TPlus -> (
+      advance st;
+      match peek st with
+      | Lexer.TNum x when Float.is_integer x ->
+        advance st;
+        Ishift (name, int_of_float x)
+      | t ->
+        raise (Parse_error ("expected integer shift, found " ^ Lexer.token_string t)))
+    | Lexer.TMinus -> (
+      advance st;
+      match peek st with
+      | Lexer.TNum x when Float.is_integer x ->
+        advance st;
+        Ishift (name, -int_of_float x)
+      | t ->
+        raise (Parse_error ("expected integer shift, found " ^ Lexer.token_string t)))
+    | _ -> Ivar name)
+  | t -> raise (Parse_error ("expected index, found " ^ Lexer.token_string t))
+
+let rec parse_cexpr st =
+  let lhs = parse_expr st in
+  let op =
+    match peek st with
+    | Lexer.TGt -> Some Gt
+    | Lexer.TGe -> Some Ge
+    | Lexer.TLt -> Some Lt
+    | Lexer.TLe -> Some Le
+    | Lexer.TEqEq -> Some Eq
+    | Lexer.TNe -> Some Ne
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+    advance st;
+    let rhs = parse_expr st in
+    Cmp (op, lhs, rhs)
+
+and parse_expr st =
+  let first = parse_term st in
+  let rec loop acc =
+    match peek st with
+    | Lexer.TPlus ->
+      advance st;
+      loop (parse_term st :: acc)
+    | Lexer.TMinus ->
+      advance st;
+      loop (neg (parse_term st) :: acc)
+    | _ -> List.rev acc
+  in
+  match loop [ first ] with [ e ] -> e | es -> Add es
+
+and parse_term st =
+  let first = parse_unary st in
+  let rec loop acc =
+    match peek st with
+    | Lexer.TStar ->
+      advance st;
+      loop (parse_unary st :: acc)
+    | Lexer.TSlash ->
+      advance st;
+      loop (Pow (parse_unary st, Num (-1.)) :: acc)
+    | _ -> List.rev acc
+  in
+  match loop [ first ] with [ e ] -> e | es -> Mul es
+
+and parse_unary st =
+  match peek st with
+  | Lexer.TMinus ->
+    advance st;
+    neg (parse_unary st)
+  | _ -> parse_power st
+
+and parse_power st =
+  let base = parse_atom st in
+  match peek st with
+  | Lexer.TCaret ->
+    advance st;
+    Pow (base, parse_unary st)
+  | _ -> base
+
+and parse_atom st =
+  match peek st with
+  | Lexer.TNum x ->
+    advance st;
+    Num x
+  | Lexer.TLParen ->
+    advance st;
+    let e = parse_cexpr st in
+    expect st Lexer.TRParen;
+    e
+  | Lexer.TLBracket ->
+    (* vector literal [a; b; ...] *)
+    advance st;
+    let first = parse_cexpr st in
+    let rec loop acc =
+      match peek st with
+      | Lexer.TSemi ->
+        advance st;
+        loop (parse_cexpr st :: acc)
+      | _ -> List.rev acc
+    in
+    let comps = loop [ first ] in
+    expect st Lexer.TRBracket;
+    Call ("vector", comps)
+  | Lexer.TIdent name -> (
+    advance st;
+    match peek st with
+    | Lexer.TLBracket ->
+      advance st;
+      let first = parse_index st in
+      let rec loop acc =
+        match peek st with
+        | Lexer.TComma ->
+          advance st;
+          loop (parse_index st :: acc)
+        | _ -> List.rev acc
+      in
+      let indices = loop [ first ] in
+      expect st Lexer.TRBracket;
+      Ref (name, indices, Here)
+    | Lexer.TLParen ->
+      advance st;
+      if peek st = Lexer.TRParen then begin
+        advance st;
+        Call (name, [])
+      end
+      else begin
+        let first = parse_cexpr st in
+        let rec loop acc =
+          match peek st with
+          | Lexer.TComma ->
+            advance st;
+            loop (parse_cexpr st :: acc)
+          | _ -> List.rev acc
+        in
+        let args = loop [ first ] in
+        expect st Lexer.TRParen;
+        match name, args with
+        | "conditional", [ c; t; e ] -> Cond (c, t, e)
+        | "conditional", _ ->
+          raise (Parse_error "conditional expects three arguments")
+        | _ -> Call (name, args)
+      end
+    | _ -> Sym name)
+  | t -> raise (Parse_error ("unexpected token " ^ Lexer.token_string t))
+
+let parse s =
+  let st =
+    try { toks = Lexer.tokenize s }
+    with Lexer.Lex_error (msg, pos) ->
+      raise (Parse_error (Printf.sprintf "lexical error at %d: %s" pos msg))
+  in
+  let e = parse_cexpr st in
+  (match peek st with
+   | Lexer.TEOF -> ()
+   | t -> raise (Parse_error ("trailing input at " ^ Lexer.token_string t)));
+  e
+
+let parse_opt s = try Some (parse s) with Parse_error _ -> None

@@ -1,0 +1,12 @@
+(** Parser for the DSL's expression strings. *)
+
+exception Parse_error of string
+
+val parse : string -> Expr.t
+(** Parse an expression such as
+    ["(Io[b] - I[d,b]) / beta[b] + surface(vg[b] * upwind([Sx[d];Sy[d]], I[d,b]))"].
+    Division becomes multiplication by an inverse power; vector literals
+    [\[a;b\]] become [Call ("vector", ...)]. Raises {!Parse_error}. *)
+
+val parse_opt : string -> Expr.t option
+(** Like {!parse} but [None] on error. *)

@@ -1,0 +1,107 @@
+(* Expression printers.
+
+   [to_string] produces ordinary infix notation for humans and tests.
+   [to_finch_string] mimics the expanded symbolic form printed in the paper
+   (Section II): entity references become underscore-decorated names such as
+   [_u_1], face sides appear as CELL1_/CELL2_ prefixes, and conditionals
+   print as [conditional(test, a, b)]. *)
+
+open Expr
+
+let prec = function
+  | Num x when x < 0. -> 1
+  | Add _ -> 1
+  | Mul _ -> 2
+  | Pow _ -> 3
+  | Num _ | Sym _ | Ref _ | Call _ | Cond _ -> 4
+  | Cmp _ -> 0
+
+let fmt_num x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%g" x
+
+let rec go ~finch parent e =
+  let p = prec e in
+  let s =
+    match e with
+    | Num x -> fmt_num x
+    | Sym s -> s
+    | Ref (name, indices, side) ->
+      let idx =
+        match indices with
+        | [] -> ""
+        | l -> "[" ^ String.concat "," (List.map index_ref_string l) ^ "]"
+      in
+      if finch then side_string side ^ "_" ^ name ^ "_1" ^ idx
+      else side_string side ^ name ^ idx
+    | Add es ->
+      let rec render = function
+        | [] -> ""
+        | t :: rest ->
+          let c, _ = Simplify.split_coeff t in
+          let piece =
+            if c < 0. then
+              " - " ^ go ~finch 2 (Simplify.simplify (Mul [ Num (-1.); t ]))
+            else " + " ^ go ~finch 1 t
+          in
+          piece ^ render rest
+      in
+      (match es with
+       | [] -> "0"
+       | first :: rest ->
+         let head =
+           let c, _ = Simplify.split_coeff first in
+           if c < 0. then
+             "-" ^ go ~finch 2 (Simplify.simplify (Mul [ Num (-1.); first ]))
+           else go ~finch 1 first
+         in
+         head ^ render rest)
+    | Mul es ->
+      (* render negative powers as division *)
+      let num_factors, den_factors =
+        List.partition
+          (function Pow (_, Num e) when e < 0. -> false | _ -> true)
+          es
+      in
+      let render_list fs =
+        match fs with
+        | [] -> "1"
+        | fs -> String.concat "*" (List.map (go ~finch 2) fs)
+      in
+      let numerator = render_list num_factors in
+      (match den_factors with
+       | [] -> numerator
+       | dens ->
+         let den_str =
+           String.concat "*"
+             (List.map
+                (function
+                  | Pow (b, Num e) when Float.equal e (-1.) -> go ~finch 3 b
+                  | Pow (b, Num e) -> go ~finch 3 (Pow (b, Num (-.e)))
+                  | f -> go ~finch 3 f)
+                dens)
+         in
+         let den_str =
+           if List.length dens > 1 then "(" ^ den_str ^ ")" else den_str
+         in
+         numerator ^ "/" ^ den_str)
+    | Pow (a, Num e) when e < 0. ->
+      "1/" ^ go ~finch 3 (Pow (a, Num (-.e)))
+    | Pow (a, b) -> go ~finch 4 a ^ "^" ^ go ~finch 4 b
+    | Call ("vector", comps) ->
+      "[" ^ String.concat ";" (List.map (go ~finch 0) comps) ^ "]"
+    | Call (name, args) ->
+      name ^ "(" ^ String.concat ", " (List.map (go ~finch 0) args) ^ ")"
+    | Cmp (op, a, b) ->
+      go ~finch 1 a ^ " " ^ cmp_op_string op ^ " " ^ go ~finch 1 b
+    | Cond (c, t, el) ->
+      "conditional(" ^ go ~finch 0 c ^ ", " ^ go ~finch 0 t ^ ", "
+      ^ go ~finch 0 el ^ ")"
+  in
+  if p < parent then "(" ^ s ^ ")" else s
+
+let to_string e = go ~finch:false 0 e
+let to_finch_string e = go ~finch:true 0 e
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)

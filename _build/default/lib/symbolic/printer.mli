@@ -1,0 +1,11 @@
+(** Expression printers. *)
+
+val to_string : Expr.t -> string
+(** Ordinary infix rendering, with negative powers shown as division. *)
+
+val to_finch_string : Expr.t -> string
+(** The paper's expanded symbolic style: entity references print as
+    [_name_1\[indices\]] with [CELL1_]/[CELL2_] side prefixes, conditionals
+    as [conditional(test, a, b)]. *)
+
+val pp : Format.formatter -> Expr.t -> unit

@@ -1,0 +1,194 @@
+(* Algebraic normalization of symbolic expressions.
+
+   The simplifier brings expressions to a canonical-enough form for the DSL
+   pipeline: flattened n-ary sums/products, folded numeric subterms,
+   like terms collected in sums, like factors collected in products, and
+   argument lists sorted by the canonical order of [Expr.compare_expr].
+
+   It is deliberately conservative: no distribution of products over sums
+   (that can blow up expression size), except [expand] which does it on
+   request for term classification. *)
+
+open Expr
+
+let is_zero = function Num x -> Float.equal x 0. | _ -> false
+let is_one = function Num x -> Float.equal x 1. | _ -> false
+
+(* Split a product into (numeric coefficient, non-numeric factors). *)
+let split_coeff e =
+  match e with
+  | Num x -> x, []
+  | Mul es ->
+    let nums, rest = List.partition (function Num _ -> true | _ -> false) es in
+    let c = List.fold_left (fun a -> function Num x -> a *. x | _ -> a) 1. nums in
+    c, rest
+  | e -> 1., [ e ]
+
+(* Rebuild a term from coefficient and factors. *)
+let join_coeff c factors =
+  if Float.equal c 0. then zero
+  else
+    match factors with
+    | [] -> Num c
+    | [ f ] when Float.equal c 1. -> f
+    | fs when Float.equal c 1. -> Mul fs
+    | fs -> Mul (Num c :: fs)
+
+(* Split a factor into (base, exponent) for power collection. *)
+let split_pow = function
+  | Pow (b, Num e) -> b, e
+  | Pow (b, e) -> Pow (b, e), 1.  (* non-numeric exponent: opaque base *)
+  | e -> e, 1.
+
+let rec flatten_add acc = function
+  | [] -> List.rev acc
+  | Add es :: rest -> flatten_add acc (es @ rest)
+  | e :: rest -> flatten_add (e :: acc) rest
+
+let rec flatten_mul acc = function
+  | [] -> List.rev acc
+  | Mul es :: rest -> flatten_mul acc (es @ rest)
+  | e :: rest -> flatten_mul (e :: acc) rest
+
+(* Collect structurally-equal keys in an association list, summing values. *)
+let collect_assoc keys_equal pairs =
+  List.fold_left
+    (fun acc (k, v) ->
+      let rec upd = function
+        | [] -> [ (k, v) ]
+        | (k', v') :: rest when keys_equal k k' -> (k', v' +. v) :: rest
+        | p :: rest -> p :: upd rest
+      in
+      upd acc)
+    [] pairs
+
+let simplify_add es =
+  let es = flatten_add [] es in
+  let const, terms =
+    List.fold_left
+      (fun (c, ts) e ->
+        match e with
+        | Num x -> c +. x, ts
+        | e ->
+          let coeff, factors = split_coeff e in
+          (* normalize monomial factor order so collection sees equal keys *)
+          let factors = List.sort compare_expr factors in
+          c, (factors, coeff) :: ts)
+      (0., []) es
+  in
+  let keys_equal a b =
+    List.length a = List.length b && List.for_all2 equal a b
+  in
+  let collected = collect_assoc keys_equal (List.rev terms) in
+  let terms =
+    List.filter_map
+      (fun (factors, coeff) ->
+        if Float.equal coeff 0. then None else Some (join_coeff coeff factors))
+      collected
+  in
+  let terms = List.sort compare_expr terms in
+  let terms = if Float.equal const 0. then terms else terms @ [ Num const ] in
+  match terms with [] -> zero | [ t ] -> t | ts -> Add ts
+
+let simplify_mul es =
+  let es = flatten_mul [] es in
+  if List.exists is_zero es then zero
+  else
+    let const, factors =
+      List.fold_left
+        (fun (c, fs) e ->
+          match e with
+          | Num x -> c *. x, fs
+          | e ->
+            let base, ex = split_pow e in
+            c, (base, ex) :: fs)
+        (1., []) es
+    in
+    let collected = collect_assoc equal (List.rev factors) in
+    let factors =
+      List.filter_map
+        (fun (base, ex) ->
+          if Float.equal ex 0. then None
+          else if Float.equal ex 1. then Some base
+          else Some (Pow (base, Num ex)))
+        collected
+    in
+    let factors = List.sort compare_expr factors in
+    join_coeff const factors
+
+let simplify_pow a b =
+  match a, b with
+  | _, Num e when Float.equal e 0. -> one
+  | a, Num e when Float.equal e 1. -> a
+  | Num x, Num e when Float.is_integer e && Float.abs e <= 16. && not (Float.equal x 0. && e < 0.) ->
+    let n = int_of_float e in
+    let rec ipow acc b n = if n = 0 then acc else ipow (acc *. b) b (n - 1) in
+    Num (if n >= 0 then ipow 1. x n else 1. /. ipow 1. x (-n))
+  | Pow (base, Num e1), Num e2 -> Pow (base, Num (e1 *. e2))
+  | a, b -> Pow (a, b)
+
+let simplify_node = function
+  | Add es -> simplify_add es
+  | Mul es -> simplify_mul es
+  | Pow (a, b) -> simplify_pow a b
+  | Cond (Num c, t, e) -> if c <> 0. then t else e
+  | Cond (Cmp (op, Num x, Num y), t, e) ->
+    let holds =
+      match op with
+      | Gt -> x > y | Ge -> x >= y | Lt -> x < y | Le -> x <= y
+      | Eq -> Float.equal x y | Ne -> not (Float.equal x y)
+    in
+    if holds then t else e
+  | e -> e
+
+let simplify e = rewrite simplify_node e
+
+(* Fully distribute products over sums (and small integer powers of sums),
+   then simplify.  Needed before splitting an equation into individual
+   terms for LHS/RHS classification.
+
+   Each subexpression is expanded exactly once; products combine the term
+   lists of their already-expanded factors (a cartesian product), so the
+   cost is proportional to the size of the result rather than exponential
+   in the nesting depth. *)
+let rec expand e =
+  match e with
+  | Num _ | Sym _ | Ref _ -> e
+  | Add es -> simplify_add (List.map expand es)
+  | Mul es ->
+    let factor_terms =
+      List.map
+        (fun f ->
+          match expand f with
+          | Add ts -> ts
+          | t -> [ t ])
+        es
+    in
+    let products =
+      List.fold_left
+        (fun acc ts ->
+          List.concat_map (fun t -> List.map (fun a -> simplify_mul [ a; t ]) acc) ts)
+        [ one ] factor_terms
+    in
+    simplify_add products
+  | Pow (a, Num n) when Float.is_integer n && n >= 2. && n <= 4. ->
+    let a = expand a in
+    (match a with
+     | Add _ ->
+       let n = int_of_float n in
+       expand (Mul (List.init n (fun _ -> a)))
+     | a -> simplify_pow a (Num n))
+  | Pow (a, b) -> simplify_pow (expand a) (expand b)
+  | Cond (c, t, el) -> Cond (expand c, expand t, expand el)
+  | Call (n, args) -> Call (n, List.map expand args)
+  | Cmp (op, a, b) -> Cmp (op, expand a, expand b)
+
+(* Split an expanded expression into its top-level additive terms. *)
+let terms e =
+  match expand e with
+  | Add es -> es
+  | Num x when Float.equal x 0. -> []
+  | e -> [ e ]
+
+(* Separate a term list by a predicate on each whole term. *)
+let partition_terms p e = List.partition p (terms e)

@@ -1,0 +1,29 @@
+(** Algebraic normalization of {!Expr.t} values.
+
+    [simplify] is conservative (no distribution); [expand] additionally
+    distributes products over sums, which the DSL uses before splitting an
+    equation into classified terms. Both preserve numeric semantics — a
+    property checked by the qcheck suites. *)
+
+val is_zero : Expr.t -> bool
+val is_one : Expr.t -> bool
+
+val split_coeff : Expr.t -> float * Expr.t list
+(** Split a term into its numeric coefficient and remaining factors. *)
+
+val join_coeff : float -> Expr.t list -> Expr.t
+(** Inverse of {!split_coeff} (up to normalization). *)
+
+val simplify : Expr.t -> Expr.t
+(** Flatten sums/products, fold numerics, collect like terms and factors,
+    sort arguments canonically. Idempotent. *)
+
+val expand : Expr.t -> Expr.t
+(** Distribute products over sums (and small integer powers of sums), then
+    simplify. *)
+
+val terms : Expr.t -> Expr.t list
+(** Top-level additive terms of the expanded expression; [[]] for zero. *)
+
+val partition_terms : (Expr.t -> bool) -> Expr.t -> Expr.t list * Expr.t list
+(** Partition the expanded terms by a predicate. *)

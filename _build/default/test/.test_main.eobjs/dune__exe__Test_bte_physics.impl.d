@@ -1,0 +1,1 @@
+test/test_bte_physics.ml: Alcotest Array Bte Float Fvm List Printf Tutil

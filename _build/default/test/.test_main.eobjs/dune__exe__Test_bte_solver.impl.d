@@ -1,0 +1,1 @@
+test/test_bte_solver.ml: Alcotest Array Bte Filename Finch Float Fvm Gpu_sim List Option Printf Sys Tutil

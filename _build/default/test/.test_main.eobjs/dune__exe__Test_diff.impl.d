@@ -1,0 +1,1 @@
+test/test_diff.ml: Alcotest Diff Expr Finch_symbolic Float List Parser Printer QCheck QCheck_alcotest Simplify String Tutil

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Expr Finch Finch_symbolic Float Fvm List Parser QCheck QCheck_alcotest Test_expr Tutil

@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Expr Finch_symbolic Float Hashtbl List Parser Printer QCheck QCheck_alcotest Simplify String

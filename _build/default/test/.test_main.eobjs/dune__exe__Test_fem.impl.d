@@ -1,0 +1,1 @@
+test/test_fem.ml: Alcotest Array Fem Float Fvm La Printf Tutil

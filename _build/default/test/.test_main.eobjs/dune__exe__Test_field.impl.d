@@ -1,0 +1,1 @@
+test/test_field.ml: Alcotest Bigarray Fvm List Tutil

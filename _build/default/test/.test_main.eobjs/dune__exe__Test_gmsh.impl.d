@@ -1,0 +1,1 @@
+test/test_gmsh.ml: Alcotest Array Filename Fvm List Printf String Sys Tutil

@@ -1,0 +1,1 @@
+test/test_gpu.ml: Alcotest Bigarray Float Gpu_sim QCheck QCheck_alcotest String Tutil

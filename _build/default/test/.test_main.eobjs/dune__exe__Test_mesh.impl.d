@@ -1,0 +1,1 @@
+test/test_mesh.ml: Alcotest Array Fvm QCheck QCheck_alcotest String Tutil

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Expr Finch Finch_symbolic Float Hashtbl List Parser Printer QCheck QCheck_alcotest String Test_expr Tutil

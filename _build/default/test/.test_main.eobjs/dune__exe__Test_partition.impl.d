@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Fvm List Printf QCheck QCheck_alcotest Tutil

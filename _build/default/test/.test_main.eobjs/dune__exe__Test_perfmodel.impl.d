@@ -1,0 +1,1 @@
+test/test_perfmodel.ml: Alcotest Bte Float Gpu_sim List Printf Prt

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Bte Expr Finch Finch_symbolic Fvm List Parser Simplify Tutil

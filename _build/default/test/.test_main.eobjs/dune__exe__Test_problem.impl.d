@@ -1,0 +1,1 @@
+test/test_problem.ml: Alcotest Array Finch Fvm Gpu_sim List

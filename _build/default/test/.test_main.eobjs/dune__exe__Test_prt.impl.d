@@ -1,0 +1,1 @@
+test/test_prt.ml: Alcotest Array List Prt Tutil

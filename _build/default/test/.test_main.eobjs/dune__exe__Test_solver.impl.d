@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Array Finch Finch_symbolic Float Fvm Gpu_sim List Printf QCheck QCheck_alcotest Tutil

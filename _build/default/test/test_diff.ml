@@ -1,0 +1,108 @@
+(* Symbolic differentiation tests: hand-checked derivatives plus a
+   numeric-vs-symbolic property check on random expressions. *)
+
+open Finch_symbolic
+
+let env_sym x0 = function "x" -> x0 | "a" -> 1.7 | s -> float_of_int (String.length s)
+let env_ref _ _ _ = 0.4
+
+let eval_at x0 e = Expr.eval ~env_sym:(env_sym x0) ~env_ref e
+
+let d s = Diff.d "x" (Parser.parse s)
+
+let check_deriv_at name expr x0 =
+  let e = Parser.parse expr in
+  let de = Diff.d "x" e in
+  let h = 1e-6 *. (1. +. Float.abs x0) in
+  let numeric = (eval_at (x0 +. h) e -. eval_at (x0 -. h) e) /. (2. *. h) in
+  let symbolic = eval_at x0 de in
+  if not (Tutil.feq ~eps:1e-4 numeric symbolic) then
+    Alcotest.failf "%s at %g: numeric %.10g vs symbolic %.10g" name x0 numeric
+      symbolic
+
+let test_polynomials () =
+  List.iter
+    (fun x0 ->
+      check_deriv_at "x^3" "x^3" x0;
+      check_deriv_at "poly" "2*x^4 - 3*x^2 + x - 7" x0;
+      check_deriv_at "product" "x * (x + 1) * (x - 2)" x0)
+    [ -2.; -0.3; 0.5; 1.9 ]
+
+let test_quotients () =
+  List.iter
+    (fun x0 ->
+      check_deriv_at "1/x" "1/x" x0;
+      check_deriv_at "rational" "(x^2 + 1) / (x + 3)" x0)
+    [ 0.5; 1.5; 4. ]
+
+let test_transcendental () =
+  List.iter
+    (fun x0 ->
+      check_deriv_at "sin" "sin(x)" x0;
+      check_deriv_at "chain" "exp(-2*x^2)" x0;
+      check_deriv_at "nested" "cos(sin(x))" x0;
+      check_deriv_at "log" "log(x^2 + 1)" x0;
+      check_deriv_at "sqrt" "sqrt(x^2 + 4)" x0;
+      check_deriv_at "tanh" "tanh(x)" x0;
+      check_deriv_at "sinh-cosh" "sinh(x) * cosh(x)" x0)
+    [ -1.2; 0.1; 2.3 ]
+
+let test_constants_and_refs () =
+  let zero = Diff.d "x" (Parser.parse "a + I[d,b] * 3") in
+  Alcotest.(check bool)
+    "constants differentiate to zero" true
+    (Expr.equal (Simplify.simplify zero) Expr.zero)
+
+let test_conditional () =
+  (* piecewise: derivative applies per branch *)
+  let de = d "conditional(x > 0, x^2, -x)" in
+  Alcotest.(check (float 1e-9)) "right branch" 2. (eval_at 1. de);
+  Alcotest.(check (float 1e-9)) "left branch" (-1.) (eval_at (-1.) de)
+
+let test_unknown_function_formal () =
+  let de = d "g(x)" in
+  Alcotest.(check bool) "formal derivative g'" true
+    (Expr.contains_call "g'" de)
+
+let test_linearity () =
+  (* d/dx (f + g) = df + dg, checked numerically on a combination *)
+  check_deriv_at "linearity" "3*sin(x) - 5*x^2 + exp(x)/2" 0.7
+
+(* random polynomials in x: symbolic derivative equals numeric derivative *)
+let poly_gen =
+  QCheck.Gen.(
+    let term =
+      map2
+        (fun c k ->
+          Expr.mul [ Expr.num (float_of_int c); Expr.pow (Expr.sym "x") (Expr.num (float_of_int k)) ])
+        (int_range (-5) 5) (int_range 0 4)
+    in
+    map Expr.add (list_size (int_range 1 5) term))
+
+let prop_poly_derivative =
+  QCheck.Test.make ~name:"random polynomial derivative matches numeric"
+    ~count:200
+    (QCheck.make ~print:Printer.to_string poly_gen)
+    (fun e ->
+      let de = Diff.d "x" e in
+      List.for_all
+        (fun x0 ->
+          let h = 1e-5 in
+          let numeric = (eval_at (x0 +. h) e -. eval_at (x0 -. h) e) /. (2. *. h) in
+          let symbolic = eval_at x0 de in
+          Tutil.feq ~eps:1e-3 numeric symbolic)
+        [ -1.1; 0.4; 2.2 ])
+
+let suite =
+  ( "diff",
+    [
+      Alcotest.test_case "polynomials" `Quick test_polynomials;
+      Alcotest.test_case "quotients" `Quick test_quotients;
+      Alcotest.test_case "transcendental + chain rule" `Quick test_transcendental;
+      Alcotest.test_case "constants and refs" `Quick test_constants_and_refs;
+      Alcotest.test_case "conditional branches" `Quick test_conditional;
+      Alcotest.test_case "unknown function formal derivative" `Quick
+        test_unknown_function_formal;
+      Alcotest.test_case "linearity" `Quick test_linearity;
+      QCheck_alcotest.to_alcotest prop_poly_derivative;
+    ] )

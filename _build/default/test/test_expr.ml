@@ -1,0 +1,199 @@
+(* Unit and property tests for the symbolic expression core. *)
+
+open Finch_symbolic
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let feq ?(eps = 1e-12) a b =
+  Float.abs (a -. b) <= eps *. (1. +. Float.max (Float.abs a) (Float.abs b))
+
+let check_float name a b =
+  if not (feq a b) then
+    Alcotest.failf "%s: expected %.17g, got %.17g" name a b
+
+(* fixed environments for numeric evaluation *)
+let env_sym = function
+  | "dt" -> 0.25
+  | "k" -> 2.0
+  | "a" -> 3.0
+  | "b" -> -1.5
+  | "NORMAL_1" -> 0.6
+  | "NORMAL_2" -> -0.8
+  | "SURFACE" -> 1.0
+  | "TIMEDERIVATIVE" -> 1.0
+  | s -> float_of_int (String.length s)
+
+let env_ref name idx side =
+  let base = float_of_int (Hashtbl.hash (name, idx) mod 97) /. 13. in
+  match side with
+  | Expr.Here -> base
+  | Expr.Cell1 -> base +. 0.5
+  | Expr.Cell2 -> base -. 0.5
+
+let ev e = Expr.eval ~env_sym ~env_ref e
+
+(* ---------- unit tests ---------- *)
+
+let test_constructors () =
+  check_bool "add [] = 0" true (Expr.equal (Expr.add []) Expr.zero);
+  check_bool "mul [] = 1" true (Expr.equal (Expr.mul []) Expr.one);
+  check_bool "add singleton" true
+    (Expr.equal (Expr.add [ Expr.sym "x" ]) (Expr.sym "x"));
+  check_bool "mul singleton" true
+    (Expr.equal (Expr.mul [ Expr.sym "x" ]) (Expr.sym "x"))
+
+let test_equal_structural () =
+  let a = Expr.ref_ "I" [ Expr.Ivar "d"; Expr.Ivar "b" ] in
+  let b = Expr.ref_ "I" [ Expr.Ivar "d"; Expr.Ivar "b" ] in
+  let c = Expr.ref_ ~side:Expr.Cell2 "I" [ Expr.Ivar "d"; Expr.Ivar "b" ] in
+  check_bool "same refs equal" true (Expr.equal a b);
+  check_bool "different side unequal" false (Expr.equal a c);
+  check_bool "index shift matters" false
+    (Expr.equal a (Expr.ref_ "I" [ Expr.Ishift ("d", 1); Expr.Ivar "b" ]))
+
+let test_compare_total_order () =
+  let es =
+    [ Expr.num 1.; Expr.sym "x"; Expr.ref_ "u" []; Expr.add [ Expr.sym "x"; Expr.num 2. ];
+      Expr.mul [ Expr.sym "y"; Expr.num 3. ]; Expr.pow (Expr.sym "x") (Expr.num 2.) ]
+  in
+  List.iter
+    (fun a ->
+      check_int "compare self = 0" 0 (Expr.compare_expr a a);
+      List.iter
+        (fun b ->
+          let ab = Expr.compare_expr a b and ba = Expr.compare_expr b a in
+          check_int "antisymmetric" 0 (compare (ab > 0) (ba < 0)))
+        es)
+    es
+
+let test_subst_sym () =
+  let e = Parser.parse "k*u + k^2" in
+  let e' = Expr.subst_sym "k" (Expr.num 3.) e in
+  check_bool "no k left" false (Expr.contains_sym "k" e');
+  check_float "value after subst" ((3. *. env_sym "u") +. 9.) (ev e')
+
+let test_subst_ref () =
+  let e = Parser.parse "I[d,b] + 2*I[d,b]" in
+  let e' = Expr.subst_ref "I" (fun _ _ -> Expr.num 5.) e in
+  check_float "ref substituted" 15. (ev (Simplify.simplify e'))
+
+let test_retag_side () =
+  let e = Parser.parse "I[d,b] * vg[b]" in
+  let e' = Expr.retag_side Expr.Cell2 e in
+  match e' with
+  | Expr.Mul l ->
+    let has_cell2 =
+      List.exists (function Expr.Ref (_, _, Expr.Cell2) -> true | _ -> false) l
+    in
+    check_bool "Here refs retagged" true has_cell2
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_refs_and_names () =
+  let e = Parser.parse "I[d,b] + Io[b] * beta[b] + I[d,b]" in
+  check_int "distinct refs" 3 (List.length (Expr.refs e));
+  Alcotest.(check (list string))
+    "ref names in order" [ "I"; "Io"; "beta" ] (Expr.ref_names e);
+  Alcotest.(check (list string)) "index names" [ "d"; "b" ] (Expr.index_names e)
+
+let test_fold_size () =
+  let e = Parser.parse "a + b * (a + 1)" in
+  check_bool "size positive" true (Expr.size e > 4)
+
+let test_eval_functions () =
+  check_float "sin" (sin 3.) (ev (Parser.parse "sin(a)"));
+  check_float "exp" (exp (-1.5)) (ev (Parser.parse "exp(b)"));
+  check_float "min" (-1.5) (ev (Parser.parse "min(a, b)"));
+  check_float "max" 3. (ev (Parser.parse "max(a, b)"));
+  check_float "sqrt" (sqrt 3.) (ev (Parser.parse "sqrt(a)"))
+
+let test_eval_conditional () =
+  check_float "true branch" 1. (ev (Parser.parse "conditional(a > 0, 1, 2)"));
+  check_float "false branch" 2. (ev (Parser.parse "conditional(a < 0, 1, 2)"));
+  check_float "le" 7. (ev (Parser.parse "conditional(b <= -1.5, 7, 8)"))
+
+let test_eval_pow_negative_base () =
+  (* integer powers of negative bases must be exact *)
+  check_float "(-1.5)^2" 2.25 (ev (Parser.parse "b^2"));
+  check_float "(-1.5)^3" (-3.375) (ev (Parser.parse "b^3"))
+
+let test_eval_unknown_call () =
+  Alcotest.check_raises "unknown function"
+    (Invalid_argument "Expr.eval: unknown function frobnicate/1")
+    (fun () -> ignore (ev (Parser.parse "frobnicate(a)")))
+
+(* ---------- qcheck generators ---------- *)
+
+let leaf_gen =
+  QCheck.Gen.(
+    frequency
+      [ 3, map (fun x -> Expr.num (float_of_int x)) (int_range (-9) 9);
+        2, map Expr.sym (oneofl [ "a"; "b"; "k"; "dt" ]);
+        2,
+        map
+          (fun (n, i) -> Expr.ref_ n [ Expr.Ivar i ])
+          (pair (oneofl [ "I"; "Io"; "beta" ]) (oneofl [ "d"; "b" ])) ])
+
+(* widths and depth are kept small enough that full expansion stays
+   tractable (expansion is inherently exponential in nesting) *)
+let rec expr_gen n =
+  let open QCheck.Gen in
+  if n <= 0 then leaf_gen
+  else
+    frequency
+      [ 2, leaf_gen;
+        3, map Expr.add (list_size (int_range 2 3) (expr_gen (n - 1)));
+        3, map Expr.mul (list_size (int_range 2 2) (expr_gen (n - 1)));
+        1, map (fun e -> Expr.pow e (Expr.num 2.)) (expr_gen (n - 1));
+        1,
+        map3
+          (fun c a b -> Expr.cond (Expr.cmp Expr.Gt c Expr.zero) a b)
+          (expr_gen (n - 1)) (expr_gen (n - 1)) (expr_gen (n - 1)) ]
+
+let arb_expr =
+  QCheck.make ~print:Printer.to_string (expr_gen 3)
+
+let prop_simplify_sound =
+  QCheck.Test.make ~name:"simplify preserves value" ~count:300 arb_expr (fun e ->
+      let v = ev e and v' = ev (Simplify.simplify e) in
+      feq ~eps:1e-9 v v'
+      || (Float.is_nan v && Float.is_nan v')
+      || (Float.is_integer v && Float.abs v > 1e14) (* overflowy cases *))
+
+let prop_simplify_idempotent =
+  QCheck.Test.make ~name:"simplify idempotent" ~count:300 arb_expr (fun e ->
+      let s = Simplify.simplify e in
+      Expr.equal s (Simplify.simplify s))
+
+let prop_expand_sound =
+  QCheck.Test.make ~name:"expand preserves value" ~count:300 arb_expr (fun e ->
+      let v = ev e and v' = ev (Simplify.expand e) in
+      feq ~eps:1e-7 v v' || (Float.is_nan v && Float.is_nan v'))
+
+let prop_terms_sum =
+  QCheck.Test.make ~name:"terms sum back to the expression" ~count:200 arb_expr
+    (fun e ->
+      let v = ev e and v' = ev (Expr.add (Simplify.terms e)) in
+      feq ~eps:1e-7 v v' || (Float.is_nan v && Float.is_nan v'))
+
+let suite =
+  ( "expr",
+    [
+      Alcotest.test_case "constructors" `Quick test_constructors;
+      Alcotest.test_case "structural equality" `Quick test_equal_structural;
+      Alcotest.test_case "compare is a total order" `Quick test_compare_total_order;
+      Alcotest.test_case "subst_sym" `Quick test_subst_sym;
+      Alcotest.test_case "subst_ref" `Quick test_subst_ref;
+      Alcotest.test_case "retag_side" `Quick test_retag_side;
+      Alcotest.test_case "refs and names" `Quick test_refs_and_names;
+      Alcotest.test_case "fold/size" `Quick test_fold_size;
+      Alcotest.test_case "eval functions" `Quick test_eval_functions;
+      Alcotest.test_case "eval conditional" `Quick test_eval_conditional;
+      Alcotest.test_case "pow of negative base" `Quick test_eval_pow_negative_base;
+      Alcotest.test_case "unknown call raises" `Quick test_eval_unknown_call;
+      QCheck_alcotest.to_alcotest prop_simplify_sound;
+      QCheck_alcotest.to_alcotest prop_simplify_idempotent;
+      QCheck_alcotest.to_alcotest prop_expand_sound;
+      QCheck_alcotest.to_alcotest prop_terms_sum;
+    ] )

@@ -1,0 +1,214 @@
+(* Sparse linear algebra and the finite-element path: CSR, CG, P1
+   elements, assembly invariants, weak-form classification, and
+   manufactured-solution convergence. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------- CSR ---------- *)
+
+let test_csr_triplets () =
+  let m =
+    La.Csr.of_triplets ~nrows:3 ~ncols:3
+      [ 0, 0, 1.; 0, 0, 2.; 1, 2, 5.; 2, 1, -1.; 2, 2, 4.; 1, 2, 0. ]
+  in
+  check_int "nnz after merge" 4 (La.Csr.nnz m);
+  Tutil.check_close "duplicates summed" 3. (La.Csr.get m 0 0);
+  Tutil.check_close "entry" 5. (La.Csr.get m 1 2);
+  Tutil.check_close "missing entry is zero" 0. (La.Csr.get m 1 0);
+  Alcotest.(check (array (float 0.))) "diagonal" [| 3.; 0.; 4. |] (La.Csr.diagonal m)
+
+let test_csr_spmv () =
+  let m = La.Csr.of_triplets ~nrows:2 ~ncols:3 [ 0, 0, 1.; 0, 2, 2.; 1, 1, 3. ] in
+  let y = La.Csr.mul m [| 1.; 2.; 3. |] in
+  Alcotest.(check (array (float 1e-12))) "Ax" [| 7.; 6. |] y
+
+let test_csr_validation () =
+  match La.Csr.of_triplets ~nrows:2 ~ncols:2 [ 2, 0, 1. ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range triplet must be rejected"
+
+let test_csr_symmetry () =
+  let sym = La.Csr.of_triplets ~nrows:2 ~ncols:2 [ 0, 1, 2.; 1, 0, 2.; 0, 0, 1.; 1, 1, 1. ] in
+  check_bool "symmetric" true (La.Csr.is_symmetric sym);
+  let asym = La.Csr.of_triplets ~nrows:2 ~ncols:2 [ 0, 1, 2.; 1, 0, 1. ] in
+  check_bool "asymmetric" false (La.Csr.is_symmetric asym)
+
+(* ---------- solvers ---------- *)
+
+let laplace_1d n =
+  (* tridiagonal SPD [2 -1] of size n *)
+  let triplets = ref [] in
+  for i = 0 to n - 1 do
+    triplets := (i, i, 2.) :: !triplets;
+    if i > 0 then triplets := (i, i - 1, -1.) :: !triplets;
+    if i < n - 1 then triplets := (i, i + 1, -1.) :: !triplets
+  done;
+  La.Csr.of_triplets ~nrows:n ~ncols:n !triplets
+
+let test_cg_solves () =
+  let n = 50 in
+  let a = laplace_1d n in
+  let x_true = Array.init n (fun i -> sin (float_of_int i /. 7.)) in
+  let b = La.Csr.mul a x_true in
+  let x = Array.make n 0. in
+  let stats = La.Solvers.cg a ~b ~x in
+  check_bool "converged" true stats.La.Solvers.converged;
+  check_bool "few iterations" true (stats.La.Solvers.iterations <= n);
+  Array.iteri
+    (fun i v -> Tutil.check_close ~eps:1e-7 "solution" x_true.(i) v)
+    x
+
+let test_cg_vs_jacobi () =
+  let n = 30 in
+  let a = laplace_1d n in
+  let b = Array.make n 1. in
+  let x1 = Array.make n 0. and x2 = Array.make n 0. in
+  let s1 = La.Solvers.cg a ~b ~x:x1 in
+  let s2 = La.Solvers.jacobi ~max_iter:20000 ~tol:1e-8 a ~b ~x:x2 in
+  check_bool "both converge" true
+    (s1.La.Solvers.converged && s2.La.Solvers.converged);
+  check_bool "cg much faster" true
+    (s1.La.Solvers.iterations * 5 < s2.La.Solvers.iterations);
+  Array.iteri (fun i v -> Tutil.check_close ~eps:1e-5 "agree" x1.(i) v) x2
+
+(* ---------- P1 elements and assembly ---------- *)
+
+let unit_square n = Fvm.Mesh_gen.triangulated_rectangle ~nx:n ~ny:n ~lx:1. ~ly:1. ()
+
+let test_p1_local_matrices () =
+  let coords = [| 0.; 0.; 1.; 0.; 0.; 1. |] in
+  let e = Fem.P1.element_of coords [| 0; 1; 2 |] in
+  Tutil.check_close "area" 0.5 e.Fem.P1.area;
+  let k = Fem.P1.local_stiffness e in
+  (* stiffness rows sum to zero (constants are in the kernel) *)
+  for i = 0 to 2 do
+    Tutil.check_close "row sum" 0. (k.(i).(0) +. k.(i).(1) +. k.(i).(2))
+  done;
+  (* reference-triangle stiffness: K = 1/2 [2 -1 -1; -1 1 0; -1 0 1] *)
+  Tutil.check_close "K00" 1. k.(0).(0);
+  Tutil.check_close "K01" (-0.5) k.(0).(1);
+  Tutil.check_close "K12" 0. k.(1).(2);
+  let m = Fem.P1.local_mass e in
+  (* total mass = element area *)
+  let total = ref 0. in
+  Array.iter (Array.iter (fun v -> total := !total +. v)) m;
+  Tutil.check_close "mass total" 0.5 !total
+
+let test_assembly_invariants () =
+  let sp = Fem.Assembly.space_of_mesh (unit_square 6) in
+  let k = Fem.Assembly.assemble_operator sp ~stiffness:1. ~mass:0. in
+  let m = Fem.Assembly.assemble_operator sp ~stiffness:0. ~mass:1. in
+  check_bool "K symmetric" true (La.Csr.is_symmetric k);
+  check_bool "M symmetric" true (La.Csr.is_symmetric m);
+  let ones = Array.make sp.Fem.Assembly.nnodes 1. in
+  (* K 1 = 0 *)
+  Array.iter
+    (fun v -> Tutil.check_close ~eps:1e-10 "K annihilates constants" 0. v)
+    (La.Csr.mul k ones);
+  (* 1^T M 1 = domain area *)
+  let m1 = La.Csr.mul m ones in
+  let total = Array.fold_left ( +. ) 0. m1 in
+  Tutil.check_close "mass = area" 1.0 total;
+  (* load of f=1 integrates to the area as well *)
+  let b = Fem.Assembly.assemble_load sp (fun _ -> 1.) in
+  Tutil.check_close "load of unity" 1.0 (Array.fold_left ( +. ) 0. b)
+
+let test_space_requires_triangles () =
+  match Fem.Assembly.space_of_mesh (Fvm.Mesh_gen.rectangle ~nx:2 ~ny:2 ~lx:1. ~ly:1. ()) with
+  | exception Fem.Assembly.Fem_error _ -> ()
+  | _ -> Alcotest.fail "quad mesh must be rejected"
+
+(* ---------- weak-form classification ---------- *)
+
+let test_weak_classification () =
+  let form =
+    Fem.Weak.parse_form
+      ~coef_value:(function "alpha" -> 2.5 | "c" -> 3. | s -> Alcotest.failf "coef %s" s)
+      "alpha*gradgrad(u,v) + c*u*v - 7*v"
+  in
+  Tutil.check_close "stiffness coefficient" 2.5 form.Fem.Weak.stiffness;
+  Tutil.check_close "mass coefficient" 3. form.Fem.Weak.mass;
+  check_int "bilinear terms" 2 form.Fem.Weak.bilinear_terms;
+  check_int "linear terms" 1 form.Fem.Weak.linear_terms;
+  Tutil.check_close "load density" (-7.) (form.Fem.Weak.load [| 0.3; 0.4 |]);
+  check_bool "report mentions groups" true
+    (Tutil.contains (Fem.Weak.report form) "bilinear")
+
+let test_weak_spatial_load () =
+  let form = Fem.Weak.parse_form "gradgrad(u,v) - sin(pi*x)*sin(pi*y)*v" in
+  Tutil.check_close "load at centre" (-1.) (form.Fem.Weak.load [| 0.5; 0.5 |]);
+  Tutil.check_close ~eps:1e-12 "load at corner" 0. (form.Fem.Weak.load [| 0.; 0.7 |])
+
+let test_weak_rejects_nonsense () =
+  (match Fem.Weak.parse_form "u * u * v" with
+   | exception Fem.Weak.Weak_error _ -> ()
+   | _ -> Alcotest.fail "nonlinear trial term must be rejected");
+  match Fem.Weak.parse_form "u" with
+  | exception Fem.Weak.Weak_error _ -> ()
+  | _ -> Alcotest.fail "trial-only term must be rejected"
+
+(* ---------- manufactured solutions ---------- *)
+
+let exact pos = sin (Float.pi *. pos.(0)) *. sin (Float.pi *. pos.(1))
+
+let poisson_error n =
+  let sp = Fem.Assembly.space_of_mesh (unit_square n) in
+  let form =
+    Fem.Weak.parse_form "gradgrad(u,v) - 2*pi^2*sin(pi*x)*sin(pi*y)*v"
+  in
+  let u, _ =
+    Fem.Weak.solve_steady sp form ~dirichlet_regions:[ 1; 2; 3; 4 ]
+      ~dirichlet_value:(fun _ -> 0.)
+  in
+  Fem.Assembly.l2_error sp u exact
+
+let test_poisson_convergence () =
+  let e1 = poisson_error 8 in
+  let e2 = poisson_error 16 in
+  let order = log (e1 /. e2) /. log 2. in
+  check_bool
+    (Printf.sprintf "P1 L2 order ~2 (got %.2f, errors %.2e -> %.2e)" order e1 e2)
+    true
+    (order > 1.6 && order < 2.4);
+  check_bool "small error at n=16" true (e2 < 0.02)
+
+let test_heat_decay () =
+  (* u_t = alpha Laplace u with u0 = fundamental mode: amplitude decays as
+     exp(-2 pi^2 alpha t) *)
+  let sp = Fem.Assembly.space_of_mesh (unit_square 10) in
+  let alpha = 0.5 in
+  let dt = 1e-3 and nsteps = 100 in
+  let u =
+    Fem.Weak.solve_heat sp ~alpha ~source:(fun _ -> 0.)
+      ~dirichlet_regions:[ 1; 2; 3; 4 ] ~dirichlet_value:(fun _ -> 0.) ~dt
+      ~nsteps ~initial:exact
+  in
+  let amp = Fem.Assembly.interpolate sp u [| 0.5; 0.5 |] in
+  let lambda = 2. *. Float.pi *. Float.pi *. alpha in
+  let expected = exp (-.lambda *. (dt *. float_of_int nsteps)) in
+  (* backward Euler + P1 on a coarse mesh: ~10% accuracy is expected *)
+  check_bool
+    (Printf.sprintf "decay amplitude %.4f vs analytic %.4f" amp expected)
+    true
+    (Float.abs (amp -. expected) < 0.15 *. expected +. 0.02);
+  check_bool "decayed but positive" true (amp > 0. && amp < 1.)
+
+let suite =
+  ( "fem",
+    [
+      Alcotest.test_case "csr triplets" `Quick test_csr_triplets;
+      Alcotest.test_case "csr spmv" `Quick test_csr_spmv;
+      Alcotest.test_case "csr validation" `Quick test_csr_validation;
+      Alcotest.test_case "csr symmetry" `Quick test_csr_symmetry;
+      Alcotest.test_case "cg solves" `Quick test_cg_solves;
+      Alcotest.test_case "cg vs jacobi" `Quick test_cg_vs_jacobi;
+      Alcotest.test_case "p1 local matrices" `Quick test_p1_local_matrices;
+      Alcotest.test_case "assembly invariants" `Quick test_assembly_invariants;
+      Alcotest.test_case "space requires triangles" `Quick test_space_requires_triangles;
+      Alcotest.test_case "weak classification" `Quick test_weak_classification;
+      Alcotest.test_case "weak spatial load" `Quick test_weak_spatial_load;
+      Alcotest.test_case "weak rejects nonsense" `Quick test_weak_rejects_nonsense;
+      Alcotest.test_case "poisson convergence O(h^2)" `Quick test_poisson_convergence;
+      Alcotest.test_case "heat decay vs analytic" `Quick test_heat_decay;
+    ] )

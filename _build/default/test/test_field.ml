@@ -1,0 +1,90 @@
+(* Field storage tests: layouts, accessors, reductions. *)
+
+let check_int = Alcotest.(check int)
+
+let test_create_and_fill () =
+  let f = Fvm.Field.create ~name:"u" ~ncells:10 ~ncomp:3 () in
+  check_int "size" 30 (Fvm.Field.size f);
+  Tutil.check_close "zero initialised" 0. (Fvm.Field.max_abs f);
+  Fvm.Field.fill f 2.5;
+  Tutil.check_close "filled" 2.5 (Fvm.Field.get f 9 2)
+
+let test_get_set_layouts () =
+  List.iter
+    (fun layout ->
+      let f = Fvm.Field.create ~layout ~name:"u" ~ncells:5 ~ncomp:4 () in
+      Fvm.Field.init f (fun c k -> float_of_int ((c * 10) + k));
+      for c = 0 to 4 do
+        for k = 0 to 3 do
+          Tutil.check_close "roundtrip" (float_of_int ((c * 10) + k)) (Fvm.Field.get f c k)
+        done
+      done)
+    [ Fvm.Field.Cell_major; Fvm.Field.Comp_major ]
+
+let test_layout_memory_order () =
+  (* Cell_major: components of a cell adjacent; Comp_major: cells adjacent *)
+  let f = Fvm.Field.create ~layout:Fvm.Field.Cell_major ~name:"u" ~ncells:3 ~ncomp:2 () in
+  Fvm.Field.set f 1 0 7.;
+  Tutil.check_close "cell-major offset" 7. (Bigarray.Array1.get (Fvm.Field.raw f) 2);
+  let g = Fvm.Field.create ~layout:Fvm.Field.Comp_major ~name:"u" ~ncells:3 ~ncomp:2 () in
+  Fvm.Field.set g 1 0 7.;
+  Tutil.check_close "comp-major offset" 7. (Bigarray.Array1.get (Fvm.Field.raw g) 1)
+
+let test_bounds_checked_accessor () =
+  let f = Fvm.Field.create ~name:"u" ~ncells:2 ~ncomp:2 () in
+  match Fvm.Field.get_checked f 2 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected bounds error"
+
+let test_blit_copy_diff () =
+  let a = Fvm.Field.create ~name:"a" ~ncells:4 ~ncomp:2 () in
+  Fvm.Field.init a (fun c k -> float_of_int (c + k));
+  let b = Fvm.Field.copy a in
+  Tutil.check_close "copy equal" 0. (Fvm.Field.max_abs_diff a b);
+  Fvm.Field.set b 3 1 100.;
+  Tutil.check_close "diff detected" 96. (Fvm.Field.max_abs_diff a b);
+  Fvm.Field.blit ~src:a ~dst:b;
+  Tutil.check_close "blit equal" 0. (Fvm.Field.max_abs_diff a b)
+
+let test_sums_and_integral () =
+  let m = Fvm.Mesh_gen.rectangle ~nx:4 ~ny:4 ~lx:2.0 ~ly:2.0 () in
+  let f = Fvm.Field.create ~name:"u" ~ncells:16 ~ncomp:2 () in
+  Fvm.Field.init f (fun _ k -> if k = 0 then 3. else 1.);
+  Tutil.check_close "sum comp 0" 48. (Fvm.Field.sum_comp f 0);
+  (* integral over a 2x2 domain of the constant 3 *)
+  Tutil.check_close "integral" 12. (Fvm.Field.integral f m 0);
+  Tutil.check_close "integral comp 1" 4. (Fvm.Field.integral f m 1)
+
+let test_of_bigarray_view () =
+  let data = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout 6 in
+  Bigarray.Array1.fill data 1.5;
+  let f = Fvm.Field.of_bigarray ~name:"view" ~ncells:3 ~ncomp:2 data in
+  Tutil.check_close "view reads backing" 1.5 (Fvm.Field.get f 2 1);
+  Fvm.Field.set f 0 0 9.;
+  Tutil.check_close "view writes backing" 9. (Bigarray.Array1.get data 0);
+  match Fvm.Field.of_bigarray ~name:"bad" ~ncells:4 ~ncomp:2 data with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "size mismatch should raise"
+
+let test_fold_iter () =
+  let f = Fvm.Field.create ~name:"u" ~ncells:3 ~ncomp:3 () in
+  Fvm.Field.init f (fun c k -> float_of_int (c * k));
+  let total = Fvm.Field.fold f (fun acc _ _ v -> acc +. v) 0. in
+  (* sum over c,k of c*k = (0+1+2)(0+1+2) = 9 *)
+  Tutil.check_close "fold total" 9. total;
+  let count = ref 0 in
+  Fvm.Field.iter f (fun _ _ _ -> incr count);
+  check_int "iter visits all" 9 !count
+
+let suite =
+  ( "field",
+    [
+      Alcotest.test_case "create and fill" `Quick test_create_and_fill;
+      Alcotest.test_case "get/set both layouts" `Quick test_get_set_layouts;
+      Alcotest.test_case "layout memory order" `Quick test_layout_memory_order;
+      Alcotest.test_case "bounds-checked accessor" `Quick test_bounds_checked_accessor;
+      Alcotest.test_case "blit/copy/diff" `Quick test_blit_copy_diff;
+      Alcotest.test_case "sums and integral" `Quick test_sums_and_integral;
+      Alcotest.test_case "bigarray view" `Quick test_of_bigarray_view;
+      Alcotest.test_case "fold/iter" `Quick test_fold_iter;
+    ] )

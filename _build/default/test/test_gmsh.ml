@@ -1,0 +1,137 @@
+(* Gmsh MSH 2.2 reader/writer tests. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let sample_msh =
+  (* a 2x1 quad strip with tagged boundary lines:
+     region 1 = bottom, 2 = right, 3 = top, 4 = left *)
+  "$MeshFormat\n\
+   2.2 0 8\n\
+   $EndMeshFormat\n\
+   $Nodes\n\
+   6\n\
+   1 0 0 0\n\
+   2 1 0 0\n\
+   3 2 0 0\n\
+   4 0 1 0\n\
+   5 1 1 0\n\
+   6 2 1 0\n\
+   $EndNodes\n\
+   $Elements\n\
+   8\n\
+   1 1 2 1 1 1 2\n\
+   2 1 2 1 1 2 3\n\
+   3 1 2 2 2 3 6\n\
+   4 1 2 3 3 6 5\n\
+   5 1 2 3 3 5 4\n\
+   6 1 2 4 4 4 1\n\
+   7 3 2 0 0 1 2 5 4\n\
+   8 3 2 0 0 2 3 6 5\n\
+   $EndElements\n"
+
+let test_read_sample () =
+  let m = Fvm.Gmsh.read_string sample_msh in
+  check_int "cells" 2 m.Fvm.Mesh.ncells;
+  check_int "faces" 7 m.Fvm.Mesh.nfaces;
+  Tutil.check_close "area" 2.0 (Fvm.Mesh.total_volume m);
+  Alcotest.(check (list int)) "regions" [ 1; 2; 3; 4 ] (Fvm.Mesh.boundary_regions m);
+  check_int "bottom faces" 2 (Array.length (Fvm.Mesh.faces_of_region m 1));
+  (match Fvm.Mesh.check m with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "check: %s" (String.concat ";" e))
+
+let test_read_reversed_cells () =
+  (* clockwise cells must be reoriented, not rejected *)
+  let msh =
+    "$MeshFormat\n2.2 0 8\n$EndMeshFormat\n$Nodes\n4\n\
+     1 0 0 0\n2 1 0 0\n3 1 1 0\n4 0 1 0\n$EndNodes\n\
+     $Elements\n1\n1 3 2 0 0 1 4 3 2\n$EndElements\n"
+  in
+  let m = Fvm.Gmsh.read_string msh in
+  check_int "one cell" 1 m.Fvm.Mesh.ncells;
+  Tutil.check_close "positive area" 1.0 m.Fvm.Mesh.cell_volume.(0)
+
+let test_read_triangles () =
+  let msh =
+    "$MeshFormat\n2.2 0 8\n$EndMeshFormat\n$Nodes\n4\n\
+     1 0 0 0\n2 1 0 0\n3 1 1 0\n4 0 1 0\n$EndNodes\n\
+     $Elements\n2\n1 2 2 0 0 1 2 3\n2 2 2 0 0 1 3 4\n$EndElements\n"
+  in
+  let m = Fvm.Gmsh.read_string msh in
+  check_int "two triangles" 2 m.Fvm.Mesh.ncells;
+  Tutil.check_close "area" 1.0 (Fvm.Mesh.total_volume m)
+
+let test_untagged_boundary_defaults () =
+  (* no line elements at all: every boundary face gets region 1 *)
+  let msh =
+    "$MeshFormat\n2.2 0 8\n$EndMeshFormat\n$Nodes\n4\n\
+     1 0 0 0\n2 1 0 0\n3 1 1 0\n4 0 1 0\n$EndNodes\n\
+     $Elements\n1\n1 3 2 0 0 1 2 3 4\n$EndElements\n"
+  in
+  let m = Fvm.Gmsh.read_string msh in
+  Alcotest.(check (list int)) "default region" [ 1 ] (Fvm.Mesh.boundary_regions m)
+
+let test_roundtrip_rectangle () =
+  let m = Fvm.Mesh_gen.rectangle ~nx:5 ~ny:4 ~lx:2.5 ~ly:1.0 () in
+  let m' = Fvm.Gmsh.read_string (Fvm.Gmsh.write_string m) in
+  check_int "cells preserved" m.Fvm.Mesh.ncells m'.Fvm.Mesh.ncells;
+  check_int "faces preserved" m.Fvm.Mesh.nfaces m'.Fvm.Mesh.nfaces;
+  Tutil.check_close "volume preserved" (Fvm.Mesh.total_volume m)
+    (Fvm.Mesh.total_volume m');
+  Alcotest.(check (list int)) "regions preserved"
+    (Fvm.Mesh.boundary_regions m) (Fvm.Mesh.boundary_regions m');
+  List.iter
+    (fun r ->
+      check_int
+        (Printf.sprintf "region %d face count" r)
+        (Array.length (Fvm.Mesh.faces_of_region m r))
+        (Array.length (Fvm.Mesh.faces_of_region m' r)))
+    (Fvm.Mesh.boundary_regions m)
+
+let test_file_roundtrip () =
+  let m = Fvm.Mesh_gen.rectangle ~nx:3 ~ny:3 ~lx:1.0 ~ly:1.0 () in
+  let path = Filename.temp_file "mesh" ".msh" in
+  Fvm.Gmsh.write_file path m;
+  let m' = Fvm.Gmsh.read_file path in
+  Sys.remove path;
+  check_int "cells" m.Fvm.Mesh.ncells m'.Fvm.Mesh.ncells
+
+let test_roundtrip_triangulated () =
+  let m = Fvm.Mesh_gen.triangulated_rectangle ~nx:4 ~ny:3 ~lx:2.0 ~ly:1.5 () in
+  let m' = Fvm.Gmsh.read_string (Fvm.Gmsh.write_string m) in
+  check_int "cells preserved" m.Fvm.Mesh.ncells m'.Fvm.Mesh.ncells;
+  Tutil.check_close "volume preserved" (Fvm.Mesh.total_volume m)
+    (Fvm.Mesh.total_volume m');
+  Alcotest.(check (list int)) "regions preserved"
+    (Fvm.Mesh.boundary_regions m) (Fvm.Mesh.boundary_regions m');
+  match Fvm.Mesh.check m' with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "reimported mesh invalid: %s" (String.concat ";" e)
+
+let expect_format_error s =
+  match Fvm.Gmsh.read_string s with
+  | exception Fvm.Gmsh.Format_error _ -> ()
+  | _ -> Alcotest.fail "expected Format_error"
+
+let test_errors () =
+  expect_format_error "";
+  expect_format_error "$MeshFormat\n4.1 0 8\n$EndMeshFormat\n";
+  expect_format_error "$MeshFormat\n2.2 0 8\n$EndMeshFormat\n$Nodes\n1\nbad\n";
+  expect_format_error
+    "$MeshFormat\n2.2 0 8\n$EndMeshFormat\n$Nodes\n1\n1 0 0 0\n$EndNodes\n\
+     $Elements\n1\n1 99 2 0 0 1 1 1\n$EndElements\n"
+
+let suite =
+  ( "gmsh",
+    [
+      Alcotest.test_case "read sample" `Quick test_read_sample;
+      Alcotest.test_case "reorients clockwise cells" `Quick test_read_reversed_cells;
+      Alcotest.test_case "reads triangles" `Quick test_read_triangles;
+      Alcotest.test_case "untagged boundary defaults to 1" `Quick
+        test_untagged_boundary_defaults;
+      Alcotest.test_case "write/read round trip" `Quick test_roundtrip_rectangle;
+      Alcotest.test_case "triangulated round trip" `Quick test_roundtrip_triangulated;
+      Alcotest.test_case "file round trip" `Quick test_file_roundtrip;
+      Alcotest.test_case "format errors" `Quick test_errors;
+    ] )

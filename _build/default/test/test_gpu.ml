@@ -1,0 +1,168 @@
+(* GPU simulator tests: device specs, roofline model, memory transfers,
+   kernel execution semantics, streams and the profiler. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mk_host n v =
+  let a = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+  Bigarray.Array1.fill a v;
+  a
+
+let test_specs () =
+  let a = Gpu_sim.Spec.a6000 and b = Gpu_sim.Spec.a100 in
+  check_bool "A100 more DP flops" true
+    (b.Gpu_sim.Spec.fp64_peak_flops > a.Gpu_sim.Spec.fp64_peak_flops);
+  check_bool "A100 more bandwidth" true
+    (b.Gpu_sim.Spec.mem_bandwidth > a.Gpu_sim.Spec.mem_bandwidth);
+  Alcotest.(check string) "by_name" "A6000" (Gpu_sim.Spec.by_name "a6000").Gpu_sim.Spec.name;
+  match Gpu_sim.Spec.by_name "H100" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown device should raise"
+
+let test_transfer_time () =
+  let s = Gpu_sim.Spec.a6000 in
+  Tutil.check_close "zero bytes free" 0. (Gpu_sim.Spec.transfer_time s ~bytes:0);
+  let t1 = Gpu_sim.Spec.transfer_time s ~bytes:(16 * 1024 * 1024) in
+  let t2 = Gpu_sim.Spec.transfer_time s ~bytes:(32 * 1024 * 1024) in
+  check_bool "monotone in bytes" true (t2 > t1);
+  check_bool "latency floor" true
+    (Gpu_sim.Spec.transfer_time s ~bytes:8 >= s.Gpu_sim.Spec.pcie_latency)
+
+let test_kernel_time_roofline () =
+  let s = Gpu_sim.Spec.a6000 in
+  let full = s.Gpu_sim.Spec.sm_count * s.Gpu_sim.Spec.max_threads_per_sm in
+  (* compute bound: high arithmetic intensity *)
+  let t_c = Gpu_sim.Spec.kernel_time s ~threads:full ~flops:1e9 ~dram_bytes:1e3 in
+  Tutil.check_close ~eps:1e-6
+    "compute bound time"
+    (s.Gpu_sim.Spec.kernel_launch_overhead
+     +. (1e9 /. (s.Gpu_sim.Spec.fp64_peak_flops *. s.Gpu_sim.Spec.fp64_issue_efficiency)))
+    t_c;
+  (* memory bound: low intensity *)
+  let t_m = Gpu_sim.Spec.kernel_time s ~threads:full ~flops:1e3 ~dram_bytes:1e9 in
+  Tutil.check_close ~eps:1e-6 "memory bound time"
+    (s.Gpu_sim.Spec.kernel_launch_overhead
+     +. (1e9 /. (s.Gpu_sim.Spec.mem_bandwidth *. s.Gpu_sim.Spec.mem_efficiency)))
+    t_m;
+  (* small grids run slower than saturated ones *)
+  let t_small = Gpu_sim.Spec.kernel_time s ~threads:256 ~flops:1e9 ~dram_bytes:1e3 in
+  check_bool "occupancy penalty" true (t_small > t_c)
+
+let test_memory_transfers_copy () =
+  let dev = Gpu_sim.Memory.create_device Gpu_sim.Spec.a6000 in
+  let buf = Gpu_sim.Memory.alloc dev ~label:"x" ~size:100 in
+  let host = mk_host 100 3.5 in
+  let _ = Gpu_sim.Memory.h2d dev buf host in
+  Tutil.check_close "device holds data" 3.5
+    (Bigarray.Array1.get buf.Gpu_sim.Memory.device_data 42);
+  (* mutate device, read back *)
+  Bigarray.Array1.set buf.Gpu_sim.Memory.device_data 42 9.;
+  let back = mk_host 100 0. in
+  let _ = Gpu_sim.Memory.d2h dev buf back in
+  Tutil.check_close "host readback" 9. (Bigarray.Array1.get back 42);
+  check_int "h2d bytes" 800 dev.Gpu_sim.Memory.bytes_h2d;
+  check_int "d2h bytes" 800 dev.Gpu_sim.Memory.bytes_d2h;
+  check_int "buffer h2d count" 1 buf.Gpu_sim.Memory.h2d_count
+
+let test_memory_divergence_is_real () =
+  (* host and device memories are genuinely distinct: forgetting a transfer
+     leaves the device stale *)
+  let dev = Gpu_sim.Memory.create_device Gpu_sim.Spec.a6000 in
+  let buf = Gpu_sim.Memory.alloc dev ~label:"x" ~size:4 in
+  let host = mk_host 4 1. in
+  let _ = Gpu_sim.Memory.h2d dev buf host in
+  Bigarray.Array1.set host 0 99.;
+  Tutil.check_close "device unaffected by host write" 1.
+    (Bigarray.Array1.get buf.Gpu_sim.Memory.device_data 0)
+
+let test_transfer_size_mismatch () =
+  let dev = Gpu_sim.Memory.create_device Gpu_sim.Spec.a6000 in
+  let buf = Gpu_sim.Memory.alloc dev ~label:"x" ~size:4 in
+  match Gpu_sim.Memory.h2d dev buf (mk_host 5 0.) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "size mismatch should raise"
+
+let test_kernel_executes_and_guards () =
+  let dev = Gpu_sim.Memory.create_device Gpu_sim.Spec.a6000 in
+  let buf = Gpu_sim.Memory.alloc dev ~label:"x" ~size:1000 in
+  let k =
+    Gpu_sim.Kernel.make ~name:"fill"
+      ~cost:{ Gpu_sim.Kernel.flops_per_thread = 1.; dram_bytes_per_thread = 8. }
+      (fun tid -> Bigarray.Array1.set buf.Gpu_sim.Memory.device_data tid (float_of_int tid))
+  in
+  (* 1000 threads in 256-blocks: 1024 launched, guard keeps 1000 *)
+  let t = Gpu_sim.Kernel.launch dev k ~nthreads:1000 ~block:256 () in
+  check_bool "positive time" true (t > 0.);
+  Tutil.check_close "last element" 999.
+    (Bigarray.Array1.get buf.Gpu_sim.Memory.device_data 999);
+  check_int "one launch" 1 dev.Gpu_sim.Memory.kernel_launches;
+  Tutil.check_close "flops accounted" 1000. dev.Gpu_sim.Memory.flops
+
+let test_stream_overlap () =
+  let dev = Gpu_sim.Memory.create_device Gpu_sim.Spec.a6000 in
+  let clock = Gpu_sim.Stream.create_clock () in
+  let st = Gpu_sim.Stream.create dev in
+  let buf = Gpu_sim.Memory.alloc dev ~label:"x" ~size:2_000_000 in
+  let k =
+    Gpu_sim.Kernel.make ~name:"busy"
+      ~cost:{ Gpu_sim.Kernel.flops_per_thread = 1e4; dram_bytes_per_thread = 8. }
+      (fun _ -> ())
+  in
+  Gpu_sim.Stream.kernel st clock k ~nthreads:(Bigarray.Array1.dim buf.Gpu_sim.Memory.device_data) ();
+  check_bool "stream pending after async launch" true (Gpu_sim.Stream.pending st clock);
+  (* overlapped CPU work advances the host clock *)
+  Gpu_sim.Stream.host_work clock ~dur:1e-4 (fun () -> ());
+  Gpu_sim.Stream.synchronize st clock;
+  check_bool "not pending after sync" false (Gpu_sim.Stream.pending st clock);
+  (* total elapsed is max(CPU, GPU path), not the sum *)
+  let kernel_only = dev.Gpu_sim.Memory.kernel_time in
+  check_bool "overlap" true
+    (clock.Gpu_sim.Stream.now < kernel_only +. 1e-4 +. 1e-5
+     || clock.Gpu_sim.Stream.now >= Float.max kernel_only 1e-4)
+
+let test_perf_report () =
+  let dev = Gpu_sim.Memory.create_device Gpu_sim.Spec.a6000 in
+  let k =
+    Gpu_sim.Kernel.make ~name:"k"
+      ~cost:{ Gpu_sim.Kernel.flops_per_thread = 124.; dram_bytes_per_thread = 18. }
+      (fun _ -> ())
+  in
+  let n = 16_000_000 in
+  let _ = Gpu_sim.Kernel.launch dev k ~nthreads:n () in
+  let r = Gpu_sim.Perf.report dev ~avg_threads:n in
+  (* the paper's profiling table: SM 86%, memory 11%, FLOP 49% of peak *)
+  check_bool "SM util ~0.86" true (Float.abs (r.Gpu_sim.Perf.sm_utilization -. 0.86) < 0.02);
+  check_bool "flop frac ~0.49" true
+    (Float.abs (r.Gpu_sim.Perf.flop_frac_of_peak -. 0.49) < 0.03);
+  check_bool "mem frac ~0.11" true
+    (Float.abs (r.Gpu_sim.Perf.mem_throughput_frac -. 0.11) < 0.03);
+  check_bool "report prints" true
+    (String.length (Gpu_sim.Perf.to_string r) > 40)
+
+let prop_kernel_time_monotone =
+  QCheck.Test.make ~name:"kernel time monotone in flops and bytes" ~count:100
+    QCheck.(pair (float_range 1e3 1e12) (float_range 1e3 1e12))
+    (fun (flops, bytes) ->
+      let s = Gpu_sim.Spec.a6000 in
+      let t = Gpu_sim.Spec.kernel_time s ~threads:100000 ~flops ~dram_bytes:bytes in
+      let t2 =
+        Gpu_sim.Spec.kernel_time s ~threads:100000 ~flops:(2. *. flops)
+          ~dram_bytes:(2. *. bytes)
+      in
+      t2 >= t && t > 0.)
+
+let suite =
+  ( "gpu-sim",
+    [
+      Alcotest.test_case "device specs" `Quick test_specs;
+      Alcotest.test_case "transfer time" `Quick test_transfer_time;
+      Alcotest.test_case "roofline kernel time" `Quick test_kernel_time_roofline;
+      Alcotest.test_case "transfers copy data" `Quick test_memory_transfers_copy;
+      Alcotest.test_case "memories are distinct" `Quick test_memory_divergence_is_real;
+      Alcotest.test_case "size mismatch" `Quick test_transfer_size_mismatch;
+      Alcotest.test_case "kernel executes with guard" `Quick test_kernel_executes_and_guards;
+      Alcotest.test_case "stream overlap" `Quick test_stream_overlap;
+      Alcotest.test_case "profiler matches paper table" `Quick test_perf_report;
+      QCheck_alcotest.to_alcotest prop_kernel_time_monotone;
+    ] )

@@ -1,0 +1,172 @@
+(* Mesh construction and invariant tests (rectangle, triangulated, line),
+   plus property tests over random grid sizes. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let assert_ok m =
+  match Fvm.Mesh.check m with
+  | Ok () -> ()
+  | Error errs -> Alcotest.failf "mesh check failed: %s" (String.concat "; " errs)
+
+let test_rectangle_counts () =
+  let m = Fvm.Mesh_gen.rectangle ~nx:4 ~ny:3 ~lx:2.0 ~ly:1.5 () in
+  check_int "cells" 12 m.Fvm.Mesh.ncells;
+  (* faces: vertical (nx+1)*ny + horizontal nx*(ny+1) *)
+  check_int "faces" ((5 * 3) + (4 * 4)) m.Fvm.Mesh.nfaces;
+  check_int "boundary faces" (2 * (4 + 3)) (Array.length m.Fvm.Mesh.boundary_faces);
+  assert_ok m
+
+let test_rectangle_geometry () =
+  let m = Fvm.Mesh_gen.rectangle ~nx:4 ~ny:3 ~lx:2.0 ~ly:1.5 () in
+  Tutil.check_close "total volume" 3.0 (Fvm.Mesh.total_volume m);
+  Array.iter
+    (fun v -> Tutil.check_close "uniform cell volume" (0.5 *. 0.5) v)
+    m.Fvm.Mesh.cell_volume;
+  (* areas: vertical faces have length dy=0.5, horizontal dx=0.5 *)
+  Array.iter
+    (fun a -> Tutil.check_close "face area" 0.5 a)
+    m.Fvm.Mesh.face_area
+
+let test_rectangle_regions () =
+  let m = Fvm.Mesh_gen.rectangle ~nx:5 ~ny:4 ~lx:1.0 ~ly:1.0 () in
+  Alcotest.(check (list int)) "regions 1..4" [ 1; 2; 3; 4 ] (Fvm.Mesh.boundary_regions m);
+  check_int "bottom faces" 5 (Array.length (Fvm.Mesh.faces_of_region m 1));
+  check_int "right faces" 4 (Array.length (Fvm.Mesh.faces_of_region m 2));
+  check_int "top faces" 5 (Array.length (Fvm.Mesh.faces_of_region m 3));
+  check_int "left faces" 4 (Array.length (Fvm.Mesh.faces_of_region m 4));
+  (* normals of region 1 point down *)
+  Array.iter
+    (fun f ->
+      let n = Fvm.Mesh.face_normal m f in
+      Tutil.check_close "bottom normal y" (-1.) n.(1))
+    (Fvm.Mesh.faces_of_region m 1)
+
+let test_neighbour_symmetry () =
+  let m = Fvm.Mesh_gen.rectangle ~nx:6 ~ny:6 ~lx:1.0 ~ly:1.0 () in
+  for f = 0 to m.Fvm.Mesh.nfaces - 1 do
+    let c1 = m.Fvm.Mesh.face_cell1.(f) and c2 = m.Fvm.Mesh.face_cell2.(f) in
+    if c2 >= 0 then begin
+      check_int "neighbour of c1 is c2" c2 (Fvm.Mesh.neighbour m f c1);
+      check_int "neighbour of c2 is c1" c1 (Fvm.Mesh.neighbour m f c2);
+      Tutil.check_close "sign from c1" 1. (Fvm.Mesh.normal_sign m f c1);
+      Tutil.check_close "sign from c2" (-1.) (Fvm.Mesh.normal_sign m f c2)
+    end
+  done
+
+let test_cell_faces_cover () =
+  let m = Fvm.Mesh_gen.rectangle ~nx:3 ~ny:3 ~lx:1.0 ~ly:1.0 () in
+  (* every quad cell has 4 faces; every face appears in exactly the cells it
+     bounds *)
+  Array.iter (fun fs -> check_int "quad faces" 4 (Array.length fs)) m.Fvm.Mesh.cell_faces;
+  let counts = Array.make m.Fvm.Mesh.nfaces 0 in
+  Array.iter
+    (Array.iter (fun f -> counts.(f) <- counts.(f) + 1))
+    m.Fvm.Mesh.cell_faces;
+  Array.iteri
+    (fun f n ->
+      let expected = if m.Fvm.Mesh.face_cell2.(f) >= 0 then 2 else 1 in
+      check_int "face multiplicity" expected n)
+    counts
+
+let test_triangulated () =
+  let m = Fvm.Mesh_gen.triangulated_rectangle ~nx:4 ~ny:3 ~lx:2.0 ~ly:1.5 () in
+  check_int "cells" 24 m.Fvm.Mesh.ncells;
+  Tutil.check_close "total volume" 3.0 (Fvm.Mesh.total_volume m);
+  Array.iter (fun fs -> check_int "triangle faces" 3 (Array.length fs)) m.Fvm.Mesh.cell_faces;
+  assert_ok m
+
+let test_line () =
+  let m = Fvm.Mesh_gen.line ~n:10 ~length:2.0 in
+  check_int "cells" 10 m.Fvm.Mesh.ncells;
+  check_int "faces" 11 m.Fvm.Mesh.nfaces;
+  Tutil.check_close "total length" 2.0 (Fvm.Mesh.total_volume m);
+  Alcotest.(check (list int)) "end regions" [ 1; 2 ] (Fvm.Mesh.boundary_regions m);
+  assert_ok m
+
+let test_degenerate_rejected () =
+  Alcotest.check_raises "empty grid"
+    (Invalid_argument "Mesh_gen.rectangle: empty grid") (fun () ->
+      ignore (Fvm.Mesh_gen.rectangle ~nx:0 ~ny:2 ~lx:1. ~ly:1. ()))
+
+let test_custom_classifier () =
+  (* everything is region 7 *)
+  let m =
+    Fvm.Mesh_gen.rectangle ~classify:(fun _ _ -> 7) ~nx:3 ~ny:3 ~lx:1. ~ly:1. ()
+  in
+  Alcotest.(check (list int)) "single region" [ 7 ] (Fvm.Mesh.boundary_regions m)
+
+let test_vec_helpers () =
+  let v = [| 3.; 4. |] in
+  Tutil.check_close "norm" 5. (Fvm.Vec.norm v);
+  let r = Fvm.Vec.reflect [| 1.; 1. |] [| 0.; 1. |] in
+  Tutil.check_close "reflect x" 1. r.(0);
+  Tutil.check_close "reflect y" (-1.) r.(1);
+  let u = Fvm.Vec.normalize v in
+  Tutil.check_close "unit" 1. (Fvm.Vec.norm u)
+
+let test_box_3d () =
+  let m = Fvm.Mesh_gen.box ~nx:3 ~ny:4 ~nz:2 ~lx:3.0 ~ly:2.0 ~lz:1.0 () in
+  check_int "cells" 24 m.Fvm.Mesh.ncells;
+  check_int "faces" ((4 * 4 * 2) + (3 * 5 * 2) + (3 * 4 * 3)) m.Fvm.Mesh.nfaces;
+  Tutil.check_close "total volume" 6.0 (Fvm.Mesh.total_volume m);
+  Alcotest.(check (list int)) "six regions" [ 1; 2; 3; 4; 5; 6 ]
+    (Fvm.Mesh.boundary_regions m);
+  (* region sizes: bottom/top nx*ny, y-walls nx*nz, x-walls ny*nz *)
+  check_int "bottom" 12 (Array.length (Fvm.Mesh.faces_of_region m 1));
+  check_int "top" 12 (Array.length (Fvm.Mesh.faces_of_region m 2));
+  check_int "y=0 wall" 6 (Array.length (Fvm.Mesh.faces_of_region m 3));
+  check_int "x=lx wall" 8 (Array.length (Fvm.Mesh.faces_of_region m 4));
+  assert_ok m;
+  (* hex cells have six faces *)
+  Array.iter (fun fs -> check_int "hex faces" 6 (Array.length fs)) m.Fvm.Mesh.cell_faces
+
+let test_box_neighbours () =
+  let m = Fvm.Mesh_gen.box ~nx:2 ~ny:2 ~nz:2 ~lx:1. ~ly:1. ~lz:1. () in
+  (* each cell of a 2x2x2 box has exactly 3 interior neighbours *)
+  for c = 0 to 7 do
+    let n = ref 0 in
+    Array.iter
+      (fun f -> if Fvm.Mesh.neighbour m f c >= 0 then incr n)
+      m.Fvm.Mesh.cell_faces.(c);
+    check_int "3 neighbours" 3 !n
+  done
+
+let prop_random_grids =
+  QCheck.Test.make ~name:"random rectangles satisfy mesh invariants" ~count:40
+    QCheck.(pair (int_range 1 12) (int_range 1 12))
+    (fun (nx, ny) ->
+      let m = Fvm.Mesh_gen.rectangle ~nx ~ny ~lx:(float_of_int nx) ~ly:1.3 () in
+      (match Fvm.Mesh.check m with Ok () -> () | Error e -> QCheck.Test.fail_reportf "%s" (String.concat ";" e));
+      m.Fvm.Mesh.ncells = nx * ny
+      && Array.length m.Fvm.Mesh.boundary_faces = 2 * (nx + ny)
+      && Tutil.feq (Fvm.Mesh.total_volume m) (float_of_int nx *. 1.3))
+
+let prop_triangulated_grids =
+  QCheck.Test.make ~name:"random triangulations satisfy mesh invariants" ~count:25
+    QCheck.(pair (int_range 1 9) (int_range 1 9))
+    (fun (nx, ny) ->
+      let m =
+        Fvm.Mesh_gen.triangulated_rectangle ~nx ~ny ~lx:1.0 ~ly:(float_of_int ny) ()
+      in
+      (match Fvm.Mesh.check m with Ok () -> true | Error _ -> false)
+      && m.Fvm.Mesh.ncells = 2 * nx * ny)
+
+let suite =
+  ( "mesh",
+    [
+      Alcotest.test_case "rectangle counts" `Quick test_rectangle_counts;
+      Alcotest.test_case "rectangle geometry" `Quick test_rectangle_geometry;
+      Alcotest.test_case "boundary regions" `Quick test_rectangle_regions;
+      Alcotest.test_case "neighbour symmetry" `Quick test_neighbour_symmetry;
+      Alcotest.test_case "cell-face covering" `Quick test_cell_faces_cover;
+      Alcotest.test_case "triangulated rectangle" `Quick test_triangulated;
+      Alcotest.test_case "1-D line" `Quick test_line;
+      Alcotest.test_case "degenerate rejected" `Quick test_degenerate_rejected;
+      Alcotest.test_case "custom classifier" `Quick test_custom_classifier;
+      Alcotest.test_case "vector helpers" `Quick test_vec_helpers;
+      Alcotest.test_case "3-D box mesh" `Quick test_box_3d;
+      Alcotest.test_case "3-D box neighbours" `Quick test_box_neighbours;
+      QCheck_alcotest.to_alcotest prop_random_grids;
+      QCheck_alcotest.to_alcotest prop_triangulated_grids;
+    ] )

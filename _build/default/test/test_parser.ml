@@ -1,0 +1,169 @@
+(* Parser tests, including the exact input strings from the paper. *)
+
+open Finch_symbolic
+
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let parses s = ignore (Parser.parse s)
+
+let fails s =
+  match Parser.parse_opt s with
+  | None -> ()
+  | Some e -> Alcotest.failf "expected failure for %S, got %s" s (Printer.to_string e)
+
+let test_paper_bte_input () =
+  (* the conservationForm string from Section III-B *)
+  let e =
+    Parser.parse
+      "(Io[b] - I[d,b]) * beta[b] + surface(vg[b] * upwind([Sx[d];Sy[d]], I[d,b]))"
+  in
+  Alcotest.(check (list string))
+    "entities" [ "Io"; "I"; "beta"; "vg"; "Sx"; "Sy" ] (Expr.ref_names e);
+  check_bool "has surface call" true (Expr.contains_call "surface" e);
+  check_bool "has upwind call" true (Expr.contains_call "upwind" e)
+
+let test_paper_quickstart_input () =
+  parses "-k*u - surface(upwind(b, u))";
+  parses "s(u)-surface(f(u))"
+
+let test_paper_bc_input () =
+  match Parser.parse "isothermal(I,vg,Sx,Sy,b,d,normal,300)" with
+  | Expr.Call ("isothermal", args) ->
+    Alcotest.(check int) "eight args" 8 (List.length args);
+    (match List.rev args with
+     | Expr.Num x :: _ -> Alcotest.(check (float 0.)) "temp arg" 300. x
+     | _ -> Alcotest.fail "last arg should be 300")
+  | _ -> Alcotest.fail "expected a call"
+
+let test_precedence () =
+  let v s = Expr.eval ~env_sym:(fun _ -> 2.) ~env_ref:(fun _ _ _ -> 1.) (Parser.parse s) in
+  Alcotest.(check (float 1e-12)) "mul before add" 7. (v "1 + 2*3");
+  Alcotest.(check (float 1e-12)) "parens" 9. (v "(1+2)*3");
+  Alcotest.(check (float 1e-12)) "pow before mul" 18. (v "2*3^2");
+  Alcotest.(check (float 1e-12)) "unary minus" (-4.) (v "-2*2");
+  Alcotest.(check (float 1e-12)) "division" 1.5 (v "3/2");
+  Alcotest.(check (float 1e-12)) "a/b/c left assoc" 0.75 (v "3/2/2");
+  Alcotest.(check (float 1e-12)) "sub chain" (-4.) (v "1-2-3")
+
+let test_numbers () =
+  let n s =
+    match Parser.parse s with Expr.Num x -> x | _ -> Alcotest.fail "not a number"
+  in
+  Alcotest.(check (float 0.)) "int" 42. (n "42");
+  Alcotest.(check (float 0.)) "float" 3.25 (n "3.25");
+  Alcotest.(check (float 0.)) "exponent" 1e-12 (n "1e-12");
+  Alcotest.(check (float 0.)) "exp plus" 1.5e10 (n "1.5e+10");
+  Alcotest.(check (float 0.)) "leading dot digit" 0.5 (n "0.5")
+
+let test_index_forms () =
+  (match Parser.parse "I[d+1,b]" with
+   | Expr.Ref ("I", [ Expr.Ishift ("d", 1); Expr.Ivar "b" ], Expr.Here) -> ()
+   | _ -> Alcotest.fail "shift +1");
+  (match Parser.parse "I[d-2,3]" with
+   | Expr.Ref ("I", [ Expr.Ishift ("d", -2); Expr.Iconst 3 ], Expr.Here) -> ()
+   | _ -> Alcotest.fail "shift -2 and const");
+  parses "T[1]"
+
+let test_vector_literal () =
+  match Parser.parse "[Sx[d]; Sy[d]]" with
+  | Expr.Call ("vector", [ _; _ ]) -> ()
+  | _ -> Alcotest.fail "vector literal"
+
+let test_comparisons () =
+  (match Parser.parse "a >= b" with
+   | Expr.Cmp (Expr.Ge, _, _) -> ()
+   | _ -> Alcotest.fail ">=");
+  (match Parser.parse "a != b" with
+   | Expr.Cmp (Expr.Ne, _, _) -> ()
+   | _ -> Alcotest.fail "!=");
+  parses "conditional(a == b, 1, 0)"
+
+let test_errors () =
+  fails "";
+  fails "1 +";
+  fails "(1";
+  fails "I[d";
+  fails "I[]";
+  fails "1 2";
+  fails "a $ b";
+  fails "f(a,)"
+
+let test_whitespace_robust () =
+  let a = Parser.parse "  ( Io[b]\t- I[d,b] )\n * beta[b] " in
+  let b = Parser.parse "(Io[b]-I[d,b])*beta[b]" in
+  check_bool "whitespace-insensitive" true (Expr.equal a b)
+
+(* printer round-trip: parse (print (parse s)) has the same value *)
+let env_sym = function "dt" -> 0.1 | s -> float_of_int (String.length s) +. 0.5
+let env_ref name idx _side = float_of_int (Hashtbl.hash (name, idx) mod 11) +. 0.25
+
+let roundtrip_cases =
+  [ "(Io[b] - I[d,b]) * beta[b]";
+    "-k*u - 3*u^2 + 1/u";
+    "a/b/c + a*b*c";
+    "conditional(a > b, a - b, b - a)";
+    "exp(-2*a^2) + sqrt(b)";
+    "min(a, max(b, k))" ]
+
+let test_print_parse_roundtrip () =
+  List.iter
+    (fun s ->
+      let e = Parser.parse s in
+      let printed = Printer.to_string e in
+      let e' =
+        try Parser.parse printed
+        with Parser.Parse_error m ->
+          Alcotest.failf "reparse of %S failed: %s" printed m
+      in
+      let v = Expr.eval ~env_sym ~env_ref e
+      and v' = Expr.eval ~env_sym ~env_ref e' in
+      if Float.abs (v -. v') > 1e-9 *. (1. +. Float.abs v) then
+        Alcotest.failf "round trip changed value for %S: %g vs %g" s v v')
+    roundtrip_cases
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"print/parse round trip preserves value" ~count:200
+    Test_expr.arb_expr (fun e ->
+      let printed = Printer.to_string e in
+      match Parser.parse_opt printed with
+      | None -> QCheck.Test.fail_reportf "unparseable: %s" printed
+      | Some e' ->
+        let v = Expr.eval ~env_sym ~env_ref e
+        and v' = Expr.eval ~env_sym ~env_ref e' in
+        Float.abs (v -. v') <= 1e-7 *. (1. +. Float.abs v)
+        || (Float.is_nan v && Float.is_nan v')
+        || Float.abs v > 1e14)
+
+let test_finch_style_printing () =
+  let eq =
+    Finch.Transform.conservation_form
+      (Finch.Entity.variable ~name:"u" ())
+      "-k*u - surface(upwind([bx;by], u))"
+  in
+  let s = Finch.Transform.report_expanded eq in
+  check_bool "mentions TIMEDERIVATIVE" true
+    (Tutil.contains s "TIMEDERIVATIVE");
+  check_bool "mentions _u_1" true (Tutil.contains s "_u_1");
+  let c = Finch.Transform.report_classified eq in
+  check_bool "has LHS volume" true (Tutil.contains c "LHS volume");
+  check_bool "has CELL1 in surface" true (Tutil.contains c "CELL1_")
+
+let suite =
+  ( "parser",
+    [
+      Alcotest.test_case "paper BTE input" `Quick test_paper_bte_input;
+      Alcotest.test_case "paper quickstart input" `Quick test_paper_quickstart_input;
+      Alcotest.test_case "paper boundary input" `Quick test_paper_bc_input;
+      Alcotest.test_case "precedence" `Quick test_precedence;
+      Alcotest.test_case "number literals" `Quick test_numbers;
+      Alcotest.test_case "index forms" `Quick test_index_forms;
+      Alcotest.test_case "vector literal" `Quick test_vector_literal;
+      Alcotest.test_case "comparisons" `Quick test_comparisons;
+      Alcotest.test_case "parse errors" `Quick test_errors;
+      Alcotest.test_case "whitespace robustness" `Quick test_whitespace_robust;
+      Alcotest.test_case "print/parse round trip (cases)" `Quick
+        test_print_parse_roundtrip;
+      Alcotest.test_case "finch-style printing" `Quick test_finch_style_printing;
+      QCheck_alcotest.to_alcotest prop_roundtrip;
+    ] )

@@ -1,0 +1,192 @@
+(* Partitioner and halo-plan tests. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_blocks_even () =
+  let p = Fvm.Partition.blocks ~nitems:12 ~nparts:4 in
+  Alcotest.(check (array int)) "counts" [| 3; 3; 3; 3 |] (Fvm.Partition.counts p);
+  Tutil.check_close "imbalance" 1.0 (Fvm.Partition.imbalance p)
+
+let test_blocks_uneven () =
+  let p = Fvm.Partition.blocks ~nitems:10 ~nparts:3 in
+  Alcotest.(check (array int)) "counts" [| 4; 3; 3 |] (Fvm.Partition.counts p);
+  (* blocks are contiguous *)
+  let owner = Array.init 10 (Fvm.Partition.owner p) in
+  let sorted = Array.copy owner in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "contiguous" sorted owner
+
+let test_block_range_consistency () =
+  for nitems = 1 to 30 do
+    for nparts = 1 to min nitems 8 do
+      let p = Fvm.Partition.blocks ~nitems ~nparts in
+      let covered = ref 0 in
+      for r = 0 to nparts - 1 do
+        let off, len = Fvm.Partition.block_range ~nitems ~nparts r in
+        covered := !covered + len;
+        for i = off to off + len - 1 do
+          check_int "owner matches range" r (Fvm.Partition.owner p i)
+        done
+      done;
+      check_int "ranges cover" nitems !covered
+    done
+  done
+
+let test_blocks_errors () =
+  Alcotest.check_raises "too many parts"
+    (Invalid_argument "Partition.blocks: more parts than items") (fun () ->
+      ignore (Fvm.Partition.blocks ~nitems:3 ~nparts:5))
+
+let test_rcb_balance () =
+  let m = Fvm.Mesh_gen.rectangle ~nx:12 ~ny:12 ~lx:1.0 ~ly:1.0 () in
+  List.iter
+    (fun nparts ->
+      let p = Fvm.Partition.rcb_mesh m ~nparts in
+      check_int "nparts" nparts (Fvm.Partition.nparts p);
+      check_int "covers all cells" m.Fvm.Mesh.ncells (Fvm.Partition.nitems p);
+      check_bool
+        (Printf.sprintf "balance at %d" nparts)
+        true
+        (Fvm.Partition.imbalance p < 1.35);
+      (* every rank owns at least one cell *)
+      Array.iter (fun c -> check_bool "nonempty" true (c > 0)) (Fvm.Partition.counts p))
+    [ 1; 2; 3; 4; 7; 8; 16 ]
+
+let test_rcb_locality () =
+  (* 2 parts of a wide strip must split along x *)
+  let m = Fvm.Mesh_gen.rectangle ~nx:8 ~ny:2 ~lx:8.0 ~ly:1.0 () in
+  let p = Fvm.Partition.rcb_mesh m ~nparts:2 in
+  for j = 0 to 1 do
+    for i = 0 to 3 do
+      check_int "left half rank 0" 0 (Fvm.Partition.owner p ((j * 8) + i))
+    done;
+    for i = 4 to 7 do
+      check_int "right half rank 1" 1 (Fvm.Partition.owner p ((j * 8) + i))
+    done
+  done
+
+let test_edge_cut () =
+  let m = Fvm.Mesh_gen.rectangle ~nx:4 ~ny:4 ~lx:1.0 ~ly:1.0 () in
+  let p2 = Fvm.Partition.rcb_mesh m ~nparts:2 in
+  (* a straight cut of a 4x4 grid crosses exactly 4 faces *)
+  check_int "straight cut" 4 (Fvm.Partition.edge_cut m p2);
+  let p1 = Fvm.Partition.rcb_mesh m ~nparts:1 in
+  check_int "no cut for 1 part" 0 (Fvm.Partition.edge_cut m p1)
+
+let test_rank_adjacency () =
+  let m = Fvm.Mesh_gen.rectangle ~nx:4 ~ny:4 ~lx:1.0 ~ly:1.0 () in
+  let p = Fvm.Partition.rcb_mesh m ~nparts:4 in
+  let adj = Fvm.Partition.rank_adjacency m p in
+  Array.iteri
+    (fun r ns ->
+      check_bool "has neighbours" true (List.length ns >= 1);
+      List.iter
+        (fun r' -> check_bool "symmetric" true (List.mem r adj.(r')))
+        ns)
+    adj
+
+let test_halo_symmetry () =
+  let m = Fvm.Mesh_gen.rectangle ~nx:6 ~ny:6 ~lx:1.0 ~ly:1.0 () in
+  let p = Fvm.Partition.rcb_mesh m ~nparts:4 in
+  let h = Fvm.Halo.build m p in
+  (* each exchange's cells are owned by the sender *)
+  List.iter
+    (fun (e : Fvm.Halo.exchange) ->
+      Array.iter
+        (fun c ->
+          check_int "sender owns sent cells" e.Fvm.Halo.from_rank
+            (Fvm.Partition.owner p c))
+        e.Fvm.Halo.cells)
+    h.Fvm.Halo.exchanges;
+  (* total send = total recv *)
+  let sends = ref 0 and recvs = ref 0 in
+  for r = 0 to 3 do
+    sends := !sends + Fvm.Halo.send_count h r;
+    recvs := !recvs + Fvm.Halo.recv_count h r
+  done;
+  check_int "send/recv totals" !sends !recvs;
+  (* ghosts of rank r are exactly the cells adjacent to r across the cut *)
+  for r = 0 to 3 do
+    Array.iter
+      (fun g -> check_bool "ghost not owned" true (Fvm.Partition.owner p g <> r))
+      h.Fvm.Halo.ghosts.(r)
+  done
+
+let test_halo_bytes () =
+  let m = Fvm.Mesh_gen.rectangle ~nx:4 ~ny:2 ~lx:1.0 ~ly:1.0 () in
+  let p = Fvm.Partition.blocks ~nitems:8 ~nparts:2 in
+  let h = Fvm.Halo.build m p in
+  (* the 4x2 grid split into two 4-cell halves: the cut crosses ... owner by
+     block index: cells 0..3 rank 0 (= bottom row), 4..7 rank 1 (top row):
+     4 cut faces, 4 interface cells each side *)
+  check_int "send count" 4 (Fvm.Halo.send_count h 0);
+  check_int "recv count" 4 (Fvm.Halo.recv_count h 0);
+  check_int "bytes per round" (8 * 4 * 2 * 3)
+    (Fvm.Halo.bytes_per_round h 0 ~ncomp:3 ~bytes_per:8);
+  Alcotest.(check (list int)) "neighbours" [ 1 ] (Fvm.Halo.neighbour_ranks h 0)
+
+let prop_rcb_covers =
+  QCheck.Test.make ~name:"rcb covers and balances random grids" ~count:30
+    QCheck.(triple (int_range 2 10) (int_range 2 10) (int_range 1 6))
+    (fun (nx, ny, nparts) ->
+      let nparts = min nparts (nx * ny) in
+      let m = Fvm.Mesh_gen.rectangle ~nx ~ny ~lx:1.0 ~ly:1.0 () in
+      let p = Fvm.Partition.rcb_mesh m ~nparts in
+      let counts = Fvm.Partition.counts p in
+      Array.fold_left ( + ) 0 counts = nx * ny
+      && Array.for_all (fun c -> c > 0) counts)
+
+let prop_halo_exchange_delivers =
+  (* property: after one exchange round, every rank's ghost copies equal
+     the owner's values, for random grids and part counts *)
+  QCheck.Test.make ~name:"halo exchange delivers owner values" ~count:25
+    QCheck.(triple (int_range 3 8) (int_range 3 8) (int_range 2 5))
+    (fun (nx, ny, nparts) ->
+      let m = Fvm.Mesh_gen.rectangle ~nx ~ny ~lx:1.0 ~ly:1.0 () in
+      let nparts = min nparts m.Fvm.Mesh.ncells in
+      let p = Fvm.Partition.rcb_mesh m ~nparts in
+      let h = Fvm.Halo.build m p in
+      (* per-rank local array: owner cells carry rank*1000+cell, others 0 *)
+      let local =
+        Array.init nparts (fun r ->
+            Array.init m.Fvm.Mesh.ncells (fun c ->
+                if Fvm.Partition.owner p c = r then
+                  float_of_int ((r * 1000) + c)
+                else 0.))
+      in
+      List.iter
+        (fun (e : Fvm.Halo.exchange) ->
+          Array.iter
+            (fun cell ->
+              local.(e.Fvm.Halo.to_rank).(cell) <-
+                local.(e.Fvm.Halo.from_rank).(cell))
+            e.Fvm.Halo.cells)
+        h.Fvm.Halo.exchanges;
+      (* now each rank must see correct values for all its ghosts *)
+      let ok = ref true in
+      for r = 0 to nparts - 1 do
+        Array.iter
+          (fun g ->
+            let owner = Fvm.Partition.owner p g in
+            if local.(r).(g) <> float_of_int ((owner * 1000) + g) then ok := false)
+          h.Fvm.Halo.ghosts.(r)
+      done;
+      !ok)
+
+let suite =
+  ( "partition",
+    [
+      Alcotest.test_case "blocks even" `Quick test_blocks_even;
+      Alcotest.test_case "blocks uneven" `Quick test_blocks_uneven;
+      Alcotest.test_case "block ranges" `Quick test_block_range_consistency;
+      Alcotest.test_case "blocks errors" `Quick test_blocks_errors;
+      Alcotest.test_case "rcb balance" `Quick test_rcb_balance;
+      Alcotest.test_case "rcb locality" `Quick test_rcb_locality;
+      Alcotest.test_case "edge cut" `Quick test_edge_cut;
+      Alcotest.test_case "rank adjacency" `Quick test_rank_adjacency;
+      Alcotest.test_case "halo symmetry" `Quick test_halo_symmetry;
+      Alcotest.test_case "halo bytes" `Quick test_halo_bytes;
+      QCheck_alcotest.to_alcotest prop_rcb_covers;
+      QCheck_alcotest.to_alcotest prop_halo_exchange_delivers;
+    ] )

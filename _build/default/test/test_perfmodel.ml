@@ -1,0 +1,148 @@
+(* Performance-model tests: the paper's headline numbers and the
+   qualitative shapes of every evaluation figure must hold under the
+   default calibration. *)
+
+let check_bool = Alcotest.(check bool)
+
+open Bte.Perfmodel
+
+let test_sequential_anchor () =
+  (* Fig. 9: the DSL CPU code takes ~2.4e3 s for 100 steps sequentially,
+     about twice the Fortran code *)
+  let dsl = run_time Serial in
+  let fortran = run_time (Fortran 1) in
+  check_bool "DSL sequential 2000-3000 s" true (dsl > 2000. && dsl < 3000.);
+  check_bool "Fortran about 2x faster" true
+    (dsl /. fortran > 1.7 && dsl /. fortran < 2.3)
+
+let test_headline_18x () =
+  (* "performance improvements of around 18X compared to a CPU-only
+     version produced by this same DSL" *)
+  let s = gpu_speedup ~p:1 () in
+  check_bool (Printf.sprintf "headline speedup %.1f in [15,22]" s) true
+    (s > 15. && s < 22.)
+
+let test_profile_table () =
+  (* Section III-D: SM 86%, memory throughput 11%, FLOP 49% of peak *)
+  let sm, mem, flop = gpu_profile () in
+  check_bool "SM util ~86%" true (Float.abs (sm -. 0.86) < 0.02);
+  check_bool "memory ~11%" true (Float.abs (mem -. 0.11) < 0.03);
+  check_bool "FLOP ~49%" true (Float.abs (flop -. 0.49) < 0.02)
+
+let strictly_improving strategy ps =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+      run_time (strategy a) > run_time (strategy b) && go rest
+    | _ -> true
+  in
+  go ps
+
+let test_fig4_scaling_shapes () =
+  (* band-parallel improves to its 55-rank cap; cell-parallel keeps
+     improving to 320 *)
+  check_bool "bands improve to 55" true
+    (strictly_improving (fun p -> Bands p) [ 1; 2; 5; 10; 20; 40; 55 ]);
+  check_bool "cells improve to 320" true
+    (strictly_improving (fun p -> Cells p) [ 1; 2; 5; 10; 20; 40; 80; 160; 320 ]);
+  (* the band cap is enforced *)
+  (match run_time (Bands 56) with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "bands beyond 55 must be rejected")
+
+let test_fig4_efficiency () =
+  (* both strategies hold decent parallel efficiency in the paper's range *)
+  let eff strategy p = run_time (strategy 1) /. (float_of_int p *. run_time (strategy p)) in
+  check_bool "bands eff at 10 > 0.7" true (eff (fun p -> Bands p) 10 > 0.7);
+  check_bool "cells eff at 40 > 0.6" true (eff (fun p -> Cells p) 40 > 0.6);
+  (* cells lose efficiency by 320 but still beat 50x speedup *)
+  let sp320 = run_time (Cells 1) /. run_time (Cells 320) in
+  check_bool "cells speedup at 320 in [50, 320]" true (sp320 > 50. && sp320 < 320.)
+
+let test_fig5_breakdown_shape () =
+  (* intensity dominates (~97%) sequentially and falls to ~73% at 55 *)
+  let pct p =
+    (Prt.Breakdown.percentages (run_breakdown (Bands p))).Prt.Breakdown.pct_intensity
+  in
+  check_bool "p=1 intensity ~96-98%" true (pct 1 > 94. && pct 1 < 99.);
+  let p55 = pct 55 in
+  check_bool (Printf.sprintf "p=55 intensity %.0f%% ~ 73%%" p55) true
+    (p55 > 65. && p55 < 82.);
+  (* communication share grows with p *)
+  let comm p =
+    (Prt.Breakdown.percentages (run_breakdown (Bands p))).Prt.Breakdown.pct_communication
+  in
+  check_bool "comm grows" true (comm 55 > comm 10 && comm 10 > comm 1)
+
+let test_fig7_gpu_scaling () =
+  (* good scaling to 10 devices, weak beyond *)
+  check_bool "gpu improves to 10" true
+    (strictly_improving (fun p -> Gpu p) [ 1; 2; 4; 8; 10 ]);
+  let sp10 = run_time (Gpu 1) /. run_time (Gpu 10) in
+  check_bool "near-ideal at 10" true (sp10 > 6. && sp10 <= 11.);
+  (* flattening: 10 -> 55 gains much less than ideal (5.5x) *)
+  let sp_tail = run_time (Gpu 10) /. run_time (Gpu 55) in
+  check_bool "saturating beyond 10" true (sp_tail < 3.5)
+
+let test_fig8_gpu_breakdown () =
+  (* GPU runs spend a substantially larger share on the temperature update,
+     and communication is minor *)
+  List.iter
+    (fun g ->
+      let pcts = Prt.Breakdown.percentages (run_breakdown (Gpu g)) in
+      check_bool "temperature dominates" true (pcts.Prt.Breakdown.pct_temperature > 50.);
+      check_bool "communication minor" true (pcts.Prt.Breakdown.pct_communication < 15.))
+    [ 1; 2; 4; 8 ]
+
+let test_fig9_crossplots () =
+  (* Fortran scales worse: Finch band-parallel overtakes it at high rank
+     counts *)
+  check_bool "Fortran faster sequentially" true
+    (run_time (Fortran 1) < run_time (Bands 1));
+  check_bool "Finch bands faster at 55" true
+    (run_time (Bands 55) < run_time (Fortran 55));
+  (* "The best possible times were roughly equal between the 10 GPU run and
+     320 CPU run" *)
+  let ratio = run_time (Gpu 10) /. run_time (Cells 320) in
+  check_bool (Printf.sprintf "gpu10 ~ cells320 (ratio %.2f)" ratio) true
+    (ratio > 0.4 && ratio < 2.5);
+  (* "the best performance using 20 cores on a single CPU was slightly
+     slower than the same CPU using one core and one GPU" *)
+  check_bool "cpu20 slower than 1 gpu" true
+    (run_time (Cells 20) > run_time (Gpu 1))
+
+let test_calibration_sensitivity () =
+  (* doubling the network latency/byte-time can only slow communication *)
+  let slow_net =
+    { default with network = { Prt.Cluster.alpha = 4e-6; beta = 2. /. 0.5e9 } }
+  in
+  let base = run_breakdown (Bands 40) in
+  let slow = run_breakdown ~calib:slow_net (Bands 40) in
+  check_bool "comm grows with slower net" true
+    (slow.Prt.Breakdown.communication >= base.Prt.Breakdown.communication);
+  (* a faster GPU (A100) cannot make the hybrid slower *)
+  let a100 = { default with gpu = Gpu_sim.Spec.a100 } in
+  check_bool "A100 at least as fast" true
+    (run_time ~calib:a100 (Gpu 1) <= run_time (Gpu 1) *. 1.01)
+
+let test_shape_of_scenario () =
+  let s = shape_of_scenario Bte.Setup.paper_hotspot in
+  Alcotest.(check int) "cells" 14400 s.ncells;
+  Alcotest.(check int) "bands" 55 s.nbands;
+  Alcotest.(check int) "dirs" 20 s.ndirs;
+  Alcotest.(check int) "dofs" 15_840_000 (ndofs s)
+
+let suite =
+  ( "perfmodel",
+    [
+      Alcotest.test_case "sequential anchor (Fig 9)" `Quick test_sequential_anchor;
+      Alcotest.test_case "headline ~18x" `Quick test_headline_18x;
+      Alcotest.test_case "profiling table (Sec III-D)" `Quick test_profile_table;
+      Alcotest.test_case "Fig 4 scaling shapes" `Quick test_fig4_scaling_shapes;
+      Alcotest.test_case "Fig 4 efficiency" `Quick test_fig4_efficiency;
+      Alcotest.test_case "Fig 5 breakdown shape" `Quick test_fig5_breakdown_shape;
+      Alcotest.test_case "Fig 7 GPU scaling" `Quick test_fig7_gpu_scaling;
+      Alcotest.test_case "Fig 8 GPU breakdown" `Quick test_fig8_gpu_breakdown;
+      Alcotest.test_case "Fig 9 cross-comparisons" `Quick test_fig9_crossplots;
+      Alcotest.test_case "calibration sensitivity" `Quick test_calibration_sensitivity;
+      Alcotest.test_case "scenario shape" `Quick test_shape_of_scenario;
+    ] )

@@ -1,0 +1,172 @@
+(* Error-path and validation tests for the script-level problem builder. *)
+
+let check_bool = Alcotest.(check bool)
+
+let expect_problem_error f =
+  match f () with
+  | exception Finch.Problem.Problem_error _ -> ()
+  | _ -> Alcotest.fail "expected Problem_error"
+
+let fresh () =
+  let p = Finch.Problem.init "t" in
+  Finch.Problem.domain p 2;
+  Finch.Problem.set_mesh p (Fvm.Mesh_gen.rectangle ~nx:2 ~ny:2 ~lx:1. ~ly:1. ());
+  p
+
+let test_domain_validation () =
+  let p = fresh () in
+  expect_problem_error (fun () -> Finch.Problem.domain p 0);
+  expect_problem_error (fun () -> Finch.Problem.domain p 4)
+
+let test_steps_validation () =
+  let p = fresh () in
+  expect_problem_error (fun () -> Finch.Problem.set_steps p ~dt:0. ~nsteps:5);
+  expect_problem_error (fun () -> Finch.Problem.set_steps p ~dt:1e-3 ~nsteps:0)
+
+let test_mesh_dim_mismatch () =
+  let p = Finch.Problem.init "t" in
+  Finch.Problem.domain p 3;
+  expect_problem_error (fun () ->
+      Finch.Problem.set_mesh p (Fvm.Mesh_gen.rectangle ~nx:2 ~ny:2 ~lx:1. ~ly:1. ()))
+
+let test_duplicate_entities () =
+  let p = fresh () in
+  let _ = Finch.Problem.index p ~name:"d" ~range:(1, 4) in
+  expect_problem_error (fun () -> Finch.Problem.index p ~name:"d" ~range:(1, 2));
+  let _ = Finch.Problem.variable p ~name:"u" () in
+  expect_problem_error (fun () -> Finch.Problem.variable p ~name:"u" ());
+  let _ = Finch.Problem.coefficient p ~name:"k" (Finch.Entity.Const 1.) in
+  expect_problem_error (fun () ->
+      Finch.Problem.coefficient p ~name:"k" (Finch.Entity.Const 2.))
+
+let test_equation_unknown_entity () =
+  let p = fresh () in
+  let u = Finch.Problem.variable p ~name:"u" () in
+  expect_problem_error (fun () ->
+      Finch.Problem.conservation_form p u "-mystery*u")
+
+let test_no_equation () =
+  let p = fresh () in
+  let _ = Finch.Problem.variable p ~name:"u" () in
+  expect_problem_error (fun () -> ignore (Finch.Problem.the_equation p))
+
+let test_multiple_equations_rejected () =
+  let p = fresh () in
+  let u = Finch.Problem.variable p ~name:"u" () in
+  let v = Finch.Problem.variable p ~name:"v" () in
+  let _ = Finch.Problem.coefficient p ~name:"k" (Finch.Entity.Const 1.) in
+  let _ = Finch.Problem.conservation_form p u "-k*u" in
+  let _ = Finch.Problem.conservation_form p v "-k*v" in
+  expect_problem_error (fun () -> ignore (Finch.Problem.the_equation p))
+
+let test_fe_solver_rejected () =
+  let p = fresh () in
+  Finch.Problem.solver_type p Finch.Config.FE;
+  let u = Finch.Problem.variable p ~name:"u" () in
+  let _ = Finch.Problem.coefficient p ~name:"k" (Finch.Entity.Const 1.) in
+  expect_problem_error (fun () -> Finch.Problem.conservation_form p u "-k*u")
+
+let test_boundary_unknown_variable () =
+  let p = fresh () in
+  let ghost = Finch.Entity.variable ~name:"ghostvar" () in
+  expect_problem_error (fun () ->
+      Finch.Problem.boundary p ghost 1 Finch.Config.Flux "0")
+
+let test_unknown_callback_at_lowering () =
+  let p = fresh () in
+  Finch.Problem.set_steps p ~dt:1e-3 ~nsteps:1;
+  let u = Finch.Problem.variable p ~name:"u" () in
+  let _ = Finch.Problem.coefficient p ~name:"k" (Finch.Entity.Const 1.) in
+  Finch.Problem.initial p u (Finch.Problem.Init_const 0.);
+  (* register the callback so the bc parses as a callback form, then remove
+     it to simulate a missing import *)
+  Finch.Problem.callback_function p "mybc" (fun _ -> 0.);
+  Finch.Problem.boundary p u 1 Finch.Config.Flux "mybc(u, 1)";
+  p.Finch.Problem.callbacks <- [];
+  let _ = Finch.Problem.conservation_form p u "-k*u" in
+  (match Finch.Lower.build p with
+   | exception Finch.Lower.Lower_error _ -> ()
+   | _ -> Alcotest.fail "expected Lower_error for missing callback")
+
+let test_callback_numeric_args () =
+  let p = fresh () in
+  Finch.Problem.set_steps p ~dt:1e-4 ~nsteps:3;
+  let u = Finch.Problem.variable p ~name:"u" () in
+  let _ = Finch.Problem.coefficient p ~name:"k" (Finch.Entity.Const 1.) in
+  Finch.Problem.initial p u (Finch.Problem.Init_const 0.);
+  let seen = ref [] in
+  Finch.Problem.callback_function p "probe" (fun ctx ->
+      seen := Array.to_list ctx.Finch.Problem.bc_args :: !seen;
+      0.);
+  (* entity arguments are skipped, numeric literals collected in order *)
+  Finch.Problem.boundary p u 1 Finch.Config.Flux "probe(u, k, 300, 2.5)";
+  List.iter
+    (fun r -> Finch.Problem.boundary p u r Finch.Config.Flux "0")
+    [ 2; 3; 4 ];
+  let _ = Finch.Problem.conservation_form p u "-k*u" in
+  let _ = Finch.Solve.solve p in
+  (match !seen with
+   | args :: _ ->
+     Alcotest.(check (list (float 0.))) "collected numeric args" [ 300.; 2.5 ] args
+   | [] -> Alcotest.fail "callback never invoked")
+
+let test_initial_unknown_variable () =
+  let p = fresh () in
+  Finch.Problem.set_steps p ~dt:1e-3 ~nsteps:1;
+  let u = Finch.Problem.variable p ~name:"u" () in
+  let _ = Finch.Problem.coefficient p ~name:"k" (Finch.Entity.Const 1.) in
+  let ghost = Finch.Entity.variable ~name:"ghostvar" () in
+  Finch.Problem.initial p ghost (Finch.Problem.Init_const 1.);
+  let _ = Finch.Problem.conservation_form p u "-k*u" in
+  match Finch.Lower.build p with
+  | exception Finch.Lower.Lower_error _ -> ()
+  | _ -> Alcotest.fail "expected Lower_error for stray initial condition"
+
+let test_entity_validation () =
+  (match Finch.Entity.index ~name:"d" ~range:(3, 2) with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "empty index range must be rejected");
+  let d = Finch.Entity.index ~name:"d" ~range:(1, 4) in
+  (match Finch.Entity.coefficient ~name:"c" ~index:d (Finch.Entity.Arr [| 1.; 2. |]) with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "array/extent mismatch must be rejected");
+  let v = Finch.Entity.variable ~name:"v" ~indices:[ d ] () in
+  Alcotest.(check int) "ncomp" 4 (Finch.Entity.var_ncomp v);
+  Alcotest.(check int) "comp" 2 (Finch.Entity.var_comp v [ 2 ]);
+  (match Finch.Entity.var_comp v [ 9 ] with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "out-of-range component must be rejected")
+
+let test_target_names () =
+  check_bool "serial name" true
+    (Finch.Config.target_name (Finch.Config.Cpu Finch.Config.Serial) = "cpu-serial");
+  check_bool "bands name" true
+    (Finch.Config.target_name (Finch.Config.Cpu (Finch.Config.Band_parallel 4))
+     = "cpu-bands-4");
+  check_bool "gpu name" true
+    (Finch.Config.target_name
+       (Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; ranks = 2 })
+     = "gpu-A6000-2")
+
+let suite =
+  ( "problem",
+    [
+      Alcotest.test_case "domain validation" `Quick test_domain_validation;
+      Alcotest.test_case "steps validation" `Quick test_steps_validation;
+      Alcotest.test_case "mesh dim mismatch" `Quick test_mesh_dim_mismatch;
+      Alcotest.test_case "duplicate entities" `Quick test_duplicate_entities;
+      Alcotest.test_case "equation unknown entity" `Quick test_equation_unknown_entity;
+      Alcotest.test_case "no equation" `Quick test_no_equation;
+      Alcotest.test_case "multiple equations rejected" `Quick
+        test_multiple_equations_rejected;
+      Alcotest.test_case "FE solver rejected for conservationForm" `Quick
+        test_fe_solver_rejected;
+      Alcotest.test_case "boundary unknown variable" `Quick
+        test_boundary_unknown_variable;
+      Alcotest.test_case "unknown callback at lowering" `Quick
+        test_unknown_callback_at_lowering;
+      Alcotest.test_case "callback numeric args" `Quick test_callback_numeric_args;
+      Alcotest.test_case "stray initial condition" `Quick test_initial_unknown_variable;
+      Alcotest.test_case "entity validation" `Quick test_entity_validation;
+      Alcotest.test_case "target names" `Quick test_target_names;
+    ] )

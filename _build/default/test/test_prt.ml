@@ -1,0 +1,162 @@
+(* Parallel-runtime tests: breakdown accounting, network cost models and
+   the effects-based SPMD executor. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_breakdown_arith () =
+  let a =
+    Prt.Breakdown.make ~intensity:3. ~temperature:1. ~communication:0.5 ()
+  in
+  Tutil.check_close "total" 4.5 (Prt.Breakdown.total a);
+  let b = Prt.Breakdown.scale 2. a in
+  Tutil.check_close "scaled" 9. (Prt.Breakdown.total b);
+  let c = Prt.Breakdown.add a b in
+  Tutil.check_close "added" 13.5 (Prt.Breakdown.total c);
+  let p = Prt.Breakdown.percentages a in
+  Tutil.check_close "intensity pct" (100. *. 3. /. 4.5) p.Prt.Breakdown.pct_intensity;
+  Tutil.check_close "pcts sum to 100"
+    100.
+    (p.Prt.Breakdown.pct_intensity +. p.pct_temperature +. p.pct_communication
+     +. p.pct_boundary +. p.pct_other)
+
+let test_breakdown_record_timed () =
+  let b = Prt.Breakdown.zero () in
+  Prt.Breakdown.record b Prt.Breakdown.Intensity 1.5;
+  Prt.Breakdown.record b Prt.Breakdown.Communication 0.5;
+  let r = Prt.Breakdown.timed b Prt.Breakdown.Temperature (fun () -> 42) in
+  check_int "timed returns" 42 r;
+  check_bool "temperature recorded" true (b.Prt.Breakdown.temperature >= 0.);
+  Tutil.check_close "intensity" 1.5 b.Prt.Breakdown.intensity
+
+let test_network_models () =
+  let net = Prt.Cluster.default_network in
+  check_bool "p2p has latency floor" true
+    (Prt.Cluster.p2p net ~bytes:0 >= net.Prt.Cluster.alpha);
+  Tutil.check_close "allreduce p=1 free" 0. (Prt.Cluster.allreduce net ~p:1 ~bytes:1000);
+  let a2 = Prt.Cluster.allreduce net ~p:2 ~bytes:1000 in
+  let a16 = Prt.Cluster.allreduce net ~p:16 ~bytes:1000 in
+  check_bool "allreduce grows log p" true (a16 > a2 && a16 < 8. *. a2);
+  let g = Prt.Cluster.allgather net ~p:4 ~bytes_per_rank:100 in
+  check_bool "allgather positive" true (g > 0.);
+  Tutil.check_close "halo exchange sums"
+    (2. *. Prt.Cluster.p2p net ~bytes:50)
+    (Prt.Cluster.halo_exchange net ~neighbour_bytes:[ 50; 50 ]);
+  check_bool "broadcast grows with p" true
+    (Prt.Cluster.broadcast net ~p:8 ~bytes:100 > Prt.Cluster.broadcast net ~p:2 ~bytes:100)
+
+let test_spmd_barrier_order () =
+  (* events around a barrier: all "before" precede all "after" *)
+  let log = ref [] in
+  Prt.Spmd.run ~nranks:3 (fun rank ->
+      log := (`Before, rank) :: !log;
+      Prt.Spmd.barrier ();
+      log := (`After, rank) :: !log);
+  let events = List.rev !log in
+  let rec split acc = function
+    | (`Before, _) :: rest -> split (acc + 1) rest
+    | rest -> acc, rest
+  in
+  let nbefore, rest = split 0 events in
+  check_int "all befores first" 3 nbefore;
+  check_int "then all afters" 3 (List.length rest)
+
+let test_spmd_allreduce () =
+  let results = Array.make 4 [||] in
+  Prt.Spmd.run ~nranks:4 (fun rank ->
+      let a = [| float_of_int rank; 1.; float_of_int (rank * rank) |] in
+      Prt.Spmd.allreduce_sum a;
+      results.(rank) <- a);
+  Array.iter
+    (fun a ->
+      Tutil.check_close "sum of ranks" 6. a.(0);
+      Tutil.check_close "sum of ones" 4. a.(1);
+      Tutil.check_close "sum of squares" 14. a.(2))
+    results
+
+let test_spmd_multiple_rounds () =
+  let acc = Array.make 3 0. in
+  Prt.Spmd.run ~nranks:3 (fun rank ->
+      for _round = 1 to 5 do
+        let a = [| 1. |] in
+        Prt.Spmd.allreduce_sum a;
+        acc.(rank) <- acc.(rank) +. a.(0);
+        Prt.Spmd.barrier ()
+      done);
+  Array.iter (fun v -> Tutil.check_close "5 rounds of 3" 15. v) acc
+
+let test_spmd_single_rank () =
+  let hit = ref false in
+  Prt.Spmd.run ~nranks:1 (fun _ ->
+      let a = [| 2. |] in
+      Prt.Spmd.allreduce_sum a;
+      Tutil.check_close "identity reduce" 2. a.(0);
+      Prt.Spmd.barrier ();
+      hit := true);
+  check_bool "ran" true !hit
+
+let test_spmd_mismatch_detected () =
+  let mismatch () =
+    Prt.Spmd.run ~nranks:2 (fun rank ->
+        if rank = 0 then Prt.Spmd.barrier ()
+        (* rank 1 exits without reaching the barrier *))
+  in
+  match mismatch () with
+  | exception Prt.Spmd.Spmd_error _ -> ()
+  | () -> Alcotest.fail "expected Spmd_error"
+
+let test_spmd_length_mismatch () =
+  let bad () =
+    Prt.Spmd.run ~nranks:2 (fun rank ->
+        let a = Array.make (1 + rank) 0. in
+        Prt.Spmd.allreduce_sum a)
+  in
+  match bad () with
+  | exception Prt.Spmd.Spmd_error _ -> ()
+  | () -> Alcotest.fail "expected length mismatch error"
+
+let test_spmd_stress () =
+  (* many ranks, many mixed collective rounds: a prefix-sum style program
+     whose final values are checkable in closed form *)
+  let nranks = 16 and rounds = 30 in
+  let finals = Array.make nranks 0. in
+  Prt.Spmd.run ~nranks (fun rank ->
+      let acc = ref 0. in
+      for round = 1 to rounds do
+        let a = [| float_of_int (rank + round) |] in
+        Prt.Spmd.allreduce_sum a;
+        acc := !acc +. a.(0);
+        Prt.Spmd.barrier ()
+      done;
+      finals.(rank) <- !acc);
+  (* sum over rounds of sum over ranks of (rank + round) *)
+  let expected =
+    let n = float_of_int nranks and r = float_of_int rounds in
+    (r *. (n *. (n -. 1.) /. 2.)) +. (n *. (r *. (r +. 1.) /. 2.))
+  in
+  Array.iter (fun v -> Tutil.check_close "prefix sums" expected v) finals
+
+let test_vranks () =
+  let t = Prt.Vranks.create ~nranks:3 ~init:(fun r -> Array.make 2 (float_of_int r)) in
+  Prt.Vranks.superstep t
+    ~compute:(fun _ st -> st.(1) <- st.(0) *. 2.)
+    ~exchange:(fun _ -> ());
+  Tutil.check_close "rank 2 compute" 4. (Prt.Vranks.state t 2).(1);
+  Prt.Vranks.allreduce_sum t ~get:(fun st -> st) ~set:(fun st a -> Array.blit a 0 st 0 2) ~len:2;
+  Tutil.check_close "reduced" 3. (Prt.Vranks.state t 0).(0)
+
+let suite =
+  ( "prt",
+    [
+      Alcotest.test_case "breakdown arithmetic" `Quick test_breakdown_arith;
+      Alcotest.test_case "breakdown record/timed" `Quick test_breakdown_record_timed;
+      Alcotest.test_case "network cost models" `Quick test_network_models;
+      Alcotest.test_case "spmd barrier ordering" `Quick test_spmd_barrier_order;
+      Alcotest.test_case "spmd allreduce" `Quick test_spmd_allreduce;
+      Alcotest.test_case "spmd multiple rounds" `Quick test_spmd_multiple_rounds;
+      Alcotest.test_case "spmd single rank" `Quick test_spmd_single_rank;
+      Alcotest.test_case "spmd mismatch detected" `Quick test_spmd_mismatch_detected;
+      Alcotest.test_case "spmd length mismatch" `Quick test_spmd_length_mismatch;
+      Alcotest.test_case "spmd stress (16 ranks, 30 rounds)" `Quick test_spmd_stress;
+      Alcotest.test_case "vranks superstep" `Quick test_vranks;
+    ] )

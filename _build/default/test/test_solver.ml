@@ -1,0 +1,388 @@
+(* End-to-end solver tests on generic (non-BTE) problems: numerical
+   correctness of the generated code and exact agreement across every
+   execution target (serial, band-parallel, cell-parallel, threaded, GPU),
+   which the double-buffered explicit scheme guarantees. *)
+
+let check_bool = Alcotest.(check bool)
+
+(* A 2-D advection problem with an indexed variable u[d] carrying two
+   independent components advected in different directions — a miniature of
+   the BTE's direction coupling, with symmetric-enough structure to test
+   band partitioning on the index d. *)
+let make_advection ?(nx = 12) ?(ny = 12) ?(nsteps = 30) () =
+  let p = Finch.Problem.init "adv" in
+  Finch.Problem.domain p 2;
+  let mesh = Fvm.Mesh_gen.rectangle ~nx ~ny ~lx:1.0 ~ly:1.0 () in
+  Finch.Problem.set_mesh p mesh;
+  Finch.Problem.set_steps p ~dt:2e-3 ~nsteps;
+  let d = Finch.Problem.index p ~name:"d" ~range:(1, 4) in
+  let u = Finch.Problem.variable p ~name:"u" ~indices:[ d ] () in
+  let _ =
+    Finch.Problem.coefficient p ~name:"cx" ~index:d
+      (Finch.Entity.Arr [| 1.0; -1.0; 0.5; 0.0 |])
+  in
+  let _ =
+    Finch.Problem.coefficient p ~name:"cy" ~index:d
+      (Finch.Entity.Arr [| 0.0; 0.5; -1.0; 1.0 |])
+  in
+  let _ = Finch.Problem.coefficient p ~name:"k" (Finch.Entity.Const 0.3) in
+  Finch.Problem.initial p u
+    (Finch.Problem.Init_fn
+       (fun pos comp ->
+         let x = pos.(0) -. 0.5 and y = pos.(1) -. 0.5 in
+         exp (-20. *. ((x *. x) +. (y *. y))) *. (1. +. (0.1 *. float_of_int comp))));
+  (* all four sides: upwind outflow via ghost = interior *)
+  List.iter
+    (fun r -> Finch.Problem.boundary p u r Finch.Config.Dirichlet "u[d]")
+    [ 1; 2; 3; 4 ];
+  let _ =
+    Finch.Problem.conservation_form p u
+      "-k*u[d] - surface(upwind([cx[d];cy[d]], u[d]))"
+  in
+  p, mesh, u
+
+let run_with target p =
+  Finch.Problem.set_target p target;
+  Finch.Solve.solve p
+
+let fresh target =
+  let p, mesh, _ = make_advection () in
+  let o = run_with target p in
+  o, mesh
+
+let test_serial_physics () =
+  let o, mesh = fresh (Finch.Config.Cpu Finch.Config.Serial) in
+  let u = o.Finch.Solve.u in
+  (* decay + outflow: total mass decreases, stays positive *)
+  let mass = Fvm.Field.integral u mesh 0 in
+  check_bool "mass positive" true (mass > 0.);
+  check_bool "mass decayed" true (mass < 0.049 (* initial integral approx 0.157/pi... just bound loosely *) *. 10.);
+  (* no negative under/overshoots beyond tolerance: first-order upwind with
+     CFL-satisfying dt is monotone for the pure advection part; decay only
+     shrinks values *)
+  Fvm.Field.iter u (fun _ _ v ->
+      if v < -1e-12 || v > 1.2 then Alcotest.failf "out of bounds value %g" v)
+
+let test_component_independence () =
+  (* component 3 has velocity (0,1) and does not mix with others: running
+     with a different initial scale on one component must scale only it *)
+  let p1, _, u1 = make_advection () in
+  let p2, _, u2 = make_advection () in
+  ignore u1; ignore u2;
+  (* double component 0 of p2's initial condition *)
+  p2.Finch.Problem.initials <-
+    List.map
+      (fun (name, spec) ->
+        match spec with
+        | Finch.Problem.Init_fn f ->
+          ( name,
+            Finch.Problem.Init_fn
+              (fun pos comp -> if comp = 0 then 2. *. f pos comp else f pos comp) )
+        | s -> name, s)
+      p2.Finch.Problem.initials;
+  let o1 = run_with (Finch.Config.Cpu Finch.Config.Serial) p1 in
+  let o2 = run_with (Finch.Config.Cpu Finch.Config.Serial) p2 in
+  let f1 = o1.Finch.Solve.u and f2 = o2.Finch.Solve.u in
+  for cell = 0 to Fvm.Field.ncells f1 - 1 do
+    Tutil.check_close ~eps:1e-12 "comp0 doubled"
+      (2. *. Fvm.Field.get f1 cell 0)
+      (Fvm.Field.get f2 cell 0);
+    Tutil.check_close ~eps:1e-12 "comp2 unchanged"
+      (Fvm.Field.get f1 cell 2)
+      (Fvm.Field.get f2 cell 2)
+  done
+
+let targets_equal name t1 t2 =
+  let o1, _ = fresh t1 and o2, _ = fresh t2 in
+  let diff = Fvm.Field.max_abs_diff o1.Finch.Solve.u o2.Finch.Solve.u in
+  if diff > 1e-13 then Alcotest.failf "%s: max abs diff %g" name diff
+
+let test_band_parallel_equals_serial () =
+  List.iter
+    (fun n ->
+      targets_equal
+        (Printf.sprintf "bands %d" n)
+        (Finch.Config.Cpu Finch.Config.Serial)
+        (Finch.Config.Cpu (Finch.Config.Band_parallel n)))
+    [ 2; 3; 4 ]
+
+let test_cell_parallel_equals_serial () =
+  List.iter
+    (fun n ->
+      targets_equal
+        (Printf.sprintf "cells %d" n)
+        (Finch.Config.Cpu Finch.Config.Serial)
+        (Finch.Config.Cpu (Finch.Config.Cell_parallel n)))
+    [ 2; 3; 4; 7 ]
+
+let test_gpu_equals_serial () =
+  targets_equal "gpu"
+    (Finch.Config.Cpu Finch.Config.Serial)
+    (Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; ranks = 1 })
+
+let test_threaded_equals_serial () =
+  let p1, _, _ = make_advection () in
+  let o1 = run_with (Finch.Config.Cpu Finch.Config.Serial) p1 in
+  let p2, _, _ = make_advection () in
+  let r2 = Finch.Target_cpu.run_threaded p2 ~ndomains:3 in
+  let u2 = (Finch.Target_cpu.primary r2).Finch.Lower.u in
+  let diff = Fvm.Field.max_abs_diff o1.Finch.Solve.u u2 in
+  if diff > 1e-13 then Alcotest.failf "threaded: diff %g" diff
+
+let test_loop_order_invariance () =
+  (* permuting assembly loops must not change results *)
+  let p1, _, _ = make_advection () in
+  let o1 = run_with (Finch.Config.Cpu Finch.Config.Serial) p1 in
+  let p2, _, _ = make_advection () in
+  Finch.Problem.assembly_loops p2 [ "d"; "elements" ];
+  let o2 = run_with (Finch.Config.Cpu Finch.Config.Serial) p2 in
+  let diff = Fvm.Field.max_abs_diff o1.Finch.Solve.u o2.Finch.Solve.u in
+  if diff > 0. then Alcotest.failf "loop order changed results: %g" diff
+
+let test_assembly_loops_validation () =
+  let p, _, _ = make_advection () in
+  Finch.Problem.assembly_loops p [ "d" ];
+  (match run_with (Finch.Config.Cpu Finch.Config.Serial) p with
+   | exception Finch.Lower.Lower_error _ -> ()
+   | _ -> Alcotest.fail "missing elements loop should fail");
+  let p2, _, _ = make_advection () in
+  Finch.Problem.assembly_loops p2 [ "elements"; "nope" ];
+  match run_with (Finch.Config.Cpu Finch.Config.Serial) p2 with
+  | exception Finch.Lower.Lower_error _ -> ()
+  | _ -> Alcotest.fail "unknown index should fail"
+
+let test_dirichlet_inflow () =
+  (* 1-component inflow problem: constant inflow value propagates and the
+     steady state is bounded by the boundary value *)
+  let p = Finch.Problem.init "inflow" in
+  Finch.Problem.domain p 2;
+  let mesh = Fvm.Mesh_gen.rectangle ~nx:10 ~ny:3 ~lx:1.0 ~ly:0.3 () in
+  Finch.Problem.set_mesh p mesh;
+  Finch.Problem.set_steps p ~dt:2e-3 ~nsteps:2000;
+  let u = Finch.Problem.variable p ~name:"u" () in
+  let _ = Finch.Problem.coefficient p ~name:"cx" (Finch.Entity.Const 1.0) in
+  let _ = Finch.Problem.coefficient p ~name:"cy" (Finch.Entity.Const 0.0) in
+  Finch.Problem.initial p u (Finch.Problem.Init_const 0.);
+  Finch.Problem.boundary p u 4 Finch.Config.Dirichlet "2.5"; (* left inflow *)
+  Finch.Problem.boundary p u 2 Finch.Config.Dirichlet "u";   (* right outflow *)
+  (* top/bottom tangential: flux contribution is zero anyway (cy = 0) *)
+  Finch.Problem.boundary p u 1 Finch.Config.Dirichlet "u";
+  Finch.Problem.boundary p u 3 Finch.Config.Dirichlet "u";
+  let _ = Finch.Problem.conservation_form p u "-surface(upwind([cx;cy], u))" in
+  let o = Finch.Solve.solve p in
+  (* steady state: u = 2.5 everywhere *)
+  Fvm.Field.iter o.Finch.Solve.u (fun _ _ v ->
+      Tutil.check_close ~eps:1e-5 "steady inflow value" 2.5 v)
+
+let test_flux_bc_expression () =
+  (* prescribing zero flux on all boundaries conserves mass exactly
+     (pure advection, no decay) *)
+  let p = Finch.Problem.init "closed" in
+  Finch.Problem.domain p 2;
+  let mesh = Fvm.Mesh_gen.rectangle ~nx:8 ~ny:8 ~lx:1.0 ~ly:1.0 () in
+  Finch.Problem.set_mesh p mesh;
+  Finch.Problem.set_steps p ~dt:2e-3 ~nsteps:50;
+  let u = Finch.Problem.variable p ~name:"u" () in
+  let _ = Finch.Problem.coefficient p ~name:"cx" (Finch.Entity.Const 0.7) in
+  let _ = Finch.Problem.coefficient p ~name:"cy" (Finch.Entity.Const 0.3) in
+  Finch.Problem.initial p u
+    (Finch.Problem.Init_fn
+       (fun pos _ ->
+         exp (-30. *. (((pos.(0) -. 0.5) ** 2.) +. ((pos.(1) -. 0.5) ** 2.)))));
+  List.iter
+    (fun r -> Finch.Problem.boundary p u r Finch.Config.Flux "0")
+    [ 1; 2; 3; 4 ];
+  let _ = Finch.Problem.conservation_form p u "-surface(upwind([cx;cy], u))" in
+  let mass0 =
+    (* integrate the initial condition *)
+    let st = Finch.Lower.build p in
+    Fvm.Field.integral st.Finch.Lower.u mesh 0
+  in
+  let o = Finch.Solve.solve p in
+  let mass1 = Fvm.Field.integral o.Finch.Solve.u mesh 0 in
+  Tutil.check_close ~eps:1e-12 "mass conserved in closed box" mass0 mass1
+
+let test_post_step_callback_runs () =
+  let p, _, _ = make_advection ~nsteps:5 () in
+  let count = ref 0 in
+  Finch.Problem.post_step_function p (fun ctx ->
+      incr count;
+      Alcotest.(check int) "nranks" 1 ctx.Finch.Problem.st_nranks);
+  let _ = run_with (Finch.Config.Cpu Finch.Config.Serial) p in
+  Alcotest.(check int) "post-step called each step" 5 !count
+
+let test_rcb_band_gather () =
+  (* gather_unknown reconstructs the full field from band-partitioned
+     states without gaps *)
+  let p, _, _ = make_advection ~nsteps:3 () in
+  Finch.Problem.set_target p (Finch.Config.Cpu (Finch.Config.Band_parallel 3));
+  let o = Finch.Solve.solve p in
+  Fvm.Field.iter o.Finch.Solve.u (fun _ _ v ->
+      check_bool "no NaN after gather" true (not (Float.is_nan v)))
+
+(* pure decay du/dt = -k u: measure convergence order of the steppers *)
+let decay_error stepper ~dt ~nsteps =
+  let p = Finch.Problem.init "decay" in
+  Finch.Problem.domain p 2;
+  let mesh = Fvm.Mesh_gen.rectangle ~nx:2 ~ny:2 ~lx:1.0 ~ly:1.0 () in
+  Finch.Problem.set_mesh p mesh;
+  Finch.Problem.set_steps p ~dt ~nsteps;
+  Finch.Problem.time_stepper p stepper;
+  let u = Finch.Problem.variable p ~name:"u" () in
+  let _ = Finch.Problem.coefficient p ~name:"k" (Finch.Entity.Const 1.0) in
+  Finch.Problem.initial p u (Finch.Problem.Init_const 1.0);
+  let _ = Finch.Problem.conservation_form p u "-k*u" in
+  let o = Finch.Solve.solve p in
+  let exact = exp (-.(dt *. float_of_int nsteps)) in
+  Float.abs (Fvm.Field.get o.Finch.Solve.u 0 0 -. exact)
+
+let test_rk_convergence_order () =
+  (* halving dt divides the error by ~2^order *)
+  let order stepper =
+    let e1 = decay_error stepper ~dt:0.1 ~nsteps:10 in
+    let e2 = decay_error stepper ~dt:0.05 ~nsteps:20 in
+    log (e1 /. e2) /. log 2.
+  in
+  let o_euler = order Finch.Config.Euler_explicit in
+  let o_rk2 = order Finch.Config.RK2 in
+  check_bool
+    (Printf.sprintf "euler order ~1 (got %.2f)" o_euler)
+    true
+    (o_euler > 0.8 && o_euler < 1.2);
+  check_bool (Printf.sprintf "rk2 order ~2 (got %.2f)" o_rk2) true
+    (o_rk2 > 1.8 && o_rk2 < 2.2);
+  let o_rk4 = order Finch.Config.RK4 in
+  check_bool (Printf.sprintf "rk4 order ~4 (got %.2f)" o_rk4) true
+    (o_rk4 > 3.6 && o_rk4 < 4.4);
+  check_bool "rk4 small error" true
+    (decay_error Finch.Config.RK4 ~dt:0.1 ~nsteps:10 < 1e-5)
+
+let test_rk2_advection_consistent () =
+  (* RK2 on the advection problem stays close to Euler at small dt and is
+     stable *)
+  let p1, mesh, _ = make_advection ~nsteps:20 () in
+  Finch.Problem.time_stepper p1 Finch.Config.RK2;
+  let o = run_with (Finch.Config.Cpu Finch.Config.Serial) p1 in
+  let mass = Fvm.Field.integral o.Finch.Solve.u mesh 0 in
+  check_bool "rk2 stable mass" true (mass > 0. && mass < 1.);
+  Fvm.Field.iter o.Finch.Solve.u (fun _ _ v ->
+      check_bool "rk2 bounded" true (Float.abs v < 2.))
+
+let prop_upwind_maximum_principle =
+  (* property: pure upwind advection (no decay, closed box) with a
+     CFL-satisfying dt keeps the solution inside the initial bounds, for
+     random initial fields and velocities *)
+  QCheck.Test.make ~name:"upwind advection obeys the maximum principle"
+    ~count:15
+    QCheck.(triple (int_range 0 1000) (float_range (-1.) 1.) (float_range (-1.) 1.))
+    (fun (seed, cx, cy) ->
+      let p = Finch.Problem.init "maxp" in
+      Finch.Problem.domain p 2;
+      let mesh = Fvm.Mesh_gen.rectangle ~nx:8 ~ny:8 ~lx:1.0 ~ly:1.0 () in
+      Finch.Problem.set_mesh p mesh;
+      Finch.Problem.set_steps p ~dt:0.02 ~nsteps:15;
+      let u = Finch.Problem.variable p ~name:"u" () in
+      let _ = Finch.Problem.coefficient p ~name:"cx" (Finch.Entity.Const cx) in
+      let _ = Finch.Problem.coefficient p ~name:"cy" (Finch.Entity.Const cy) in
+      let rnd = Tutil.lcg (seed + 1) in
+      let values = Array.init 64 (fun _ -> rnd ()) in
+      Finch.Problem.initial p u
+        (Finch.Problem.Init_fn
+           (fun pos _ ->
+             let i = int_of_float (pos.(0) *. 8.) in
+             let j = int_of_float (pos.(1) *. 8.) in
+             values.((min 7 j * 8) + min 7 i)));
+      (* ghost = interior: outflow-only boundaries *)
+      List.iter
+        (fun r -> Finch.Problem.boundary p u r Finch.Config.Dirichlet "u")
+        [ 1; 2; 3; 4 ];
+      let _ = Finch.Problem.conservation_form p u "-surface(upwind([cx;cy], u))" in
+      let o = Finch.Solve.solve p in
+      let lo = Array.fold_left Float.min infinity values in
+      let hi = Array.fold_left Float.max neg_infinity values in
+      let ok = ref true in
+      Fvm.Field.iter o.Finch.Solve.u (fun _ _ v ->
+          if v < lo -. 1e-9 || v > hi +. 1e-9 then ok := false);
+      !ok)
+
+let test_point_implicit_stability () =
+  (* du/dt = -k u with dt*k = 50: explicit Euler oscillates/diverges, the
+     point-implicit update u' = u/(1 + dt k) is unconditionally stable *)
+  let run stepper =
+    let p = Finch.Problem.init "stiff" in
+    Finch.Problem.domain p 2;
+    Finch.Problem.set_mesh p (Fvm.Mesh_gen.rectangle ~nx:2 ~ny:2 ~lx:1. ~ly:1. ());
+    Finch.Problem.set_steps p ~dt:50.0 ~nsteps:10;
+    Finch.Problem.time_stepper p stepper;
+    let u = Finch.Problem.variable p ~name:"u" () in
+    let _ = Finch.Problem.coefficient p ~name:"k" (Finch.Entity.Const 1.0) in
+    Finch.Problem.initial p u (Finch.Problem.Init_const 1.0);
+    let _ = Finch.Problem.conservation_form p u "-k*u" in
+    let o = Finch.Solve.solve p in
+    Fvm.Field.get o.Finch.Solve.u 0 0
+  in
+  let explicit = run Finch.Config.Euler_explicit in
+  let implicit = run Finch.Config.Euler_point_implicit in
+  check_bool "explicit diverges" true (Float.abs explicit > 1e10);
+  check_bool "implicit decays monotonically" true
+    (implicit > 0. && implicit < 1e-10)
+
+let test_point_implicit_accuracy () =
+  (* first-order accurate on the smooth problem *)
+  let e1 = decay_error Finch.Config.Euler_point_implicit ~dt:0.1 ~nsteps:10 in
+  let e2 = decay_error Finch.Config.Euler_point_implicit ~dt:0.05 ~nsteps:20 in
+  let order = log (e1 /. e2) /. log 2. in
+  check_bool (Printf.sprintf "PI order ~1 (got %.2f)" order) true
+    (order > 0.8 && order < 1.2)
+
+let test_point_implicit_rejects_nonlinear () =
+  let eq =
+    Finch.Transform.conservation_form
+      (Finch.Entity.variable ~name:"u" ())
+      "-k*u^2"
+  in
+  match Finch.Transform.rvol_linearization eq with
+  | exception Finch.Transform.Equation_error _ -> ()
+  | _ -> Alcotest.fail "nonlinear volume term must be rejected"
+
+let test_linearization_of_bte_form () =
+  let d = Finch.Entity.index ~name:"d" ~range:(1, 4) in
+  let b = Finch.Entity.index ~name:"b" ~range:(1, 3) in
+  let vi = Finch.Entity.variable ~name:"I" ~indices:[ d; b ] () in
+  let eq =
+    Finch.Transform.conservation_form vi
+      "(Io[b] - I[d,b]) * beta[b] - surface(vg[b] * upwind([Sx[d];Sy[d]], I[d,b]))"
+  in
+  let lin = Finch.Transform.rvol_linearization eq in
+  (* -d/dI [(Io - I) beta] = beta *)
+  check_bool "linearization is beta[b]" true
+    (Finch_symbolic.Expr.equal lin
+       (Finch_symbolic.Expr.ref_ "beta" [ Finch_symbolic.Expr.Ivar "b" ]))
+
+let suite =
+  ( "solver",
+    [
+      Alcotest.test_case "serial physics" `Quick test_serial_physics;
+      Alcotest.test_case "component independence" `Quick test_component_independence;
+      Alcotest.test_case "band-parallel == serial" `Quick test_band_parallel_equals_serial;
+      Alcotest.test_case "cell-parallel == serial" `Quick test_cell_parallel_equals_serial;
+      Alcotest.test_case "gpu == serial" `Quick test_gpu_equals_serial;
+      Alcotest.test_case "threaded == serial" `Quick test_threaded_equals_serial;
+      Alcotest.test_case "loop order invariance" `Quick test_loop_order_invariance;
+      Alcotest.test_case "assembly loops validation" `Quick test_assembly_loops_validation;
+      Alcotest.test_case "dirichlet inflow steady state" `Quick test_dirichlet_inflow;
+      Alcotest.test_case "zero-flux closed box conserves mass" `Quick
+        test_flux_bc_expression;
+      Alcotest.test_case "post-step callback runs" `Quick test_post_step_callback_runs;
+      Alcotest.test_case "band gather completeness" `Quick test_rcb_band_gather;
+      Alcotest.test_case "RK convergence orders" `Quick test_rk_convergence_order;
+      Alcotest.test_case "RK2 advection stability" `Quick test_rk2_advection_consistent;
+      Alcotest.test_case "point-implicit unconditional stability" `Quick
+        test_point_implicit_stability;
+      Alcotest.test_case "point-implicit accuracy" `Quick test_point_implicit_accuracy;
+      Alcotest.test_case "point-implicit rejects nonlinear sources" `Quick
+        test_point_implicit_rejects_nonlinear;
+      Alcotest.test_case "BTE source linearization" `Quick
+        test_linearization_of_bte_form;
+      QCheck_alcotest.to_alcotest prop_upwind_maximum_principle;
+    ] )

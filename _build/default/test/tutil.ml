@@ -1,0 +1,27 @@
+(* Shared helpers for the test suites. *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  if m = 0 then true
+  else begin
+    let rec go i =
+      if i + m > n then false
+      else if String.sub s i m = sub then true
+      else go (i + 1)
+    in
+    go 0
+  end
+
+let feq ?(eps = 1e-12) a b =
+  Float.abs (a -. b) <= eps *. (1. +. Float.max (Float.abs a) (Float.abs b))
+
+let check_close ?(eps = 1e-12) name expected got =
+  if not (feq ~eps expected got) then
+    Alcotest.failf "%s: expected %.17g, got %.17g (eps %g)" name expected got eps
+
+(* a deterministic pseudo-random float sequence for field initialisation *)
+let lcg seed =
+  let state = ref seed in
+  fun () ->
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    float_of_int !state /. float_of_int 0x3FFFFFFF
