@@ -279,6 +279,134 @@ let e8 ~measured =
   row "\n(paper: T in [100, 150] K, heat spreading from the corner)\n"
 
 (* ------------------------------------------------------------------ *)
+(* E11: execution engines — persistent pool vs respawn, tape vs closure *)
+(* ------------------------------------------------------------------ *)
+
+(* all rows are real reduced-scale solves on this machine; small steps and
+   many of them, so per-step runtime overhead (the respawn executor's
+   Domain.spawn/join churn) is resolvable against the sweep work *)
+let e11_scenario =
+  { Bte.Setup.small_hotspot with
+    Bte.Setup.nx = 8; ny = 8; ndirs = 4; n_la_bands = 4; nsteps = 200 }
+
+let e11_rows () =
+  let sc = e11_scenario in
+  let ndomains = 4 in
+  let wall f =
+    let built = Bte.Setup.build sc in
+    let t0 = Unix.gettimeofday () in
+    let r = f built.Bte.Setup.problem in
+    Unix.gettimeofday () -. t0, r
+  in
+  (* every executor row uses the default (closure) evaluator so the rows
+     differ only in runtime; the explicit tape row isolates the evaluator *)
+  let solve_with ?(eval = Finch.Config.Closure) target p =
+    Finch.Problem.set_eval_mode p eval;
+    Finch.Problem.set_target p target;
+    ignore (Finch.Solve.solve ~band_index:"b" p)
+  in
+  let t_serial_closure, () =
+    wall (solve_with (Finch.Config.Cpu Finch.Config.Serial))
+  in
+  let t_serial, () =
+    wall
+      (solve_with ~eval:Finch.Config.Tape (Finch.Config.Cpu Finch.Config.Serial))
+  in
+  let t_respawn, () =
+    wall (fun p -> ignore (Finch.Target_cpu.run_threaded_respawn p ~ndomains))
+  in
+  let t_pool, () =
+    wall (solve_with (Finch.Config.Cpu (Finch.Config.Threaded ndomains)))
+  in
+  let t_hybrid, () =
+    wall (solve_with (Finch.Config.Cpu (Finch.Config.Hybrid (2, 2))))
+  in
+  (* tape statistics from a solve whose primary state does the sweeping
+     (under the pool executors the workers hold the hot tapes) *)
+  let tape_stats =
+    let built = Bte.Setup.build sc in
+    Finch.Problem.set_eval_mode built.Bte.Setup.problem Finch.Config.Tape;
+    let o = Finch.Solve.solve ~band_index:"b" built.Bte.Setup.problem in
+    let st = o.Finch.Solve.states.(0) in
+    List.map
+      (fun (name, t) ->
+        let expr =
+          match name with
+          | "rvol" -> st.Finch.Lower.eq.Finch.Transform.rvol
+          | _ -> st.Finch.Lower.eq.Finch.Transform.rsurf
+        in
+        let tree = Finch.Eval.cost expr in
+        let tape_c = Finch.Eval.tape_cost t in
+        ( name,
+          Finch.Eval.tape_length t,
+          Finch.Eval.tape_runs t,
+          Finch.Eval.tape_executed t,
+          tree.Finch.Eval.flops,
+          tape_c.Finch.Eval.flops ))
+      st.Finch.Lower.tapes
+  in
+  (t_serial, t_serial_closure, t_respawn, t_pool, t_hybrid, ndomains), tape_stats
+
+let e11 ~measured =
+  ignore measured;
+  section
+    "E11 - execution engines: persistent domain pool and tape evaluator (measured)";
+  let sc = e11_scenario in
+  row "reduced scale %dx%d, %d dirs, %d steps; all rows real solves\n"
+    sc.Bte.Setup.nx sc.Bte.Setup.ny sc.Bte.Setup.ndirs sc.Bte.Setup.nsteps;
+  let (ts, tsc, tr, tp, th, nd), tapes = e11_rows () in
+  row "  %-28s %8.3f s\n" "serial (tape)" ts;
+  row "  %-28s %8.3f s\n" "serial (closure)" tsc;
+  row "  %-28s %8.3f s\n" (Printf.sprintf "threads(%d) spawn-per-step" nd) tr;
+  row "  %-28s %8.3f s  (%.2fx vs respawn)\n"
+    (Printf.sprintf "threads(%d) persistent pool" nd)
+    tp (tr /. tp);
+  row "  %-28s %8.3f s\n" "hybrid 2 ranks x 2 threads" th;
+  List.iter
+    (fun (name, len, runs, exec, tree_flops, tape_flops) ->
+      let per_run = float_of_int exec /. float_of_int (max 1 runs) in
+      row
+        "  tape %-6s %3d ops (tree %.0f flops -> tape %.0f), executed %.1f/run \
+         (%.0f%% skipped)\n"
+        name len tree_flops tape_flops per_run
+        (100. *. (1. -. (per_run /. float_of_int len))))
+    tapes
+
+let e11_json path =
+  let (ts, tsc, tr, tp, th, nd), tapes = e11_rows () in
+  let sc = e11_scenario in
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"scenario\": { \"nx\": %d, \"ny\": %d, \"ndirs\": %d, \"nsteps\": %d },\n"
+    sc.Bte.Setup.nx sc.Bte.Setup.ny sc.Bte.Setup.ndirs sc.Bte.Setup.nsteps;
+  p "  \"ndomains\": %d,\n" nd;
+  p "  \"wall_s\": {\n";
+  p "    \"serial_tape\": %.6f,\n" ts;
+  p "    \"serial_closure\": %.6f,\n" tsc;
+  p "    \"threaded_respawn\": %.6f,\n" tr;
+  p "    \"threaded_pool\": %.6f,\n" tp;
+  p "    \"hybrid_2x2\": %.6f\n" th;
+  p "  },\n";
+  p "  \"pool_speedup_vs_respawn\": %.4f,\n" (tr /. tp);
+  p "  \"tapes\": {\n";
+  List.iteri
+    (fun i (name, len, runs, exec, tree_flops, tape_flops) ->
+      p
+        "    \"%s\": { \"ops\": %d, \"runs\": %d, \"executed\": %d, \
+         \"executed_per_run\": %.3f, \"tree_flops\": %.1f, \"tape_flops\": \
+         %.1f }%s\n"
+        name len runs exec
+        (float_of_int exec /. float_of_int (max 1 runs))
+        tree_flops tape_flops
+        (if i = List.length tapes - 1 then "" else ","))
+    tapes;
+  p "  }\n";
+  p "}\n";
+  close_out oc;
+  row "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (bechamel)                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -291,8 +419,12 @@ let micro () =
   let refsolver = Bte.Reference.create sc in
   let built = Bte.Setup.build sc in
   let st = Finch.Lower.build built.Bte.Setup.problem in
+  let built_tp = Bte.Setup.build sc in
+  Finch.Problem.set_eval_mode built_tp.Bte.Setup.problem Finch.Config.Tape;
+  let st_tp = Finch.Lower.build built_tp.Bte.Setup.problem in
   let mesh = built.Bte.Setup.mesh in
   let part = Fvm.Partition.rcb_mesh mesh ~nparts:4 in
+  let pool = Prt.Pool.create ~size:4 in
   let tests =
     [
       (* E2/E7: the intensity sweep, hand-written and DSL-generated *)
@@ -300,6 +432,16 @@ let micro () =
         (Staged.stage (fun () -> Bte.Reference.sweep refsolver));
       Test.make ~name:"e2-dsl-sweep"
         (Staged.stage (fun () -> Finch.Lower.sweep st));
+      (* E11: tape vs closure evaluation of the same sweep *)
+      Test.make ~name:"e11-dsl-sweep-tape"
+        (Staged.stage (fun () -> Finch.Lower.sweep st_tp));
+      (* E11: pool region dispatch vs per-region domain spawn/join *)
+      Test.make ~name:"e11-pool-region"
+        (Staged.stage (fun () -> Prt.Pool.run pool (fun _ -> ())));
+      Test.make ~name:"e11-domain-spawn-join"
+        (Staged.stage (fun () ->
+             let ds = Array.init 3 (fun _ -> Domain.spawn (fun () -> ())) in
+             Array.iter Domain.join ds));
       (* E3/E5: temperature update *)
       Test.make ~name:"e3-temperature-update"
         (Staged.stage (fun () -> Bte.Reference.temperature_update refsolver));
@@ -350,7 +492,8 @@ let micro () =
           | Some [ ns ] -> row "  %-36s %14.1f ns/run\n" name ns
           | _ -> row "  %-36s (no estimate)\n" name)
         analyzed)
-    tests
+    tests;
+  Prt.Pool.shutdown pool
 
 (* ------------------------------------------------------------------ *)
 (* Ablations: sensitivity of the reproduced figures to the modelling      *)
@@ -444,17 +587,25 @@ let ablate () =
 
 let all_experiments =
   [ "e1", e1; "e2", e2; "e3", e3; "e4", e4; "e5", e5; "e6", e6; "e7", e7;
-    "e8", e8 ]
+    "e8", e8; "e11", e11 ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let measured = List.mem "--measured" args in
-  let selected = List.filter (fun a -> a <> "--measured") args in
+  let json = List.mem "--json" args in
+  let selected =
+    List.filter (fun a -> a <> "--measured" && a <> "--json") args
+  in
   let run_micro = List.mem "micro" selected in
   let run_ablate = List.mem "ablate" selected in
   let selected =
     List.filter (fun a -> a <> "micro" && a <> "ablate") selected
   in
+  if json then begin
+    (* `bench/main.exe --json`: just the measured executor comparison *)
+    e11_json "BENCH_cpu.json";
+    exit 0
+  end;
   Printf.printf
     "Phonon-BTE DSL reproduction benches (paper: IPDPS 2024, 10.1109/IPDPS57955.2024.00045)\n";
   Printf.printf

@@ -36,8 +36,21 @@ let target_t =
     & opt string "serial"
     & info [ "target" ] ~docv:"TARGET"
         ~doc:
-          "Execution target: serial, bands:N, cells:N, threads:N, or gpu \
+          "Execution target: serial, bands:N, cells:N, threads:N (persistent \
+           domain pool), hybrid:R:D (R band ranks x D pool domains), or gpu \
            (simulated A6000).")
+
+let eval_mode_t =
+  Arg.(
+    value
+    & opt (enum [ "tape", Finch.Config.Tape; "closure", Finch.Config.Closure ])
+        Finch.Config.Closure
+    & info [ "eval" ] ~docv:"MODE"
+        ~doc:
+          "Right-hand-side evaluator: closure (plain closure tree, the \
+           default) or tape (register tape with CSE and invariant \
+           hoisting; fewer executed ops, with per-evaluation cache \
+           bookkeeping).")
 
 let csv_t =
   Arg.(
@@ -67,11 +80,16 @@ let parse_target s =
     | _ -> Error "bad rank count")
   | [ "threads"; n ] -> (
     match int_of_string_opt n with
-    | Some n when n > 0 -> Ok (`Threads n)
+    | Some n when n > 0 -> Ok (`Cpu (Finch.Config.Threaded n))
     | _ -> Error "bad domain count")
+  | [ "hybrid"; r; d ] -> (
+    match int_of_string_opt r, int_of_string_opt d with
+    | Some r, Some d when r > 0 && d > 0 ->
+      Ok (`Cpu (Finch.Config.Hybrid (r, d)))
+    | _ -> Error "bad rank/domain counts")
   | _ -> Error ("unknown target " ^ s)
 
-let run_cmd scenario nx ny ndirs nbands nsteps target csv paper_scale =
+let run_cmd scenario nx ny ndirs nbands nsteps target eval_mode csv paper_scale =
   let base =
     match scenario, paper_scale with
     | `Hotspot, true -> Bte.Setup.paper_hotspot
@@ -95,6 +113,7 @@ let run_cmd scenario nx ny ndirs nbands nsteps target csv paper_scale =
       base.Bte.Setup.sname base.Bte.Setup.nx base.Bte.Setup.ny base.Bte.Setup.ndirs
       (Bte.Dispersion.nbands built.Bte.Setup.disp)
       base.Bte.Setup.nsteps built.Bte.Setup.scenario.Bte.Setup.dt;
+    Finch.Problem.set_eval_mode built.Bte.Setup.problem eval_mode;
     let t0 = Unix.gettimeofday () in
     let outcome =
       match tgt with
@@ -104,18 +123,23 @@ let run_cmd scenario nx ny ndirs nbands nsteps target csv paper_scale =
       | `Gpu ->
         Finch.Problem.use_cuda built.Bte.Setup.problem;
         Finch.Solve.solve ~post_io:Bte.Setup.post_io built.Bte.Setup.problem
-      | `Threads n ->
-        let r = Finch.Target_cpu.run_threaded built.Bte.Setup.problem ~ndomains:n in
-        let st = Finch.Target_cpu.primary r in
-        {
-          Finch.Solve.u = st.Finch.Lower.u;
-          fields = st.Finch.Lower.fields;
-          breakdown = r.Finch.Target_cpu.breakdown;
-          gpu = None;
-          states = r.Finch.Target_cpu.states;
-        }
     in
     Printf.printf "wall time %.2f s\n" (Unix.gettimeofday () -. t0);
+    (match outcome.Finch.Solve.states.(0).Finch.Lower.tapes with
+     | [] -> ()
+     | tapes ->
+       List.iter
+         (fun (name, t) ->
+           let runs = Finch.Eval.tape_runs t in
+           if runs > 0 then
+             Printf.printf "tape %-6s: %3d ops, executed %.1f/run (%.0f%% skipped)\n"
+               name (Finch.Eval.tape_length t)
+               (float_of_int (Finch.Eval.tape_executed t) /. float_of_int runs)
+               (100.
+                *. (1.
+                    -. float_of_int (Finch.Eval.tape_executed t)
+                       /. float_of_int (runs * Finch.Eval.tape_length t))))
+         tapes);
     let ft = Finch.Solve.field outcome "T" in
     let stats =
       Bte.Diag.temperature_stats built.Bte.Setup.mesh ft
@@ -139,7 +163,7 @@ let run_cmd scenario nx ny ndirs nbands nsteps target csv paper_scale =
 let run_term =
   Term.(
     const run_cmd $ scenario_t $ nx_t $ ny_t $ ndirs_t $ nbands_t $ nsteps_t
-    $ target_t $ csv_t $ paper_scale_t)
+    $ target_t $ eval_mode_t $ csv_t $ paper_scale_t)
 
 let run_info =
   Cmd.info "run" ~doc:"Solve a BTE scenario with a chosen execution target."
@@ -155,10 +179,21 @@ let procs_t =
 let strategy_t =
   Arg.(
     value
-    & opt (enum [ "bands", `Bands; "cells", `Cells; "gpu", `Gpu; "fortran", `Fortran ]) `Bands
-    & info [ "strategy" ] ~docv:"NAME" ~doc:"Strategy: bands, cells, gpu or fortran.")
+    & opt
+        (enum
+           [ "bands", `Bands; "cells", `Cells; "threads", `Threads;
+             "hybrid", `Hybrid; "gpu", `Gpu; "fortran", `Fortran ])
+        `Bands
+    & info [ "strategy" ] ~docv:"NAME"
+        ~doc:"Strategy: bands, cells, threads, hybrid, gpu or fortran.")
 
-let model_cmd strategy procs =
+let pool_t =
+  Arg.(
+    value & opt int 4
+    & info [ "pool" ] ~docv:"N"
+        ~doc:"Pool domains per rank for the hybrid strategy.")
+
+let model_cmd strategy pool procs =
   Printf.printf "%-8s %12s %12s %14s %16s\n" "p" "total [s]" "intensity%"
     "temperature%" "communication%";
   List.iter
@@ -167,6 +202,8 @@ let model_cmd strategy procs =
         match strategy with
         | `Bands -> Bte.Perfmodel.Bands p
         | `Cells -> Bte.Perfmodel.Cells p
+        | `Threads -> Bte.Perfmodel.Threads p
+        | `Hybrid -> Bte.Perfmodel.Hybrid (p, pool)
         | `Gpu -> Bte.Perfmodel.Gpu p
         | `Fortran -> Bte.Perfmodel.Fortran p
       in
@@ -179,7 +216,7 @@ let model_cmd strategy procs =
       | exception Invalid_argument m -> Printf.printf "%-8d %s\n" p m)
     procs
 
-let model_term = Term.(const model_cmd $ strategy_t $ procs_t)
+let model_term = Term.(const model_cmd $ strategy_t $ pool_t $ procs_t)
 
 let model_info =
   Cmd.info "model"

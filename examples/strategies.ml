@@ -31,6 +31,8 @@ let () =
   let strategies =
     [ "band-parallel (4)", Finch.Config.Cpu (Finch.Config.Band_parallel 4);
       "cell-parallel (4)", Finch.Config.Cpu (Finch.Config.Cell_parallel 4);
+      "threads (pool of 4)", Finch.Config.Cpu (Finch.Config.Threaded 4);
+      "hybrid (2 ranks x 2)", Finch.Config.Cpu (Finch.Config.Hybrid (2, 2));
       "hybrid CPU+GPU", Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; ranks = 1 } ]
   in
   List.iter
@@ -43,17 +45,6 @@ let () =
       Printf.printf "%-22s %6.2f s   max relative deviation vs serial: %.2e\n%!"
         name t diff)
     strategies;
-
-  (* threaded (OCaml domains) *)
-  let built = Setup.build sc in
-  let (rt, t_thr) =
-    wall (fun () -> Finch.Target_cpu.run_threaded built.Setup.problem ~ndomains:4)
-  in
-  let u_thr = (Finch.Target_cpu.primary rt).Finch.Lower.u in
-  Printf.printf "%-22s %6.2f s   max relative deviation vs serial: %.2e\n%!"
-    "threaded (4 domains)" t_thr
-    (Fvm.Field.max_abs_diff serial.Finch.Solve.u u_thr
-     /. Fvm.Field.max_abs serial.Finch.Solve.u);
 
   (* assemblyLoops: band loop outermost, as in the paper's listing
      assemblyLoops([band, "cells", direction]) *)

@@ -176,6 +176,46 @@ let step_cpu_cells c s ~p =
   Prt.Breakdown.make ~intensity:(intensity +. boundary) ~temperature:temp
     ~communication:comm ()
 
+(* shared-memory pool over cell ranges (one process): the intensity sweep
+   and its boundary part scale with the thread count, the temperature
+   update stays serial on the base thread, and there is no network —
+   the only overhead is barrier wait from load imbalance, modelled with
+   the same jitter term as the collectives *)
+let step_cpu_threads c s ~p =
+  if p > s.ncells then invalid_arg "Perfmodel: more threads than cells";
+  let mc = max_cells s p in
+  let comp = s.ndirs * s.nbands in
+  let intensity = float_of_int (mc * comp) *. c.dsl_dof_time in
+  let boundary =
+    float_of_int (s.boundary_faces * comp) /. float_of_int p *. c.boundary_dof_time
+  in
+  let temp, _ = temp_band c s ~p:1 in
+  let barrier = sync_wait c ~p ~compute:intensity in
+  Prt.Breakdown.make ~intensity:(intensity +. boundary) ~temperature:temp
+    ~communication:barrier ()
+
+(* MPI+threads hybrid: band-parallel ranks whose sweeps run on a t-thread
+   pool — per-rank intensity shrinks by the thread count on top of the
+   band slice, the allreduce still crosses ranks *)
+let step_cpu_hybrid c s ~p ~t =
+  if p > s.nbands then invalid_arg "Perfmodel: more ranks than bands";
+  if t > s.ncells then invalid_arg "Perfmodel: more threads than cells";
+  let mb = max_bands s p in
+  let mc = max_cells s t in
+  let intensity = float_of_int (mc * s.ndirs * mb) *. c.dsl_dof_time in
+  let boundary =
+    float_of_int (s.boundary_faces * s.ndirs * mb)
+    /. float_of_int t *. c.boundary_dof_time
+  in
+  let temp, comm = temp_band c s ~p in
+  let comm =
+    comm
+    +. sync_wait c ~p ~compute:intensity
+    +. sync_wait c ~p:t ~compute:intensity
+  in
+  Prt.Breakdown.make ~intensity:(intensity +. boundary) ~temperature:temp
+    ~communication:comm ()
+
 let step_fortran c s ~p =
   if p > s.nbands then invalid_arg "Perfmodel: more ranks than bands";
   let mb = max_bands s p in
@@ -231,13 +271,25 @@ let step_gpu c s ~p =
 (* Whole-run times                                                      *)
 (* ------------------------------------------------------------------ *)
 
-type strategy = Serial | Bands of int | Cells of int | Gpu of int | Fortran of int
+type strategy =
+  | Serial
+  | Bands of int
+  | Cells of int
+  | Threads of int        (* shared-memory domain pool, one process *)
+  | Hybrid of int * int   (* band-parallel ranks x pool threads *)
+  | Gpu of int
+  | Fortran of int
 
 let step_breakdown ?(calib = default) ?(shape = paper_shape) strategy =
   match strategy with
   | Serial -> step_cpu_serial calib shape
   | Bands p -> if p = 1 then step_cpu_serial calib shape else step_cpu_bands calib shape ~p
   | Cells p -> if p = 1 then step_cpu_serial calib shape else step_cpu_cells calib shape ~p
+  | Threads p ->
+    if p = 1 then step_cpu_serial calib shape else step_cpu_threads calib shape ~p
+  | Hybrid (p, t) ->
+    if p = 1 then step_cpu_threads calib shape ~p:t
+    else step_cpu_hybrid calib shape ~p ~t
   | Gpu p -> step_gpu calib shape ~p
   | Fortran p -> step_fortran calib shape ~p
 

@@ -49,7 +49,9 @@ type strategy =
   | Serial
   | Bands of int
   | Cells of int
-  | Gpu of int     (** band partitioning, one device per rank *)
+  | Threads of int      (** shared-memory domain pool, one process *)
+  | Hybrid of int * int (** band-parallel ranks x pool threads *)
+  | Gpu of int          (** band partitioning, one device per rank *)
   | Fortran of int
 
 val step_breakdown : ?calib:calib -> ?shape:shape -> strategy -> Prt.Breakdown.t

@@ -30,11 +30,17 @@ type bc_kind =
 
 let bc_kind_name = function Flux -> "FLUX" | Dirichlet -> "DIRICHLET"
 
-(* Parallel execution strategies explored in the paper (Section III-C/D). *)
+(* Parallel execution strategies explored in the paper (Section III-C/D),
+   plus the shared-memory pool and MPI+threads hybrid extensions. *)
 type strategy =
   | Serial
   | Cell_parallel of int  (* mesh partitioned into n pieces *)
   | Band_parallel of int  (* equation index space partitioned into n pieces *)
+  | Threaded of int       (* shared-memory domain pool over cell ranges *)
+  | Hybrid of int * int
+    (* band-parallel ranks x pool domains per rank: each SPMD rank owns a
+       band slice and sweeps its cells on a shared persistent domain pool
+       (the paper's MPI+threads hybrid) *)
 
 type target =
   | Cpu of strategy
@@ -46,4 +52,13 @@ let target_name = function
   | Cpu Serial -> "cpu-serial"
   | Cpu (Cell_parallel n) -> Printf.sprintf "cpu-cells-%d" n
   | Cpu (Band_parallel n) -> Printf.sprintf "cpu-bands-%d" n
+  | Cpu (Threaded n) -> Printf.sprintf "cpu-threads-%d" n
+  | Cpu (Hybrid (r, d)) -> Printf.sprintf "cpu-hybrid-%dx%d" r d
   | Gpu { spec; ranks } -> Printf.sprintf "gpu-%s-%d" spec.Gpu_sim.Spec.name ranks
+
+(* How the equation's right-hand sides are executed: as a compiled closure
+   tree, or as a flat register tape with common-subexpression elimination
+   and loop-invariant caching (see Eval). *)
+type eval_mode = Closure | Tape
+
+let eval_mode_name = function Closure -> "closure" | Tape -> "tape"

@@ -21,14 +21,24 @@ type bc_kind =
 
 val bc_kind_name : bc_kind -> string
 
-(** Parallel execution strategies explored in the paper (Sec. III-C/D). *)
+(** Parallel execution strategies explored in the paper (Sec. III-C/D),
+    plus shared-memory extensions. *)
 type strategy =
   | Serial
   | Cell_parallel of int (** mesh partitioned into n pieces *)
   | Band_parallel of int (** equation index space partitioned into n pieces *)
+  | Threaded of int      (** shared-memory domain pool over cell ranges *)
+  | Hybrid of int * int
+    (** band-parallel ranks x pool domains per rank (MPI+threads hybrid) *)
 
 type target =
   | Cpu of strategy
   | Gpu of { spec : Gpu_sim.Spec.t; ranks : int }
 
 val target_name : target -> string
+
+(** How compiled right-hand sides are executed: closure tree, or flat
+    register tape with CSE and loop-invariant caching. *)
+type eval_mode = Closure | Tape
+
+val eval_mode_name : eval_mode -> string

@@ -144,6 +144,9 @@ let build_cpu (p : Problem.t) =
   let comm =
     match strategy with
     | Config.Serial -> []
+    | Config.Threaded _ ->
+      (* shared memory: the pool barrier replaces explicit communication *)
+      []
     | Config.Cell_parallel _ ->
       [ Halo_exchange
           {
@@ -151,7 +154,7 @@ let build_cpu (p : Problem.t) =
             note = meta ~comment:"neighbour values along partition interfaces"
                      ~phase:Ph_communication ();
           } ]
-    | Config.Band_parallel _ ->
+    | Config.Band_parallel _ | Config.Hybrid _ ->
       [ Allreduce
           {
             what = "cell energy (band reduction for the temperature update)";

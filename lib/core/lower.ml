@@ -48,6 +48,9 @@ type state = {
   loops : loop_entry list;
   (* -d(rvol)/du, compiled lazily (used by the point-implicit stepper) *)
   rvol_du_f : Eval.compiled Lazy.t;
+  (* tape handles behind rvol_f/rsurf_f when eval_mode = Tape, for op
+     statistics; empty in closure mode *)
+  tapes : (string * Eval.tape) list;
 }
 
 and loop_entry =
@@ -135,10 +138,18 @@ let rec build ?(info = serial_rankinfo) ?share_with (p : Problem.t) : state =
   in
   let index_names = List.map (fun i -> i.Entity.iname) p.Problem.indices in
   let env = Eval.make_env ~mesh ~dt ~time ~index_names in
-  let rvol_f = Eval.compile bindings eq.Transform.rvol in
-  let rsurf_f = Eval.compile bindings eq.Transform.rsurf in
+  let compile_rhs name e =
+    match p.Problem.eval_mode with
+    | Config.Closure -> Eval.compile bindings e, None
+    | Config.Tape ->
+      let t = Eval.compile_tape bindings e in
+      Eval.tape_compiled t, Some (name, t)
+  in
+  let rvol_f, rvol_t = compile_rhs "rvol" eq.Transform.rvol in
+  let rsurf_f, rsurf_t = compile_rhs "rsurf" eq.Transform.rsurf in
+  let tapes = List.filter_map Fun.id [ rvol_t; rsurf_t ] in
   let rvol_du_f =
-    lazy (Eval.compile bindings (Transform.rvol_linearization eq))
+    lazy (fst (compile_rhs "rvol_du" (Transform.rvol_linearization eq)))
   in
   (* component of the unknown from current index values *)
   let ucomp =
@@ -222,6 +233,7 @@ let rec build ?(info = serial_rankinfo) ?share_with (p : Problem.t) : state =
       breakdown = Prt.Breakdown.zero ();
       loops;
       rvol_du_f;
+      tapes;
     }
   in
   (match share_with with
@@ -255,6 +267,9 @@ let index_range st name extent =
    loop order.  [f] is called with loop state already set in [st.env]. *)
 let iterate_dofs st (f : unit -> unit) =
   let env = st.env in
+  (* mutable inputs (fields, dt, time) may have changed since the last
+     traversal: invalidate tape caches *)
+  Eval.bump_epoch env;
   let cells =
     match st.info.owned_cells with
     | Some cs -> cs
@@ -434,8 +449,16 @@ let rebind (base : state) ~fields ~u_new =
   in
   let index_names = List.map (fun i -> i.Entity.iname) p.Problem.indices in
   let env = Eval.make_env ~mesh ~dt:base.dt ~time:base.time ~index_names in
-  let rvol_f = Eval.compile bindings base.eq.Transform.rvol in
-  let rsurf_f = Eval.compile bindings base.eq.Transform.rsurf in
+  let compile_rhs name e =
+    match p.Problem.eval_mode with
+    | Config.Closure -> Eval.compile bindings e, None
+    | Config.Tape ->
+      let t = Eval.compile_tape bindings e in
+      Eval.tape_compiled t, Some (name, t)
+  in
+  let rvol_f, rvol_t = compile_rhs "rvol" base.eq.Transform.rvol in
+  let rsurf_f, rsurf_t = compile_rhs "rsurf" base.eq.Transform.rsurf in
+  let tapes = List.filter_map Fun.id [ rvol_t; rsurf_t ] in
   let ucomp =
     let pieces =
       List.map
@@ -456,7 +479,8 @@ let rebind (base : state) ~fields ~u_new =
     rvol_f;
     rsurf_f;
     ucomp;
-    rvol_du_f = lazy (Eval.compile bindings (Transform.rvol_linearization base.eq));
+    rvol_du_f = lazy (fst (compile_rhs "rvol_du" (Transform.rvol_linearization base.eq)));
+    tapes;
   }
 
 (* Volume term plus interior-face fluxes only; boundary faces contribute
@@ -484,6 +508,7 @@ let dof_rhs_interior st =
    and component into [into].  Used by the hybrid target's CPU side. *)
 let boundary_contributions st ~into =
   let env = st.env in
+  Eval.bump_epoch env; (* fields changed since the last traversal *)
   let mesh = st.mesh in
   let dt = !(st.dt) in
   let ncomp = Fvm.Field.ncomp st.u in

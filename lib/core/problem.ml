@@ -86,6 +86,9 @@ type t = {
   mutable post_step : step_callback list;
   mutable equations : Transform.equation list;
   mutable loop_order : string list option; (* e.g. ["b"; "elements"; "d"] *)
+  mutable eval_mode : Config.eval_mode;
+    (* how lowered right-hand sides execute; Tape (the optimizing
+       register-tape evaluator) unless overridden *)
 }
 
 let init name =
@@ -108,6 +111,7 @@ let init name =
     post_step = [];
     equations = [];
     loop_order = None;
+    eval_mode = Config.Closure;
   }
 
 (* --- configuration commands, mirroring the paper's script API ---------- *)
@@ -128,6 +132,7 @@ let use_cuda ?(spec = Gpu_sim.Spec.a6000) ?(ranks = 1) p =
   p.target <- Config.Gpu { spec; ranks }
 
 let set_target p t = p.target <- t
+let set_eval_mode p m = p.eval_mode <- m
 
 let set_mesh p m =
   if m.Fvm.Mesh.dim <> p.dim then

@@ -85,6 +85,7 @@ type t = {
   mutable post_step : step_callback list;
   mutable equations : Transform.equation list;
   mutable loop_order : string list option;
+  mutable eval_mode : Config.eval_mode; (** Closure unless overridden *)
 }
 
 val init : string -> t
@@ -100,6 +101,10 @@ val use_cuda : ?spec:Gpu_sim.Spec.t -> ?ranks:int -> t -> unit
 (** The paper's [useCUDA()]: switch code generation to the hybrid target. *)
 
 val set_target : t -> Config.target -> unit
+
+(** Select the right-hand-side evaluator: the optimizing register tape
+    (default) or the plain closure tree. *)
+val set_eval_mode : t -> Config.eval_mode -> unit
 val set_mesh : t -> Fvm.Mesh.t -> unit
 val mesh_file : t -> string -> unit
 

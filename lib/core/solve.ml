@@ -62,6 +62,36 @@ let solve ?band_index ?post_io (p : Problem.t) =
       gpu = None;
       states = r.Target_cpu.states;
     }
+  | Config.Cpu (Config.Threaded n) ->
+    (* workers share the base state's fields, so rank 0 already holds the
+       complete unknown *)
+    let r = Target_cpu.run_threaded p ~ndomains:n in
+    let st = Target_cpu.primary r in
+    {
+      u = st.Lower.u;
+      fields = st.Lower.fields;
+      breakdown = r.Target_cpu.breakdown;
+      gpu = None;
+      states = r.Target_cpu.states;
+    }
+  | Config.Cpu (Config.Hybrid (nranks, ndomains)) ->
+    let index =
+      match band_index with Some i -> i | None -> default_band_index p
+    in
+    let r = Target_cpu.run_hybrid p ~index ~nranks ~ndomains in
+    let u = Target_cpu.gather_unknown r in
+    let st = Target_cpu.primary r in
+    {
+      u;
+      fields =
+        List.map
+          (fun (name, f) ->
+            if name = st.Lower.uvar.Entity.vname then name, u else name, f)
+          st.Lower.fields;
+      breakdown = r.Target_cpu.breakdown;
+      gpu = None;
+      states = r.Target_cpu.states;
+    }
   | Config.Gpu _ ->
     let r = Target_gpu.run ?post_io p in
     let st = r.Target_gpu.state in

@@ -27,13 +27,7 @@ let gather_unknown r =
     (fun (st : Lower.state) ->
       let u = st.Lower.u in
       match st.Lower.info.Lower.owned_cells with
-      | Some cells ->
-        Array.iter
-          (fun cell ->
-            for comp = 0 to Fvm.Field.ncomp u - 1 do
-              Fvm.Field.set out cell comp (Fvm.Field.get u cell comp)
-            done)
-          cells
+      | Some cells -> Fvm.Field.blit_cells ~src:u ~dst:out cells
       | None ->
         (* band-partitioned: copy the owned component ranges *)
         let ranges = st.Lower.info.Lower.index_ranges in
@@ -154,16 +148,10 @@ let run_cell_parallel (p : Problem.t) ~nranks =
         Prt.Breakdown.timed b Prt.Breakdown.Communication (fun () ->
             List.iter
               (fun (e : Fvm.Halo.exchange) ->
-                if e.Fvm.Halo.to_rank = rank then begin
-                  let src = (get_state e.Fvm.Halo.from_rank).Lower.u in
-                  let dst = st.Lower.u in
-                  Array.iter
-                    (fun cell ->
-                      for comp = 0 to Fvm.Field.ncomp dst - 1 do
-                        Fvm.Field.set dst cell comp (Fvm.Field.get src cell comp)
-                      done)
-                    e.Fvm.Halo.cells
-                end)
+                if e.Fvm.Halo.to_rank = rank then
+                  Fvm.Field.blit_cells
+                    ~src:(get_state e.Fvm.Halo.from_rank).Lower.u
+                    ~dst:st.Lower.u e.Fvm.Halo.cells)
               halo.Fvm.Halo.exchanges);
         Prt.Spmd.barrier ();
         Prt.Breakdown.timed b Prt.Breakdown.Temperature (fun () ->
@@ -189,27 +177,66 @@ let run_cell_parallel (p : Problem.t) ~nranks =
 
 (* Each domain gets its own lowered state (own env and closures) sharing
    the same underlying mesh; fields are shared by pointing every state at
-   rank 0's field storage.  Writes are disjoint (cell ranges), reads of the
-   previous step go through the shared current buffer, so the sweep is
-   race-free. *)
+   the base state's field storage.  Writes are disjoint (cell ranges),
+   reads of the previous step go through the shared current buffer, so the
+   sweep is race-free. *)
+let make_workers (p : Problem.t) ~(base : Lower.state) ~ndomains ~index_ranges =
+  let mesh = base.Lower.mesh in
+  let part = Fvm.Partition.blocks ~nitems:mesh.Fvm.Mesh.ncells ~nparts:ndomains in
+  Array.init ndomains (fun rank ->
+      let info =
+        { Lower.rank; nranks = ndomains;
+          owned_cells = Some (Fvm.Partition.cells_of_rank part rank);
+          index_ranges }
+      in
+      Lower.build ~info ~share_with:base p)
+
+(* Per-worker breakdown counters summed into the aggregate, like the SPMD
+   executors do (the seed only observed worker sweeps through the base
+   timer). *)
+let sum_breakdowns base workers =
+  Array.fold_left
+    (fun acc (st : Lower.state) -> Prt.Breakdown.add acc st.Lower.breakdown)
+    base.Lower.breakdown workers
+
+(* One timestep's parallel region: every pool participant sweeps its cell
+   range, all meet at the barrier (no domain may publish u_new while
+   another still reads u), then commit.  Phase times land in each worker's
+   own breakdown. *)
+let pool_step pool (workers : Lower.state array) =
+  Prt.Pool.run pool (fun rank ->
+      let st = workers.(rank) in
+      let b = st.Lower.breakdown in
+      Prt.Breakdown.timed b Prt.Breakdown.Intensity (fun () -> Lower.sweep st);
+      Prt.Pool.barrier pool;
+      Prt.Breakdown.timed b Prt.Breakdown.Intensity (fun () -> Lower.commit st))
+
+(* Persistent-pool executor: domains are spawned once per solve and parked
+   between regions, not respawned twice per timestep. *)
 let run_threaded (p : Problem.t) ~ndomains =
   if ndomains < 1 then raise (Target_error "run_threaded: ndomains < 1");
-  let mesh = Problem.mesh_exn p in
-  let part = Fvm.Partition.blocks ~nitems:mesh.Fvm.Mesh.ncells ~nparts:ndomains in
   (* base state: full ownership, runs pre/post-step and initialization *)
   let base = Lower.build p in
-  (* one worker state per domain, sharing the base's field storage but with
-     its own env and compiled closures so domains never share mutable loop
-     state *)
-  let workers =
-    Array.init ndomains (fun rank ->
-        let info =
-          { Lower.rank; nranks = ndomains;
-            owned_cells = Some (Fvm.Partition.cells_of_rank part rank);
-            index_ranges = [] }
-        in
-        Lower.build ~info ~share_with:base p)
-  in
+  let workers = make_workers p ~base ~ndomains ~index_ranges:[] in
+  Prt.Pool.with_pool ~size:ndomains (fun pool ->
+      for _ = 1 to p.Problem.nsteps do
+        Lower.run_pre_step base ~allreduce:noop_allreduce;
+        pool_step pool workers;
+        Prt.Breakdown.timed base.Lower.breakdown Prt.Breakdown.Temperature
+          (fun () -> Lower.run_post_step base ~allreduce:noop_allreduce);
+        (* time/dt refs are shared between base and workers *)
+        base.Lower.time := !(base.Lower.time) +. !(base.Lower.dt);
+        incr base.Lower.step
+      done);
+  { states = [| base |]; breakdown = sum_breakdowns base workers }
+
+(* The seed executor, kept as the benchmark baseline: fresh domains are
+   spawned and joined twice per timestep, so their start-up cost is paid
+   2*nsteps times per solve. *)
+let run_threaded_respawn (p : Problem.t) ~ndomains =
+  if ndomains < 1 then raise (Target_error "run_threaded_respawn: ndomains < 1");
+  let base = Lower.build p in
+  let workers = make_workers p ~base ~ndomains ~index_ranges:[] in
   let b = base.Lower.breakdown in
   for _ = 1 to p.Problem.nsteps do
     Lower.run_pre_step base ~allreduce:noop_allreduce;
@@ -229,8 +256,61 @@ let run_threaded (p : Problem.t) ~ndomains =
         Array.iter Domain.join spawned);
     Prt.Breakdown.timed b Prt.Breakdown.Temperature (fun () ->
         Lower.run_post_step base ~allreduce:noop_allreduce);
-    (* time/dt refs are shared between base and workers *)
     base.Lower.time := !(base.Lower.time) +. !(base.Lower.dt);
     incr base.Lower.step
   done;
   { states = [| base |]; breakdown = b }
+
+(* ------------------------------------------------------------------ *)
+(* Hybrid: SPMD band-parallel ranks x pool domains per rank.            *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's MPI+threads mode: each SPMD rank owns a band slice (its own
+   full field storage, as in [run_band_parallel]) and executes its sweeps
+   on a persistent domain pool over cell ranges.  The pool is shared by
+   all ranks — rank programs are cooperative fibers, so their parallel
+   regions are serialized on it; worker states per rank carry BOTH the
+   rank's band slice and their cell block. *)
+let run_hybrid (p : Problem.t) ~index ~nranks ~ndomains =
+  if ndomains < 1 then raise (Target_error "run_hybrid: ndomains < 1");
+  let idx =
+    match Problem.find_index p index with
+    | Some i -> i
+    | None -> raise (Target_error ("hybrid: unknown index " ^ index))
+  in
+  let extent = Entity.index_extent idx in
+  if nranks > extent then
+    raise (Target_error "hybrid: more ranks than index values");
+  let states = Array.make nranks None in
+  let breakdowns = Array.init nranks (fun _ -> Prt.Breakdown.zero ()) in
+  Prt.Pool.with_pool ~size:ndomains (fun pool ->
+      Prt.Spmd.run ~nranks (fun rank ->
+          let off, len =
+            Fvm.Partition.block_range ~nitems:extent ~nparts:nranks rank
+          in
+          let index_ranges = [ index, (off, len) ] in
+          let info =
+            { Lower.rank; nranks; owned_cells = None; index_ranges }
+          in
+          let st = Lower.build ~info p in
+          states.(rank) <- Some st;
+          let workers = make_workers p ~base:st ~ndomains ~index_ranges in
+          let b = st.Lower.breakdown in
+          for _ = 1 to p.Problem.nsteps do
+            Lower.run_pre_step st ~allreduce:Prt.Spmd.allreduce_sum;
+            pool_step pool workers;
+            Prt.Breakdown.timed b Prt.Breakdown.Temperature (fun () ->
+                Lower.run_post_step st ~allreduce:Prt.Spmd.allreduce_sum);
+            st.Lower.time := !(st.Lower.time) +. !(st.Lower.dt);
+            incr st.Lower.step
+          done;
+          breakdowns.(rank) <- sum_breakdowns st workers));
+  let states =
+    Array.map
+      (function Some st -> st | None -> raise (Target_error "rank did not start"))
+      states
+  in
+  let breakdown =
+    Array.fold_left Prt.Breakdown.add (Prt.Breakdown.zero ()) breakdowns
+  in
+  { states; breakdown }

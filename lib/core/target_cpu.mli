@@ -33,5 +33,16 @@ val run_cell_parallel : Problem.t -> nranks:int -> result
 (** RCB mesh partition with per-step halo exchange of the unknown. *)
 
 val run_threaded : Problem.t -> ndomains:int -> result
-(** Shared-memory parallel sweep over cell ranges using OCaml domains;
-    each domain has its own env/closures, fields are shared. *)
+(** Shared-memory parallel sweep over cell ranges on a persistent
+    [Prt.Pool] of OCaml domains (spawned once per solve); each domain has
+    its own env/closures, fields are shared.  Per-worker breakdown
+    counters are aggregated into the result like the SPMD executors. *)
+
+val run_threaded_respawn : Problem.t -> ndomains:int -> result
+(** The pre-pool executor, kept as a benchmark baseline: domains are
+    spawned and joined twice per timestep. *)
+
+val run_hybrid :
+  Problem.t -> index:string -> nranks:int -> ndomains:int -> result
+(** MPI+threads hybrid: band-parallel SPMD ranks whose sweeps run on a
+    shared persistent domain pool over cell ranges. *)

@@ -135,7 +135,10 @@ let run_single ?post_io ?(info = Lower.serial_rankinfo)
   in
   for _ = 1 to p.Problem.nsteps do
     Lower.run_pre_step host ~allreduce;
-    (* 1. async kernel launch *)
+    (* 1. async kernel launch.  The kernel mutates the device state's env
+       directly (outside iterate_dofs), so invalidate its tape caches
+       here: device fields changed since the last launch. *)
+    Eval.bump_epoch dstate.Lower.env;
     Gpu_sim.Stream.kernel stream clock kernel ~nthreads ();
     (* 2. boundary contributions on the CPU, overlapping the kernel *)
     Prt.Breakdown.timed b Prt.Breakdown.Boundary (fun () ->

@@ -60,6 +60,42 @@ let blit ~src ~dst =
     invalid_arg "Field.blit: incompatible fields";
   Bigarray.Array1.blit src.data dst.data
 
+(* Copy all components of the given cells from [src] to [dst] using
+   contiguous Bigarray blits: the cell set is decomposed into maximal runs
+   of consecutive ids, and each run maps to one contiguous slab per blit
+   (cell-major: one slab of run*ncomp values; comp-major: one slab of run
+   values per component). *)
+let blit_cells ~src ~dst cells =
+  if src.ncells <> dst.ncells || src.ncomp <> dst.ncomp
+     || src.layout <> dst.layout
+  then invalid_arg "Field.blit_cells: incompatible fields";
+  let n = Array.length cells in
+  let blit_range c0 len =
+    match src.layout with
+    | Cell_major ->
+      let off = c0 * src.ncomp and sz = len * src.ncomp in
+      Bigarray.Array1.blit
+        (Bigarray.Array1.sub src.data off sz)
+        (Bigarray.Array1.sub dst.data off sz)
+    | Comp_major ->
+      for comp = 0 to src.ncomp - 1 do
+        let off = (comp * src.ncells) + c0 in
+        Bigarray.Array1.blit
+          (Bigarray.Array1.sub src.data off len)
+          (Bigarray.Array1.sub dst.data off len)
+      done
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c0 = cells.(!i) in
+    let j = ref (!i + 1) in
+    while !j < n && cells.(!j) = c0 + (!j - !i) do
+      incr j
+    done;
+    blit_range c0 (!j - !i);
+    i := !j
+  done
+
 let copy t =
   let c = create ~layout:t.layout ~name:t.name ~ncells:t.ncells ~ncomp:t.ncomp () in
   Bigarray.Array1.blit t.data c.data;

@@ -35,6 +35,12 @@ val get_checked : t -> int -> int -> float
 
 val fill : t -> float -> unit
 val blit : src:t -> dst:t -> unit
+
+val blit_cells : src:t -> dst:t -> int array -> unit
+(** Copy all components of the given cells (any order; consecutive ids
+    are coalesced into contiguous Bigarray blits). Fields must agree in
+    shape and layout. *)
+
 val copy : t -> t
 val init : t -> (int -> int -> float) -> unit
 val iter : t -> (int -> int -> float -> unit) -> unit

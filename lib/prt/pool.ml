@@ -1,0 +1,168 @@
+(* Persistent domain pool: the shared-memory runtime layer.
+
+   The seed's threaded executor spawned fresh OCaml domains twice per time
+   step (once for the sweep, once for the commit), so domain start-up cost
+   was paid 2*nsteps times per solve.  This pool spawns its worker domains
+   once, parks them on a condition variable between parallel regions, and
+   reuses them for every region of every step — the structure a generated
+   OpenMP/pthreads runtime would have.
+
+   A region is [run pool f]: the calling domain becomes participant 0 and
+   the pool's workers become participants 1..n-1; all of them execute
+   [f rank] and [run] returns when every participant is done.  Inside a
+   region, [barrier pool] is a sense-reversing barrier over all
+   participants, which lets one region hold several phases (sweep, barrier,
+   commit) without returning to the caller in between.
+
+   Exceptions raised by participants are captured and re-raised (the first
+   one wins) from [run] on the calling domain. *)
+
+exception Pool_error of string
+
+type t = {
+  size : int; (* participants, including the caller *)
+  mutable domains : unit Domain.t array;
+  m : Mutex.t;
+  work_ready : Condition.t; (* workers wait here between regions *)
+  work_done : Condition.t;  (* the caller waits here for region end *)
+  mutable job : (int -> unit) option;
+  mutable generation : int; (* region sequence number *)
+  mutable pending : int;    (* workers still inside the current region *)
+  mutable stop : bool;
+  mutable failure : exn option; (* first exception raised in a region *)
+  mutable in_region : bool;
+  (* sense-reversing barrier over all [size] participants *)
+  bm : Mutex.t;
+  bc : Condition.t;
+  mutable bar_waiting : int;
+  mutable bar_sense : bool;
+}
+
+let size t = t.size
+
+let record_failure t exn =
+  Mutex.lock t.m;
+  (match t.failure with None -> t.failure <- Some exn | Some _ -> ());
+  Mutex.unlock t.m
+
+let worker t rank =
+  let last = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.m;
+    while t.generation = !last && not t.stop do
+      Condition.wait t.work_ready t.m
+    done;
+    if t.stop then begin
+      running := false;
+      Mutex.unlock t.m
+    end
+    else begin
+      last := t.generation;
+      let job = t.job in
+      Mutex.unlock t.m;
+      (match job with
+       | Some f -> ( try f rank with exn -> record_failure t exn)
+       | None -> ());
+      Mutex.lock t.m;
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.signal t.work_done;
+      Mutex.unlock t.m
+    end
+  done
+
+let create ~size =
+  if size < 1 then raise (Pool_error "Pool.create: size < 1");
+  let t =
+    {
+      size;
+      domains = [||];
+      m = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      job = None;
+      generation = 0;
+      pending = 0;
+      stop = false;
+      failure = None;
+      in_region = false;
+      bm = Mutex.create ();
+      bc = Condition.create ();
+      bar_waiting = 0;
+      bar_sense = false;
+    }
+  in
+  t.domains <- Array.init (size - 1) (fun i -> Domain.spawn (fun () -> worker t (i + 1)));
+  t
+
+let run t f =
+  if t.stop then raise (Pool_error "Pool.run: pool is shut down");
+  if t.in_region then raise (Pool_error "Pool.run: nested region");
+  Mutex.lock t.m;
+  t.in_region <- true;
+  t.failure <- None;
+  t.job <- Some f;
+  t.pending <- t.size - 1;
+  t.generation <- t.generation + 1;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.m;
+  (* the caller is participant 0 *)
+  (try f 0 with exn -> record_failure t exn);
+  Mutex.lock t.m;
+  while t.pending > 0 do
+    Condition.wait t.work_done t.m
+  done;
+  t.job <- None;
+  t.in_region <- false;
+  let failure = t.failure in
+  t.failure <- None;
+  Mutex.unlock t.m;
+  match failure with Some exn -> raise exn | None -> ()
+
+(* All [size] participants must call this the same number of times per
+   region; calling it outside a region (or from a strict subset of the
+   participants) deadlocks, as a real barrier would. *)
+let barrier t =
+  if t.size > 1 then begin
+    Mutex.lock t.bm;
+    let sense = t.bar_sense in
+    t.bar_waiting <- t.bar_waiting + 1;
+    if t.bar_waiting = t.size then begin
+      t.bar_waiting <- 0;
+      t.bar_sense <- not sense;
+      Condition.broadcast t.bc
+    end
+    else
+      while t.bar_sense = sense do
+        Condition.wait t.bc t.bm
+      done;
+    Mutex.unlock t.bm
+  end
+
+(* Owned block of [0, n) for a participant: same block partition as
+   Fvm.Partition.block_range (block sizes differ by at most one), so pool
+   ranges and rank ranges line up.  Inlined to keep prt dependency-free. *)
+let block t rank ~n =
+  let base = n / t.size and extra = n mod t.size in
+  let start = (rank * base) + min rank extra in
+  let sz = base + if rank < extra then 1 else 0 in
+  (start, sz)
+
+let parallel_for t ~n f =
+  run t (fun rank ->
+      let off, len = block t rank ~n in
+      if len > 0 then f ~lo:off ~hi:(off + len - 1))
+
+let shutdown t =
+  if not t.stop then begin
+    Mutex.lock t.m;
+    t.stop <- true;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.m;
+    Array.iter Domain.join t.domains;
+    t.domains <- [||]
+  end
+
+let with_pool ~size f =
+  let t = create ~size in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

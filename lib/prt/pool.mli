@@ -1,0 +1,44 @@
+(** Persistent domain pool.
+
+    Worker domains are spawned once at {!create} and reused for every
+    parallel region until {!shutdown}, replacing the per-step
+    [Domain.spawn]/[Domain.join] churn of the original threaded executor.
+    The calling domain always participates as rank 0, so a pool of size
+    [n] spawns only [n - 1] domains. *)
+
+exception Pool_error of string
+
+type t
+
+val create : size:int -> t
+(** [create ~size] spawns [size - 1] worker domains ([size >= 1]). *)
+
+val size : t -> int
+(** Number of participants, including the caller. *)
+
+val run : t -> (int -> unit) -> unit
+(** [run t f] executes [f rank] on every participant ([0 .. size-1]; the
+    caller runs rank 0) and returns when all are done.  If any participant
+    raises, the first exception is re-raised from [run].  Regions must not
+    nest. *)
+
+val barrier : t -> unit
+(** Sense-reversing barrier over all participants of the current region.
+    Every participant must call it the same number of times. *)
+
+val block : t -> int -> n:int -> int * int
+(** [block t rank ~n] is the [(offset, length)] contiguous block of
+    [0, n) owned by [rank]; same partition as
+    [Fvm.Partition.block_range]. *)
+
+val parallel_for : t -> n:int -> (lo:int -> hi:int -> unit) -> unit
+(** [parallel_for t ~n f] runs [f ~lo ~hi] on each participant over its
+    owned block of [0, n) (inclusive bounds); participants with an empty
+    block skip [f]. *)
+
+val shutdown : t -> unit
+(** Terminate and join the worker domains.  Idempotent. *)
+
+val with_pool : size:int -> (t -> 'a) -> 'a
+(** [with_pool ~size f] creates a pool, applies [f], and shuts the pool
+    down even if [f] raises. *)

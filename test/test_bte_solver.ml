@@ -67,6 +67,44 @@ let test_cell_parallel_matches_serial () =
       if d > 1e-13 then Alcotest.failf "cells %d: diff %g" n d)
     [ 2; 4 ]
 
+let test_pool_executors_match_serial () =
+  (* the persistent-pool executors on the hotspot problem itself: the
+     double-buffered scheme makes agreement exact *)
+  let _, o1 = solve_with (Finch.Config.Cpu Finch.Config.Serial) in
+  List.iter
+    (fun (label, target) ->
+      let _, o2 = solve_with target in
+      let d = field_diff o1 o2 "I" in
+      if d > 0. then Alcotest.failf "%s: diff %g" label d;
+      let dt = field_diff o1 o2 "T" in
+      if dt > 0. then Alcotest.failf "%s: T diff %g" label dt)
+    [ "threads 3", Finch.Config.Cpu (Finch.Config.Threaded 3);
+      "hybrid 2x2", Finch.Config.Cpu (Finch.Config.Hybrid (2, 2)) ]
+
+let test_tape_matches_closure_on_hotspot () =
+  (* full solve under the tape evaluator is bit-identical to the closure
+     evaluator, and the tape measurably skips cached ops *)
+  let _, o1 = solve_with (Finch.Config.Cpu Finch.Config.Serial) in
+  let built = Bte.Setup.build tiny in
+  Finch.Problem.set_eval_mode built.Bte.Setup.problem Finch.Config.Tape;
+  let o2 = Finch.Solve.solve ~band_index:"b" built.Bte.Setup.problem in
+  let d = field_diff o1 o2 "I" in
+  if d > 0. then Alcotest.failf "tape vs closure on hotspot: diff %g" d;
+  let st = o2.Finch.Solve.states.(0) in
+  check_bool "tapes present in tape mode" true (st.Finch.Lower.tapes <> []);
+  List.iter
+    (fun (name, t) ->
+      let runs = Finch.Eval.tape_runs t in
+      let len = Finch.Eval.tape_length t in
+      let exec = Finch.Eval.tape_executed t in
+      check_bool (Printf.sprintf "tape %s ran" name) true (runs > 0);
+      check_bool
+        (Printf.sprintf "tape %s executed fewer ops than full re-evaluation"
+           name)
+        true
+        (exec < runs * len))
+    st.Finch.Lower.tapes
+
 let test_gpu_matches_serial () =
   let _, o1 = solve_with (Finch.Config.Cpu Finch.Config.Serial) in
   let _, o2 =
@@ -377,6 +415,10 @@ let suite =
         test_band_parallel_matches_serial;
       Alcotest.test_case "cell-parallel == serial" `Quick
         test_cell_parallel_matches_serial;
+      Alcotest.test_case "pool executors == serial (exact)" `Quick
+        test_pool_executors_match_serial;
+      Alcotest.test_case "tape == closure on hotspot (exact)" `Quick
+        test_tape_matches_closure_on_hotspot;
       Alcotest.test_case "gpu == serial" `Quick test_gpu_matches_serial;
       Alcotest.test_case "multi-gpu == serial" `Quick test_multi_gpu_matches_serial;
       Alcotest.test_case "temperature bounded and directional" `Quick

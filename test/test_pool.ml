@@ -1,0 +1,157 @@
+(* Persistent domain-pool tests: region execution, reuse across many
+   regions (the whole point vs. spawn/join per step), barriers, block
+   partitioning and failure propagation. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_run_covers_ranks () =
+  Prt.Pool.with_pool ~size:4 (fun pool ->
+      check_int "size" 4 (Prt.Pool.size pool);
+      let hits = Array.make 4 0 in
+      Prt.Pool.run pool (fun rank -> hits.(rank) <- hits.(rank) + 1);
+      Array.iteri (fun r n -> check_int (Printf.sprintf "rank %d once" r) 1 n) hits)
+
+let test_reuse_many_regions () =
+  (* the same domains service every region: per-rank counters accumulate *)
+  let regions = 200 in
+  Prt.Pool.with_pool ~size:3 (fun pool ->
+      let counts = Array.make 3 0 in
+      for _ = 1 to regions do
+        Prt.Pool.run pool (fun rank -> counts.(rank) <- counts.(rank) + 1)
+      done;
+      Array.iter (fun n -> check_int "every region ran on every rank" regions n) counts)
+
+let test_single_rank_pool () =
+  (* size 1 spawns no domains; the caller does all the work *)
+  Prt.Pool.with_pool ~size:1 (fun pool ->
+      let hit = ref 0 in
+      Prt.Pool.run pool (fun rank ->
+          check_int "only rank 0" 0 rank;
+          incr hit);
+      check_int "ran once" 1 !hit)
+
+let test_barrier_ordering () =
+  (* all pre-barrier events precede all post-barrier events *)
+  let log = ref [] in
+  let m = Mutex.create () in
+  let push e = Mutex.lock m; log := e :: !log; Mutex.unlock m in
+  Prt.Pool.with_pool ~size:4 (fun pool ->
+      Prt.Pool.run pool (fun rank ->
+          push (`Before, rank);
+          Prt.Pool.barrier pool;
+          push (`After, rank)));
+  let events = List.rev !log in
+  let rec split acc = function
+    | (`Before, _) :: rest -> split (acc + 1) rest
+    | rest -> acc, rest
+  in
+  let nbefore, rest = split 0 events in
+  check_int "all befores first" 4 nbefore;
+  check_int "then all afters" 4 (List.length rest);
+  check_bool "rest are afters" true
+    (List.for_all (function `After, _ -> true | _ -> false) rest)
+
+let test_repeated_barriers () =
+  (* sense reversal: many consecutive barriers in one region stay in step *)
+  Prt.Pool.with_pool ~size:3 (fun pool ->
+      let stage = Array.make 3 0 in
+      Prt.Pool.run pool (fun rank ->
+          for s = 1 to 50 do
+            stage.(rank) <- s;
+            Prt.Pool.barrier pool;
+            (* after the barrier every rank has reached stage s *)
+            Array.iter
+              (fun v -> if v < s then failwith "barrier did not hold")
+              stage;
+            Prt.Pool.barrier pool
+          done);
+      Array.iter (fun v -> check_int "all finished" 50 v) stage)
+
+let test_block_matches_partition () =
+  Prt.Pool.with_pool ~size:3 (fun pool ->
+      List.iter
+        (fun n ->
+          for rank = 0 to 2 do
+            let off, len = Prt.Pool.block pool rank ~n in
+            let off', len' = Fvm.Partition.block_range ~nitems:n ~nparts:3 rank in
+            check_int (Printf.sprintf "off n=%d r=%d" n rank) off' off;
+            check_int (Printf.sprintf "len n=%d r=%d" n rank) len' len
+          done)
+        [ 0; 1; 2; 3; 7; 100 ])
+
+let test_parallel_for_sums () =
+  let n = 10_007 in
+  let data = Array.init n (fun i -> float_of_int i) in
+  let partial = Array.make 4 0. in
+  Prt.Pool.with_pool ~size:4 (fun pool ->
+      Prt.Pool.run pool (fun rank ->
+          let off, len = Prt.Pool.block pool rank ~n in
+          let s = ref 0. in
+          for i = off to off + len - 1 do
+            s := !s +. data.(i)
+          done;
+          partial.(rank) <- !s));
+  let total = Array.fold_left ( +. ) 0. partial in
+  let expected = float_of_int n *. float_of_int (n - 1) /. 2. in
+  Tutil.check_close "block-partitioned sum" expected total;
+  (* and via the parallel_for convenience wrapper *)
+  let touched = Array.make n false in
+  Prt.Pool.with_pool ~size:5 (fun pool ->
+      Prt.Pool.parallel_for pool ~n (fun ~lo ~hi ->
+          for i = lo to hi do
+            touched.(i) <- true
+          done));
+  check_bool "every element visited exactly once overall" true
+    (Array.for_all (fun b -> b) touched)
+
+let test_exception_propagates () =
+  Prt.Pool.with_pool ~size:3 (fun pool ->
+      (match Prt.Pool.run pool (fun rank -> if rank = 2 then failwith "boom") with
+       | exception Failure m -> Alcotest.(check string) "worker exn" "boom" m
+       | () -> Alcotest.fail "expected Failure from worker rank");
+      (* the pool survives a failed region and runs the next one *)
+      let ok = Array.make 3 false in
+      Prt.Pool.run pool (fun rank -> ok.(rank) <- true);
+      check_bool "pool usable after failure" true (Array.for_all (fun b -> b) ok))
+
+let test_with_pool_cleans_up_on_raise () =
+  match
+    Prt.Pool.with_pool ~size:2 (fun pool ->
+        Prt.Pool.run pool (fun _ -> ());
+        raise Exit)
+  with
+  | exception Exit -> () (* shutdown ran via with_pool's protection *)
+  | () -> Alcotest.fail "expected Exit"
+
+let test_create_validates_size () =
+  match Prt.Pool.create ~size:0 with
+  | exception Prt.Pool.Pool_error _ -> ()
+  | pool -> Prt.Pool.shutdown pool; Alcotest.fail "size 0 must be rejected"
+
+let test_shutdown_idempotent () =
+  let pool = Prt.Pool.create ~size:3 in
+  Prt.Pool.run pool (fun _ -> ());
+  Prt.Pool.shutdown pool;
+  Prt.Pool.shutdown pool
+
+let suite =
+  ( "pool",
+    [
+      Alcotest.test_case "run covers all ranks" `Quick test_run_covers_ranks;
+      Alcotest.test_case "reuse across 200 regions" `Quick test_reuse_many_regions;
+      Alcotest.test_case "single-rank pool" `Quick test_single_rank_pool;
+      Alcotest.test_case "barrier ordering" `Quick test_barrier_ordering;
+      Alcotest.test_case "repeated barriers (sense reversal)" `Quick
+        test_repeated_barriers;
+      Alcotest.test_case "block matches Partition.block_range" `Quick
+        test_block_matches_partition;
+      Alcotest.test_case "parallel_for coverage and sums" `Quick
+        test_parallel_for_sums;
+      Alcotest.test_case "worker exception propagates" `Quick
+        test_exception_propagates;
+      Alcotest.test_case "with_pool cleans up on raise" `Quick
+        test_with_pool_cleans_up_on_raise;
+      Alcotest.test_case "create validates size" `Quick test_create_validates_size;
+      Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+    ] )
