@@ -321,6 +321,11 @@ let e11_rows () =
   let t_hybrid, () =
     wall (solve_with (Finch.Config.Cpu (Finch.Config.Hybrid (2, 2))))
   in
+  (* the mesh-partitioned executor: exercises the halo-exchange path, so a
+     metrics-enabled bench run reports real halo traffic *)
+  let t_cells, () =
+    wall (solve_with (Finch.Config.Cpu (Finch.Config.Cell_parallel 2)))
+  in
   (* tape statistics from a solve whose primary state does the sweeping
      (under the pool executors the workers hold the hot tapes) *)
   let tape_stats =
@@ -345,7 +350,8 @@ let e11_rows () =
           tape_c.Finch.Eval.flops ))
       st.Finch.Lower.tapes
   in
-  (t_serial, t_serial_closure, t_respawn, t_pool, t_hybrid, ndomains), tape_stats
+  (t_serial, t_serial_closure, t_respawn, t_pool, t_hybrid, t_cells, ndomains),
+  tape_stats
 
 let e11 ~measured =
   ignore measured;
@@ -354,7 +360,7 @@ let e11 ~measured =
   let sc = e11_scenario in
   row "reduced scale %dx%d, %d dirs, %d steps; all rows real solves\n"
     sc.Bte.Setup.nx sc.Bte.Setup.ny sc.Bte.Setup.ndirs sc.Bte.Setup.nsteps;
-  let (ts, tsc, tr, tp, th, nd), tapes = e11_rows () in
+  let (ts, tsc, tr, tp, th, tc, nd), tapes = e11_rows () in
   row "  %-28s %8.3f s\n" "serial (tape)" ts;
   row "  %-28s %8.3f s\n" "serial (closure)" tsc;
   row "  %-28s %8.3f s\n" (Printf.sprintf "threads(%d) spawn-per-step" nd) tr;
@@ -362,6 +368,7 @@ let e11 ~measured =
     (Printf.sprintf "threads(%d) persistent pool" nd)
     tp (tr /. tp);
   row "  %-28s %8.3f s\n" "hybrid 2 ranks x 2 threads" th;
+  row "  %-28s %8.3f s\n" "cells(2) SPMD + halo" tc;
   List.iter
     (fun (name, len, runs, exec, tree_flops, tape_flops) ->
       let per_run = float_of_int exec /. float_of_int (max 1 runs) in
@@ -373,7 +380,11 @@ let e11 ~measured =
     tapes
 
 let e11_json path =
-  let (ts, tsc, tr, tp, th, nd), tapes = e11_rows () in
+  (* the executor rows run under the metrics registry so the emitted JSON
+     can embed the key runtime counters alongside the wall times *)
+  Prt.Metrics.enable ();
+  Prt.Metrics.reset_all ();
+  let (ts, tsc, tr, tp, th, tc, nd), tapes = e11_rows () in
   let sc = e11_scenario in
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
@@ -386,9 +397,23 @@ let e11_json path =
   p "    \"serial_closure\": %.6f,\n" tsc;
   p "    \"threaded_respawn\": %.6f,\n" tr;
   p "    \"threaded_pool\": %.6f,\n" tp;
-  p "    \"hybrid_2x2\": %.6f\n" th;
+  p "    \"hybrid_2x2\": %.6f,\n" th;
+  p "    \"cells_spmd_2\": %.6f\n" tc;
   p "  },\n";
   p "  \"pool_speedup_vs_respawn\": %.4f,\n" (tr /. tp);
+  let c name = Prt.Metrics.value (Prt.Metrics.counter name) in
+  let bw = Prt.Metrics.histogram "pool.barrier_wait_ns" in
+  p "  \"metrics\": {\n";
+  p "    \"halo.bytes\": %d,\n" (c "halo.bytes");
+  p "    \"halo.rounds\": %d,\n" (c "halo.rounds");
+  p "    \"pool.regions\": %d,\n" (c "pool.regions");
+  p "    \"pool.barrier_waits\": %d,\n" (Prt.Metrics.hist_count bw);
+  p "    \"pool.barrier_wait_ns\": %.0f,\n" (Prt.Metrics.hist_sum bw);
+  p "    \"spmd.barriers\": %d,\n" (c "spmd.barriers");
+  p "    \"spmd.allreduce_bytes\": %d,\n" (c "spmd.allreduce_bytes");
+  p "    \"gpu.kernel_launches\": %d,\n" (c "gpu.kernel_launches");
+  p "    \"tape.ops_skipped\": %d\n" (c "tape.ops_skipped");
+  p "  },\n";
   p "  \"tapes\": {\n";
   List.iteri
     (fun i (name, len, runs, exec, tree_flops, tape_flops) ->
@@ -591,10 +616,36 @@ let all_experiments =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  (* `--trace PATH` consumes its argument; the remaining flags are plain *)
+  let rec take_trace acc = function
+    | "--trace" :: path :: rest -> Some path, List.rev_append acc rest
+    | a :: rest -> take_trace (a :: acc) rest
+    | [] -> None, List.rev acc
+  in
+  let trace, args = take_trace [] args in
   let measured = List.mem "--measured" args in
   let json = List.mem "--json" args in
+  let metrics = List.mem "--metrics" args in
   let selected =
-    List.filter (fun a -> a <> "--measured" && a <> "--json") args
+    List.filter
+      (fun a -> a <> "--measured" && a <> "--json" && a <> "--metrics")
+      args
+  in
+  (match trace with Some _ -> Prt.Trace.enable () | None -> ());
+  if metrics then Prt.Metrics.enable ();
+  let finish_observability () =
+    (match trace with
+     | Some path ->
+       Prt.Trace.write_chrome path;
+       Printf.printf "trace: %d events on %d tracks written to %s\n"
+         (Prt.Trace.event_count ())
+         (List.length (Prt.Trace.tracks ()))
+         path
+     | None -> ());
+    if metrics then begin
+      print_endline "metrics:";
+      print_string (Prt.Metrics.dump_text ())
+    end
   in
   let run_micro = List.mem "micro" selected in
   let run_ablate = List.mem "ablate" selected in
@@ -604,6 +655,7 @@ let () =
   if json then begin
     (* `bench/main.exe --json`: just the measured executor comparison *)
     e11_json "BENCH_cpu.json";
+    finish_observability ();
     exit 0
   end;
   Printf.printf
@@ -622,4 +674,5 @@ let () =
          | None -> Printf.eprintf "unknown experiment %s\n" name)
        names);
   if run_ablate then ablate ();
-  if run_micro then micro ()
+  if run_micro then micro ();
+  finish_observability ()

@@ -64,6 +64,54 @@ let paper_scale_t =
     & info [ "paper-scale" ]
         ~doc:"Use the full 120x120 / 20-direction / 40-band configuration (slow).")
 
+let trace_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"PATH"
+        ~doc:
+          "Record execution spans (steps, phases, pool workers, SPMD ranks, \
+           GPU stream) and write a Chrome trace-event JSON file to $(docv); \
+           open it at https://ui.perfetto.dev. See docs/OBSERVABILITY.md.")
+
+let metrics_t =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Collect runtime counters (halo bytes, barrier waits, kernel \
+           launches, ...) and print the registry after the solve.")
+
+(* The canonical track model is declared up front so the exported trace
+   always carries the main / pool-worker / SPMD-rank / GPU-stream rows,
+   even when the chosen target exercises only some of them. *)
+let declare_canonical_tracks () =
+  ignore (Prt.Trace.worker 0);
+  ignore (Prt.Trace.rank 0);
+  ignore (Prt.Trace.stream 0)
+
+let start_observability ~trace ~metrics =
+  (match trace with
+   | Some _ ->
+     Prt.Trace.enable ();
+     declare_canonical_tracks ()
+   | None -> ());
+  if metrics then Prt.Metrics.enable ()
+
+let finish_observability ~trace ~metrics =
+  (match trace with
+   | Some path ->
+     Prt.Trace.write_chrome path;
+     Printf.printf "trace: %d events on %d tracks written to %s\n"
+       (Prt.Trace.event_count ())
+       (List.length (Prt.Trace.tracks ()))
+       path
+   | None -> ());
+  if metrics then begin
+    print_endline "metrics:";
+    print_string (Prt.Metrics.dump_text ())
+  end
+
 (* ---------- run ---------- *)
 
 let parse_target s =
@@ -89,7 +137,8 @@ let parse_target s =
     | _ -> Error "bad rank/domain counts")
   | _ -> Error ("unknown target " ^ s)
 
-let run_cmd scenario nx ny ndirs nbands nsteps target eval_mode csv paper_scale =
+let run_cmd scenario nx ny ndirs nbands nsteps target eval_mode csv paper_scale
+    trace metrics =
   let base =
     match scenario, paper_scale with
     | `Hotspot, true -> Bte.Setup.paper_hotspot
@@ -114,6 +163,7 @@ let run_cmd scenario nx ny ndirs nbands nsteps target eval_mode csv paper_scale 
       (Bte.Dispersion.nbands built.Bte.Setup.disp)
       base.Bte.Setup.nsteps built.Bte.Setup.scenario.Bte.Setup.dt;
     Finch.Problem.set_eval_mode built.Bte.Setup.problem eval_mode;
+    start_observability ~trace ~metrics;
     let t0 = Unix.gettimeofday () in
     let outcome =
       match tgt with
@@ -158,12 +208,13 @@ let run_cmd scenario nx ny ndirs nbands nsteps target eval_mode csv paper_scale 
      | Some path ->
        Bte.Diag.to_csv built.Bte.Setup.mesh ft ~comp:0 path;
        Printf.printf "temperature field written to %s\n" path
-     | None -> ())
+     | None -> ());
+    finish_observability ~trace ~metrics
 
 let run_term =
   Term.(
     const run_cmd $ scenario_t $ nx_t $ ny_t $ ndirs_t $ nbands_t $ nsteps_t
-    $ target_t $ eval_mode_t $ csv_t $ paper_scale_t)
+    $ target_t $ eval_mode_t $ csv_t $ paper_scale_t $ trace_t $ metrics_t)
 
 let run_info =
   Cmd.info "run" ~doc:"Solve a BTE scenario with a chosen execution target."

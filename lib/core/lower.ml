@@ -481,6 +481,9 @@ let rebind (base : state) ~fields ~u_new =
     ucomp;
     rvol_du_f = lazy (fst (compile_rhs "rvol_du" (Transform.rvol_linearization base.eq)));
     tapes;
+    (* own accounting: sharing base's mutable breakdown record would make
+       aggregators that sum both states double-count every phase *)
+    breakdown = Prt.Breakdown.zero ();
   }
 
 (* Volume term plus interior-face fluxes only; boundary faces contribute

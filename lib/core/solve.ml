@@ -17,7 +17,28 @@ let default_band_index (p : Problem.t) =
   | i :: _ -> i.Entity.iname
   | [] -> raise (Problem.Problem_error "band-parallel run with no indices")
 
-let solve ?band_index ?post_io (p : Problem.t) =
+(* Post-solve metrics: steps taken and, for tape-mode runs, the dynamic
+   op savings derivable from the tape counters (recorded once here rather
+   than per-DOF in the hot path). *)
+let m_steps = Prt.Metrics.counter "solve.steps"
+let m_tape_skipped = Prt.Metrics.counter "tape.ops_skipped"
+
+let record_solve_metrics (p : Problem.t) states =
+  if Prt.Metrics.enabled () then begin
+    Prt.Metrics.add m_steps p.Problem.nsteps;
+    Array.iter
+      (fun (st : Lower.state) ->
+        List.iter
+          (fun (_, t) ->
+            let skipped =
+              (Eval.tape_runs t * Eval.tape_length t) - Eval.tape_executed t
+            in
+            Prt.Metrics.add m_tape_skipped skipped)
+          st.Lower.tapes)
+      states
+  end
+
+let solve_dispatch ?band_index ?post_io (p : Problem.t) =
   match p.Problem.target with
   | Config.Cpu Config.Serial ->
     let r = Target_cpu.run_serial p in
@@ -102,6 +123,14 @@ let solve ?band_index ?post_io (p : Problem.t) =
       gpu = Some r;
       states = [| st |];
     }
+
+let solve ?band_index ?post_io (p : Problem.t) =
+  let outcome =
+    Prt.Trace.span ~cat:"solve" Prt.Trace.main "solve" (fun () ->
+        solve_dispatch ?band_index ?post_io p)
+  in
+  record_solve_metrics p outcome.states;
+  outcome
 
 let field outcome name =
   match List.assoc_opt name outcome.fields with

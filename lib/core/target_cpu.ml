@@ -49,11 +49,12 @@ let noop_allreduce (_ : float array) = ()
 
 let step_serial (st : Lower.state) =
   let b = st.Lower.breakdown in
+  let track = Prt.Trace.main in
   Lower.run_pre_step st ~allreduce:noop_allreduce;
   (* the configured time stepper: forward Euler as in the paper, or an
      explicit Runge-Kutta scheme (extension) *)
-  Prt.Breakdown.timed b Prt.Breakdown.Intensity (fun () -> Lower.rk_step st);
-  Prt.Breakdown.timed b Prt.Breakdown.Temperature (fun () ->
+  Prt.Breakdown.timed ~track b Prt.Breakdown.Intensity (fun () -> Lower.rk_step st);
+  Prt.Breakdown.timed ~track b Prt.Breakdown.Temperature (fun () ->
       Lower.run_post_step st ~allreduce:noop_allreduce);
   st.Lower.time := !(st.Lower.time) +. !(st.Lower.dt);
   incr st.Lower.step
@@ -61,7 +62,7 @@ let step_serial (st : Lower.state) =
 let run_serial (p : Problem.t) =
   let st = Lower.build p in
   for _ = 1 to p.Problem.nsteps do
-    step_serial st
+    Prt.Trace.span ~cat:"step" Prt.Trace.main "step" (fun () -> step_serial st)
   done;
   { states = [| st |]; breakdown = st.Lower.breakdown }
 
@@ -88,14 +89,15 @@ let run_band_parallel (p : Problem.t) ~index ~nranks =
       let st = Lower.build ~info p in
       states.(rank) <- Some st;
       let b = st.Lower.breakdown in
+      let track = Prt.Trace.rank rank in
       for _ = 1 to p.Problem.nsteps do
         Lower.run_pre_step st ~allreduce:Prt.Spmd.allreduce_sum;
-        Prt.Breakdown.timed b Prt.Breakdown.Intensity (fun () -> Lower.sweep st);
-        Prt.Breakdown.timed b Prt.Breakdown.Intensity (fun () -> Lower.commit st);
+        Prt.Breakdown.timed ~track b Prt.Breakdown.Intensity (fun () -> Lower.sweep st);
+        Prt.Breakdown.timed ~track b Prt.Breakdown.Intensity (fun () -> Lower.commit st);
         (* the post-step callback performs the cross-band reduction itself
            through st_allreduce (the paper's "reduction of intensity across
            bands" communication) *)
-        Prt.Breakdown.timed b Prt.Breakdown.Temperature (fun () ->
+        Prt.Breakdown.timed ~track b Prt.Breakdown.Temperature (fun () ->
             Lower.run_post_step st ~allreduce:Prt.Spmd.allreduce_sum);
         st.Lower.time := !(st.Lower.time) +. !(st.Lower.dt);
         incr st.Lower.step
@@ -106,9 +108,8 @@ let run_band_parallel (p : Problem.t) ~index ~nranks =
       states
   in
   let breakdown =
-    Array.fold_left
-      (fun acc st -> Prt.Breakdown.add acc st.Lower.breakdown)
-      (Prt.Breakdown.zero ()) states
+    Prt.Breakdown.sum_distinct
+      (Array.to_list (Array.map (fun st -> st.Lower.breakdown) states))
   in
   { states; breakdown }
 
@@ -137,24 +138,26 @@ let run_cell_parallel (p : Problem.t) ~nranks =
       (* everyone must be constructed before any exchange *)
       Prt.Spmd.barrier ();
       let b = st.Lower.breakdown in
+      let track = Prt.Trace.rank rank in
       for _ = 1 to p.Problem.nsteps do
         Lower.run_pre_step st ~allreduce:Prt.Spmd.allreduce_sum;
-        Prt.Breakdown.timed b Prt.Breakdown.Intensity (fun () -> Lower.sweep st);
-        Prt.Breakdown.timed b Prt.Breakdown.Intensity (fun () -> Lower.commit st);
+        Prt.Breakdown.timed ~track b Prt.Breakdown.Intensity (fun () -> Lower.sweep st);
+        Prt.Breakdown.timed ~track b Prt.Breakdown.Intensity (fun () -> Lower.commit st);
         (* halo exchange: receive ghost-cell values of the unknown from the
            owning ranks.  The barrier gives BSP semantics; reading the
            peer's committed buffer stands in for the matched send/recv. *)
         Prt.Spmd.barrier ();
-        Prt.Breakdown.timed b Prt.Breakdown.Communication (fun () ->
+        Prt.Breakdown.timed ~track b Prt.Breakdown.Communication (fun () ->
             List.iter
               (fun (e : Fvm.Halo.exchange) ->
                 if e.Fvm.Halo.to_rank = rank then
                   Fvm.Field.blit_cells
                     ~src:(get_state e.Fvm.Halo.from_rank).Lower.u
                     ~dst:st.Lower.u e.Fvm.Halo.cells)
-              halo.Fvm.Halo.exchanges);
+              halo.Fvm.Halo.exchanges;
+            Fvm.Halo.account halo rank ~ncomp:(Fvm.Field.ncomp st.Lower.u));
         Prt.Spmd.barrier ();
-        Prt.Breakdown.timed b Prt.Breakdown.Temperature (fun () ->
+        Prt.Breakdown.timed ~track b Prt.Breakdown.Temperature (fun () ->
             Lower.run_post_step st ~allreduce:Prt.Spmd.allreduce_sum);
         st.Lower.time := !(st.Lower.time) +. !(st.Lower.dt);
         incr st.Lower.step
@@ -165,9 +168,8 @@ let run_cell_parallel (p : Problem.t) ~nranks =
       states
   in
   let breakdown =
-    Array.fold_left
-      (fun acc st -> Prt.Breakdown.add acc st.Lower.breakdown)
-      (Prt.Breakdown.zero ()) states
+    Prt.Breakdown.sum_distinct
+      (Array.to_list (Array.map (fun st -> st.Lower.breakdown) states))
   in
   { states; breakdown }
 
@@ -193,11 +195,13 @@ let make_workers (p : Problem.t) ~(base : Lower.state) ~ndomains ~index_ranges =
 
 (* Per-worker breakdown counters summed into the aggregate, like the SPMD
    executors do (the seed only observed worker sweeps through the base
-   timer). *)
-let sum_breakdowns base workers =
-  Array.fold_left
-    (fun acc (st : Lower.state) -> Prt.Breakdown.add acc st.Lower.breakdown)
-    base.Lower.breakdown workers
+   timer).  [sum_distinct] keeps the sum correct even when the caller's
+   record appears both as the base and as a pool participant. *)
+let sum_breakdowns (base : Lower.state) workers =
+  Prt.Breakdown.sum_distinct
+    (base.Lower.breakdown
+     :: Array.to_list
+          (Array.map (fun (st : Lower.state) -> st.Lower.breakdown) workers))
 
 (* One timestep's parallel region: every pool participant sweeps its cell
    range, all meet at the barrier (no domain may publish u_new while
@@ -207,9 +211,10 @@ let pool_step pool (workers : Lower.state array) =
   Prt.Pool.run pool (fun rank ->
       let st = workers.(rank) in
       let b = st.Lower.breakdown in
-      Prt.Breakdown.timed b Prt.Breakdown.Intensity (fun () -> Lower.sweep st);
+      let track = Prt.Trace.worker rank in
+      Prt.Breakdown.timed ~track b Prt.Breakdown.Intensity (fun () -> Lower.sweep st);
       Prt.Pool.barrier pool;
-      Prt.Breakdown.timed b Prt.Breakdown.Intensity (fun () -> Lower.commit st))
+      Prt.Breakdown.timed ~track b Prt.Breakdown.Intensity (fun () -> Lower.commit st))
 
 (* Persistent-pool executor: domains are spawned once per solve and parked
    between regions, not respawned twice per timestep. *)
@@ -220,13 +225,15 @@ let run_threaded (p : Problem.t) ~ndomains =
   let workers = make_workers p ~base ~ndomains ~index_ranges:[] in
   Prt.Pool.with_pool ~size:ndomains (fun pool ->
       for _ = 1 to p.Problem.nsteps do
-        Lower.run_pre_step base ~allreduce:noop_allreduce;
-        pool_step pool workers;
-        Prt.Breakdown.timed base.Lower.breakdown Prt.Breakdown.Temperature
-          (fun () -> Lower.run_post_step base ~allreduce:noop_allreduce);
-        (* time/dt refs are shared between base and workers *)
-        base.Lower.time := !(base.Lower.time) +. !(base.Lower.dt);
-        incr base.Lower.step
+        Prt.Trace.span ~cat:"step" Prt.Trace.main "step" (fun () ->
+            Lower.run_pre_step base ~allreduce:noop_allreduce;
+            pool_step pool workers;
+            Prt.Breakdown.timed ~track:Prt.Trace.main base.Lower.breakdown
+              Prt.Breakdown.Temperature
+              (fun () -> Lower.run_post_step base ~allreduce:noop_allreduce);
+            (* time/dt refs are shared between base and workers *)
+            base.Lower.time := !(base.Lower.time) +. !(base.Lower.dt);
+            incr base.Lower.step)
       done);
   { states = [| base |]; breakdown = sum_breakdowns base workers }
 
@@ -238,23 +245,24 @@ let run_threaded_respawn (p : Problem.t) ~ndomains =
   let base = Lower.build p in
   let workers = make_workers p ~base ~ndomains ~index_ranges:[] in
   let b = base.Lower.breakdown in
+  let track = Prt.Trace.main in
   for _ = 1 to p.Problem.nsteps do
     Lower.run_pre_step base ~allreduce:noop_allreduce;
-    Prt.Breakdown.timed b Prt.Breakdown.Intensity (fun () ->
+    Prt.Breakdown.timed ~track b Prt.Breakdown.Intensity (fun () ->
         let spawned =
           Array.init (ndomains - 1) (fun i ->
               Domain.spawn (fun () -> Lower.sweep workers.(i + 1)))
         in
         Lower.sweep workers.(0);
         Array.iter Domain.join spawned);
-    Prt.Breakdown.timed b Prt.Breakdown.Intensity (fun () ->
+    Prt.Breakdown.timed ~track b Prt.Breakdown.Intensity (fun () ->
         let spawned =
           Array.init (ndomains - 1) (fun i ->
               Domain.spawn (fun () -> Lower.commit workers.(i + 1)))
         in
         Lower.commit workers.(0);
         Array.iter Domain.join spawned);
-    Prt.Breakdown.timed b Prt.Breakdown.Temperature (fun () ->
+    Prt.Breakdown.timed ~track b Prt.Breakdown.Temperature (fun () ->
         Lower.run_post_step base ~allreduce:noop_allreduce);
     base.Lower.time := !(base.Lower.time) +. !(base.Lower.dt);
     incr base.Lower.step
@@ -296,10 +304,11 @@ let run_hybrid (p : Problem.t) ~index ~nranks ~ndomains =
           states.(rank) <- Some st;
           let workers = make_workers p ~base:st ~ndomains ~index_ranges in
           let b = st.Lower.breakdown in
+          let track = Prt.Trace.rank rank in
           for _ = 1 to p.Problem.nsteps do
             Lower.run_pre_step st ~allreduce:Prt.Spmd.allreduce_sum;
             pool_step pool workers;
-            Prt.Breakdown.timed b Prt.Breakdown.Temperature (fun () ->
+            Prt.Breakdown.timed ~track b Prt.Breakdown.Temperature (fun () ->
                 Lower.run_post_step st ~allreduce:Prt.Spmd.allreduce_sum);
             st.Lower.time := !(st.Lower.time) +. !(st.Lower.dt);
             incr st.Lower.step

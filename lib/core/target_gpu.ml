@@ -118,6 +118,12 @@ let run_single ?post_io ?(info = Lower.serial_rankinfo)
   (* boundary contribution accumulator on the host *)
   let u_bdry = Fvm.Field.create ~name:"u_bdry" ~ncells ~ncomp () in
   let b = host.Lower.breakdown in
+  (* host-side phase spans: the main track for a single-device run, the
+     rank's track when driven as an SPMD fiber (multi-device) *)
+  let track =
+    if info.Lower.nranks > 1 then Prt.Trace.rank info.Lower.rank
+    else Prt.Trace.main
+  in
   (* one-time uploads: everything the kernel reads *)
   List.iter
     (fun (name, (buf, _)) ->
@@ -141,7 +147,7 @@ let run_single ?post_io ?(info = Lower.serial_rankinfo)
     Eval.bump_epoch dstate.Lower.env;
     Gpu_sim.Stream.kernel stream clock kernel ~nthreads ();
     (* 2. boundary contributions on the CPU, overlapping the kernel *)
-    Prt.Breakdown.timed b Prt.Breakdown.Boundary (fun () ->
+    Prt.Breakdown.timed ~track b Prt.Breakdown.Boundary (fun () ->
         Fvm.Field.fill u_bdry 0.;
         Lower.boundary_contributions host ~into:u_bdry);
     (* 3. synchronize; download; combine *)
@@ -151,7 +157,7 @@ let run_single ?post_io ?(info = Lower.serial_rankinfo)
     kernel_time_seen := dev.Gpu_sim.Memory.kernel_time;
     Prt.Breakdown.record b Prt.Breakdown.Communication
       (Gpu_sim.Memory.d2h dev u_new_buf (Fvm.Field.raw host.Lower.u_new));
-    Prt.Breakdown.timed b Prt.Breakdown.Intensity (fun () ->
+    Prt.Breakdown.timed ~track b Prt.Breakdown.Intensity (fun () ->
         for cell = 0 to ncells - 1 do
           Array.iter
             (fun comp ->
@@ -163,7 +169,7 @@ let run_single ?post_io ?(info = Lower.serial_rankinfo)
             owned_comps
         done);
     (* 4. post-step user code on the host *)
-    Prt.Breakdown.timed b Prt.Breakdown.Temperature (fun () ->
+    Prt.Breakdown.timed ~track b Prt.Breakdown.Temperature (fun () ->
         Lower.run_post_step host ~allreduce);
     (* 5. upload what the device needs fresh *)
     List.iter
@@ -223,9 +229,8 @@ let run_multi ?post_io ~spec ~ranks (p : Problem.t) =
           Fvm.Field.set u0 cell c (Fvm.Field.get st.Lower.u cell c)))
     results;
   let breakdown =
-    Array.fold_left
-      (fun acc r -> Prt.Breakdown.add acc r.breakdown)
-      (Prt.Breakdown.zero ()) results
+    Prt.Breakdown.sum_distinct
+      (Array.to_list (Array.map (fun r -> r.breakdown) results))
   in
   { r0 with breakdown }, results
 

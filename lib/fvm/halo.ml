@@ -95,3 +95,15 @@ let neighbour_ranks t r =
     (fun e -> if e.from_rank = r then Some e.to_rank else None)
     t.exchanges
   |> List.sort_uniq compare
+
+(* Metrics accounting for executed exchange rounds.  [halo.bytes] counts
+   the MPI-equivalent traffic of the round (send + receive payload),
+   whatever the in-process mechanism that performed it. *)
+let m_rounds = Prt.Metrics.counter "halo.rounds"
+let m_bytes = Prt.Metrics.counter "halo.bytes"
+
+let account t r ~ncomp =
+  if Prt.Metrics.enabled () then begin
+    Prt.Metrics.incr m_rounds;
+    Prt.Metrics.add m_bytes (bytes_per_round t r ~ncomp ~bytes_per:8)
+  end

@@ -4,27 +4,39 @@
     that the receiver needs as ghosts (cells adjacent across cut faces). *)
 
 type exchange = {
-  from_rank : int;
-  to_rank : int;
+  from_rank : int;  (** sending rank *)
+  to_rank : int;  (** receiving rank *)
   cells : int array; (** owned by [from_rank], ghosts on [to_rank] *)
 }
+(** One directed send list of a rank pair. *)
 
 type t = {
-  nranks : int;
-  exchanges : exchange list;
+  nranks : int;  (** ranks in the partition *)
+  exchanges : exchange list;  (** all directed send lists, sorted *)
   ghosts : int array array; (** ghost cells needed by each rank *)
 }
+(** The full exchange plan of one partition. *)
 
 val build : Mesh.t -> Partition.t -> t
+(** Derive the plan from face adjacency across partition cuts. *)
 
 val send_count : t -> int -> int
 (** Cells rank [r] sends per exchange round. *)
 
 val recv_count : t -> int -> int
+(** Ghost cells rank [r] receives per exchange round. *)
 
 val bytes_per_round : t -> int -> ncomp:int -> bytes_per:int -> int
 (** Bytes moved by a rank per round (send + receive) for a field with
     [ncomp] components of [bytes_per] bytes. *)
 
 val max_send_count : t -> int
+(** Largest per-rank send count — the per-round critical payload. *)
+
 val neighbour_ranks : t -> int -> int list
+(** Ranks that rank [r] sends to (sorted, without duplicates). *)
+
+val account : t -> int -> ncomp:int -> unit
+(** [account t r ~ncomp] records one executed exchange round of rank [r]
+    into the [halo.rounds] / [halo.bytes] metrics ([bytes_per_round] with
+    8-byte values); no-op unless {!Prt.Metrics.enabled}. *)

@@ -22,6 +22,11 @@ type t = {
 
 let make ~name ~cost body = { name; cost; body }
 
+(* Launch accounting also feeds the process-wide metrics registry (the
+   per-device counters remain the profiler's source of truth). *)
+let m_launches = Prt.Metrics.counter "gpu.kernel_launches"
+let m_kernel_ns = Prt.Metrics.counter "gpu.kernel_ns"
+
 (* Launch [k] over [nthreads] logical threads with blocks of [block] threads.
    Returns the modelled kernel duration.  Execution itself is sequential
    over threads — simulating the SPMD model, not racing it — which keeps
@@ -44,4 +49,6 @@ let launch dev k ~nthreads ?(block = 256) () =
   dev.Memory.kernel_launches <- dev.Memory.kernel_launches + 1;
   dev.Memory.flops <- dev.Memory.flops +. flops;
   dev.Memory.dram_bytes <- dev.Memory.dram_bytes +. dram;
+  Prt.Metrics.incr m_launches;
+  Prt.Metrics.add m_kernel_ns (int_of_float (t *. 1e9));
   t

@@ -7,19 +7,22 @@
     roofline model via the per-thread cost annotation. *)
 
 type cost = {
-  flops_per_thread : float;
-  dram_bytes_per_thread : float;
+  flops_per_thread : float;  (** modelled FLOPs each thread performs *)
+  dram_bytes_per_thread : float;  (** modelled DRAM traffic per thread *)
 }
+(** Per-thread cost annotation feeding the roofline model. *)
 
 type t = {
-  name : string;
-  cost : cost;
-  body : int -> unit;
+  name : string;  (** kernel name, used in profiles and trace spans *)
+  cost : cost;  (** roofline cost annotation *)
+  body : int -> unit;  (** the kernel body, applied to each global tid *)
 }
+(** A compiled kernel: real OCaml body plus modelled cost. *)
 
 val make : name:string -> cost:cost -> (int -> unit) -> t
+(** [make ~name ~cost body] packages a kernel. *)
 
 val launch : Memory.device -> t -> nthreads:int -> ?block:int -> unit -> float
 (** Execute over [nthreads] logical threads (blocks of [block], default
     256); returns the modelled kernel duration and updates the device's
-    counters. *)
+    counters plus the [gpu.kernel_launches] / [gpu.kernel_ns] metrics. *)

@@ -56,6 +56,23 @@ let alloc dev ~label ~size =
 let size b = Bigarray.Array1.dim b.device_data
 let bytes b = size b * 8
 
+(* Transfers feed the metrics counters and, when tracing, modelled spans
+   on a per-device "gpu N dma" track whose timeline is cumulative PCIe
+   busy time (kernels live on the stream track; see Stream). *)
+let m_h2d_bytes = Prt.Metrics.counter "gpu.h2d_bytes"
+let m_d2h_bytes = Prt.Metrics.counter "gpu.d2h_bytes"
+
+let dma_track dev =
+  Prt.Trace.track ~pid:Prt.Trace.device_pid ~sort:(400 + dev.id)
+    (Printf.sprintf "gpu %d dma" dev.id)
+
+let trace_transfer dev name b ~dur =
+  if Prt.Trace.enabled () then
+    Prt.Trace.span_at (dma_track dev) ~cat:"gpu"
+      (name ^ " " ^ b.label)
+      ~args:[ "bytes", float_of_int (bytes b) ]
+      ~ts_s:dev.transfer_time ~dur_s:dur
+
 (* Copy host array into device buffer; returns modelled transfer seconds. *)
 let h2d dev b host =
   if Bigarray.Array1.dim host <> size b then
@@ -63,6 +80,8 @@ let h2d dev b host =
   Bigarray.Array1.blit host b.device_data;
   b.h2d_count <- b.h2d_count + 1;
   let t = Spec.transfer_time dev.spec ~bytes:(bytes b) in
+  trace_transfer dev "h2d" b ~dur:t;
+  Prt.Metrics.add m_h2d_bytes (bytes b);
   dev.bytes_h2d <- dev.bytes_h2d + bytes b;
   dev.transfer_time <- dev.transfer_time +. t;
   t
@@ -74,6 +93,8 @@ let d2h dev b host =
   Bigarray.Array1.blit b.device_data host;
   b.d2h_count <- b.d2h_count + 1;
   let t = Spec.transfer_time dev.spec ~bytes:(bytes b) in
+  trace_transfer dev "d2h" b ~dur:t;
+  Prt.Metrics.add m_d2h_bytes (bytes b);
   dev.bytes_d2h <- dev.bytes_d2h + bytes b;
   dev.transfer_time <- dev.transfer_time +. t;
   t

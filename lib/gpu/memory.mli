@@ -7,40 +7,56 @@
     kernel activity is accounted on the owning device. *)
 
 type buffer = {
-  label : string;
+  label : string;  (** debug label, shown in errors and trace spans *)
   device_data :
     (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t;
-  mutable h2d_count : int;
-  mutable d2h_count : int;
+      (** the device-resident storage (genuinely separate from host) *)
+  mutable h2d_count : int;  (** number of host-to-device copies *)
+  mutable d2h_count : int;  (** number of device-to-host copies *)
 }
+(** One device allocation. *)
 
 type device = {
-  spec : Spec.t;
-  id : int;
-  mutable buffers : buffer list;
-  mutable bytes_h2d : int;
-  mutable bytes_d2h : int;
+  spec : Spec.t;  (** the card being simulated *)
+  id : int;  (** device index (also selects trace tracks) *)
+  mutable buffers : buffer list;  (** live allocations, newest first *)
+  mutable bytes_h2d : int;  (** accumulated host-to-device traffic *)
+  mutable bytes_d2h : int;  (** accumulated device-to-host traffic *)
   mutable transfer_time : float;   (** modelled PCIe seconds *)
   mutable kernel_time : float;     (** modelled kernel seconds *)
-  mutable kernel_launches : int;
-  mutable flops : float;
-  mutable dram_bytes : float;
-  mutable busy_until : float;
+  mutable kernel_launches : int;  (** kernels launched since reset *)
+  mutable flops : float;  (** accumulated modelled FLOPs *)
+  mutable dram_bytes : float;  (** accumulated modelled DRAM traffic *)
+  mutable busy_until : float;  (** device timeline position, seconds *)
 }
+(** A simulated device plus its profiler counters. *)
 
 val create_device : ?id:int -> Spec.t -> device
+(** Fresh device with zeroed counters and no allocations. *)
+
 val alloc : device -> label:string -> size:int -> buffer
+(** [alloc dev ~label ~size] allocates a zero-filled float64 buffer of
+    [size] elements on [dev]. *)
+
 val size : buffer -> int
+(** Element count of a buffer. *)
+
 val bytes : buffer -> int
+(** Byte size of a buffer (8 per element). *)
 
 val h2d :
   device -> buffer ->
   (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t -> float
 (** Copy host data to the device; returns the modelled transfer seconds.
+    Accumulates the [gpu.h2d_bytes] metric and, when tracing, a modelled
+    span on the device's ["gpu N dma"] track.
     Raises [Invalid_argument] on size mismatch. *)
 
 val d2h :
   device -> buffer ->
   (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t -> float
+(** Copy a device buffer back to host data, mirroring {!h2d} (metric
+    [gpu.d2h_bytes]). *)
 
 val reset_counters : device -> unit
+(** Zero the device's profiler counters (allocations are kept). *)

@@ -3,20 +3,24 @@
     utilization, memory throughput fraction, FLOP fraction of DP peak). *)
 
 type report = {
-  device : string;
-  kernel_time : float;
-  transfer_time : float;
-  kernel_launches : int;
+  device : string;  (** card name the profile was taken on *)
+  kernel_time : float;  (** modelled kernel seconds *)
+  transfer_time : float;  (** modelled PCIe seconds *)
+  kernel_launches : int;  (** launches profiled *)
   sm_utilization : float;      (** 0..1 *)
   mem_throughput_frac : float; (** achieved DRAM rate over peak *)
   flop_frac_of_peak : float;   (** achieved FLOP rate over fp64 peak *)
-  bytes_h2d : int;
-  bytes_d2h : int;
+  bytes_h2d : int;  (** host-to-device bytes moved *)
+  bytes_d2h : int;  (** device-to-host bytes moved *)
 }
+(** The profile summary for one device. *)
 
 val report : Memory.device -> avg_threads:int -> report
 (** [avg_threads] is the typical grid size of the profiled launches; it
     determines the occupancy term of SM utilization. *)
 
 val pp : Format.formatter -> report -> unit
+(** Print the nvprof-style table. *)
+
 val to_string : report -> string
+(** {!pp} rendered to a string. *)

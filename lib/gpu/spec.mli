@@ -6,11 +6,11 @@
     achieves (the paper's own BTE-kernel profile: 49% of DP peak). *)
 
 type t = {
-  name : string;
-  sm_count : int;
-  max_threads_per_sm : int;
-  fp64_peak_flops : float;
-  fp32_peak_flops : float;
+  name : string;  (** card name, e.g. ["RTX A6000"] *)
+  sm_count : int;  (** streaming multiprocessors *)
+  max_threads_per_sm : int;  (** resident-thread capacity per SM *)
+  fp64_peak_flops : float;  (** double-precision peak, FLOP/s *)
+  fp32_peak_flops : float;  (** single-precision peak, FLOP/s *)
   mem_bandwidth : float;          (** bytes/s, device global memory *)
   pcie_bandwidth : float;         (** bytes/s, host <-> device *)
   pcie_latency : float;           (** seconds per transfer *)
@@ -20,7 +20,10 @@ type t = {
 }
 
 val a6000 : t
+(** NVIDIA RTX A6000, the paper's evaluation card (8 per node). *)
+
 val a100 : t
+(** NVIDIA A100 (SXM), the strong-DP comparison card. *)
 
 val by_name : string -> t
 (** "A6000"/"a6000" or "A100"/"a100"; raises [Invalid_argument] otherwise. *)

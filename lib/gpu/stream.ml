@@ -31,12 +31,20 @@ let enqueue st clock ~dur f =
   st.tail <- start +. dur;
   result
 
+(* Kernel launch through the stream: same scheduling as [enqueue] (the
+   duration is only known after the launch, so the tail is patched), with
+   a modelled span on the stream's trace track covering [start, start+dur]
+   on the stream timeline. *)
 let kernel st clock k ~nthreads ?(block = 256) () =
-  let dur = ref 0. in
-  enqueue st clock
-    ~dur:0. (* duration computed inside; patch tail after *)
-    (fun () -> dur := Kernel.launch st.device k ~nthreads ~block ());
-  st.tail <- st.tail +. !dur
+  let dur = Kernel.launch st.device k ~nthreads ~block () in
+  clock.now <- clock.now +. enqueue_overhead;
+  let start = Float.max clock.now st.tail in
+  st.tail <- start +. dur;
+  if Prt.Trace.enabled () then
+    Prt.Trace.span_at (Prt.Trace.stream st.device.Memory.id) ~cat:"gpu"
+      k.Kernel.name
+      ~args:[ "threads", float_of_int nthreads ]
+      ~ts_s:start ~dur_s:dur
 
 let h2d st clock buf host =
   let dur = ref 0. in
@@ -55,7 +63,13 @@ let host_work clock ~dur f =
   clock.now <- clock.now +. dur;
   result
 
-(* Block the host until the stream drains. *)
-let synchronize st clock = clock.now <- Float.max clock.now st.tail
+let m_sync_wait_ns = Prt.Metrics.counter "gpu.sync_wait_ns"
+
+(* Block the host until the stream drains; the modelled wait is metered. *)
+let synchronize st clock =
+  if st.tail > clock.now then
+    Prt.Metrics.add m_sync_wait_ns
+      (int_of_float ((st.tail -. clock.now) *. 1e9));
+  clock.now <- Float.max clock.now st.tail
 
 let pending st clock = st.tail > clock.now

@@ -7,26 +7,52 @@
     with the interior kernel (Fig. 6). *)
 
 type t = { device : Memory.device; mutable tail : float }
+(** One in-order stream: [tail] is the modelled completion time of the
+    last enqueued operation on the host clock's timeline. *)
+
 type host_clock = { mutable now : float }
+(** The modelled host timeline that stream operations are issued on. *)
 
 val create_clock : unit -> host_clock
+(** A fresh host clock at time 0. *)
+
 val create : Memory.device -> t
+(** A fresh, empty stream bound to [device]. *)
 
 val enqueue_overhead : float
 (** Host-side cost of issuing one operation. *)
 
 val enqueue : t -> host_clock -> dur:float -> (unit -> 'a) -> 'a
+(** [enqueue st clock ~dur f] runs the real effect [f ()] now and appends
+    a modelled operation of duration [dur] to the stream: it starts at
+    [max clock.now st.tail] after charging {!enqueue_overhead} to the
+    host. *)
 
 val kernel : t -> host_clock -> Kernel.t -> nthreads:int -> ?block:int -> unit -> unit
+(** Launch a kernel through the stream ({!Kernel.launch} semantics) and
+    advance the stream tail by its roofline duration.  With
+    {!Prt.Trace.enable}, emits a modelled span on the device's
+    ["gpu stream S"] track covering the kernel's slot on the stream
+    timeline. *)
+
 val h2d :
   t -> host_clock -> Memory.buffer ->
   (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t -> unit
+(** Stream-ordered {!Memory.h2d}: the copy happens now, the modelled
+    transfer occupies the stream. *)
+
 val d2h :
   t -> host_clock -> Memory.buffer ->
   (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t -> unit
+(** Stream-ordered {!Memory.d2h}, mirroring {!h2d}. *)
 
 val host_work : host_clock -> dur:float -> (unit -> 'a) -> 'a
 (** CPU work of modelled duration [dur] overlapping the stream. *)
 
 val synchronize : t -> host_clock -> unit
+(** Advance the host clock to the stream tail (a blocking wait in the
+    model); the modelled wait accumulates into the [gpu.sync_wait_ns]
+    metric. *)
+
 val pending : t -> host_clock -> bool
+(** Whether the stream still has modelled work beyond the host clock. *)

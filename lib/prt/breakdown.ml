@@ -79,8 +79,57 @@ let record b phase dt =
   | Boundary -> b.boundary <- b.boundary +. dt
   | Other -> b.other <- b.other +. dt
 
-let timed b phase f =
+let phase_name = function
+  | Intensity -> "intensity"
+  | Temperature -> "temperature"
+  | Communication -> "communication"
+  | Boundary -> "boundary"
+  | Other -> "other"
+
+let phase_of_name = function
+  | "intensity" -> Some Intensity
+  | "temperature" -> Some Temperature
+  | "communication" -> Some Communication
+  | "boundary" -> Some Boundary
+  | "other" -> Some Other
+  | _ -> None
+
+(* Phase sections are also trace spans (cat "phase") when tracing is on:
+   the accumulator [t] is then just a materialised view of the span
+   stream — [of_events] recomputes it from the trace. *)
+let timed ?track b phase f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
-  record b phase (Unix.gettimeofday () -. t0);
+  let t1 = Unix.gettimeofday () in
+  record b phase (t1 -. t0);
+  (match track with
+   | Some tr -> Trace.complete tr ~cat:"phase" (phase_name phase) ~t0 ~t1
+   | None -> ());
   r
+
+let of_events evs =
+  let b = zero () in
+  List.iter
+    (fun ev ->
+      if ev.Trace.ev_cat = "phase" && ev.Trace.ev_dur >= 0. then
+        match phase_of_name ev.Trace.ev_name with
+        | Some p -> record b p (ev.Trace.ev_dur *. 1e-6)
+        | None -> ())
+    evs;
+  b
+
+(* Sum a list of breakdowns, counting each physical record once.  Guards
+   aggregation against aliasing: when the caller participates as pool
+   worker 0 (or a rebound device state shares its host's record), the
+   same mutable record can appear under two names — summing it twice
+   would double-count the caller's phase time. *)
+let sum_distinct bs =
+  let seen = ref [] in
+  List.fold_left
+    (fun acc b ->
+      if List.exists (fun s -> s == b) !seen then acc
+      else begin
+        seen := b :: !seen;
+        add acc b
+      end)
+    (zero ()) bs

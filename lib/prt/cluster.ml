@@ -37,8 +37,20 @@ type network = {
 
 let default_network = { alpha = 2e-6; beta = 1. /. 12.5e9 }
 
+(* Modelled traffic accounting: every costed message bumps these, so a
+   scaling study run under [Metrics.enable] reports how much (virtual)
+   data the evaluated schedule would move. *)
+let m_msgs = Metrics.counter "cluster.msgs"
+let m_bytes = Metrics.counter "cluster.bytes"
+
+let account ~msgs ~bytes =
+  Metrics.add m_msgs msgs;
+  Metrics.add m_bytes bytes
+
 (* Point-to-point message time. *)
-let p2p net ~bytes = net.alpha +. (float_of_int bytes *. net.beta)
+let p2p net ~bytes =
+  account ~msgs:1 ~bytes;
+  net.alpha +. (float_of_int bytes *. net.beta)
 
 (* Tree allreduce over [p] ranks of an [bytes]-sized payload:
    reduce-scatter + allgather costs ~ 2 log2(p) latency terms and
@@ -48,14 +60,18 @@ let allreduce net ~p ~bytes =
   if p <= 1 then 0.
   else
     let lg = ceil (log (float_of_int p) /. log 2.) in
+    let rounds = int_of_float (2. *. lg) in
+    account ~msgs:rounds ~bytes:(rounds * bytes);
     2. *. lg *. (net.alpha +. (float_of_int bytes *. net.beta))
 
 (* Allgather of [bytes_per_rank] from each of [p] ranks (ring): (p-1)
    rounds moving one chunk each. *)
 let allgather net ~p ~bytes_per_rank =
   if p <= 1 then 0.
-  else
+  else begin
+    account ~msgs:(p - 1) ~bytes:((p - 1) * bytes_per_rank);
     float_of_int (p - 1) *. (net.alpha +. (float_of_int bytes_per_rank *. net.beta))
+  end
 
 (* Halo exchange for one rank: one message per neighbour, sends and the
    matching receives overlapping; cost = sum over neighbours of p2p. *)
@@ -65,6 +81,9 @@ let halo_exchange net ~neighbour_bytes =
 (* Broadcast of [bytes] to [p] ranks (binomial tree). *)
 let broadcast net ~p ~bytes =
   if p <= 1 then 0.
-  else
+  else begin
     let lg = ceil (log (float_of_int p) /. log 2.) in
+    let rounds = int_of_float lg in
+    account ~msgs:rounds ~bytes:(rounds * bytes);
     lg *. (net.alpha +. (float_of_int bytes *. net.beta))
+  end

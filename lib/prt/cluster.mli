@@ -1,28 +1,38 @@
 (** Cluster node description and alpha-beta network cost models used by
     the strong-scaling studies (the paper's evaluation platform is
-    modelled, not available; see DESIGN.md). *)
+    modelled, not available; see DESIGN.md).
+
+    With {!Metrics.enable}, every costed message also accumulates into
+    the [cluster.msgs] / [cluster.bytes] counters, so a scaling study
+    reports the modelled traffic of the evaluated schedule. *)
 
 type node = {
-  name : string;
-  cores_per_node : int;
-  cpu_dof_update_time : float;       (** s per intensity DOF update, 1 core *)
-  fortran_dof_update_time : float;
-  temp_update_time_per_cell : float;
-  boundary_time_per_face_dof : float;
+  name : string;  (** platform label used in reports *)
+  cores_per_node : int;  (** physical cores per node *)
+  cpu_dof_update_time : float;  (** s per intensity DOF update, 1 core *)
+  fortran_dof_update_time : float;  (** same, hand-written Fortran code *)
+  temp_update_time_per_cell : float;  (** s per cell per step (Newton + reduce) *)
+  boundary_time_per_face_dof : float;  (** s per boundary face DOF per step *)
 }
+(** Calibrated per-operation costs of one cluster node. *)
 
 val cascade_lake : node
 (** The paper's two-socket 40-core Cascade Lake node, with unit costs
     anchored to its sequential measurements. *)
 
 type network = {
-  alpha : float; (** per-message latency, s *)
+  alpha : float;  (** per-message latency, s *)
   beta : float;  (** per-byte time, s *)
 }
+(** The standard alpha-beta (latency-bandwidth) interconnect model. *)
 
 val default_network : network
+(** Commodity-cluster parameters: 2 us latency, ~12.5 GB/s effective
+    bandwidth. *)
 
 val p2p : network -> bytes:int -> float
+(** Point-to-point message time: [alpha + bytes*beta]. *)
+
 val allreduce : network -> p:int -> bytes:int -> float
 (** Tree allreduce: ~ 2 ceil(log2 p) (alpha + bytes*beta); 0 for p <= 1. *)
 
@@ -33,3 +43,5 @@ val halo_exchange : network -> neighbour_bytes:int list -> float
 (** Sum of point-to-point costs over a rank's neighbours. *)
 
 val broadcast : network -> p:int -> bytes:int -> float
+(** Binomial-tree broadcast: ceil(log2 p) (alpha + bytes*beta); 0 for
+    p <= 1. *)

@@ -1,0 +1,206 @@
+(* Process-wide metrics registry: counters, gauges, and log2-bucket
+   histograms, with text and JSON dumps.
+
+   Handles are created at module-initialisation time by the instrumented
+   layers (pool, spmd, halo, gpu simulator, ...), so the well-known names
+   are always registered and a dump shows them even at zero.  Creation is
+   idempotent: asking for the same name returns the same handle, which is
+   also how external consumers (bench JSON) read values without a lookup
+   API.  Updates are atomic and gated on [enabled] — a disabled update is
+   one atomic load, so instrumentation is free until switched on. *)
+
+type counter = { c_name : string; c : int Atomic.t }
+type gauge = { g_name : string; g : float Atomic.t }
+
+(* Bucket i counts observations v with 2^(i-1) < v <= 2^i (bucket 0
+   takes v <= 1).  64 buckets cover the full positive int range. *)
+let nbuckets = 64
+
+type histogram = {
+  h_name : string;
+  h_buckets : int Atomic.t array;
+  h_count : int Atomic.t;
+  h_sum : float Atomic.t;
+  h_max : float Atomic.t;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+let enabled_ = Atomic.make false
+let enable () = Atomic.set enabled_ true
+let disable () = Atomic.set enabled_ false
+let enabled () = Atomic.get enabled_
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 32
+let registry_m = Mutex.create ()
+
+let register name make cast =
+  Mutex.lock registry_m;
+  let m =
+    match Hashtbl.find_opt registry name with
+    | Some m -> m
+    | None ->
+      let m = make () in
+      Hashtbl.add registry name m;
+      m
+  in
+  Mutex.unlock registry_m;
+  cast m
+
+let kind_error name want =
+  invalid_arg (Printf.sprintf "Metrics.%s: %S already registered as a different kind" want name)
+
+let counter name =
+  register name
+    (fun () -> Counter { c_name = name; c = Atomic.make 0 })
+    (function Counter c -> c | _ -> kind_error name "counter")
+
+let gauge name =
+  register name
+    (fun () -> Gauge { g_name = name; g = Atomic.make 0. })
+    (function Gauge g -> g | _ -> kind_error name "gauge")
+
+let histogram name =
+  register name
+    (fun () ->
+      Histogram
+        { h_name = name;
+          h_buckets = Array.init nbuckets (fun _ -> Atomic.make 0);
+          h_count = Atomic.make 0; h_sum = Atomic.make 0.;
+          h_max = Atomic.make 0. })
+    (function Histogram h -> h | _ -> kind_error name "histogram")
+
+(* ---------- updates ---------- *)
+
+let add c n = if Atomic.get enabled_ then ignore (Atomic.fetch_and_add c.c n)
+let incr c = add c 1
+let value c = Atomic.get c.c
+
+let rec atomic_addf a x =
+  let v = Atomic.get a in
+  if not (Atomic.compare_and_set a v (v +. x)) then atomic_addf a x
+
+let rec atomic_maxf a x =
+  let v = Atomic.get a in
+  if x > v && not (Atomic.compare_and_set a v x) then atomic_maxf a x
+
+let set g x = if Atomic.get enabled_ then Atomic.set g.g x
+let gauge_value g = Atomic.get g.g
+
+let bucket_of v =
+  if v <= 1. then 0
+  else
+    let b = int_of_float (Float.ceil (Float.log2 v)) in
+    if b < 0 then 0 else if b >= nbuckets then nbuckets - 1 else b
+
+let observe h v =
+  if Atomic.get enabled_ then begin
+    ignore (Atomic.fetch_and_add h.h_buckets.(bucket_of v) 1);
+    ignore (Atomic.fetch_and_add h.h_count 1);
+    atomic_addf h.h_sum v;
+    atomic_maxf h.h_max v
+  end
+
+let hist_count h = Atomic.get h.h_count
+let hist_sum h = Atomic.get h.h_sum
+let hist_max h = Atomic.get h.h_max
+let hist_bucket h i = Atomic.get h.h_buckets.(i)
+
+let hist_mean h =
+  let n = hist_count h in
+  if n = 0 then 0. else hist_sum h /. float_of_int n
+
+(* ---------- dumps ---------- *)
+
+let all () =
+  Mutex.lock registry_m;
+  let ms = Hashtbl.fold (fun _ m acc -> m :: acc) registry [] in
+  Mutex.unlock registry_m;
+  let name = function
+    | Counter c -> c.c_name
+    | Gauge g -> g.g_name
+    | Histogram h -> h.h_name
+  in
+  List.sort (fun a b -> compare (name a) (name b)) ms
+
+let reset_all () =
+  List.iter
+    (function
+      | Counter c -> Atomic.set c.c 0
+      | Gauge g -> Atomic.set g.g 0.
+      | Histogram h ->
+        Array.iter (fun b -> Atomic.set b 0) h.h_buckets;
+        Atomic.set h.h_count 0;
+        Atomic.set h.h_sum 0.;
+        Atomic.set h.h_max 0.)
+    (all ())
+
+let nonzero_buckets h =
+  let acc = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    let n = hist_bucket h i in
+    if n > 0 then acc := (i, n) :: !acc
+  done;
+  !acc
+
+let dump_text () =
+  let b = Buffer.create 512 in
+  List.iter
+    (fun m ->
+      match m with
+      | Counter c ->
+        Buffer.add_string b
+          (Printf.sprintf "%-28s counter    %d\n" c.c_name (value c))
+      | Gauge g ->
+        Buffer.add_string b
+          (Printf.sprintf "%-28s gauge      %g\n" g.g_name (gauge_value g))
+      | Histogram h ->
+        Buffer.add_string b
+          (Printf.sprintf "%-28s histogram  count %d  sum %g  mean %g  max %g\n"
+             h.h_name (hist_count h) (hist_sum h) (hist_mean h) (hist_max h));
+        match nonzero_buckets h with
+        | [] -> ()
+        | bs ->
+          Buffer.add_string b (String.make 28 ' ');
+          Buffer.add_string b "   buckets   ";
+          List.iter
+            (fun (i, n) ->
+              Buffer.add_string b (Printf.sprintf "(<=2^%d: %d) " i n))
+            bs;
+          Buffer.add_char b '\n')
+    (all ());
+  Buffer.contents b
+
+let dump_json () =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{";
+  List.iteri
+    (fun i m ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b "\n  ";
+      match m with
+      | Counter c ->
+        Buffer.add_string b
+          (Printf.sprintf "\"%s\": {\"type\": \"counter\", \"value\": %d}"
+             c.c_name (value c))
+      | Gauge g ->
+        Buffer.add_string b
+          (Printf.sprintf "\"%s\": {\"type\": \"gauge\", \"value\": %.17g}"
+             g.g_name (gauge_value g))
+      | Histogram h ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "\"%s\": {\"type\": \"histogram\", \"count\": %d, \"sum\": %.17g, \"max\": %.17g, \"buckets\": {"
+             h.h_name (hist_count h) (hist_sum h) (hist_max h));
+        List.iteri
+          (fun j (i, n) ->
+            if j > 0 then Buffer.add_string b ", ";
+            Buffer.add_string b (Printf.sprintf "\"%d\": %d" i n))
+          (nonzero_buckets h);
+        Buffer.add_string b "}}")
+    (all ());
+  Buffer.add_string b "\n}\n";
+  Buffer.contents b

@@ -19,6 +19,17 @@
 
 exception Pool_error of string
 
+(* Observability handles, registered at load time so dumps always list
+   them.  Region spans land on each participant's "pool worker R" track;
+   barrier waits feed a histogram (count = number of waits, sum = total
+   nanoseconds parked). *)
+let m_regions = Metrics.counter "pool.regions"
+let m_barrier_wait = Metrics.histogram "pool.barrier_wait_ns"
+
+let traced rank f =
+  if Trace.enabled () then Trace.span ~cat:"pool" (Trace.worker rank) "region" f
+  else f ()
+
 type t = {
   size : int; (* participants, including the caller *)
   mutable domains : unit Domain.t array;
@@ -62,7 +73,7 @@ let worker t rank =
       let job = t.job in
       Mutex.unlock t.m;
       (match job with
-       | Some f -> ( try f rank with exn -> record_failure t exn)
+       | Some f -> ( try traced rank (fun () -> f rank) with exn -> record_failure t exn)
        | None -> ());
       Mutex.lock t.m;
       t.pending <- t.pending - 1;
@@ -106,8 +117,9 @@ let run t f =
   t.generation <- t.generation + 1;
   Condition.broadcast t.work_ready;
   Mutex.unlock t.m;
+  Metrics.incr m_regions;
   (* the caller is participant 0 *)
-  (try f 0 with exn -> record_failure t exn);
+  (try traced 0 (fun () -> f 0) with exn -> record_failure t exn);
   Mutex.lock t.m;
   while t.pending > 0 do
     Condition.wait t.work_done t.m
@@ -124,6 +136,7 @@ let run t f =
    participants) deadlocks, as a real barrier would. *)
 let barrier t =
   if t.size > 1 then begin
+    let t0 = if Metrics.enabled () then Unix.gettimeofday () else 0. in
     Mutex.lock t.bm;
     let sense = t.bar_sense in
     t.bar_waiting <- t.bar_waiting + 1;
@@ -136,7 +149,9 @@ let barrier t =
       while t.bar_sense = sense do
         Condition.wait t.bc t.bm
       done;
-    Mutex.unlock t.bm
+    Mutex.unlock t.bm;
+    if t0 > 0. then
+      Metrics.observe m_barrier_wait ((Unix.gettimeofday () -. t0) *. 1e9)
   end
 
 (* Owned block of [0, n) for a participant: same block partition as

@@ -4,11 +4,20 @@
     parallel region until {!shutdown}, replacing the per-step
     [Domain.spawn]/[Domain.join] churn of the original threaded executor.
     The calling domain always participates as rank 0, so a pool of size
-    [n] spawns only [n - 1] domains. *)
+    [n] spawns only [n - 1] domains.
+
+    Instrumentation: each region executes under a [cat:"pool"] span on
+    the participant's ["pool worker R"] trace track, and barrier waits
+    feed the [pool.barrier_wait_ns] metrics histogram (see
+    [docs/OBSERVABILITY.md]); both are no-ops unless {!Trace.enable} /
+    {!Metrics.enable} was called. *)
 
 exception Pool_error of string
+(** Raised on misuse: zero size, nested regions, or running a pool that
+    was shut down. *)
 
 type t
+(** A pool of worker domains plus the calling domain. *)
 
 val create : size:int -> t
 (** [create ~size] spawns [size - 1] worker domains ([size >= 1]). *)

@@ -22,6 +22,18 @@ exception Spmd_error of string
 let barrier () = Effect.perform Barrier
 let allreduce_sum a = Effect.perform (Allreduce_sum a)
 
+(* Observability: each uninterrupted stretch of a rank between two
+   collectives is a "compute" span on its "spmd rank R" track, with the
+   collective itself marked by an instant event; counters account the
+   modelled traffic (an allreduce moves each rank's 8*len payload). *)
+let m_barriers = Metrics.counter "spmd.barriers"
+let m_allreduces = Metrics.counter "spmd.allreduces"
+let m_allreduce_bytes = Metrics.counter "spmd.allreduce_bytes"
+
+let segment rank f =
+  if Trace.enabled () then Trace.span ~cat:"spmd" (Trace.rank rank) "compute" f
+  else f ()
+
 type suspended =
   | Running
   | At_barrier of (unit, unit) Effect.Deep.continuation
@@ -52,7 +64,7 @@ let run ~nranks (program : int -> unit) =
       }
   in
   for r = 0 to nranks - 1 do
-    start r
+    segment r (fun () -> start r)
   done;
   let rec drive () =
     let barriers = ref [] and reduces = ref [] and nfinished = ref 0 in
@@ -68,10 +80,12 @@ let run ~nranks (program : int -> unit) =
     else begin
       (match List.rev !barriers, List.rev !reduces with
        | bs, [] when List.length bs = nranks ->
+         Metrics.incr m_barriers;
          List.iter
            (fun (r, k) ->
              states.(r) <- Running;
-             Effect.Deep.continue k ())
+             if Trace.enabled () then Trace.instant ~cat:"spmd" (Trace.rank r) "barrier";
+             segment r (fun () -> Effect.Deep.continue k ()))
            bs
        | [], rs when List.length rs = nranks ->
          (match rs with
@@ -90,11 +104,16 @@ let run ~nranks (program : int -> unit) =
                   acc.(i) <- acc.(i) +. a.(i)
                 done)
               rs;
-            List.iter (fun (_, a, _) -> Array.blit acc 0 a 0 len) rs);
+            List.iter (fun (_, a, _) -> Array.blit acc 0 a 0 len) rs;
+            Metrics.incr m_allreduces;
+            Metrics.add m_allreduce_bytes (8 * len * nranks));
          List.iter
-           (fun (r, _, k) ->
+           (fun (r, a, k) ->
              states.(r) <- Running;
-             Effect.Deep.continue k ())
+             if Trace.enabled () then
+               Trace.instant ~cat:"spmd" (Trace.rank r) "allreduce"
+                 ~args:[ "bytes", float_of_int (8 * Array.length a) ];
+             segment r (fun () -> Effect.Deep.continue k ()))
            rs
        | _ ->
          raise

@@ -22,4 +22,11 @@ val allreduce_sum : float array -> unit
 
 val run : nranks:int -> (int -> unit) -> unit
 (** [run ~nranks program] executes [program rank] for every rank under the
-    collective scheduler and returns when all ranks finish. *)
+    collective scheduler and returns when all ranks finish.
+
+    Instrumentation: with {!Trace.enable}, each rank's stretches between
+    collectives become [cat:"spmd"] ["compute"] spans on its
+    ["spmd rank R"] track with instant markers at barriers/allreduces;
+    with {!Metrics.enable}, [spmd.barriers], [spmd.allreduces] and
+    [spmd.allreduce_bytes] (8 bytes x length x ranks per reduce) are
+    accumulated. *)

@@ -1,0 +1,230 @@
+(* Unified tracing: nestable spans on named tracks, exported as Chrome
+   trace-event JSON (load in Perfetto / chrome://tracing).
+
+   The model follows the executors' shape (see docs/OBSERVABILITY.md):
+
+   - track "main"           — the calling domain (steps, serial phases);
+   - track "pool worker R"  — pool participant R (the caller is worker 0);
+   - track "spmd rank R"    — SPMD rank fiber R;
+   - track "gpu stream S"   — the simulated device's stream, on its own
+     *modelled* timeline (a separate Chrome pid, so wall-clock and modelled
+     microseconds are not visually conflated).
+
+   Each track owns its own event buffer and has exactly one writer at a
+   time (pool workers write only their own track; rank fibers and the main
+   thread run on the calling domain), so appending needs no lock — the
+   "lock-free-ish per-worker buffer" of a real tracer.  Only the track
+   registry (creation by name) takes a mutex.  Buffers are drained by the
+   exporter after regions complete, i.e. at barrier-synchronized points.
+
+   Everything is a no-op while disabled: [span] costs one atomic load and
+   runs the thunk directly, so instrumented code paths are bit- and
+   cost-identical to uninstrumented ones (asserted by test/test_trace.ml). *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ts : float;  (* microseconds on the track's timeline *)
+  ev_dur : float; (* microseconds; negative means an instant event *)
+  ev_tid : int;
+  ev_pid : int;
+  ev_args : (string * float) list;
+}
+
+type track = {
+  tid : int;
+  tname : string;
+  pid : int;
+  sort : int;
+  mutable buf : event list; (* newest first; single writer per track *)
+}
+
+let host_pid = 1
+let device_pid = 2
+
+(* ---------- global state ---------- *)
+
+let enabled_ = Atomic.make false
+let epoch = ref 0. (* wall-clock origin of the trace, set at [enable] *)
+
+let registry : (string, track) Hashtbl.t = Hashtbl.create 32
+let registry_m = Mutex.create ()
+let next_tid = ref 0
+
+let enabled () = Atomic.get enabled_
+
+let track ?(pid = host_pid) ?(sort = 0) name =
+  Mutex.lock registry_m;
+  let t =
+    match Hashtbl.find_opt registry name with
+    | Some t -> t
+    | None ->
+      incr next_tid;
+      let t = { tid = !next_tid; tname = name; pid; sort; buf = [] } in
+      Hashtbl.add registry name t;
+      t
+  in
+  Mutex.unlock registry_m;
+  t
+
+let main = track ~sort:0 "main"
+let worker r = track ~sort:(100 + r) (Printf.sprintf "pool worker %d" r)
+let rank r = track ~sort:(200 + r) (Printf.sprintf "spmd rank %d" r)
+let stream s = track ~pid:device_pid ~sort:(300 + s) (Printf.sprintf "gpu stream %d" s)
+
+let enable () =
+  if not (Atomic.get enabled_) then begin
+    if !epoch = 0. then epoch := Unix.gettimeofday ();
+    Atomic.set enabled_ true
+  end
+
+let disable () = Atomic.set enabled_ false
+
+let clear () =
+  Mutex.lock registry_m;
+  Hashtbl.iter (fun _ t -> t.buf <- []) registry;
+  Mutex.unlock registry_m;
+  epoch := if Atomic.get enabled_ then Unix.gettimeofday () else 0.
+
+(* ---------- recording ---------- *)
+
+let to_us t = (t -. !epoch) *. 1e6
+
+let emit tr ev = tr.buf <- ev :: tr.buf
+
+let complete tr ?(cat = "") ?(args = []) name ~t0 ~t1 =
+  if Atomic.get enabled_ then
+    emit tr
+      { ev_name = name; ev_cat = cat; ev_ts = to_us t0;
+        ev_dur = Float.max 0. ((t1 -. t0) *. 1e6); ev_tid = tr.tid;
+        ev_pid = tr.pid; ev_args = args }
+
+let span ?cat ?args tr name f =
+  if not (Atomic.get enabled_) then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    match f () with
+    | r ->
+      complete tr ?cat ?args name ~t0 ~t1:(Unix.gettimeofday ());
+      r
+    | exception e ->
+      complete tr ?cat ?args name ~t0 ~t1:(Unix.gettimeofday ());
+      raise e
+  end
+
+(* Spans on a modelled timeline (the GPU simulator's clocks): [ts_s] and
+   [dur_s] are seconds since the modelled time origin, not wall clock. *)
+let span_at tr ?(cat = "") ?(args = []) name ~ts_s ~dur_s =
+  if Atomic.get enabled_ then
+    emit tr
+      { ev_name = name; ev_cat = cat; ev_ts = ts_s *. 1e6;
+        ev_dur = Float.max 0. (dur_s *. 1e6); ev_tid = tr.tid;
+        ev_pid = tr.pid; ev_args = args }
+
+let instant ?(cat = "") ?(args = []) tr name =
+  if Atomic.get enabled_ then
+    emit tr
+      { ev_name = name; ev_cat = cat;
+        ev_ts = to_us (Unix.gettimeofday ()); ev_dur = -1.;
+        ev_tid = tr.tid; ev_pid = tr.pid; ev_args = args }
+
+(* ---------- draining ---------- *)
+
+let tracks () =
+  Mutex.lock registry_m;
+  let ts = Hashtbl.fold (fun _ t acc -> t :: acc) registry [] in
+  Mutex.unlock registry_m;
+  List.sort (fun a b -> compare (a.pid, a.sort, a.tid) (b.pid, b.sort, b.tid)) ts
+
+let events () =
+  let evs = List.concat_map (fun t -> List.rev t.buf) (tracks ()) in
+  List.stable_sort (fun a b -> compare a.ev_ts b.ev_ts) evs
+
+let event_count () =
+  List.fold_left (fun acc t -> acc + List.length t.buf) 0 (tracks ())
+
+(* ---------- Chrome trace-event JSON export ---------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let add_args b args =
+  Buffer.add_string b "{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b (Printf.sprintf "\"%s\":%.17g" (json_escape k) v))
+    args;
+  Buffer.add_string b "}"
+
+let chrome_json () =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[\n";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_string b ",\n"
+  in
+  (* process metadata: wall-clock host vs modelled device timelines *)
+  List.iter
+    (fun (pid, name) ->
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"%s\"}}"
+           pid (json_escape name)))
+    [ host_pid, "host (wall clock)"; device_pid, "gpu (modelled timeline)" ];
+  (* track metadata: names and display order *)
+  List.iter
+    (fun t ->
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+           t.pid t.tid (json_escape t.tname));
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"ph\":\"M\",\"name\":\"thread_sort_index\",\"pid\":%d,\"tid\":%d,\"args\":{\"sort_index\":%d}}"
+           t.pid t.tid t.sort))
+    (tracks ());
+  (* the events themselves *)
+  List.iter
+    (fun ev ->
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf "{\"ph\":\"%s\",\"name\":\"%s\",\"cat\":\"%s\""
+           (if ev.ev_dur < 0. then "i" else "X")
+           (json_escape ev.ev_name)
+           (json_escape (if ev.ev_cat = "" then "default" else ev.ev_cat)));
+      Buffer.add_string b
+        (Printf.sprintf ",\"ts\":%.3f,\"pid\":%d,\"tid\":%d" ev.ev_ts ev.ev_pid
+           ev.ev_tid);
+      if ev.ev_dur >= 0. then
+        Buffer.add_string b (Printf.sprintf ",\"dur\":%.3f" ev.ev_dur)
+      else Buffer.add_string b ",\"s\":\"t\"";
+      if ev.ev_args <> [] then begin
+        Buffer.add_string b ",\"args\":";
+        add_args b ev.ev_args
+      end;
+      Buffer.add_string b "}")
+    (events ());
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents b
+
+let write_chrome path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (chrome_json ()))

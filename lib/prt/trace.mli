@@ -1,0 +1,111 @@
+(** Unified tracing: nestable spans on named tracks with a Chrome
+    trace-event JSON exporter (open the file in {{:https://ui.perfetto.dev}
+    Perfetto} or [chrome://tracing]).
+
+    Tracks mirror the executors: ["main"] for the calling domain,
+    ["pool worker R"] per {!Pool} participant, ["spmd rank R"] per
+    {!Spmd} fiber, and ["gpu stream S"] for the simulated device's
+    modelled timeline (exported under a separate Chrome process id so
+    wall-clock and modelled microseconds are not conflated).  Each track
+    buffer has a single writer, so recording takes no lock; only track
+    creation does.  While disabled, {!span} costs one atomic load and
+    runs its thunk directly — instrumented code is bit-identical either
+    way.  See [docs/OBSERVABILITY.md] for conventions and a worked
+    example. *)
+
+type event = private {
+  ev_name : string;  (** span or instant name, e.g. ["sweep"] *)
+  ev_cat : string;  (** category, e.g. ["phase"], ["pool"], ["gpu"] *)
+  ev_ts : float;  (** start, microseconds on the track's timeline *)
+  ev_dur : float;  (** duration in microseconds; negative for instants *)
+  ev_tid : int;  (** track id the event was recorded on *)
+  ev_pid : int;  (** timeline id: {!host_pid} or {!device_pid} *)
+  ev_args : (string * float) list;  (** numeric payload, e.g. byte counts *)
+}
+(** One recorded event, as drained by {!events}. *)
+
+type track
+(** A named timeline row in the exported trace.  Creation is idempotent:
+    the same name always yields the same track. *)
+
+val host_pid : int
+(** Chrome process id grouping wall-clock tracks (main, workers, ranks). *)
+
+val device_pid : int
+(** Chrome process id grouping modelled-time tracks (GPU streams). *)
+
+val enable : unit -> unit
+(** Switch recording on and (on first enable) set the trace epoch that
+    wall-clock timestamps are measured from. *)
+
+val disable : unit -> unit
+(** Switch recording off.  Already-buffered events are kept. *)
+
+val enabled : unit -> bool
+(** Whether recording is currently on.  Instrumentation sites may check
+    this to skip argument computation entirely. *)
+
+val clear : unit -> unit
+(** Drop all buffered events (tracks stay registered) and restart the
+    trace epoch. *)
+
+val track : ?pid:int -> ?sort:int -> string -> track
+(** [track name] returns the track registered under [name], creating it
+    on first use.  [pid] selects the timeline ({!host_pid} by default);
+    [sort] orders tracks in the viewer. *)
+
+val main : track
+(** The calling domain's track. *)
+
+val worker : int -> track
+(** [worker r] is the track of pool participant [r] (the caller runs as
+    worker 0). *)
+
+val rank : int -> track
+(** [rank r] is the track of SPMD rank fiber [r]. *)
+
+val stream : int -> track
+(** [stream s] is the modelled-timeline track of GPU device [s]'s
+    stream (lives under {!device_pid}). *)
+
+val span : ?cat:string -> ?args:(string * float) list -> track -> string ->
+  (unit -> 'a) -> 'a
+(** [span track name f] runs [f ()] and, when enabled, records a
+    wall-clock span covering it (also on exception).  Nesting is
+    expressed by timestamp containment, exactly as Chrome renders it. *)
+
+val complete : track -> ?cat:string -> ?args:(string * float) list ->
+  string -> t0:float -> t1:float -> unit
+(** [complete track name ~t0 ~t1] records an already-measured wall-clock
+    span from absolute times [t0..t1] (seconds, [Unix.gettimeofday]
+    basis).  Used by {!Breakdown.timed}, which must keep its own clock. *)
+
+val span_at : track -> ?cat:string -> ?args:(string * float) list ->
+  string -> ts_s:float -> dur_s:float -> unit
+(** [span_at track name ~ts_s ~dur_s] records a span on a {e modelled}
+    timeline: [ts_s]/[dur_s] are seconds since the model's time origin,
+    not wall clock.  Used by the GPU simulator's stream clocks. *)
+
+val instant : ?cat:string -> ?args:(string * float) list -> track ->
+  string -> unit
+(** Record a zero-duration marker (rendered as an arrow in Perfetto),
+    e.g. a barrier release or an allreduce. *)
+
+val events : unit -> event list
+(** Drain a snapshot of all buffered events, sorted by timestamp.  Call
+    from the coordinating thread after regions complete (worker buffers
+    are quiescent past a {!Pool.barrier}). *)
+
+val event_count : unit -> int
+(** Number of buffered events across all tracks. *)
+
+val tracks : unit -> track list
+(** All registered tracks in export order. *)
+
+val chrome_json : unit -> string
+(** Render buffered events as a Chrome trace-event JSON document
+    ([{"traceEvents": [...]}] with ["X"]/["i"] events plus ["M"]
+    process/thread metadata). *)
+
+val write_chrome : string -> unit
+(** [write_chrome path] writes {!chrome_json} to [path]. *)

@@ -5,21 +5,34 @@
     through a function that sees all states. *)
 
 type 'state t
+(** [nranks] per-rank states advanced in lock-step supersteps. *)
 
 val create : nranks:int -> init:(int -> 'state) -> 'state t
+(** [create ~nranks ~init] builds the executor with [init rank] as each
+    rank's initial state ([nranks >= 1]). *)
+
 val nranks : 'state t -> int
+(** Number of virtual ranks. *)
+
 val state : 'state t -> int -> 'state
+(** [state t r] is rank [r]'s current state. *)
 
 val superstep :
   'state t ->
   compute:(int -> 'state -> unit) ->
   exchange:('state array -> unit) ->
   unit
+(** One BSP superstep: [compute rank state] runs for every rank (the
+    local phase), then [exchange states] sees the full state array (the
+    communication phase). *)
 
 val allreduce_sum :
   'state t ->
   get:('state -> float array) ->
   set:('state -> float array -> unit) ->
   len:int -> unit
+(** Elementwise-sum the first [len] entries of [get state] across all
+    ranks and store the result into every rank via [set]. *)
 
 val iter_ranks : 'state t -> (int -> 'state -> unit) -> unit
+(** [iter_ranks t f] applies [f rank state] to every rank in order. *)

@@ -12,6 +12,7 @@ let () =
       Test_field.suite;
       Test_gpu.suite;
       Test_prt.suite;
+      Test_trace.suite;
       Test_pool.suite;
       Test_pipeline.suite;
       Test_problem.suite;
