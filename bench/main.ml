@@ -7,6 +7,10 @@
      bench/main.exe micro      -- bechamel micro-benchmarks of the kernels
      bench/main.exe --measured -- also run reduced-scale *real* solves and
                                   report this machine's measured throughput
+     bench/main.exe e11 --backend SPEC
+                               -- add measured sync/overlap rows for any
+                                  backend spec (serial|threads:N|bands:N|
+                                  cells:N|hybrid:RxD|gpu[:NAME[:RANKS]])
 
    Paper-scale rows come from the calibrated analytic performance model
    (the cluster and GPUs of the paper are simulated; see DESIGN.md), so
@@ -300,8 +304,9 @@ let e11_rows () =
   in
   (* every executor row uses the default (closure) evaluator so the rows
      differ only in runtime; the explicit tape row isolates the evaluator *)
-  let solve_with ?(eval = Finch.Config.Closure) target p =
+  let solve_with ?(eval = Finch.Config.Closure) ?(overlap = false) target p =
     Finch.Problem.set_eval_mode p eval;
+    Finch.Problem.set_overlap p overlap;
     Finch.Problem.set_target p target;
     ignore (Finch.Solve.solve ~band_index:"b" p)
   in
@@ -325,6 +330,12 @@ let e11_rows () =
      metrics-enabled bench run reports real halo traffic *)
   let t_cells, () =
     wall (solve_with (Finch.Config.Cpu (Finch.Config.Cell_parallel 2)))
+  in
+  (* same partitioned solve with the nonblocking exchange behind the
+     interior sweep — numerically bit-identical (asserted by the tests) *)
+  let t_cells_ov, () =
+    wall
+      (solve_with ~overlap:true (Finch.Config.Cpu (Finch.Config.Cell_parallel 2)))
   in
   (* tape statistics from a solve whose primary state does the sweeping
      (under the pool executors the workers hold the hot tapes) *)
@@ -350,8 +361,27 @@ let e11_rows () =
           tape_c.Finch.Eval.flops ))
       st.Finch.Lower.tapes
   in
-  (t_serial, t_serial_closure, t_respawn, t_pool, t_hybrid, t_cells, ndomains),
+  ( t_serial, t_serial_closure, t_respawn, t_pool, t_hybrid, t_cells,
+    t_cells_ov, ndomains ),
   tape_stats
+
+(* extra backend selected with `--backend SPEC` on the command line:
+   measured sync vs overlap rows in E11 for any executor *)
+let extra_backend : (string * Finch.Config.target) option ref = ref None
+
+let e11_measure ?(overlap = false) target =
+  let built = Bte.Setup.build e11_scenario in
+  let p = built.Bte.Setup.problem in
+  Finch.Problem.set_overlap p overlap;
+  let t0 = Unix.gettimeofday () in
+  (match target with
+   | Finch.Config.Cpu _ ->
+     Finch.Problem.set_target p target;
+     ignore (Finch.Solve.solve ~band_index:"b" p)
+   | Finch.Config.Gpu { spec; ranks } ->
+     Finch.Problem.use_cuda ~spec ~ranks p;
+     ignore (Finch.Solve.solve ~post_io:Bte.Setup.post_io p));
+  Unix.gettimeofday () -. t0
 
 let e11 ~measured =
   ignore measured;
@@ -360,7 +390,7 @@ let e11 ~measured =
   let sc = e11_scenario in
   row "reduced scale %dx%d, %d dirs, %d steps; all rows real solves\n"
     sc.Bte.Setup.nx sc.Bte.Setup.ny sc.Bte.Setup.ndirs sc.Bte.Setup.nsteps;
-  let (ts, tsc, tr, tp, th, tc, nd), tapes = e11_rows () in
+  let (ts, tsc, tr, tp, th, tc, tcov, nd), tapes = e11_rows () in
   row "  %-28s %8.3f s\n" "serial (tape)" ts;
   row "  %-28s %8.3f s\n" "serial (closure)" tsc;
   row "  %-28s %8.3f s\n" (Printf.sprintf "threads(%d) spawn-per-step" nd) tr;
@@ -369,6 +399,23 @@ let e11 ~measured =
     tp (tr /. tp);
   row "  %-28s %8.3f s\n" "hybrid 2 ranks x 2 threads" th;
   row "  %-28s %8.3f s\n" "cells(2) SPMD + halo" tc;
+  row "  %-28s %8.3f s  (bit-identical result)\n" "cells(2) overlap exchange"
+    tcov;
+  (match !extra_backend with
+   | Some (spec, tgt) ->
+     let t_sync = e11_measure tgt in
+     let t_ov = e11_measure ~overlap:true tgt in
+     row "  %-28s %8.3f s\n" (Printf.sprintf "%s (--backend)" spec) t_sync;
+     row "  %-28s %8.3f s  (overlap on)\n"
+       (Printf.sprintf "%s (--backend)" spec)
+       t_ov
+   | None -> ());
+  let om = Bte.Perfmodel.cells_overlap ~p:20 () in
+  row
+    "  modelled paper-scale cells(20): step %.3f s sync -> %.3f s overlapped \
+     (%.3f s of exchange hidden)\n"
+    om.Bte.Perfmodel.sync_step om.Bte.Perfmodel.overlap_step
+    om.Bte.Perfmodel.hidden;
   List.iter
     (fun (name, len, runs, exec, tree_flops, tape_flops) ->
       let per_run = float_of_int exec /. float_of_int (max 1 runs) in
@@ -384,7 +431,7 @@ let e11_json path =
      can embed the key runtime counters alongside the wall times *)
   Prt.Metrics.enable ();
   Prt.Metrics.reset_all ();
-  let (ts, tsc, tr, tp, th, tc, nd), tapes = e11_rows () in
+  let (ts, tsc, tr, tp, th, tc, tcov, nd), tapes = e11_rows () in
   let sc = e11_scenario in
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
@@ -398,9 +445,18 @@ let e11_json path =
   p "    \"threaded_respawn\": %.6f,\n" tr;
   p "    \"threaded_pool\": %.6f,\n" tp;
   p "    \"hybrid_2x2\": %.6f,\n" th;
-  p "    \"cells_spmd_2\": %.6f\n" tc;
+  p "    \"cells_spmd_2\": %.6f,\n" tc;
+  p "    \"cells_spmd_2_overlap\": %.6f\n" tcov;
   p "  },\n";
   p "  \"pool_speedup_vs_respawn\": %.4f,\n" (tr /. tp);
+  (* modelled paper-scale effect of the nonblocking exchange: the hidden
+     seconds come straight off the cell-parallel per-step critical path *)
+  let om = Bte.Perfmodel.cells_overlap ~p:20 () in
+  p "  \"overlap_cells20_modelled\": {\n";
+  p "    \"sync_step_s\": %.6f,\n" om.Bte.Perfmodel.sync_step;
+  p "    \"overlap_step_s\": %.6f,\n" om.Bte.Perfmodel.overlap_step;
+  p "    \"hidden_s\": %.6f\n" om.Bte.Perfmodel.hidden;
+  p "  },\n";
   let c name = Prt.Metrics.value (Prt.Metrics.counter name) in
   let bw = Prt.Metrics.histogram "pool.barrier_wait_ns" in
   p "  \"metrics\": {\n";
@@ -411,6 +467,10 @@ let e11_json path =
   p "    \"pool.barrier_wait_ns\": %.0f,\n" (Prt.Metrics.hist_sum bw);
   p "    \"spmd.barriers\": %d,\n" (c "spmd.barriers");
   p "    \"spmd.allreduce_bytes\": %d,\n" (c "spmd.allreduce_bytes");
+  p "    \"spmd.p2p_msgs\": %d,\n" (c "spmd.p2p_msgs");
+  p "    \"spmd.p2p_bytes\": %d,\n" (c "spmd.p2p_bytes");
+  p "    \"spmd.waits\": %d,\n" (c "spmd.waits");
+  p "    \"cluster.p2p_time_ns\": %d,\n" (c "cluster.p2p_time_ns");
   p "    \"gpu.kernel_launches\": %d,\n" (c "gpu.kernel_launches");
   p "    \"tape.ops_skipped\": %d\n" (c "tape.ops_skipped");
   p "  },\n";
@@ -616,13 +676,23 @@ let all_experiments =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  (* `--trace PATH` consumes its argument; the remaining flags are plain *)
-  let rec take_trace acc = function
-    | "--trace" :: path :: rest -> Some path, List.rev_append acc rest
-    | a :: rest -> take_trace (a :: acc) rest
+  (* `--trace PATH` / `--backend SPEC` consume their argument; the
+     remaining flags are plain *)
+  let rec take_opt key acc = function
+    | k :: v :: rest when k = key -> Some v, List.rev_append acc rest
+    | a :: rest -> take_opt key (a :: acc) rest
     | [] -> None, List.rev acc
   in
-  let trace, args = take_trace [] args in
+  let trace, args = take_opt "--trace" [] args in
+  let backend, args = take_opt "--backend" [] args in
+  (match backend with
+   | Some spec -> (
+     match Finch.Config.target_of_string spec with
+     | Ok t -> extra_backend := Some (Finch.Config.target_name t, t)
+     | Error e ->
+       Printf.eprintf "error: %s\n" e;
+       exit 2)
+   | None -> ());
   let measured = List.mem "--measured" args in
   let json = List.mem "--json" args in
   let metrics = List.mem "--metrics" args in

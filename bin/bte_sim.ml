@@ -30,15 +30,36 @@ let scenario_t =
     & opt (enum [ "hotspot", `Hotspot; "corner", `Corner ]) `Hotspot
     & info [ "scenario" ] ~docv:"NAME" ~doc:"Scenario: hotspot (Fig. 2) or corner (Fig. 10).")
 
+let backend_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "backend" ] ~docv:"SPEC"
+        ~doc:
+          "Execution backend: serial, threads:N (persistent domain pool), \
+           bands:N, cells:N, hybrid:RxD (R band ranks x D pool domains), or \
+           gpu[:NAME[:RANKS]] (simulated device, default a6000). \
+           Case-insensitive.")
+
 let target_t =
   Arg.(
     value
-    & opt string "serial"
-    & info [ "target" ] ~docv:"TARGET"
+    & opt (some string) None
+    & info [ "target" ] ~docv:"SPEC"
         ~doc:
-          "Execution target: serial, bands:N, cells:N, threads:N (persistent \
-           domain pool), hybrid:R:D (R band ranks x D pool domains), or gpu \
-           (simulated A6000).")
+          "Deprecated alias for $(b,--backend); also accepts the legacy \
+           hybrid:R:D spelling.")
+
+let overlap_t =
+  Arg.(
+    value & flag
+    & info [ "overlap" ]
+        ~doc:
+          "Overlap communication with interior computation: cells:N runs the \
+           halo exchange nonblocking behind the interior sweep, gpu \
+           double-buffers transfers on a second stream. A no-op for the \
+           other backends (their steps have only collectives). Numerics are \
+           bit-identical either way.")
 
 let eval_mode_t =
   Arg.(
@@ -114,31 +135,21 @@ let finish_observability ~trace ~metrics =
 
 (* ---------- run ---------- *)
 
-let parse_target s =
-  match String.split_on_char ':' s with
-  | [ "serial" ] -> Ok (`Cpu Finch.Config.Serial)
-  | [ "gpu" ] -> Ok `Gpu
-  | [ "bands"; n ] -> (
-    match int_of_string_opt n with
-    | Some n when n > 0 -> Ok (`Cpu (Finch.Config.Band_parallel n))
-    | _ -> Error "bad rank count")
-  | [ "cells"; n ] -> (
-    match int_of_string_opt n with
-    | Some n when n > 0 -> Ok (`Cpu (Finch.Config.Cell_parallel n))
-    | _ -> Error "bad rank count")
-  | [ "threads"; n ] -> (
-    match int_of_string_opt n with
-    | Some n when n > 0 -> Ok (`Cpu (Finch.Config.Threaded n))
-    | _ -> Error "bad domain count")
-  | [ "hybrid"; r; d ] -> (
-    match int_of_string_opt r, int_of_string_opt d with
-    | Some r, Some d when r > 0 && d > 0 ->
-      Ok (`Cpu (Finch.Config.Hybrid (r, d)))
-    | _ -> Error "bad rank/domain counts")
-  | _ -> Error ("unknown target " ^ s)
+(* [--backend] wins; [--target] is kept as a warn-once alias so existing
+   scripts keep working. *)
+let resolve_backend ~backend ~target =
+  match backend, target with
+  | Some spec, other ->
+    if other <> None then
+      prerr_endline "warning: both --backend and --target given; using --backend";
+    spec
+  | None, Some spec ->
+    prerr_endline "warning: --target is deprecated; use --backend";
+    spec
+  | None, None -> "serial"
 
-let run_cmd scenario nx ny ndirs nbands nsteps target eval_mode csv paper_scale
-    trace metrics =
+let run_cmd scenario nx ny ndirs nbands nsteps backend target overlap eval_mode
+    csv paper_scale trace metrics =
   let base =
     match scenario, paper_scale with
     | `Hotspot, true -> Bte.Setup.paper_hotspot
@@ -148,7 +159,7 @@ let run_cmd scenario nx ny ndirs nbands nsteps target eval_mode csv paper_scale
     | `Corner, false ->
       { Bte.Setup.small_corner with Bte.Setup.nx; ny; ndirs; n_la_bands = nbands; nsteps }
   in
-  match parse_target target with
+  match Finch.Config.target_of_string (resolve_backend ~backend ~target) with
   | Error e ->
     Printf.eprintf "error: %s\n" e;
     exit 2
@@ -163,15 +174,16 @@ let run_cmd scenario nx ny ndirs nbands nsteps target eval_mode csv paper_scale
       (Bte.Dispersion.nbands built.Bte.Setup.disp)
       base.Bte.Setup.nsteps built.Bte.Setup.scenario.Bte.Setup.dt;
     Finch.Problem.set_eval_mode built.Bte.Setup.problem eval_mode;
+    Finch.Problem.set_overlap built.Bte.Setup.problem overlap;
     start_observability ~trace ~metrics;
     let t0 = Unix.gettimeofday () in
     let outcome =
       match tgt with
-      | `Cpu strategy ->
+      | Finch.Config.Cpu strategy ->
         Finch.Problem.set_target built.Bte.Setup.problem (Finch.Config.Cpu strategy);
         Finch.Solve.solve ~band_index:"b" built.Bte.Setup.problem
-      | `Gpu ->
-        Finch.Problem.use_cuda built.Bte.Setup.problem;
+      | Finch.Config.Gpu { spec; ranks } ->
+        Finch.Problem.use_cuda ~spec ~ranks built.Bte.Setup.problem;
         Finch.Solve.solve ~post_io:Bte.Setup.post_io built.Bte.Setup.problem
     in
     Printf.printf "wall time %.2f s\n" (Unix.gettimeofday () -. t0);
@@ -214,10 +226,11 @@ let run_cmd scenario nx ny ndirs nbands nsteps target eval_mode csv paper_scale
 let run_term =
   Term.(
     const run_cmd $ scenario_t $ nx_t $ ny_t $ ndirs_t $ nbands_t $ nsteps_t
-    $ target_t $ eval_mode_t $ csv_t $ paper_scale_t $ trace_t $ metrics_t)
+    $ backend_t $ target_t $ overlap_t $ eval_mode_t $ csv_t $ paper_scale_t
+    $ trace_t $ metrics_t)
 
 let run_info =
-  Cmd.info "run" ~doc:"Solve a BTE scenario with a chosen execution target."
+  Cmd.info "run" ~doc:"Solve a BTE scenario with a chosen execution backend."
 
 (* ---------- model ---------- *)
 

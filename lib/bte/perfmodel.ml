@@ -267,6 +267,42 @@ let step_gpu c s ~p =
   Prt.Breakdown.make ~intensity ~temperature:temp
     ~communication:(net_comm +. pcie) ()
 
+(* modelled communication/computation overlap for the cell-parallel
+   strategy: the halo messages are posted nonblocking before the interior
+   sweep (the owned cells no neighbour needs), so up to
+   min(interior sweep, exchange) seconds of the exchange leave the
+   per-step critical path.  The jitter term stays: imbalance waiting is
+   not hideable by reordering. *)
+type overlap_model = {
+  sync_step : float;     (* per-step seconds with a blocking exchange *)
+  overlap_step : float;  (* same step with the exchange behind the sweep *)
+  hidden : float;        (* exchange seconds off the critical path *)
+}
+
+let cells_overlap ?(calib = default) ?(shape = paper_shape) ~p () =
+  let b =
+    if p = 1 then step_cpu_serial calib shape else step_cpu_cells calib shape ~p
+  in
+  let sync_step = Prt.Breakdown.total b in
+  let hidden =
+    if p = 1 then 0.
+    else begin
+      let comp = shape.ndirs * shape.nbands in
+      let ifc = interface_cells shape ~p in
+      let interior = max 0 (max_cells shape p - ifc) in
+      let interior_sweep =
+        float_of_int (interior * comp) *. calib.dsl_dof_time
+      in
+      let bytes = ifc * comp * 8 in
+      let exchange =
+        Prt.Cluster.halo_exchange calib.network
+          ~neighbour_bytes:[ bytes / 2; bytes / 2; bytes / 2; bytes / 2 ]
+      in
+      Float.min interior_sweep exchange
+    end
+  in
+  { sync_step; overlap_step = sync_step -. hidden; hidden }
+
 (* ------------------------------------------------------------------ *)
 (* Whole-run times                                                      *)
 (* ------------------------------------------------------------------ *)

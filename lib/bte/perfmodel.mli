@@ -54,6 +54,19 @@ type strategy =
   | Gpu of int          (** band partitioning, one device per rank *)
   | Fortran of int
 
+type overlap_model = {
+  sync_step : float;     (** per-step seconds with a blocking halo exchange *)
+  overlap_step : float;  (** same step with the exchange behind the sweep *)
+  hidden : float;        (** exchange seconds taken off the critical path *)
+}
+(** Modelled effect of nonblocking halo messaging on one cell-parallel
+    step: up to [min(interior sweep, exchange)] seconds of communication
+    hide behind the sweep of the cells no neighbour needs. *)
+
+val cells_overlap : ?calib:calib -> ?shape:shape -> p:int -> unit -> overlap_model
+(** Per-step sync-vs-overlap comparison for [Cells p]; at [p = 1] both
+    times equal the serial step and [hidden = 0]. *)
+
 val step_breakdown : ?calib:calib -> ?shape:shape -> strategy -> Prt.Breakdown.t
 (** Per-step phase times. Raises [Invalid_argument] beyond a strategy's
     partition cap (bands/GPU/Fortran: the band count). *)

@@ -48,13 +48,64 @@ type target =
     (* ranks > 1: band-parallel across multiple devices, one CPU process
        per device, as in the paper's multi-GPU experiments *)
 
+(* Canonical backend spec strings.  [target_name] and [target_of_string]
+   round-trip: parsing a printed name yields the same target, so the one
+   spec grammar serves CLI flags, reports and benchmark labels alike. *)
 let target_name = function
-  | Cpu Serial -> "cpu-serial"
-  | Cpu (Cell_parallel n) -> Printf.sprintf "cpu-cells-%d" n
-  | Cpu (Band_parallel n) -> Printf.sprintf "cpu-bands-%d" n
-  | Cpu (Threaded n) -> Printf.sprintf "cpu-threads-%d" n
-  | Cpu (Hybrid (r, d)) -> Printf.sprintf "cpu-hybrid-%dx%d" r d
-  | Gpu { spec; ranks } -> Printf.sprintf "gpu-%s-%d" spec.Gpu_sim.Spec.name ranks
+  | Cpu Serial -> "serial"
+  | Cpu (Cell_parallel n) -> Printf.sprintf "cells:%d" n
+  | Cpu (Band_parallel n) -> Printf.sprintf "bands:%d" n
+  | Cpu (Threaded n) -> Printf.sprintf "threads:%d" n
+  | Cpu (Hybrid (r, d)) -> Printf.sprintf "hybrid:%dx%d" r d
+  | Gpu { spec; ranks } ->
+    let name = String.lowercase_ascii spec.Gpu_sim.Spec.name in
+    if ranks = 1 then Printf.sprintf "gpu:%s" name
+    else Printf.sprintf "gpu:%s:%d" name ranks
+
+let target_of_string s =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "bad backend spec %S (expected \
+          serial|threads:N|bands:N|cells:N|hybrid:RxD|gpu[:NAME[:RANKS]])"
+         s)
+  in
+  let pos_int x =
+    match int_of_string_opt x with Some n when n >= 1 -> Some n | _ -> None
+  in
+  let spec_of name =
+    try Some (Gpu_sim.Spec.by_name name) with Invalid_argument _ -> None
+  in
+  match String.split_on_char ':' (String.lowercase_ascii (String.trim s)) with
+  | [ "serial" ] -> Ok (Cpu Serial)
+  | [ "threads"; n ] -> (
+    match pos_int n with Some n -> Ok (Cpu (Threaded n)) | None -> fail ())
+  | [ "bands"; n ] -> (
+    match pos_int n with Some n -> Ok (Cpu (Band_parallel n)) | None -> fail ())
+  | [ "cells"; n ] -> (
+    match pos_int n with Some n -> Ok (Cpu (Cell_parallel n)) | None -> fail ())
+  | [ "hybrid"; rd ] -> (
+    match String.split_on_char 'x' rd with
+    | [ r; d ] -> (
+      match pos_int r, pos_int d with
+      | Some r, Some d -> Ok (Cpu (Hybrid (r, d)))
+      | _ -> fail ())
+    | _ -> fail ())
+  | [ "hybrid"; r; d ] -> (
+    (* legacy spelling hybrid:R:D, kept as a parse alias *)
+    match pos_int r, pos_int d with
+    | Some r, Some d -> Ok (Cpu (Hybrid (r, d)))
+    | _ -> fail ())
+  | [ "gpu" ] -> Ok (Gpu { spec = Gpu_sim.Spec.a6000; ranks = 1 })
+  | [ "gpu"; name ] -> (
+    match spec_of name with
+    | Some spec -> Ok (Gpu { spec; ranks = 1 })
+    | None -> fail ())
+  | [ "gpu"; name; r ] -> (
+    match spec_of name, pos_int r with
+    | Some spec, Some ranks -> Ok (Gpu { spec; ranks })
+    | _ -> fail ())
+  | _ -> fail ()
 
 (* How the equation's right-hand sides are executed: as a compiled closure
    tree, or as a flat register tape with common-subexpression elimination

@@ -36,6 +36,17 @@ type target =
   | Gpu of { spec : Gpu_sim.Spec.t; ranks : int }
 
 val target_name : target -> string
+(** Canonical backend spec of a target: ["serial"], ["threads:N"],
+    ["bands:N"], ["cells:N"], ["hybrid:RxD"], ["gpu:NAME"] or
+    ["gpu:NAME:RANKS"].  Round-trips through {!target_of_string}. *)
+
+val target_of_string : string -> (target, string) result
+(** Parse a backend spec
+    [serial|threads:N|bands:N|cells:N|hybrid:RxD|gpu[:NAME[:RANKS]]]
+    (case-insensitive; GPU names as accepted by {!Gpu_sim.Spec.by_name},
+    defaulting to [a6000] with one rank; the legacy spelling
+    [hybrid:R:D] is accepted as an alias).  [Error msg] describes the
+    expected grammar on malformed input. *)
 
 (** How compiled right-hand sides are executed: closure tree, or flat
     register tape with CSE and loop-invariant caching. *)

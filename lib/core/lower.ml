@@ -263,30 +263,26 @@ let index_range st name extent =
   | Some r -> r
   | None -> 0, extent
 
-(* Run [f] for every owned (cell x index) combination in the configured
-   loop order.  [f] is called with loop state already set in [st.env]. *)
-let iterate_dofs st (f : unit -> unit) =
+(* Run [f] for every (cell x index) combination in the configured loop
+   order, with the cell loop drawn from [cells] ([None] = every mesh
+   cell).  [f] is called with loop state already set in [st.env]. *)
+let iterate_dofs_cells st ~cells (f : unit -> unit) =
   let env = st.env in
   (* mutable inputs (fields, dt, time) may have changed since the last
      traversal: invalidate tape caches *)
   Eval.bump_epoch env;
-  let cells =
-    match st.info.owned_cells with
-    | Some cs -> cs
-    | None -> [||]
-  in
   let rec go = function
     | [] -> f ()
     | Over_cells :: rest ->
-      (match st.info.owned_cells with
+      (match cells with
        | None ->
          for c = 0 to st.mesh.Fvm.Mesh.ncells - 1 do
            env.Eval.cell <- c;
            go rest
          done
-       | Some _ ->
-         for i = 0 to Array.length cells - 1 do
-           env.Eval.cell <- cells.(i);
+       | Some cs ->
+         for i = 0 to Array.length cs - 1 do
+           env.Eval.cell <- cs.(i);
            go rest
          done)
     | Over_index (name, extent) :: rest ->
@@ -298,6 +294,9 @@ let iterate_dofs st (f : unit -> unit) =
       done
   in
   go st.loops
+
+(* Run [f] for every owned (cell x index) combination. *)
+let iterate_dofs st f = iterate_dofs_cells st ~cells:st.info.owned_cells f
 
 (* The per-DOF conservation-form update (forward Euler form); assumes
    [st.env] has cell and index values set.  Returns the updated value but
@@ -367,14 +366,22 @@ and make_bc_ctx st ~args f cell =
     bc_args = args;
   }
 
+let sweep_dof st ~dt () =
+  let cell = st.env.Eval.cell in
+  let c = st.ucomp () in
+  let v = Fvm.Field.get st.u cell c +. (dt *. dof_rhs st) in
+  Fvm.Field.set st.u_new cell c v
+
 (* One forward-Euler sweep over the owned DOFs into the double buffer. *)
-let sweep st =
-  let dt = !(st.dt) in
-  iterate_dofs st (fun () ->
-      let cell = st.env.Eval.cell in
-      let c = st.ucomp () in
-      let v = Fvm.Field.get st.u cell c +. (dt *. dof_rhs st) in
-      Fvm.Field.set st.u_new cell c v)
+let sweep st = iterate_dofs st (sweep_dof st ~dt:!(st.dt))
+
+(* The same sweep restricted to [cells] (a subset of the owned cells).
+   Per-DOF updates are independent, so sweeping disjoint subsets in any
+   order is bit-identical to one full [sweep] — which is what lets an
+   executor sweep interior cells while ghost messages are in flight and
+   frontier cells after they land. *)
+let sweep_cells st cells =
+  iterate_dofs_cells st ~cells:(Some cells) (sweep_dof st ~dt:!(st.dt))
 
 (* Publish the double buffer: owned DOFs of u_new become current. *)
 let commit st =

@@ -75,6 +75,13 @@ val dof_rhs : state -> float
 val sweep : state -> unit
 (** Forward-Euler sweep of the owned DOFs into the double buffer. *)
 
+val sweep_cells : state -> int array -> unit
+(** [sweep_cells st cells] is {!sweep} restricted to [cells] (a subset of
+    the owned cells).  Per-DOF updates are independent, so sweeping
+    disjoint subsets in any order is bit-identical to one full {!sweep};
+    executors use this to sweep interior cells while ghost messages are
+    in flight and frontier cells once they land. *)
+
 val commit : state -> unit
 (** Publish the double buffer for the owned DOFs. *)
 

@@ -89,6 +89,10 @@ type t = {
   mutable eval_mode : Config.eval_mode;
     (* how lowered right-hand sides execute; Tape (the optimizing
        register-tape evaluator) unless overridden *)
+  mutable overlap : bool;
+    (* overlap communication with computation where the target has
+       point-to-point messages or transfers (cell-parallel halo
+       exchange, GPU H2D/D2H); bit-identical to the synchronous path *)
 }
 
 let init name =
@@ -112,6 +116,7 @@ let init name =
     equations = [];
     loop_order = None;
     eval_mode = Config.Closure;
+    overlap = false;
   }
 
 (* --- configuration commands, mirroring the paper's script API ---------- *)
@@ -133,6 +138,7 @@ let use_cuda ?(spec = Gpu_sim.Spec.a6000) ?(ranks = 1) p =
 
 let set_target p t = p.target <- t
 let set_eval_mode p m = p.eval_mode <- m
+let set_overlap p v = p.overlap <- v
 
 let set_mesh p m =
   if m.Fvm.Mesh.dim <> p.dim then

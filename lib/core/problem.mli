@@ -86,6 +86,9 @@ type t = {
   mutable equations : Transform.equation list;
   mutable loop_order : string list option;
   mutable eval_mode : Config.eval_mode; (** Closure unless overridden *)
+  mutable overlap : bool;
+      (** overlap communication with computation where the target has
+          point-to-point messages or transfers; off by default *)
 }
 
 val init : string -> t
@@ -105,6 +108,15 @@ val set_target : t -> Config.target -> unit
 (** Select the right-hand-side evaluator: the optimizing register tape
     (default) or the plain closure tree. *)
 val set_eval_mode : t -> Config.eval_mode -> unit
+
+val set_overlap : t -> bool -> unit
+(** Enable communication/computation overlap: the cell-parallel executor
+    splits its halo exchange around the sweep ({!Target_cpu.run_cell_parallel})
+    and the GPU target routes per-step transfers through a second stream
+    ({!Target_gpu.run_single}).  Results are bit-identical either way;
+    targets without point-to-point messages (serial, bands, threads,
+    hybrid — collectives only) ignore the flag. *)
+
 val set_mesh : t -> Fvm.Mesh.t -> unit
 val mesh_file : t -> string -> unit
 

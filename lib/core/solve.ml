@@ -69,7 +69,7 @@ let solve_dispatch ?band_index ?post_io (p : Problem.t) =
       states = r.Target_cpu.states;
     }
   | Config.Cpu (Config.Cell_parallel n) ->
-    let r = Target_cpu.run_cell_parallel p ~nranks:n in
+    let r = Target_cpu.run_cell_parallel ~overlap:p.Problem.overlap p ~nranks:n in
     let u = Target_cpu.gather_unknown r in
     let st = Target_cpu.primary r in
     {

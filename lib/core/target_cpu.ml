@@ -117,7 +117,7 @@ let run_band_parallel (p : Problem.t) ~index ~nranks =
 (* Cell-parallel: RCB mesh partition + halo exchange of the unknown.    *)
 (* ------------------------------------------------------------------ *)
 
-let run_cell_parallel (p : Problem.t) ~nranks =
+let run_cell_parallel ?(overlap = false) (p : Problem.t) ~nranks =
   let mesh = Problem.mesh_exn p in
   let part = Fvm.Partition.rcb_mesh mesh ~nparts:nranks in
   let halo = Fvm.Halo.build mesh part in
@@ -128,10 +128,9 @@ let run_cell_parallel (p : Problem.t) ~nranks =
     | None -> raise (Target_error "rank state not ready")
   in
   Prt.Spmd.run ~nranks (fun rank ->
+      let owned = Fvm.Partition.cells_of_rank part rank in
       let info =
-        { Lower.rank; nranks;
-          owned_cells = Some (Fvm.Partition.cells_of_rank part rank);
-          index_ranges = [] }
+        { Lower.rank; nranks; owned_cells = Some owned; index_ranges = [] }
       in
       let st = Lower.build ~info p in
       states.(rank) <- Some st;
@@ -139,29 +138,73 @@ let run_cell_parallel (p : Problem.t) ~nranks =
       Prt.Spmd.barrier ();
       let b = st.Lower.breakdown in
       let track = Prt.Trace.rank rank in
-      for _ = 1 to p.Problem.nsteps do
-        Lower.run_pre_step st ~allreduce:Prt.Spmd.allreduce_sum;
-        Prt.Breakdown.timed ~track b Prt.Breakdown.Intensity (fun () -> Lower.sweep st);
-        Prt.Breakdown.timed ~track b Prt.Breakdown.Intensity (fun () -> Lower.commit st);
-        (* halo exchange: receive ghost-cell values of the unknown from the
-           owning ranks.  The barrier gives BSP semantics; reading the
-           peer's committed buffer stands in for the matched send/recv. *)
-        Prt.Spmd.barrier ();
-        Prt.Breakdown.timed ~track b Prt.Breakdown.Communication (fun () ->
-            List.iter
-              (fun (e : Fvm.Halo.exchange) ->
-                if e.Fvm.Halo.to_rank = rank then
+      if overlap then begin
+        (* Overlapped halo exchange: after each commit, ghost values go
+           out as nonblocking messages; the next step sweeps interior
+           cells (whose stencils read no ghosts) while they are in
+           flight, then unpacks and sweeps the frontier.  Ranks drift
+           independently — the only synchronization is message matching —
+           yet the result is bit-identical to the synchronous path:
+           per-DOF updates are order-independent, frontier sweeps see
+           exactly the ghost values the blocking path would have, and the
+           temperature update reads owned cells only. *)
+        let interior, frontier = Fvm.Halo.split_cells halo rank ~owned in
+        let pending = ref None in
+        for _ = 1 to p.Problem.nsteps do
+          Lower.run_pre_step st ~allreduce:Prt.Spmd.allreduce_sum;
+          (match !pending with
+           | None ->
+             (* first step: ghosts still hold initial conditions *)
+             Prt.Breakdown.timed ~track b Prt.Breakdown.Intensity (fun () ->
+                 Lower.sweep st)
+           | Some ses ->
+             Prt.Breakdown.timed ~track b Prt.Breakdown.Intensity (fun () ->
+                 Lower.sweep_cells st interior);
+             Prt.Breakdown.timed ~track b Prt.Breakdown.Communication
+               (fun () -> Fvm.Halo.finish_exchange ses st.Lower.u);
+             Prt.Breakdown.timed ~track b Prt.Breakdown.Intensity (fun () ->
+                 Lower.sweep_cells st frontier));
+          Prt.Breakdown.timed ~track b Prt.Breakdown.Intensity (fun () ->
+              Lower.commit st);
+          pending :=
+            Some
+              (Prt.Breakdown.timed ~track b Prt.Breakdown.Communication
+                 (fun () -> Fvm.Halo.start_exchange halo ~rank st.Lower.u));
+          Prt.Breakdown.timed ~track b Prt.Breakdown.Temperature (fun () ->
+              Lower.run_post_step st ~allreduce:Prt.Spmd.allreduce_sum);
+          st.Lower.time := !(st.Lower.time) +. !(st.Lower.dt);
+          incr st.Lower.step
+        done;
+        (* drain the last round so no request is left unmatched *)
+        match !pending with
+        | Some ses ->
+          Prt.Breakdown.timed ~track b Prt.Breakdown.Communication (fun () ->
+              Fvm.Halo.finish_exchange ses st.Lower.u)
+        | None -> ()
+      end
+      else
+        for _ = 1 to p.Problem.nsteps do
+          Lower.run_pre_step st ~allreduce:Prt.Spmd.allreduce_sum;
+          Prt.Breakdown.timed ~track b Prt.Breakdown.Intensity (fun () -> Lower.sweep st);
+          Prt.Breakdown.timed ~track b Prt.Breakdown.Intensity (fun () -> Lower.commit st);
+          (* halo exchange: receive ghost-cell values of the unknown from
+             the owning ranks.  The barrier gives BSP semantics; reading
+             the peer's committed buffer stands in for matched send/recv. *)
+          Prt.Spmd.barrier ();
+          Prt.Breakdown.timed ~track b Prt.Breakdown.Communication (fun () ->
+              List.iter
+                (fun (e : Fvm.Halo.exchange) ->
                   Fvm.Field.blit_cells
                     ~src:(get_state e.Fvm.Halo.from_rank).Lower.u
                     ~dst:st.Lower.u e.Fvm.Halo.cells)
-              halo.Fvm.Halo.exchanges;
-            Fvm.Halo.account halo rank ~ncomp:(Fvm.Field.ncomp st.Lower.u));
-        Prt.Spmd.barrier ();
-        Prt.Breakdown.timed ~track b Prt.Breakdown.Temperature (fun () ->
-            Lower.run_post_step st ~allreduce:Prt.Spmd.allreduce_sum);
-        st.Lower.time := !(st.Lower.time) +. !(st.Lower.dt);
-        incr st.Lower.step
-      done);
+                (Fvm.Halo.recvs_of halo rank);
+              Fvm.Halo.account halo rank ~ncomp:(Fvm.Field.ncomp st.Lower.u));
+          Prt.Spmd.barrier ();
+          Prt.Breakdown.timed ~track b Prt.Breakdown.Temperature (fun () ->
+              Lower.run_post_step st ~allreduce:Prt.Spmd.allreduce_sum);
+          st.Lower.time := !(st.Lower.time) +. !(st.Lower.dt);
+          incr st.Lower.step
+        done);
   let states =
     Array.map
       (function Some st -> st | None -> raise (Target_error "rank did not start"))

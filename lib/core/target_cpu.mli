@@ -29,8 +29,13 @@ val run_band_parallel : Problem.t -> index:string -> nranks:int -> result
 (** Partition the given index's range across ranks; the post-step
     callback performs its cross-band reduction through [st_allreduce]. *)
 
-val run_cell_parallel : Problem.t -> nranks:int -> result
-(** RCB mesh partition with per-step halo exchange of the unknown. *)
+val run_cell_parallel : ?overlap:bool -> Problem.t -> nranks:int -> result
+(** RCB mesh partition with per-step halo exchange of the unknown.  With
+    [~overlap:true] the exchange is split around the next step's sweep:
+    ghost values travel as nonblocking [Prt.Spmd] messages while interior
+    cells (whose stencils read no ghosts) are swept, and the frontier is
+    swept after they land — bit-identical to the synchronous path (the
+    default), with the per-step barriers removed. *)
 
 val run_threaded : Problem.t -> ndomains:int -> result
 (** Shared-memory parallel sweep over cell ranges on a persistent

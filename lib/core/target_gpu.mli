@@ -20,13 +20,19 @@ type result = {
 
 val run_single :
   ?post_io:Dataflow.callback_io -> ?info:Lower.rankinfo ->
-  ?allreduce:(float array -> unit) -> spec:Gpu_sim.Spec.t -> Problem.t ->
-  result
-(** One (device, rank) pair; [info] restricts it to a band slice. *)
+  ?allreduce:(float array -> unit) -> ?overlap:bool -> spec:Gpu_sim.Spec.t ->
+  Problem.t -> result
+(** One (device, rank) pair; [info] restricts it to a band slice.  With
+    [~overlap:true] the per-step transfers run on a second (copy) stream
+    against a double-buffered unknown: the result download is enqueued
+    behind the kernel and overlaps the boundary host work, next-step
+    uploads stay in flight until the following launch joins them.
+    Numerics are bit-identical; only the modelled timeline and the
+    Communication share of the breakdown change. *)
 
 val run_multi :
-  ?post_io:Dataflow.callback_io -> spec:Gpu_sim.Spec.t -> ranks:int ->
-  Problem.t -> result * result array
+  ?post_io:Dataflow.callback_io -> ?overlap:bool -> spec:Gpu_sim.Spec.t ->
+  ranks:int -> Problem.t -> result * result array
 (** Band-partitioned multi-device run under the SPMD runtime; the first
     component has rank 0's state with the gathered unknown and the summed
     breakdown. *)

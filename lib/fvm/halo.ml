@@ -4,7 +4,13 @@
    a cut face needs the neighbour cell's values, so those cells are ghosts
    to be received each step.  The plan records, per ordered rank pair
    (r -> r'), the owned cells r must send to r'.  By symmetry of face
-   adjacency the receive list of r from r' is r''s send list to r. *)
+   adjacency the receive list of r from r' is r''s send list to r.
+
+   Consumers address the plan rank-centrically ([sends_of] / [recvs_of]);
+   the flat [exchanges] list is an internal representation detail.  The
+   [start_exchange] / [finish_exchange] pair executes a round as
+   nonblocking Spmd messages so callers can compute interior cells while
+   ghost payloads are in flight. *)
 
 type exchange = {
   from_rank : int;
@@ -17,6 +23,9 @@ type t = {
   exchanges : exchange list;
   (* ghost cells each rank needs (union over incoming exchanges) *)
   ghosts : int array array;
+  (* rank-centric views of [exchanges], in deterministic peer order *)
+  sends : exchange list array;
+  recvs : exchange list array;
 }
 
 let build (m : Mesh.t) (p : Partition.t) =
@@ -68,13 +77,23 @@ let build (m : Mesh.t) (p : Partition.t) =
         |> Array.of_list)
       ghosts
   in
-  { nranks; exchanges; ghosts }
+  let sends = Array.make nranks [] and recvs = Array.make nranks [] in
+  List.iter
+    (fun e ->
+      sends.(e.from_rank) <- e :: sends.(e.from_rank);
+      recvs.(e.to_rank) <- e :: recvs.(e.to_rank))
+    exchanges;
+  (* [exchanges] is sorted, so reversing the accumulated lists leaves each
+     rank's sends ordered by peer and its recvs ordered by sender *)
+  let sends = Array.map List.rev sends and recvs = Array.map List.rev recvs in
+  { nranks; exchanges; ghosts; sends; recvs }
+
+let sends_of t r = t.sends.(r)
+let recvs_of t r = t.recvs.(r)
 
 (* Total number of (cell) values a rank sends per exchange round. *)
 let send_count t r =
-  List.fold_left
-    (fun acc e -> if e.from_rank = r then acc + Array.length e.cells else acc)
-    0 t.exchanges
+  List.fold_left (fun acc e -> acc + Array.length e.cells) 0 (sends_of t r)
 
 let recv_count t r = Array.length t.ghosts.(r)
 
@@ -91,10 +110,30 @@ let max_send_count t =
   !mx
 
 let neighbour_ranks t r =
-  List.filter_map
-    (fun e -> if e.from_rank = r then Some e.to_rank else None)
-    t.exchanges
-  |> List.sort_uniq compare
+  List.map (fun e -> e.to_rank) (sends_of t r) |> List.sort_uniq compare
+
+(* A rank's frontier: owned cells some neighbour needs as ghosts, i.e. the
+   cells on this side of a cut face.  These are exactly the owned cells
+   whose flux stencil reads a ghost, so sweeping everything else (the
+   interior) needs no fresh halo data. *)
+let frontier_cells t r =
+  List.concat_map (fun e -> Array.to_list e.cells) (sends_of t r)
+  |> List.sort_uniq compare |> Array.of_list
+
+(* Partition [owned] (preserving its order) into cells not on the frontier
+   and cells on it. *)
+let split_cells t r ~owned =
+  let frontier = frontier_cells t r in
+  let on_frontier = Hashtbl.create (Array.length frontier) in
+  Array.iter (fun c -> Hashtbl.replace on_frontier c ()) frontier;
+  let interior = ref [] and front = ref [] in
+  Array.iter
+    (fun c ->
+      if Hashtbl.mem on_frontier c then front := c :: !front
+      else interior := c :: !interior)
+    owned;
+  ( Array.of_list (List.rev !interior),
+    Array.of_list (List.rev !front) )
 
 (* Metrics accounting for executed exchange rounds.  [halo.bytes] counts
    the MPI-equivalent traffic of the round (send + receive payload),
@@ -107,3 +146,61 @@ let account t r ~ncomp =
     Prt.Metrics.incr m_rounds;
     Prt.Metrics.add m_bytes (bytes_per_round t r ~ncomp ~bytes_per:8)
   end
+
+(* One in-flight exchange round of one rank: packed send payloads have
+   been isent, receive buffers irecved.  [finish_exchange] completes the
+   requests and scatters the ghost payloads into the field. *)
+type session = {
+  ses_plan : t;
+  ses_rank : int;
+  ses_ncomp : int;
+  ses_sends : Prt.Spmd.request list;
+  ses_recvs : (exchange * float array * Prt.Spmd.request) list;
+}
+
+let pack field cells ncomp =
+  let n = Array.length cells in
+  let buf = Array.make (n * ncomp) 0. in
+  for i = 0 to n - 1 do
+    for c = 0 to ncomp - 1 do
+      buf.((i * ncomp) + c) <- Field.get field cells.(i) c
+    done
+  done;
+  buf
+
+let unpack field cells ncomp buf =
+  for i = 0 to Array.length cells - 1 do
+    for c = 0 to ncomp - 1 do
+      Field.set field cells.(i) c buf.((i * ncomp) + c)
+    done
+  done
+
+let start_exchange ?(tag = 0) t ~rank field =
+  let ncomp = Field.ncomp field in
+  (* post all sends, then all recvs, in the plan's deterministic peer
+     order; FIFO matching per (src, dst, tag) keeps successive rounds with
+     the same tag correctly paired *)
+  let sends =
+    List.map
+      (fun e ->
+        Prt.Spmd.isend ~dst:e.to_rank ~tag (pack field e.cells ncomp))
+      (sends_of t rank)
+  in
+  let recvs =
+    List.map
+      (fun e ->
+        let buf = Array.make (Array.length e.cells * ncomp) 0. in
+        e, buf, Prt.Spmd.irecv ~src:e.from_rank ~tag buf)
+      (recvs_of t rank)
+  in
+  { ses_plan = t; ses_rank = rank; ses_ncomp = ncomp;
+    ses_sends = sends; ses_recvs = recvs }
+
+let finish_exchange ses field =
+  Prt.Spmd.waitall ses.ses_sends;
+  List.iter
+    (fun (e, buf, req) ->
+      Prt.Spmd.wait req;
+      unpack field e.cells ses.ses_ncomp buf)
+    ses.ses_recvs;
+  account ses.ses_plan ses.ses_rank ~ncomp:ses.ses_ncomp

@@ -1,7 +1,12 @@
 (** Halo (ghost-cell) exchange plans for mesh-partitioned runs.
 
     For each ordered rank pair, the plan lists the cells the sender owns
-    that the receiver needs as ghosts (cells adjacent across cut faces). *)
+    that the receiver needs as ghosts (cells adjacent across cut faces).
+    Consumers address the plan through the rank-centric accessors
+    ({!sends_of}, {!recvs_of}, {!frontier_cells}); an exchange round can
+    be executed either by copying along {!recvs_of} lists, or
+    asynchronously via {!start_exchange} / {!finish_exchange} so interior
+    computation overlaps the messages. *)
 
 type exchange = {
   from_rank : int;  (** sending rank *)
@@ -12,13 +17,29 @@ type exchange = {
 
 type t = {
   nranks : int;  (** ranks in the partition *)
-  exchanges : exchange list;  (** all directed send lists, sorted *)
+  exchanges : exchange list;
+      (** internal: the flat sorted list backing the rank-centric views.
+          Consumers should use {!sends_of} / {!recvs_of} instead of
+          scanning this field. *)
   ghosts : int array array; (** ghost cells needed by each rank *)
+  sends : exchange list array;
+      (** internal: per-rank send lists; use {!sends_of}. *)
+  recvs : exchange list array;
+      (** internal: per-rank receive lists; use {!recvs_of}. *)
 }
 (** The full exchange plan of one partition. *)
 
 val build : Mesh.t -> Partition.t -> t
 (** Derive the plan from face adjacency across partition cuts. *)
+
+val sends_of : t -> int -> exchange list
+(** [sends_of t r] lists the exchanges rank [r] sends, ordered by
+    destination rank. *)
+
+val recvs_of : t -> int -> exchange list
+(** [recvs_of t r] lists the exchanges rank [r] receives (each entry's
+    [cells] are ghosts on [r] owned by [from_rank]), ordered by source
+    rank. *)
 
 val send_count : t -> int -> int
 (** Cells rank [r] sends per exchange round. *)
@@ -36,7 +57,36 @@ val max_send_count : t -> int
 val neighbour_ranks : t -> int -> int list
 (** Ranks that rank [r] sends to (sorted, without duplicates). *)
 
+val frontier_cells : t -> int -> int array
+(** [frontier_cells t r]: the owned cells of [r] that some neighbour
+    needs as ghosts (sorted, unique).  Exactly the owned cells whose flux
+    stencil reads a ghost, so the complement — the interior — can be
+    swept before fresh halo data arrives. *)
+
+val split_cells : t -> int -> owned:int array -> int array * int array
+(** [split_cells t r ~owned] partitions [owned] (preserving its order)
+    into [(interior, frontier)]: cells absent from / present in
+    {!frontier_cells}. *)
+
 val account : t -> int -> ncomp:int -> unit
 (** [account t r ~ncomp] records one executed exchange round of rank [r]
     into the [halo.rounds] / [halo.bytes] metrics ([bytes_per_round] with
     8-byte values); no-op unless {!Prt.Metrics.enabled}. *)
+
+type session
+(** An in-flight exchange round of one rank: send payloads posted with
+    {!Prt.Spmd.isend}, ghost buffers posted with {!Prt.Spmd.irecv}. *)
+
+val start_exchange : ?tag:int -> t -> rank:int -> Field.t -> session
+(** [start_exchange t ~rank field] packs rank [rank]'s send lists from
+    [field] and posts all its sends and receives as nonblocking Spmd
+    messages ([tag] defaults to 0).  Returns immediately; the caller may
+    update any non-ghost cell of [field] (e.g. sweep the interior) while
+    the messages are in flight.  Must be called from inside
+    {!Prt.Spmd.run}. *)
+
+val finish_exchange : session -> Field.t -> unit
+(** [finish_exchange ses field] waits for every request of the session,
+    scatters the received payloads into the ghost cells of [field], and
+    {!account}s the round.  Successive rounds with the same tag are safe:
+    matching is FIFO per rank pair and tag. *)

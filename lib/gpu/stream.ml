@@ -56,6 +56,11 @@ let d2h st clock buf host =
   enqueue st clock ~dur:0. (fun () -> dur := Memory.d2h st.device buf host);
   st.tail <- st.tail +. !dur
 
+(* Cross-stream ordering (cudaStreamWaitEvent): work enqueued on [st]
+   after the join starts no earlier than everything currently on [other].
+   No host blocking — only the stream timelines are coupled. *)
+let join st other = st.tail <- Float.max st.tail other.tail
+
 (* Host-side work of modelled duration [dur] (e.g. the boundary callback)
    overlapping whatever the stream is doing. *)
 let host_work clock ~dur f =

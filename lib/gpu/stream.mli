@@ -46,6 +46,13 @@ val d2h :
   (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t -> unit
 (** Stream-ordered {!Memory.d2h}, mirroring {!h2d}. *)
 
+val join : t -> t -> unit
+(** [join st other]: cross-stream ordering point (the simulator's
+    [cudaStreamWaitEvent]) — work enqueued on [st] after the join starts
+    no earlier than everything currently enqueued on [other].  Does not
+    block the host.  Used to order kernel launches after in-flight
+    uploads on a second copy stream, and copies after kernels. *)
+
 val host_work : host_clock -> dur:float -> (unit -> 'a) -> 'a
 (** CPU work of modelled duration [dur] overlapping the stream. *)
 

@@ -52,6 +52,19 @@ let p2p net ~bytes =
   account ~msgs:1 ~bytes;
   net.alpha +. (float_of_int bytes *. net.beta)
 
+let m_p2p_time_ns = Metrics.counter "cluster.p2p_time_ns"
+
+(* Accounting entry point for a message that was actually delivered (by
+   the Spmd executor's isend/irecv matching, or any other transport):
+   bump the traffic counters and charge the alpha-beta latency the
+   message would cost on the modelled interconnect. *)
+let account_p2p ?(net = default_network) ~bytes () =
+  if Metrics.enabled () then begin
+    account ~msgs:1 ~bytes;
+    Metrics.add m_p2p_time_ns
+      (int_of_float ((net.alpha +. (float_of_int bytes *. net.beta)) *. 1e9))
+  end
+
 (* Tree allreduce over [p] ranks of an [bytes]-sized payload:
    reduce-scatter + allgather costs ~ 2 log2(p) latency terms and
    2 (p-1)/p of the data per rank (Rabenseifner); we use the common

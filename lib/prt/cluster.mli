@@ -33,6 +33,14 @@ val default_network : network
 val p2p : network -> bytes:int -> float
 (** Point-to-point message time: [alpha + bytes*beta]. *)
 
+val account_p2p : ?net:network -> bytes:int -> unit -> unit
+(** Account one {e delivered} point-to-point message of [bytes] payload:
+    bumps [cluster.msgs] / [cluster.bytes] and adds the message's
+    alpha-beta cost to the [cluster.p2p_time_ns] counter (no-op while
+    metrics are disabled).  Called by {!Spmd}'s message matcher, so a
+    metered run reports the modelled network time its isend/irecv
+    traffic would cost on [net] ({!default_network} by default). *)
+
 val allreduce : network -> p:int -> bytes:int -> float
 (** Tree allreduce: ~ 2 ceil(log2 p) (alpha + bytes*beta); 0 for p <= 1. *)
 

@@ -121,6 +121,32 @@ let test_stream_overlap () =
     (clock.Gpu_sim.Stream.now < kernel_only +. 1e-4 +. 1e-5
      || clock.Gpu_sim.Stream.now >= Float.max kernel_only 1e-4)
 
+let test_stream_join () =
+  (* join couples the stream timelines without blocking the host *)
+  let dev = Gpu_sim.Memory.create_device Gpu_sim.Spec.a6000 in
+  let clock = Gpu_sim.Stream.create_clock () in
+  let compute = Gpu_sim.Stream.create dev in
+  let copy = Gpu_sim.Stream.create dev in
+  let buf = Gpu_sim.Memory.alloc dev ~label:"x" ~size:4_000_000 in
+  let host = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout 4_000_000 in
+  Bigarray.Array1.fill host 1.;
+  Gpu_sim.Stream.h2d copy clock buf host;
+  let before = clock.Gpu_sim.Stream.now in
+  Gpu_sim.Stream.join compute copy;
+  check_bool "join does not advance host clock" true
+    (clock.Gpu_sim.Stream.now = before);
+  check_bool "compute inherits copy tail" true
+    (compute.Gpu_sim.Stream.tail >= copy.Gpu_sim.Stream.tail);
+  let k =
+    Gpu_sim.Kernel.make ~name:"after_copy"
+      ~cost:{ Gpu_sim.Kernel.flops_per_thread = 10.; dram_bytes_per_thread = 8. }
+      (fun _ -> ())
+  in
+  Gpu_sim.Stream.kernel compute clock k ~nthreads:1000 ();
+  (* the kernel's slot starts no earlier than the upload's completion *)
+  check_bool "kernel ordered after upload" true
+    (compute.Gpu_sim.Stream.tail > copy.Gpu_sim.Stream.tail)
+
 let test_perf_report () =
   let dev = Gpu_sim.Memory.create_device Gpu_sim.Spec.a6000 in
   let k =
@@ -163,6 +189,7 @@ let suite =
       Alcotest.test_case "size mismatch" `Quick test_transfer_size_mismatch;
       Alcotest.test_case "kernel executes with guard" `Quick test_kernel_executes_and_guards;
       Alcotest.test_case "stream overlap" `Quick test_stream_overlap;
+      Alcotest.test_case "stream join ordering" `Quick test_stream_join;
       Alcotest.test_case "profiler matches paper table" `Quick test_perf_report;
       QCheck_alcotest.to_alcotest prop_kernel_time_monotone;
     ] )

@@ -90,15 +90,16 @@ let test_halo_symmetry () =
   let m = Fvm.Mesh_gen.rectangle ~nx:6 ~ny:6 ~lx:1.0 ~ly:1.0 () in
   let p = Fvm.Partition.rcb_mesh m ~nparts:4 in
   let h = Fvm.Halo.build m p in
-  (* each exchange's cells are owned by the sender *)
-  List.iter
-    (fun (e : Fvm.Halo.exchange) ->
-      Array.iter
-        (fun c ->
-          check_int "sender owns sent cells" e.Fvm.Halo.from_rank
-            (Fvm.Partition.owner p c))
-        e.Fvm.Halo.cells)
-    h.Fvm.Halo.exchanges;
+  (* each send's cells are owned by the sender *)
+  for r = 0 to 3 do
+    List.iter
+      (fun (e : Fvm.Halo.exchange) ->
+        check_int "send originates at rank" r e.Fvm.Halo.from_rank;
+        Array.iter
+          (fun c -> check_int "sender owns sent cells" r (Fvm.Partition.owner p c))
+          e.Fvm.Halo.cells)
+      (Fvm.Halo.sends_of h r)
+  done;
   (* total send = total recv *)
   let sends = ref 0 and recvs = ref 0 in
   for r = 0 to 3 do
@@ -125,6 +126,128 @@ let test_halo_bytes () =
   check_int "bytes per round" (8 * 4 * 2 * 3)
     (Fvm.Halo.bytes_per_round h 0 ~ncomp:3 ~bytes_per:8);
   Alcotest.(check (list int)) "neighbours" [ 1 ] (Fvm.Halo.neighbour_ranks h 0)
+
+let test_halo_rank_views () =
+  let m = Fvm.Mesh_gen.rectangle ~nx:6 ~ny:5 ~lx:1.0 ~ly:1.0 () in
+  let p = Fvm.Partition.rcb_mesh m ~nparts:4 in
+  let h = Fvm.Halo.build m p in
+  for r = 0 to 3 do
+    (* rank-centric views agree with the aggregate counters *)
+    let total l =
+      List.fold_left (fun acc (e : Fvm.Halo.exchange) -> acc + Array.length e.Fvm.Halo.cells) 0 l
+    in
+    check_int "sends_of matches send_count" (Fvm.Halo.send_count h r)
+      (total (Fvm.Halo.sends_of h r));
+    check_int "recvs_of matches recv_count" (Fvm.Halo.recv_count h r)
+      (total (Fvm.Halo.recvs_of h r));
+    (* recvs_of cells are exactly the rank's ghosts *)
+    let recv_cells =
+      List.concat_map
+        (fun (e : Fvm.Halo.exchange) -> Array.to_list e.Fvm.Halo.cells)
+        (Fvm.Halo.recvs_of h r)
+      |> List.sort_uniq compare
+    in
+    let ghosts = Array.to_list h.Fvm.Halo.ghosts.(r) |> List.sort_uniq compare in
+    Alcotest.(check (list int)) "recvs_of covers ghosts" ghosts recv_cells;
+    (* peer ordering: sends by destination, recvs by source *)
+    let rec ascending = function
+      | a :: b :: tl -> a < b && ascending (b :: tl)
+      | _ -> true
+    in
+    check_bool "sends ordered by destination" true
+      (ascending (List.map (fun e -> e.Fvm.Halo.to_rank) (Fvm.Halo.sends_of h r)));
+    check_bool "recvs ordered by source" true
+      (ascending (List.map (fun e -> e.Fvm.Halo.from_rank) (Fvm.Halo.recvs_of h r)));
+    (* every send of r appears as a receive on its destination *)
+    List.iter
+      (fun (e : Fvm.Halo.exchange) ->
+        check_bool "send mirrored at receiver" true
+          (List.exists
+             (fun (e' : Fvm.Halo.exchange) ->
+               e'.Fvm.Halo.from_rank = r && e'.Fvm.Halo.cells = e.Fvm.Halo.cells)
+             (Fvm.Halo.recvs_of h e.Fvm.Halo.to_rank)))
+      (Fvm.Halo.sends_of h r)
+  done
+
+let test_split_cells () =
+  let m = Fvm.Mesh_gen.rectangle ~nx:8 ~ny:6 ~lx:1.0 ~ly:1.0 () in
+  let p = Fvm.Partition.rcb_mesh m ~nparts:4 in
+  let h = Fvm.Halo.build m p in
+  for r = 0 to 3 do
+    let owned =
+      Array.of_list
+        (List.filter
+           (fun c -> Fvm.Partition.owner p c = r)
+           (List.init m.Fvm.Mesh.ncells Fun.id))
+    in
+    let interior, frontier = Fvm.Halo.split_cells h r ~owned in
+    check_int "partition preserves size"
+      (Array.length owned)
+      (Array.length interior + Array.length frontier);
+    (* disjoint, and together they are exactly [owned] *)
+    let merged = Array.append interior frontier in
+    Array.sort compare merged;
+    let sorted_owned = Array.copy owned in
+    Array.sort compare sorted_owned;
+    Alcotest.(check (array int)) "interior + frontier = owned" sorted_owned merged;
+    (* frontier cells are exactly the owned cells some neighbour needs *)
+    let fc = Fvm.Halo.frontier_cells h r in
+    Array.iter
+      (fun c -> check_bool "frontier cell is exported" true (Array.mem c fc))
+      frontier;
+    Array.iter
+      (fun c -> check_bool "interior cell not exported" false (Array.mem c fc))
+      interior;
+    check_bool "nonempty frontier between ranks" true (Array.length frontier > 0)
+  done
+
+let test_halo_async_exchange () =
+  (* start_exchange/finish_exchange under the Spmd runtime delivers the
+     owner's values into every ghost cell, with multiple components *)
+  let m = Fvm.Mesh_gen.rectangle ~nx:6 ~ny:4 ~lx:1.0 ~ly:1.0 () in
+  let nranks = 3 in
+  let p = Fvm.Partition.rcb_mesh m ~nparts:nranks in
+  let h = Fvm.Halo.build m p in
+  let ncomp = 2 in
+  let fields =
+    Array.init nranks (fun r ->
+        let f =
+          Fvm.Field.create ~name:"u" ~ncells:m.Fvm.Mesh.ncells ~ncomp ()
+        in
+        Fvm.Field.init f (fun cell comp ->
+            if Fvm.Partition.owner p cell = r then
+              float_of_int (((r * 1000) + cell) * 10 + comp)
+            else -1.);
+        f)
+  in
+  Prt.Spmd.run ~nranks (fun r ->
+      let ses = Fvm.Halo.start_exchange h ~rank:r fields.(r) in
+      (* interior work while messages are in flight must not disturb them *)
+      let owned =
+        Array.of_list
+          (List.filter
+             (fun c -> Fvm.Partition.owner p c = r)
+             (List.init m.Fvm.Mesh.ncells Fun.id))
+      in
+      let interior, _ = Fvm.Halo.split_cells h r ~owned in
+      Array.iter
+        (fun c ->
+          for k = 0 to ncomp - 1 do
+            Fvm.Field.set fields.(r) c k (Fvm.Field.get fields.(r) c k)
+          done)
+        interior;
+      Fvm.Halo.finish_exchange ses fields.(r));
+  for r = 0 to nranks - 1 do
+    Array.iter
+      (fun g ->
+        let owner = Fvm.Partition.owner p g in
+        for comp = 0 to ncomp - 1 do
+          Tutil.check_close "ghost holds owner value"
+            (float_of_int (((owner * 1000) + g) * 10 + comp))
+            (Fvm.Field.get fields.(r) g comp)
+        done)
+      h.Fvm.Halo.ghosts.(r)
+  done
 
 let prop_rcb_covers =
   QCheck.Test.make ~name:"rcb covers and balances random grids" ~count:30
@@ -155,14 +278,14 @@ let prop_halo_exchange_delivers =
                   float_of_int ((r * 1000) + c)
                 else 0.))
       in
-      List.iter
-        (fun (e : Fvm.Halo.exchange) ->
-          Array.iter
-            (fun cell ->
-              local.(e.Fvm.Halo.to_rank).(cell) <-
-                local.(e.Fvm.Halo.from_rank).(cell))
-            e.Fvm.Halo.cells)
-        h.Fvm.Halo.exchanges;
+      for r = 0 to nparts - 1 do
+        List.iter
+          (fun (e : Fvm.Halo.exchange) ->
+            Array.iter
+              (fun cell -> local.(e.Fvm.Halo.to_rank).(cell) <- local.(r).(cell))
+              e.Fvm.Halo.cells)
+          (Fvm.Halo.sends_of h r)
+      done;
       (* now each rank must see correct values for all its ghosts *)
       let ok = ref true in
       for r = 0 to nparts - 1 do
@@ -187,6 +310,9 @@ let suite =
       Alcotest.test_case "rank adjacency" `Quick test_rank_adjacency;
       Alcotest.test_case "halo symmetry" `Quick test_halo_symmetry;
       Alcotest.test_case "halo bytes" `Quick test_halo_bytes;
+      Alcotest.test_case "halo rank views" `Quick test_halo_rank_views;
+      Alcotest.test_case "split cells" `Quick test_split_cells;
+      Alcotest.test_case "halo async exchange" `Quick test_halo_async_exchange;
       QCheck_alcotest.to_alcotest prop_rcb_covers;
       QCheck_alcotest.to_alcotest prop_halo_exchange_delivers;
     ] )

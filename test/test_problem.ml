@@ -139,14 +139,58 @@ let test_entity_validation () =
 
 let test_target_names () =
   check_bool "serial name" true
-    (Finch.Config.target_name (Finch.Config.Cpu Finch.Config.Serial) = "cpu-serial");
+    (Finch.Config.target_name (Finch.Config.Cpu Finch.Config.Serial) = "serial");
   check_bool "bands name" true
     (Finch.Config.target_name (Finch.Config.Cpu (Finch.Config.Band_parallel 4))
-     = "cpu-bands-4");
+     = "bands:4");
+  check_bool "hybrid name" true
+    (Finch.Config.target_name (Finch.Config.Cpu (Finch.Config.Hybrid (2, 4)))
+     = "hybrid:2x4");
   check_bool "gpu name" true
     (Finch.Config.target_name
        (Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; ranks = 2 })
-     = "gpu-A6000-2")
+     = "gpu:a6000:2");
+  check_bool "gpu single-rank name" true
+    (Finch.Config.target_name
+       (Finch.Config.Gpu { spec = Gpu_sim.Spec.a100; ranks = 1 })
+     = "gpu:a100")
+
+(* every constructor shape must survive target_name |> target_of_string *)
+let test_target_roundtrip () =
+  let targets =
+    [ Finch.Config.Cpu Finch.Config.Serial;
+      Finch.Config.Cpu (Finch.Config.Cell_parallel 3);
+      Finch.Config.Cpu (Finch.Config.Band_parallel 8);
+      Finch.Config.Cpu (Finch.Config.Threaded 5);
+      Finch.Config.Cpu (Finch.Config.Hybrid (2, 4));
+      Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; ranks = 1 };
+      Finch.Config.Gpu { spec = Gpu_sim.Spec.a100; ranks = 4 } ]
+  in
+  List.iter
+    (fun t ->
+      let name = Finch.Config.target_name t in
+      match Finch.Config.target_of_string name with
+      | Ok t' -> check_bool ("round-trip " ^ name) true (t = t')
+      | Error e -> Alcotest.fail (name ^ " failed to parse back: " ^ e))
+    targets;
+  (* spellings beyond the canonical ones *)
+  check_bool "case-insensitive" true
+    (Finch.Config.target_of_string "GPU:A100"
+     = Ok (Finch.Config.Gpu { spec = Gpu_sim.Spec.a100; ranks = 1 }));
+  check_bool "legacy hybrid:R:D" true
+    (Finch.Config.target_of_string "hybrid:2:4"
+     = Ok (Finch.Config.Cpu (Finch.Config.Hybrid (2, 4))));
+  check_bool "bare gpu" true
+    (Finch.Config.target_of_string "gpu"
+     = Ok (Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; ranks = 1 }));
+  (* malformed specs are Errors, not exceptions *)
+  List.iter
+    (fun s ->
+      match Finch.Config.target_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("expected parse error for " ^ s))
+    [ ""; "cells"; "cells:0"; "cells:x"; "hybrid:2"; "hybrid:2x0";
+      "gpu:v100"; "gpu:a100:0"; "mpi:4" ]
 
 let suite =
   ( "problem",
@@ -169,4 +213,5 @@ let suite =
       Alcotest.test_case "stray initial condition" `Quick test_initial_unknown_variable;
       Alcotest.test_case "entity validation" `Quick test_entity_validation;
       Alcotest.test_case "target names" `Quick test_target_names;
+      Alcotest.test_case "backend spec round-trip" `Quick test_target_roundtrip;
     ] )

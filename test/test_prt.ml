@@ -136,6 +136,190 @@ let test_spmd_stress () =
   in
   Array.iter (fun v -> Tutil.check_close "prefix sums" expected v) finals
 
+(* --- nonblocking point-to-point ------------------------------------- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let expect_spmd_error name subs f =
+  match f () with
+  | exception Prt.Spmd.Spmd_error msg ->
+    List.iter
+      (fun sub ->
+        if not (contains msg sub) then
+          Alcotest.failf "%s: error %S should mention %S" name msg sub)
+      subs
+  | () -> Alcotest.failf "%s: expected Spmd_error" name
+
+let test_p2p_send_before_recv () =
+  (* rank 0 runs first and finishes its isend before rank 1 even starts *)
+  let got = Array.make 3 0. in
+  Prt.Spmd.run ~nranks:2 (fun rank ->
+      if rank = 0 then begin
+        let data = [| 1.; 2.; 3. |] in
+        let r = Prt.Spmd.isend ~dst:1 ~tag:0 data in
+        (* eager buffered semantics: reuse of the array is safe *)
+        data.(0) <- 99.;
+        Prt.Spmd.wait r
+      end
+      else begin
+        let buf = Array.make 3 0. in
+        Prt.Spmd.wait (Prt.Spmd.irecv ~src:0 ~tag:0 buf);
+        Array.blit buf 0 got 0 3
+      end);
+  Tutil.check_close "payload snapshot" 1. got.(0);
+  Tutil.check_close "payload" 3. got.(2)
+
+let test_p2p_wait_before_arrival () =
+  (* rank 0 posts the irecv and waits while rank 1 has not run yet: the
+     wait must suspend, then complete when rank 1's isend matches *)
+  let got = ref 0. and order = ref [] in
+  Prt.Spmd.run ~nranks:2 (fun rank ->
+      if rank = 0 then begin
+        let buf = [| 0. |] in
+        let r = Prt.Spmd.irecv ~src:1 ~tag:7 buf in
+        check_bool "not done before sender ran" false (Prt.Spmd.request_done r);
+        Prt.Spmd.wait r;
+        order := `Recv_done :: !order;
+        got := buf.(0)
+      end
+      else begin
+        order := `Send_posted :: !order;
+        Prt.Spmd.wait (Prt.Spmd.isend ~dst:0 ~tag:7 [| 42. |])
+      end);
+  Tutil.check_close "delivered" 42. !got;
+  check_bool "recv completed after send was posted" true
+    (List.rev !order = [ `Send_posted; `Recv_done ])
+
+let test_p2p_tag_matching () =
+  (* same rank pair, two tags posted in opposite orders: matching is by
+     tag, not arrival order *)
+  let a = [| 0. |] and b = [| 0. |] in
+  Prt.Spmd.run ~nranks:2 (fun rank ->
+      if rank = 0 then
+        Prt.Spmd.waitall
+          [ Prt.Spmd.isend ~dst:1 ~tag:1 [| 10. |];
+            Prt.Spmd.isend ~dst:1 ~tag:2 [| 20. |] ]
+      else
+        Prt.Spmd.waitall
+          [ Prt.Spmd.irecv ~src:0 ~tag:2 b; Prt.Spmd.irecv ~src:0 ~tag:1 a ]);
+  Tutil.check_close "tag 1" 10. a.(0);
+  Tutil.check_close "tag 2" 20. b.(0)
+
+let test_p2p_fifo_same_tag () =
+  (* two messages on the same (pair, tag) are matched in posting order *)
+  let first = [| 0. |] and second = [| 0. |] in
+  Prt.Spmd.run ~nranks:2 (fun rank ->
+      if rank = 0 then
+        Prt.Spmd.waitall
+          [ Prt.Spmd.isend ~dst:1 ~tag:0 [| 1. |];
+            Prt.Spmd.isend ~dst:1 ~tag:0 [| 2. |] ]
+      else
+        Prt.Spmd.waitall
+          [ Prt.Spmd.irecv ~src:0 ~tag:0 first;
+            Prt.Spmd.irecv ~src:0 ~tag:0 second ]);
+  Tutil.check_close "first posted, first matched" 1. first.(0);
+  Tutil.check_close "second" 2. second.(0)
+
+let test_p2p_ring_rounds () =
+  (* a shifting ring: every rank sends its value right and receives from
+     the left, several rounds, no barriers at all *)
+  let nranks = 8 and rounds = 10 in
+  let finals = Array.make nranks 0. in
+  Prt.Spmd.run ~nranks (fun rank ->
+      let v = ref (float_of_int rank) in
+      for _ = 1 to rounds do
+        let buf = [| 0. |] in
+        let s = Prt.Spmd.isend ~dst:((rank + 1) mod nranks) ~tag:0 [| !v |] in
+        let r = Prt.Spmd.irecv ~src:((rank + nranks - 1) mod nranks) ~tag:0 buf in
+        Prt.Spmd.waitall [ s; r ];
+        v := buf.(0)
+      done;
+      finals.(rank) <- !v);
+  (* after [rounds] shifts each rank holds (rank - rounds) mod nranks *)
+  Array.iteri
+    (fun rank v ->
+      Tutil.check_close "ring shifted"
+        (float_of_int ((rank - rounds + (nranks * rounds)) mod nranks))
+        v)
+    finals
+
+let test_p2p_unmatched_irecv () =
+  (* waited on: every other rank is finished, so this is a deadlock and
+     the report names the stuck rank and tag *)
+  expect_spmd_error "waited unmatched irecv"
+    [ "deadlock"; "rank 1"; "irecv"; "tag 5" ]
+    (fun () ->
+      Prt.Spmd.run ~nranks:2 (fun rank ->
+          if rank = 1 then
+            Prt.Spmd.wait (Prt.Spmd.irecv ~src:0 ~tag:5 (Array.make 1 0.))));
+  (* not waited on: detected as a leftover posting at program end *)
+  expect_spmd_error "posted unmatched irecv" [ "unmatched"; "rank 1"; "tag 5" ]
+    (fun () ->
+      Prt.Spmd.run ~nranks:2 (fun rank ->
+          if rank = 1 then
+            ignore (Prt.Spmd.irecv ~src:0 ~tag:5 (Array.make 1 0.))))
+
+let test_p2p_unmatched_isend () =
+  (* a send nobody receives is reported at program end even without wait *)
+  expect_spmd_error "unmatched isend" [ "unmatched"; "isend"; "tag 3" ]
+    (fun () ->
+      Prt.Spmd.run ~nranks:2 (fun rank ->
+          if rank = 0 then ignore (Prt.Spmd.isend ~dst:1 ~tag:3 [| 1. |])))
+
+let test_p2p_length_mismatch () =
+  expect_spmd_error "p2p length" [ "length mismatch"; "rank 0"; "rank 1"; "tag 2" ]
+    (fun () ->
+      Prt.Spmd.run ~nranks:2 (fun rank ->
+          if rank = 0 then ignore (Prt.Spmd.isend ~dst:1 ~tag:2 [| 1.; 2. |])
+          else ignore (Prt.Spmd.irecv ~src:0 ~tag:2 (Array.make 5 0.))))
+
+let test_p2p_bad_peer () =
+  expect_spmd_error "peer out of range" [ "rank 0"; "rank 7" ] (fun () ->
+      Prt.Spmd.run ~nranks:2 (fun rank ->
+          if rank = 0 then ignore (Prt.Spmd.isend ~dst:7 ~tag:0 [| 1. |])))
+
+let test_p2p_deadlock_with_collective () =
+  (* rank 0 waits on a message rank 1 can never send: rank 1 is stuck at
+     a barrier rank 0 will not reach.  The report names both states. *)
+  expect_spmd_error "deadlock"
+    [ "deadlock"; "rank 0"; "rank 1"; "barrier"; "tag 9" ]
+    (fun () ->
+      Prt.Spmd.run ~nranks:2 (fun rank ->
+          if rank = 0 then
+            Prt.Spmd.wait (Prt.Spmd.irecv ~src:1 ~tag:9 (Array.make 1 0.))
+          else Prt.Spmd.barrier ()))
+
+let test_collective_mismatch_names_ranks () =
+  (* the pre-existing mismatch case must now name who is stuck where *)
+  expect_spmd_error "collective mismatch"
+    [ "rank 0 at barrier"; "1 of 2 ranks finished" ]
+    (fun () ->
+      Prt.Spmd.run ~nranks:2 (fun rank ->
+          if rank = 0 then Prt.Spmd.barrier ()))
+
+let test_allreduce_mismatch_names_ranks () =
+  expect_spmd_error "allreduce length" [ "allreduce length mismatch"; "rank 1" ]
+    (fun () ->
+      Prt.Spmd.run ~nranks:2 (fun rank ->
+          Prt.Spmd.allreduce_sum (Array.make (1 + rank) 0.)))
+
+let test_p2p_metrics () =
+  Prt.Metrics.reset_all ();
+  Prt.Metrics.enable ();
+  Prt.Spmd.run ~nranks:2 (fun rank ->
+      if rank = 0 then Prt.Spmd.wait (Prt.Spmd.isend ~dst:1 ~tag:0 (Array.make 4 1.))
+      else Prt.Spmd.wait (Prt.Spmd.irecv ~src:0 ~tag:0 (Array.make 4 0.)));
+  Prt.Metrics.disable ();
+  check_int "one message" 1 (Prt.Metrics.value (Prt.Metrics.counter "spmd.p2p_msgs"));
+  check_int "payload bytes" 32
+    (Prt.Metrics.value (Prt.Metrics.counter "spmd.p2p_bytes"));
+  check_bool "cluster p2p time charged" true
+    (Prt.Metrics.value (Prt.Metrics.counter "cluster.p2p_time_ns") > 0);
+  Prt.Metrics.reset_all ()
+
 let test_vranks () =
   let t = Prt.Vranks.create ~nranks:3 ~init:(fun r -> Array.make 2 (float_of_int r)) in
   Prt.Vranks.superstep t
@@ -158,5 +342,21 @@ let suite =
       Alcotest.test_case "spmd mismatch detected" `Quick test_spmd_mismatch_detected;
       Alcotest.test_case "spmd length mismatch" `Quick test_spmd_length_mismatch;
       Alcotest.test_case "spmd stress (16 ranks, 30 rounds)" `Quick test_spmd_stress;
+      Alcotest.test_case "p2p send before recv" `Quick test_p2p_send_before_recv;
+      Alcotest.test_case "p2p wait before arrival" `Quick test_p2p_wait_before_arrival;
+      Alcotest.test_case "p2p tag matching" `Quick test_p2p_tag_matching;
+      Alcotest.test_case "p2p FIFO on same tag" `Quick test_p2p_fifo_same_tag;
+      Alcotest.test_case "p2p ring (8 ranks, 10 rounds)" `Quick test_p2p_ring_rounds;
+      Alcotest.test_case "p2p unmatched irecv" `Quick test_p2p_unmatched_irecv;
+      Alcotest.test_case "p2p unmatched isend" `Quick test_p2p_unmatched_isend;
+      Alcotest.test_case "p2p length mismatch" `Quick test_p2p_length_mismatch;
+      Alcotest.test_case "p2p peer out of range" `Quick test_p2p_bad_peer;
+      Alcotest.test_case "p2p deadlock vs collective" `Quick
+        test_p2p_deadlock_with_collective;
+      Alcotest.test_case "collective mismatch names ranks" `Quick
+        test_collective_mismatch_names_ranks;
+      Alcotest.test_case "allreduce mismatch names ranks" `Quick
+        test_allreduce_mismatch_names_ranks;
+      Alcotest.test_case "p2p metrics accounted" `Quick test_p2p_metrics;
       Alcotest.test_case "vranks superstep" `Quick test_vranks;
     ] )

@@ -115,10 +115,47 @@ let test_cell_parallel_equals_serial () =
         (Finch.Config.Cpu (Finch.Config.Cell_parallel n)))
     [ 2; 3; 4; 7 ]
 
+let test_overlap_equals_sync () =
+  (* the overlapped halo exchange (nonblocking isend/irecv around the
+     interior sweep) must be bit-identical — not just close — to the
+     barriered blit path, for any rank count *)
+  List.iter
+    (fun n ->
+      let p1, _, _ = make_advection () in
+      let o1 = run_with (Finch.Config.Cpu (Finch.Config.Cell_parallel n)) p1 in
+      let p2, _, _ = make_advection () in
+      Finch.Problem.set_overlap p2 true;
+      let o2 = run_with (Finch.Config.Cpu (Finch.Config.Cell_parallel n)) p2 in
+      let diff = Fvm.Field.max_abs_diff o1.Finch.Solve.u o2.Finch.Solve.u in
+      if diff > 0. then Alcotest.failf "overlap cells %d: diff %g" n diff)
+    [ 2; 3; 4; 7 ]
+
+let test_overlap_equals_serial () =
+  (* and transitively identical to the serial reference *)
+  let p1, _, _ = make_advection () in
+  let o1 = run_with (Finch.Config.Cpu Finch.Config.Serial) p1 in
+  let p2, _, _ = make_advection () in
+  Finch.Problem.set_overlap p2 true;
+  let o2 = run_with (Finch.Config.Cpu (Finch.Config.Cell_parallel 4)) p2 in
+  let diff = Fvm.Field.max_abs_diff o1.Finch.Solve.u o2.Finch.Solve.u in
+  if diff > 1e-13 then Alcotest.failf "overlap vs serial: diff %g" diff
+
 let test_gpu_equals_serial () =
   targets_equal "gpu"
     (Finch.Config.Cpu Finch.Config.Serial)
     (Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; ranks = 1 })
+
+let test_gpu_overlap_equals_sync () =
+  (* double-buffered second-stream transfers change only the modelled
+     timeline, never the fields *)
+  let gpu = Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; ranks = 1 } in
+  let p1, _, _ = make_advection () in
+  let o1 = run_with gpu p1 in
+  let p2, _, _ = make_advection () in
+  Finch.Problem.set_overlap p2 true;
+  let o2 = run_with gpu p2 in
+  let diff = Fvm.Field.max_abs_diff o1.Finch.Solve.u o2.Finch.Solve.u in
+  if diff > 0. then Alcotest.failf "gpu overlap: diff %g" diff
 
 let test_threaded_equals_serial () =
   let p1, _, _ = make_advection () in
@@ -419,7 +456,11 @@ let suite =
       Alcotest.test_case "component independence" `Quick test_component_independence;
       Alcotest.test_case "band-parallel == serial" `Quick test_band_parallel_equals_serial;
       Alcotest.test_case "cell-parallel == serial" `Quick test_cell_parallel_equals_serial;
+      Alcotest.test_case "overlap == sync (exact)" `Quick test_overlap_equals_sync;
+      Alcotest.test_case "overlap == serial" `Quick test_overlap_equals_serial;
       Alcotest.test_case "gpu == serial" `Quick test_gpu_equals_serial;
+      Alcotest.test_case "gpu overlap == sync (exact)" `Quick
+        test_gpu_overlap_equals_sync;
       Alcotest.test_case "threaded == serial" `Quick test_threaded_equals_serial;
       Alcotest.test_case "pool-threaded == serial (exact)" `Quick
         test_pool_threaded_equals_serial;
