@@ -457,6 +457,19 @@ let e11_json path =
   p "    \"overlap_step_s\": %.6f,\n" om.Bte.Perfmodel.overlap_step;
   p "    \"hidden_s\": %.6f\n" om.Bte.Perfmodel.hidden;
   p "  },\n";
+  (* lint the benchmark scenario under the same backends the rows ran so
+     the analysis.* counters in the JSON reflect this exact program *)
+  List.iter
+    (fun spec ->
+      match Finch.Config.target_of_string spec with
+      | Error _ -> ()
+      | Ok tgt ->
+        let built = Bte.Setup.build sc in
+        Finch.Problem.set_target built.Bte.Setup.problem tgt;
+        ignore
+          (Finch_analysis.Driver.check_problem ~post_io:Bte.Setup.post_io
+             built.Bte.Setup.problem))
+    [ "serial"; "threads:2"; "hybrid:2x2"; "cells:2"; "gpu" ];
   let c name = Prt.Metrics.value (Prt.Metrics.counter name) in
   let bw = Prt.Metrics.histogram "pool.barrier_wait_ns" in
   p "  \"metrics\": {\n";
@@ -472,7 +485,10 @@ let e11_json path =
   p "    \"spmd.waits\": %d,\n" (c "spmd.waits");
   p "    \"cluster.p2p_time_ns\": %d,\n" (c "cluster.p2p_time_ns");
   p "    \"gpu.kernel_launches\": %d,\n" (c "gpu.kernel_launches");
-  p "    \"tape.ops_skipped\": %d\n" (c "tape.ops_skipped");
+  p "    \"tape.ops_skipped\": %d,\n" (c "tape.ops_skipped");
+  p "    \"analysis.errors\": %d,\n" (c "analysis.errors");
+  p "    \"analysis.warnings\": %d,\n" (c "analysis.warnings");
+  p "    \"sanitize.poison_reads\": %d\n" (c "sanitize.poison_reads");
   p "  },\n";
   p "  \"tapes\": {\n";
   List.iteri

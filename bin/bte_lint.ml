@@ -1,0 +1,179 @@
+(* Lint driver: run the static IR analyses (Finch_analysis) over the
+   generated programs of the shipped scenarios without solving anything.
+
+     bte_lint                    -- lint every scenario x backend x overlap
+     bte_lint --backend cells:4  -- restrict the backend matrix
+     bte_lint --selftest         -- run the seeded-defect fixtures
+     bte_lint --codes            -- print the error-code catalogue
+
+   Exit status: 0 clean, 1 analysis errors (or a failed selftest),
+   2 usage errors.  See docs/ANALYSIS.md for the pass catalogue. *)
+
+open Cmdliner
+
+let default_backends =
+  [ "serial"; "threads:2"; "bands:2"; "cells:2"; "cells:4"; "hybrid:2x2";
+    "gpu"; "gpu:a6000:2" ]
+
+let backends_t =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "backend" ] ~docv:"SPEC"
+        ~doc:
+          "Backend spec to lint (repeatable): serial, threads:N, bands:N, \
+           cells:N, hybrid:RxD or gpu[:NAME[:RANKS]]. Default: a matrix of \
+           all strategies.")
+
+let scenario_t =
+  Arg.(
+    value
+    & opt (enum [ "hotspot", `Hotspot; "corner", `Corner; "all", `All ]) `All
+    & info [ "scenario" ] ~docv:"NAME"
+        ~doc:"Scenario to lint: hotspot, corner or all.")
+
+let codes_t =
+  Arg.(
+    value & flag
+    & info [ "codes" ] ~doc:"Print the error-code catalogue and exit.")
+
+let selftest_t =
+  Arg.(
+    value & flag
+    & info [ "selftest" ]
+        ~doc:
+          "Run the analyzer over its seeded-defect fixtures and check each \
+           reports exactly the expected codes.")
+
+let ignore_t =
+  Arg.(
+    value
+    & opt (list string) []
+    & info [ "ignore" ] ~docv:"CODES"
+        ~doc:"Comma-separated codes to suppress (e.g. A005,A006).")
+
+let verbose_t =
+  Arg.(
+    value & flag
+    & info [ "verbose"; "v" ] ~doc:"Also print per-configuration results \
+                                    when clean.")
+
+let print_codes () =
+  List.iter
+    (fun c ->
+      Printf.printf "%s  %-7s  %s\n" (Finch_analysis.Finding.id c)
+        (Finch_analysis.Finding.severity_string
+           (Finch_analysis.Finding.severity c))
+        (Finch_analysis.Finding.title c))
+    Finch_analysis.Finding.catalogue
+
+let run_selftest () =
+  let failures = ref 0 in
+  List.iter
+    (fun (f : Finch_analysis.Fixtures.fixture) ->
+      let expect, found = Finch_analysis.Fixtures.check f in
+      let s l =
+        String.concat "," (List.map Finch_analysis.Finding.id l)
+      in
+      if expect = found then
+        Printf.printf "ok   %-24s [%s]\n" f.Finch_analysis.Fixtures.fname
+          (s found)
+      else begin
+        incr failures;
+        Printf.printf "FAIL %-24s expected [%s] found [%s]\n"
+          f.Finch_analysis.Fixtures.fname (s expect) (s found)
+      end)
+    Finch_analysis.Fixtures.all;
+  Printf.printf "%d fixture%s, %d failure%s\n"
+    (List.length Finch_analysis.Fixtures.all)
+    (if List.length Finch_analysis.Fixtures.all = 1 then "" else "s")
+    !failures
+    (if !failures = 1 then "" else "s");
+  !failures = 0
+
+let scenarios_of = function
+  | `Hotspot -> [ "hotspot", fun () -> Bte.Setup.build Bte.Setup.small_hotspot ]
+  | `Corner ->
+    [ "corner", fun () -> Bte.Setup.build_corner Bte.Setup.small_corner ]
+  | `All ->
+    [ "hotspot", (fun () -> Bte.Setup.build Bte.Setup.small_hotspot);
+      "corner", fun () -> Bte.Setup.build_corner Bte.Setup.small_corner ]
+
+let lint_matrix ~backends ~scenario ~ignore_codes ~verbose =
+  let backends = if backends = [] then default_backends else backends in
+  let total_errors = ref 0 and total_warnings = ref 0 and configs = ref 0 in
+  List.iter
+    (fun (sname, mk) ->
+      List.iter
+        (fun spec ->
+          match Finch.Config.target_of_string spec with
+          | Error e ->
+            Printf.eprintf "error: %s\n" e;
+            exit 2
+          | Ok tgt ->
+            List.iter
+              (fun overlap ->
+                incr configs;
+                let built = mk () in
+                let p = built.Bte.Setup.problem in
+                Finch.Problem.set_target p tgt;
+                Finch.Problem.set_overlap p overlap;
+                let r =
+                  Finch_analysis.Driver.check_problem
+                    ~post_io:Bte.Setup.post_io ~ignore_codes p
+                in
+                total_errors := !total_errors + r.Finch_analysis.Driver.errors;
+                total_warnings :=
+                  !total_warnings + r.Finch_analysis.Driver.warnings;
+                let label =
+                  Printf.sprintf "%s %s%s" sname spec
+                    (if overlap then " +overlap" else "")
+                in
+                if r.Finch_analysis.Driver.findings <> [] then begin
+                  Printf.printf "%s:\n" label;
+                  Finch_analysis.Driver.pp_report stdout r
+                end
+                else if verbose then Printf.printf "%s: clean\n" label)
+              [ false; true ])
+        backends)
+    (scenarios_of scenario);
+  Printf.printf "linted %d configurations: %d error%s, %d warning%s\n"
+    !configs !total_errors
+    (if !total_errors = 1 then "" else "s")
+    !total_warnings
+    (if !total_warnings = 1 then "" else "s");
+  !total_errors = 0
+
+let lint_cmd backends scenario codes selftest ignore verbose =
+  if codes then print_codes ()
+  else begin
+    let ignore_codes =
+      List.map
+        (fun s ->
+          match Finch_analysis.Finding.of_id s with
+          | Some c -> c
+          | None ->
+            Printf.eprintf "error: unknown code %s (see --codes)\n" s;
+            exit 2)
+        ignore
+    in
+    let ok =
+      if selftest then run_selftest ()
+      else lint_matrix ~backends ~scenario ~ignore_codes ~verbose
+    in
+    if not ok then exit 1
+  end
+
+let () =
+  let term =
+    Term.(
+      const lint_cmd $ backends_t $ scenario_t $ codes_t $ selftest_t
+      $ ignore_t $ verbose_t)
+  in
+  let info =
+    Cmd.info "bte_lint" ~version:"1.0"
+      ~doc:
+        "Static analysis of the generated BTE programs: well-formedness, \
+         parallel races and data-movement coverage."
+  in
+  exit (Cmd.eval (Cmd.v info term))

@@ -103,6 +103,27 @@ let metrics_t =
           "Collect runtime counters (halo bytes, barrier waits, kernel \
            launches, ...) and print the registry after the solve.")
 
+let no_check_t =
+  Arg.(
+    value & flag
+    & info [ "no-check" ]
+        ~doc:
+          "Skip the static IR analysis that normally runs before the solve \
+           (def-before-use, parallel races, data-movement coverage; see \
+           docs/ANALYSIS.md). With the check on, analysis errors abort the \
+           run with exit code 3.")
+
+let sanitize_t =
+  Arg.(
+    value & flag
+    & info [ "sanitize" ]
+        ~doc:
+          "Run with the runtime sanitizer: ghost regions are NaN-poisoned \
+           after each commit and device buffers at allocation, so any read \
+           of storage a missing exchange or upload failed to refresh is \
+           counted ([sanitize.poison_reads]). Bit-identical results on \
+           defect-free programs; exit code 4 if poison is detected.")
+
 (* The canonical track model is declared up front so the exported trace
    always carries the main / pool-worker / SPMD-rank / GPU-stream rows,
    even when the chosen target exercises only some of them. *)
@@ -149,7 +170,7 @@ let resolve_backend ~backend ~target =
   | None, None -> "serial"
 
 let run_cmd scenario nx ny ndirs nbands nsteps backend target overlap eval_mode
-    csv paper_scale trace metrics =
+    csv paper_scale trace metrics no_check sanitize =
   let base =
     match scenario, paper_scale with
     | `Hotspot, true -> Bte.Setup.paper_hotspot
@@ -175,15 +196,36 @@ let run_cmd scenario nx ny ndirs nbands nsteps backend target overlap eval_mode
       base.Bte.Setup.nsteps built.Bte.Setup.scenario.Bte.Setup.dt;
     Finch.Problem.set_eval_mode built.Bte.Setup.problem eval_mode;
     Finch.Problem.set_overlap built.Bte.Setup.problem overlap;
+    (match tgt with
+     | Finch.Config.Cpu strategy ->
+       Finch.Problem.set_target built.Bte.Setup.problem (Finch.Config.Cpu strategy)
+     | Finch.Config.Gpu { spec; ranks } ->
+       Finch.Problem.use_cuda ~spec ~ranks built.Bte.Setup.problem);
+    (* static analysis of the generated program, on unless --no-check *)
+    if not no_check then begin
+      let report =
+        Finch_analysis.Driver.check_problem ~post_io:Bte.Setup.post_io
+          built.Bte.Setup.problem
+      in
+      if report.Finch_analysis.Driver.errors > 0 then begin
+        Printf.eprintf "static analysis rejected the generated program:\n";
+        Finch_analysis.Driver.pp_report stderr report;
+        Printf.eprintf "(use --no-check to run anyway)\n";
+        exit 3
+      end
+      else if report.Finch_analysis.Driver.warnings > 0 then begin
+        print_endline "static analysis warnings:";
+        Finch_analysis.Driver.pp_report stdout report
+      end
+    end;
+    if sanitize then Finch_analysis.Sanitize.enable ();
     start_observability ~trace ~metrics;
     let t0 = Unix.gettimeofday () in
     let outcome =
       match tgt with
-      | Finch.Config.Cpu strategy ->
-        Finch.Problem.set_target built.Bte.Setup.problem (Finch.Config.Cpu strategy);
+      | Finch.Config.Cpu _ ->
         Finch.Solve.solve ~band_index:"b" built.Bte.Setup.problem
-      | Finch.Config.Gpu { spec; ranks } ->
-        Finch.Problem.use_cuda ~spec ~ranks built.Bte.Setup.problem;
+      | Finch.Config.Gpu _ ->
         Finch.Solve.solve ~post_io:Bte.Setup.post_io built.Bte.Setup.problem
     in
     Printf.printf "wall time %.2f s\n" (Unix.gettimeofday () -. t0);
@@ -221,13 +263,19 @@ let run_cmd scenario nx ny ndirs nbands nsteps backend target overlap eval_mode
        Bte.Diag.to_csv built.Bte.Setup.mesh ft ~comp:0 path;
        Printf.printf "temperature field written to %s\n" path
      | None -> ());
-    finish_observability ~trace ~metrics
+    finish_observability ~trace ~metrics;
+    if sanitize then begin
+      let n = Finch_analysis.Sanitize.poison_reads () in
+      Finch_analysis.Sanitize.disable ();
+      Printf.printf "sanitizer: %d poison read%s\n" n (if n = 1 then "" else "s");
+      if n > 0 then exit 4
+    end
 
 let run_term =
   Term.(
     const run_cmd $ scenario_t $ nx_t $ ny_t $ ndirs_t $ nbands_t $ nsteps_t
     $ backend_t $ target_t $ overlap_t $ eval_mode_t $ csv_t $ paper_scale_t
-    $ trace_t $ metrics_t)
+    $ trace_t $ metrics_t $ no_check_t $ sanitize_t)
 
 let run_info =
   Cmd.info "run" ~doc:"Solve a BTE scenario with a chosen execution backend."
@@ -317,16 +365,7 @@ let codegen_cmd equation cuda =
   if cuda then begin
     Finch.Problem.use_cuda p;
     let plan = Finch.Dataflow.plan_for_problem p in
-    let transfers =
-      List.filter_map
-        (fun t ->
-          if t.Finch.Dataflow.tr_h2d_every_step then
-            Some (t.Finch.Dataflow.tr_var, true)
-          else if t.Finch.Dataflow.tr_h2d_once then
-            Some (t.Finch.Dataflow.tr_var, false)
-          else None)
-        plan.Finch.Dataflow.transfers
-    in
+    let transfers = Finch.Dataflow.ir_transfers plan in
     print_endline "\n=== generated hybrid CPU/GPU code (CUDA-like) ===";
     print_endline (Finch.Emit_source.to_cuda (Finch.Ir.build_gpu p ~transfers))
   end

@@ -1,0 +1,63 @@
+(* Analysis context: what the passes need to know about the program's
+   entities beyond the IR tree itself — which names are variables vs
+   coefficients, which variables live per cell, what has an initial
+   value, whether the run is mesh-partitioned, and what the opaque
+   user callbacks declare as their reads/writes. *)
+
+type t = {
+  variables : string list;
+  coefficients : string list;
+  cell_vars : string list;
+  defined : string list;
+  partitioned : bool;
+  cb_reads : string list;
+  cb_writes : string list;
+}
+
+let make ?(variables = []) ?(coefficients = []) ?(cell_vars = [])
+    ?(defined = []) ?(partitioned = false) ?(cb_reads = []) ?(cb_writes = [])
+    () =
+  { variables; coefficients; cell_vars; defined; partitioned; cb_reads;
+    cb_writes }
+
+let of_problem ?post_io (p : Finch.Problem.t) =
+  let variables =
+    List.map (fun v -> v.Finch.Entity.vname) p.Finch.Problem.variables
+  in
+  let coefficients =
+    List.map (fun c -> c.Finch.Entity.cname) p.Finch.Problem.coefficients
+  in
+  let cell_vars =
+    List.filter_map
+      (fun v ->
+        if v.Finch.Entity.location = Finch.Entity.Cell then
+          Some v.Finch.Entity.vname
+        else None)
+      p.Finch.Problem.variables
+  in
+  let defined =
+    coefficients
+    @ List.filter
+        (fun v -> List.mem_assoc v p.Finch.Problem.initials)
+        variables
+  in
+  let partitioned =
+    match p.Finch.Problem.target with
+    | Finch.Config.Cpu (Finch.Config.Cell_parallel _) -> true
+    | _ -> false
+  in
+  let cb_reads, cb_writes =
+    match post_io with
+    | Some io -> io.Finch.Dataflow.cb_reads, io.Finch.Dataflow.cb_writes
+    | None ->
+      (* no declaration: conservatively assume the callbacks touch every
+         variable (mirrors Dataflow's convention) *)
+      if p.Finch.Problem.post_step <> [] || p.Finch.Problem.pre_step <> []
+      then variables, variables
+      else [], []
+  in
+  { variables; coefficients; cell_vars; defined; partitioned; cb_reads;
+    cb_writes }
+
+let is_cell_var t v = List.mem v t.cell_vars
+let is_coefficient t v = List.mem v t.coefficients

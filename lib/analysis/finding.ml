@@ -1,0 +1,90 @@
+(* Findings: the structured diagnostics every analysis pass produces.
+
+   Codes are stable identifiers (A0xx) so tests, suppression lists and
+   scripts can match on them; the numeric ranges group by pass:
+   A00x well-formedness, A01x parallel races, A02x data movement.  The
+   catalogue below is the single source of truth for docs/ANALYSIS.md
+   and the [bte_lint --codes] listing. *)
+
+type severity = Error | Warning
+
+type code =
+  | Undefined_read        (* A001 *)
+  | Unmatched_swap        (* A002 *)
+  | Missing_swap          (* A003 *)
+  | Host_node_in_kernel   (* A004 *)
+  | Missing_phase         (* A005 *)
+  | Empty_body            (* A006 *)
+  | Parallel_write_write  (* A010 *)
+  | Parallel_read_write   (* A011 *)
+  | Unguarded_reduction   (* A012 *)
+  | Uncovered_device_read (* A020 *)
+  | Stale_ghost_read      (* A021 *)
+  | Stale_host_read       (* A022 *)
+  | Plan_mismatch         (* A023 *)
+  | Unsynced_download     (* A024 *)
+
+let id = function
+  | Undefined_read -> "A001"
+  | Unmatched_swap -> "A002"
+  | Missing_swap -> "A003"
+  | Host_node_in_kernel -> "A004"
+  | Missing_phase -> "A005"
+  | Empty_body -> "A006"
+  | Parallel_write_write -> "A010"
+  | Parallel_read_write -> "A011"
+  | Unguarded_reduction -> "A012"
+  | Uncovered_device_read -> "A020"
+  | Stale_ghost_read -> "A021"
+  | Stale_host_read -> "A022"
+  | Plan_mismatch -> "A023"
+  | Unsynced_download -> "A024"
+
+let severity = function
+  | Missing_phase | Empty_body -> Warning
+  | Undefined_read | Unmatched_swap | Missing_swap | Host_node_in_kernel
+  | Parallel_write_write | Parallel_read_write | Unguarded_reduction
+  | Uncovered_device_read | Stale_ghost_read | Stale_host_read
+  | Plan_mismatch | Unsynced_download -> Error
+
+let title = function
+  | Undefined_read -> "read of a variable with no prior definition"
+  | Unmatched_swap -> "buffer swap with no staged double-buffer write"
+  | Missing_swap -> "staged double-buffer write never published"
+  | Host_node_in_kernel -> "host-only node inside a device kernel"
+  | Missing_phase -> "computational node without a phase annotation"
+  | Empty_body -> "loop or kernel with an empty body"
+  | Parallel_write_write -> "write-write race between parallel iterations"
+  | Parallel_read_write -> "neighbour read races an in-place parallel write"
+  | Unguarded_reduction -> "unguarded reduction in a parallel region"
+  | Uncovered_device_read -> "kernel reads a variable no transfer uploads"
+  | Stale_ghost_read -> "neighbour read without a halo exchange"
+  | Stale_host_read -> "host consumes device results never downloaded"
+  | Plan_mismatch -> "IR transfers disagree with the data-movement plan"
+  | Unsynced_download -> "download races the asynchronous kernel"
+
+let catalogue =
+  [ Undefined_read; Unmatched_swap; Missing_swap; Host_node_in_kernel;
+    Missing_phase; Empty_body; Parallel_write_write; Parallel_read_write;
+    Unguarded_reduction; Uncovered_device_read; Stale_ghost_read;
+    Stale_host_read; Plan_mismatch; Unsynced_download ]
+
+let of_id s = List.find_opt (fun c -> id c = s) catalogue
+
+type t = {
+  code : code;
+  var : string option;   (* the variable involved, when there is one *)
+  where : string;        (* node path, e.g. "steps/cells/flux_update" *)
+  detail : string;
+}
+
+let make ?var ~where code detail = { code; var; where; detail }
+
+let severity_string = function Error -> "error" | Warning -> "warning"
+
+let to_string f =
+  Printf.sprintf "%s %s: %s%s — %s [%s]" (id f.code)
+    (severity_string (severity f.code))
+    (title f.code)
+    (match f.var with Some v -> " (" ^ v ^ ")" | None -> "")
+    f.detail f.where

@@ -1,0 +1,56 @@
+(** Structured diagnostics produced by the static analysis passes.
+
+    Codes are stable identifiers (A0xx) grouped by pass: A00x
+    well-formedness ({!Wellformed}), A01x parallel races ({!Race}), A02x
+    data movement ({!Movement}).  {!catalogue} is the single source of
+    truth behind docs/ANALYSIS.md and [bte_lint --codes]. *)
+
+type severity = Error | Warning
+
+type code =
+  | Undefined_read        (** A001: read with no prior definition *)
+  | Unmatched_swap        (** A002: swap with no staged write *)
+  | Missing_swap          (** A003: staged write never published *)
+  | Host_node_in_kernel   (** A004: host-only node in a kernel body *)
+  | Missing_phase         (** A005 (warning): node without phase metadata *)
+  | Empty_body            (** A006 (warning): empty loop/kernel body *)
+  | Parallel_write_write  (** A010: write-write race across iterations *)
+  | Parallel_read_write   (** A011: neighbour read vs in-place write *)
+  | Unguarded_reduction   (** A012: unguarded [`Add] in a parallel region *)
+  | Uncovered_device_read (** A020: kernel read never uploaded *)
+  | Stale_ghost_read      (** A021: neighbour read without halo exchange *)
+  | Stale_host_read       (** A022: host read of undownloaded device data *)
+  | Plan_mismatch         (** A023: IR transfers vs {!Finch.Dataflow} plan *)
+  | Unsynced_download     (** A024: download races the async kernel *)
+
+val id : code -> string
+(** The stable "A0xx" identifier of a code. *)
+
+val of_id : string -> code option
+(** Inverse of {!id} (for suppression lists). *)
+
+val severity : code -> severity
+(** A005/A006 are warnings; everything else is an error. *)
+
+val title : code -> string
+(** One-line description of a code. *)
+
+val catalogue : code list
+(** Every code, in identifier order. *)
+
+type t = {
+  code : code;  (** which defect class *)
+  var : string option;  (** the variable involved, when there is one *)
+  where : string;  (** node path, e.g. ["steps/cells/flux_update"] *)
+  detail : string;  (** human-readable specifics *)
+}
+(** One diagnostic. *)
+
+val make : ?var:string -> where:string -> code -> string -> t
+(** Build a finding. *)
+
+val severity_string : severity -> string
+(** ["error"] / ["warning"]. *)
+
+val to_string : t -> string
+(** Render as ["A010 error: <title> (var) — <detail> [where]"]. *)

@@ -1,0 +1,152 @@
+(* Seeded-defect fixtures: minimal IR programs each planted with exactly
+   one defect class, plus the code the analyzer must report for it.
+   They back the analyzer's own regression tests and [bte_lint
+   --selftest] — if a pass regresses, the fixture that covers its code
+   fails with a readable diff of expected vs found codes.
+
+   Each fixture is engineered to be clean apart from its seeded defect,
+   so tests can assert the EXACT multiset of reported codes. *)
+
+open Finch
+module E = Finch_symbolic.Expr
+
+type fixture = {
+  fname : string;
+  descr : string;
+  fctx : Ctx.t;
+  fplan : Dataflow.plan option;
+  ir : Ir.node;
+  expect : Finding.code list;
+}
+
+let ph = Ir.meta ~phase:Ir.Ph_intensity ()
+let ph_b = Ir.meta ~phase:Ir.Ph_boundary ()
+let ph_t = Ir.meta ~phase:Ir.Ph_temperature ()
+
+(* u: per-cell unknown with an initial; s: global scalar; k: coefficient *)
+let ctx ?(partitioned = false) ?(cb_reads = []) ?(cb_writes = []) () =
+  Ctx.make ~variables:[ "u"; "s" ] ~coefficients:[ "k" ]
+    ~cell_vars:[ "u" ] ~defined:[ "u"; "s"; "k" ] ~partitioned ~cb_reads
+    ~cb_writes ()
+
+let k = E.ref_ "k" []
+let u_nbr = E.ref_ ~side:E.Cell2 "u" []
+
+let assign ?(dest = "u") ?(dest_new = false) ?(reduce = `Set) ?(note = ph)
+    expr =
+  Ir.Assign { dest; dest_new; expr; reduce; note }
+
+let flux =
+  Ir.Flux_update { var = "u"; rvol = k; rsurf = E.mul [ k; u_nbr ]; note = ph }
+
+let cells ?(parallel = false) body = Ir.Loop { range = Ir.Cells; body; parallel }
+let faces ?(parallel = false) body =
+  Ir.Loop { range = Ir.Faces_of_cell; body; parallel }
+
+let kernel body = Ir.Kernel { kname = "fixture_kernel"; body; note = ph }
+
+let fx fname descr ?plan ?(ctx = ctx ()) ir expect =
+  { fname; descr; fctx = ctx; fplan = plan; ir = Ir.Seq ir; expect }
+
+let all =
+  [
+    fx "undefined-read"
+      "an assignment reads a variable that has no initial and no writer"
+      [ cells [ assign (E.ref_ "ghost" []) ] ]
+      [ Finding.Undefined_read ];
+    fx "unmatched-swap"
+      "a buffer swap with no staged double-buffer write before it"
+      [ Ir.Swap_buffers "u" ]
+      [ Finding.Unmatched_swap ];
+    fx "missing-swap"
+      "a double-buffer write that is never published"
+      [ cells [ assign ~dest_new:true k ] ]
+      [ Finding.Missing_swap ];
+    fx "boundary-in-kernel"
+      "a CPU boundary callback placed inside a device kernel body"
+      [ Ir.H2d { vars = [ "u" ]; every_step = false };
+        kernel [ Ir.Boundary_cpu { var = "u"; note = ph_b } ] ]
+      [ Finding.Host_node_in_kernel ];
+    fx "missing-phase"
+      "a computational node without phase metadata (warning)"
+      [ cells [ assign ~note:(Ir.meta ()) k ] ]
+      [ Finding.Missing_phase ];
+    fx "empty-loop"
+      "a loop whose body holds only comments (warning)"
+      [ cells [ Ir.Comment "nothing to do" ] ]
+      [ Finding.Empty_body ];
+    fx "scalar-write-race"
+      "every iteration of a parallel cell loop stores to the same scalar"
+      [ cells ~parallel:true [ assign ~dest:"s" k ] ]
+      [ Finding.Parallel_write_write ];
+    fx "neighbour-write-race"
+      "a parallel face loop writes both cells adjacent to each face"
+      [ faces ~parallel:true [ assign ~dest_new:true k ];
+        Ir.Swap_buffers "u" ]
+      [ Finding.Parallel_write_write ];
+    fx "inplace-neighbour-read"
+      "an in-place update whose stencil reads the neighbour cell (CELL2)"
+      [ cells ~parallel:true [ assign (E.add [ k; u_nbr ]) ] ]
+      [ Finding.Parallel_read_write ];
+    fx "unguarded-reduction"
+      "a parallel accumulation into a scalar with no reduction guard"
+      [ cells ~parallel:true [ assign ~dest:"s" ~reduce:`Add k ] ]
+      [ Finding.Unguarded_reduction ];
+    fx "scatter-add"
+      "a parallel face loop scatter-adds into cell storage without atomics"
+      [ faces ~parallel:true [ assign ~dest_new:true ~reduce:`Add k ];
+        Ir.Swap_buffers "u" ]
+      [ Finding.Unguarded_reduction ];
+    fx "uncovered-device-read"
+      "the kernel reads the unknown but no upload ever moves it over"
+      [ kernel [ flux ];
+        Ir.Stream_sync;
+        Ir.D2h { vars = [ "u" ]; every_step = false };
+        Ir.Swap_buffers "u" ]
+      [ Finding.Uncovered_device_read ];
+    fx "missing-halo"
+      "a partitioned run whose steps body never exchanges ghost values"
+      ~ctx:(ctx ~partitioned:true ())
+      [ Ir.Loop
+          { range = Ir.Steps;
+            body =
+              [ cells ~parallel:true [ flux ];
+                Ir.Boundary_cpu { var = "u"; note = ph_b };
+                Ir.Swap_buffers "u" ];
+            parallel = false } ]
+      [ Finding.Stale_ghost_read ];
+    fx "missing-download"
+      "the host callback consumes device results that were never fetched"
+      ~ctx:(ctx ~cb_reads:[ "u" ] ())
+      [ Ir.H2d { vars = [ "u" ]; every_step = false };
+        kernel [ flux ];
+        Ir.Stream_sync;
+        Ir.Swap_buffers "u";
+        Ir.Callback { which = `Post; note = ph_t } ]
+      [ Finding.Stale_host_read ];
+    fx "plan-mismatch"
+      "the data-movement plan schedules an upload the IR never performs"
+      ~plan:
+        { Dataflow.placement = [];
+          transfers =
+            [ { Dataflow.tr_var = "u"; tr_h2d_every_step = true;
+                tr_d2h_every_step = false; tr_h2d_once = false } ];
+          bytes_per_step = 0;
+          bytes_once = 0 }
+      [ Ir.Comment "a program with no transfer nodes at all" ]
+      [ Finding.Plan_mismatch ];
+    fx "unsynced-download"
+      "the result download is issued while the kernel is still in flight"
+      [ Ir.H2d { vars = [ "u" ]; every_step = false };
+        kernel [ flux ];
+        Ir.D2h { vars = [ "u" ]; every_step = false };
+        Ir.Swap_buffers "u" ]
+      [ Finding.Unsynced_download ];
+  ]
+
+(* Run the analyzer over one fixture; returns (expected, found) code
+   multisets, both sorted, for the caller to compare. *)
+let check f =
+  let report = Driver.check_ir ?plan:f.fplan f.fctx f.ir in
+  let found = List.map (fun fd -> fd.Finding.code) report.Driver.findings in
+  (List.sort compare f.expect, List.sort compare found)

@@ -1,0 +1,20 @@
+(** Seeded-defect fixtures: minimal IR programs each planted with one
+    defect class and the exact codes the analyzer must report.  They
+    back the analyzer's regression tests and [bte_lint --selftest]. *)
+
+type fixture = {
+  fname : string;  (** short kebab-case identifier *)
+  descr : string;  (** what defect is seeded *)
+  fctx : Ctx.t;  (** entity context the program is checked under *)
+  fplan : Finch.Dataflow.plan option;  (** plan for the A023 cross-check *)
+  ir : Finch.Ir.node;  (** the defective program *)
+  expect : Finding.code list;  (** exact multiset of expected codes *)
+}
+(** One seeded-defect program. *)
+
+val all : fixture list
+(** Every fixture; covers each error code in {!Finding.catalogue}. *)
+
+val check : fixture -> Finding.code list * Finding.code list
+(** [check f] runs the analyzer and returns [(expected, found)] code
+    multisets, both sorted, ready to compare for equality. *)

@@ -1,0 +1,13 @@
+(** Data-movement pass (codes A020–A024).
+
+    Abstractly interprets the transfer schedule in execution order
+    (walking steps bodies twice for the cyclic steady state): kernel
+    reads must be device-resident at launch (A020), host consumers must
+    not read values still sitting on the device (A022), downloads must
+    not race the asynchronous kernel (A024).  On mesh-partitioned runs,
+    variables read across faces need a halo exchange after their swap
+    (A021).  With a plan supplied, IR transfer nodes are cross-checked
+    against {!Finch.Dataflow}'s schedule (A023). *)
+
+val run : ?plan:Finch.Dataflow.plan -> Ctx.t -> Finch.Ir.node -> Finding.t list
+(** Deduplicated findings in program order. *)

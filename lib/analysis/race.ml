@@ -1,0 +1,153 @@
+(* Parallel-race pass (codes A010-A012).
+
+   Every parallel region — a [Loop] with [parallel = true], or a [Kernel]
+   body (one device thread per degree of freedom) — is abstracted as a
+   set of concurrent iterations, each owning one cell (or one index
+   value).  The pass collects a per-iteration access footprint and
+   checks the pairs that can collide across iterations:
+
+   - writes to per-cell variables land in the iteration's own cell and
+     are disjoint — unless the parallelism is over faces (each face
+     touches BOTH adjacent cells: a scatter) or the destination is not
+     per-cell (a scalar/global: every iteration hits the same slot);
+   - reads tagged [Cell2] (the neighbour across a face) reach other
+     iterations' cells, which is only safe against writes going to the
+     double buffer ([dest_new]): an in-place update with a neighbour
+     stencil is the classic forgot-double-buffering race;
+   - [`Add] reductions into shared slots (globals, or cells under face
+     parallelism) need a guard the IR cannot express, so they are
+     flagged as unguarded. *)
+
+open Finch
+
+type space = Own | Multi | Global
+
+type write = {
+  w_var : string;
+  w_new : bool;
+  w_space : space;
+  w_add : bool;
+}
+
+let loop_name = function
+  | Ir.Cells -> "cells"
+  | Ir.Faces_of_cell -> "faces"
+  | Ir.Index s -> "index " ^ s
+  | Ir.Steps -> "steps"
+
+let at path s = String.concat "/" (List.rev (s :: path))
+
+(* Footprint of one iteration of a parallel region.  [multi] is set when
+   the enclosing parallelism iterates faces, so cell-variable writes
+   scatter to both adjacent cells. *)
+let rec collect (ctx : Ctx.t) ~multi (writes, nbr_reads) (n : Ir.node) =
+  match n with
+  | Ir.Comment _ | Ir.Boundary_cpu _ | Ir.Callback _ | Ir.Swap_buffers _
+  | Ir.Halo_exchange _ | Ir.Allreduce _ | Ir.H2d _ | Ir.D2h _
+  | Ir.Stream_sync | Ir.Advance_time ->
+    (writes, nbr_reads) (* host/communication nodes: flagged by Wellformed
+                           when misplaced, no per-iteration footprint *)
+  | Ir.Seq ns | Ir.Kernel { body = ns; _ } ->
+    List.fold_left (collect ctx ~multi) (writes, nbr_reads) ns
+  | Ir.Loop { range; body; parallel } ->
+    let multi = multi || (range = Ir.Faces_of_cell && parallel) in
+    List.fold_left (collect ctx ~multi) (writes, nbr_reads) body
+  | Ir.Assign { dest; dest_new; expr; reduce; _ } ->
+    let w_space =
+      if not (Ctx.is_cell_var ctx dest) then Global
+      else if multi then Multi
+      else Own
+    in
+    let w =
+      { w_var = dest; w_new = dest_new; w_space; w_add = reduce = `Add }
+    in
+    (w :: writes, neighbour_reads expr @ nbr_reads)
+  | Ir.Flux_update { var; rvol; rsurf; _ } ->
+    let w_space = if multi then Multi else Own in
+    let w = { w_var = var; w_new = true; w_space; w_add = false } in
+    (w :: writes,
+     neighbour_reads rvol @ neighbour_reads rsurf @ nbr_reads)
+
+and neighbour_reads expr =
+  List.filter_map
+    (fun (name, _idx, side) ->
+      if side = Finch_symbolic.Expr.Cell2 then Some name else None)
+    (Finch_symbolic.Expr.refs expr)
+
+let check_region (ctx : Ctx.t) path kind body =
+  let multi = kind = `Faces in
+  let writes, nbr_reads =
+    List.fold_left (collect ctx ~multi) ([], []) body
+  in
+  let findings = ref [] in
+  let kind_name =
+    match kind with
+    | `Cells -> "parallel cells"
+    | `Faces -> "parallel faces"
+    | `Index s -> "parallel index " ^ s
+    | `Kernel k -> "kernel " ^ k
+  in
+  let emit ?var code detail =
+    findings :=
+      Finding.make ?var ~where:(at path kind_name) code detail :: !findings
+  in
+  List.iter
+    (fun w ->
+      match w.w_space with
+      | Global ->
+        if w.w_add then
+          emit ~var:w.w_var Finding.Unguarded_reduction
+            (Printf.sprintf
+               "every iteration accumulates into scalar %s with no \
+                reduction guard (atomic/tree reduction needed)" w.w_var)
+        else
+          emit ~var:w.w_var Finding.Parallel_write_write
+            (Printf.sprintf
+               "every iteration writes scalar %s; concurrent stores \
+                collide" w.w_var)
+      | Multi ->
+        if w.w_add then
+          emit ~var:w.w_var Finding.Unguarded_reduction
+            (Printf.sprintf
+               "face iterations scatter-add into the cells of %s without \
+                atomics; faces of one cell run concurrently" w.w_var)
+        else
+          emit ~var:w.w_var Finding.Parallel_write_write
+            (Printf.sprintf
+               "face iterations write both cells adjacent to each face of \
+                %s; neighbouring faces collide" w.w_var)
+      | Own ->
+        if (not w.w_new) && List.mem w.w_var nbr_reads then
+          emit ~var:w.w_var Finding.Parallel_read_write
+            (Printf.sprintf
+               "%s is updated in place while other iterations read it \
+                across faces (CELL2); stage the write in the double \
+                buffer instead" w.w_var))
+    writes;
+  List.rev !findings
+
+(* Walk the tree looking for outermost parallel regions; nested parallel
+   loops are analysed as part of the enclosing region's footprint. *)
+let rec scan ctx path acc (n : Ir.node) =
+  match n with
+  | Ir.Comment _ | Ir.Assign _ | Ir.Flux_update _ | Ir.Boundary_cpu _
+  | Ir.Callback _ | Ir.Swap_buffers _ | Ir.Halo_exchange _ | Ir.Allreduce _
+  | Ir.H2d _ | Ir.D2h _ | Ir.Stream_sync | Ir.Advance_time -> acc
+  | Ir.Seq ns -> List.fold_left (scan ctx path) acc ns
+  | Ir.Kernel { kname; body; _ } ->
+    acc @ check_region ctx path (`Kernel kname) body
+  | Ir.Loop { range; body; parallel } ->
+    if parallel then
+      let kind =
+        match range with
+        | Ir.Cells -> `Cells
+        | Ir.Faces_of_cell -> `Faces
+        | Ir.Index s -> `Index s
+        | Ir.Steps -> `Cells (* a parallel time loop would be nonsense;
+                                treat iterations like cells *)
+      in
+      acc @ check_region ctx path kind body
+    else
+      List.fold_left (scan ctx (loop_name range :: path)) acc body
+
+let run (ctx : Ctx.t) (tree : Ir.node) = scan ctx [] [] tree

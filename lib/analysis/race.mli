@@ -1,0 +1,12 @@
+(** Parallel-race pass (codes A010–A012).
+
+    Abstracts every parallel region (a [parallel] loop or a kernel body)
+    as concurrent iterations each owning one cell, collects per-iteration
+    access footprints, and reports the collisions: write-write races on
+    shared slots (A010: globals, or both-cell scatters under face
+    parallelism), neighbour ([CELL2]) reads against in-place writes
+    (A011: the forgot-double-buffering race), and unguarded [`Add]
+    reductions into shared slots (A012). *)
+
+val run : Ctx.t -> Finch.Ir.node -> Finding.t list
+(** Findings grouped per parallel region, in program order. *)

@@ -1,0 +1,24 @@
+(* Runtime sanitizer facade.
+
+   The heavy lifting lives next to the storage it guards: [Fvm.Field]
+   poisons ghost regions after each commit and counts poison that
+   reaches owned cells; [Gpu_sim.Memory] NaN-poisons fresh device
+   buffers so never-uploaded reads surface.  This module just switches
+   both on/off together and reports the finding count. *)
+
+let enable () =
+  Fvm.Field.reset_poison ();
+  Fvm.Field.set_sanitize true;
+  Gpu_sim.Memory.set_sanitize true
+
+let disable () =
+  Fvm.Field.set_sanitize false;
+  Gpu_sim.Memory.set_sanitize false
+
+let enabled () = Fvm.Field.sanitize_enabled ()
+
+let poison_reads () = Fvm.Field.poison_reads ()
+
+let with_sanitizer f =
+  enable ();
+  Fun.protect ~finally:disable f

@@ -1,0 +1,23 @@
+(** Runtime sanitizer facade: switches the ghost-region poisoning in
+    {!Fvm.Field} and the device-buffer poisoning in {!Gpu_sim.Memory} on
+    and off together, and reports the poison-read count.  On a program
+    with no data-movement defects the sanitized run is bit-identical to
+    a plain run (every poisoned value is overwritten before any read);
+    see docs/ANALYSIS.md for the poisoning model. *)
+
+val enable : unit -> unit
+(** Reset the poison-read count and turn the sanitizer on globally. *)
+
+val disable : unit -> unit
+(** Turn the sanitizer off (the accumulated count stays readable). *)
+
+val enabled : unit -> bool
+(** Whether the sanitizer is currently on. *)
+
+val poison_reads : unit -> int
+(** Poison values that reached owned data since {!enable} — each one a
+    read of storage a missing exchange or upload failed to refresh. *)
+
+val with_sanitizer : (unit -> 'a) -> 'a
+(** Run a thunk with the sanitizer on, switching it off afterwards even
+    on exceptions. *)

@@ -1,0 +1,10 @@
+(** Well-formedness pass (codes A001–A006).
+
+    One forward walk of the IR in execution order checking def-before-use
+    (A001, seeded from initial conditions and coefficients), matched
+    double-buffer swaps (A002 unmatched / A003 never published), host-only
+    nodes inside kernel bodies (A004), phase-metadata coverage (A005,
+    warning) and empty loop/kernel bodies (A006, warning). *)
+
+val run : Ctx.t -> Finch.Ir.node -> Finding.t list
+(** Findings in program order. *)

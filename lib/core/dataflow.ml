@@ -230,3 +230,13 @@ let vars_of_problem (p : Problem.t) =
 
 let plan_for_problem ?post_io ?rates (p : Problem.t) =
   optimize ?rates ~tasks:(tasks_of_problem p ~post_io) ~vars:(vars_of_problem p) ()
+
+(* The (variable, uploaded-every-step) pairs [Ir.build_gpu] consumes: one
+   entry per device input the plan uploads, once or per step. *)
+let ir_transfers plan =
+  List.filter_map
+    (fun tr ->
+      if tr.tr_h2d_every_step then Some (tr.tr_var, true)
+      else if tr.tr_h2d_once then Some (tr.tr_var, false)
+      else None)
+    plan.transfers

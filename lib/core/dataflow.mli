@@ -62,3 +62,7 @@ type callback_io = { cb_reads : string list; cb_writes : string list }
 val tasks_of_problem : Problem.t -> post_io:callback_io option -> task list
 val vars_of_problem : Problem.t -> var_info list
 val plan_for_problem : ?post_io:callback_io -> ?rates:rates -> Problem.t -> plan
+
+val ir_transfers : plan -> (string * bool) list
+(** The (variable, uploaded-every-step) pairs [Ir.build_gpu] consumes:
+    one entry per device input the plan uploads, once or per step. *)

@@ -56,7 +56,7 @@ let rec julia buf depth node =
   | Ir.Halo_exchange { vars; note } ->
     Option.iter (fun c -> line ("# " ^ c)) note.Ir.m_comment;
     line (Printf.sprintf "exchange_ghosts(%s)" (String.concat ", " vars))
-  | Ir.Allreduce { what; note } ->
+  | Ir.Allreduce { what; note; _ } ->
     Option.iter (fun c -> line ("# " ^ c)) note.Ir.m_comment;
     line (Printf.sprintf "MPI.Allreduce!(%s)" what)
   | Ir.Kernel { kname; body; note } ->

@@ -50,7 +50,7 @@ type node =
   | Callback of { which : [ `Pre | `Post ]; note : meta }
   | Swap_buffers of string
   | Halo_exchange of { vars : string list; note : meta }
-  | Allreduce of { what : string; note : meta }
+  | Allreduce of { what : string; vars : string list; note : meta }
   | Kernel of { kname : string; body : node list; note : meta }
   | H2d of { vars : string list; every_step : bool }
   | D2h of { vars : string list; every_step : bool }
@@ -67,16 +67,27 @@ let rec fold f acc n =
   | Swap_buffers _ | Halo_exchange _ | Allreduce _ | H2d _ | D2h _
   | Stream_sync | Advance_time -> acc
 
-(* Variables read / written by a node tree, for the dataflow analysis.
-   Callback nodes are opaque: their reads/writes are declared by the
-   problem (see Dataflow). *)
+(* Variables read / written by a node tree, for the dataflow and static
+   analyses.  Every constructor that touches named storage contributes:
+   communication and transfer nodes both read their source copy and write
+   their destination copy of each listed variable (the name spaces are
+   collapsed — host/device/ghost copies share the variable's name), and
+   [Swap_buffers v] consumes v's double buffer to publish v.  Callback
+   nodes are opaque: their reads/writes are declared by the problem (see
+   [Dataflow.callback_io]). *)
 let writes tree =
   fold
     (fun acc n ->
       match n with
       | Assign { dest; _ } | Flux_update { var = dest; _ }
-      | Boundary_cpu { var = dest; _ } -> dest :: acc
-      | _ -> acc)
+      | Boundary_cpu { var = dest; _ } | Swap_buffers dest -> dest :: acc
+      | Halo_exchange { vars; _ }   (* ghost regions overwritten *)
+      | Allreduce { vars; _ }       (* reduced in place on every rank *)
+      | H2d { vars; _ }             (* device copies refreshed *)
+      | D2h { vars; _ }             (* host copies refreshed *)
+        -> vars @ acc
+      | Comment _ | Seq _ | Loop _ | Kernel _ | Callback _ | Stream_sync
+      | Advance_time -> acc)
     [] tree
   |> List.sort_uniq compare
 
@@ -87,7 +98,16 @@ let reads tree =
       | Assign { expr; _ } -> Expr.ref_names expr @ acc
       | Flux_update { rvol; rsurf; var; _ } ->
         (var :: Expr.ref_names rvol) @ Expr.ref_names rsurf @ acc
-      | _ -> acc)
+      | Boundary_cpu { var; _ }   (* boundary closures read the field *)
+      | Swap_buffers var          (* consumes the staged double buffer *)
+        -> var :: acc
+      | Halo_exchange { vars; _ } (* owned frontier values are packed *)
+      | Allreduce { vars; _ }     (* local contributions enter the sum *)
+      | H2d { vars; _ }           (* host copies are the transfer source *)
+      | D2h { vars; _ }           (* device copies are the transfer source *)
+        -> vars @ acc
+      | Comment _ | Seq _ | Loop _ | Kernel _ | Callback _ | Stream_sync
+      | Advance_time -> acc)
     [] tree
   |> List.sort_uniq compare
 
@@ -158,6 +178,7 @@ let build_cpu (p : Problem.t) =
       [ Allreduce
           {
             what = "cell energy (band reduction for the temperature update)";
+            vars = [ eq.Transform.eq_var ];
             note = meta ~phase:Ph_communication ();
           } ]
   in
@@ -215,6 +236,9 @@ let build_gpu (p : Problem.t) ~(transfers : (string * bool) list) =
       Advance_time ]
   in
   Seq
-    [ Comment "one-time uploads (coefficients and static fields)";
-      H2d { vars = once; every_step = false };
+    [ Comment "one-time uploads (initial values of every device input)";
+      (* the executor mirrors every device input once before the loop, so
+         the initial upload covers the every-step variables too — their
+         first kernel read happens before the first per-step H2d *)
+      H2d { vars = once @ every_step; every_step = false };
       Loop { range = Steps; body; parallel = false } ]

@@ -44,7 +44,7 @@ type node =
   | Callback of { which : [ `Pre | `Post ]; note : meta }
   | Swap_buffers of string
   | Halo_exchange of { vars : string list; note : meta }
-  | Allreduce of { what : string; note : meta }
+  | Allreduce of { what : string; vars : string list; note : meta }
   | Kernel of { kname : string; body : node list; note : meta }
   | H2d of { vars : string list; every_step : bool }
   | D2h of { vars : string list; every_step : bool }
@@ -52,8 +52,17 @@ type node =
   | Advance_time
 
 val fold : ('a -> node -> 'a) -> 'a -> node -> 'a
+
 val writes : node -> string list
+(** Variable names a node tree writes (sorted, unique).  Communication
+    and transfer nodes write the destination copy of each listed variable
+    (ghost region, device or host mirror — name spaces are collapsed);
+    [Swap_buffers v] publishes [v].  [Callback] nodes are opaque — their
+    effects are declared via {!Dataflow.callback_io}. *)
+
 val reads : node -> string list
+(** Variable names a node tree reads (sorted, unique), with the same
+    copy-collapsing and callback-opacity conventions as {!writes}. *)
 
 val dof_loops : Problem.t -> node list -> node list
 (** Wrap a body in the per-DOF loop nest in the configured assembly order

@@ -117,6 +117,19 @@ let run_band_parallel (p : Problem.t) ~index ~nranks =
 (* Cell-parallel: RCB mesh partition + halo exchange of the unknown.    *)
 (* ------------------------------------------------------------------ *)
 
+(* Sanitizer hook for the halo executors: after each commit, scan the
+   rank's owned cells for poison that a broken exchange let propagate
+   into real data, then poison the ghost region so the next sweep can
+   only observe stale ghosts as NaN.  A correct schedule overwrites every
+   poisoned ghost before it is read (blocking path: the blit round;
+   overlap path: finish_exchange precedes the frontier sweep and the
+   interior reads no ghosts), so sanitized runs stay bit-identical. *)
+let sanitize_commit (st : Lower.state) ~owned ~ghosts =
+  if Fvm.Field.sanitize_enabled () then begin
+    Fvm.Field.record_poison (Fvm.Field.count_poison_cells st.Lower.u owned);
+    Fvm.Field.poison_cells st.Lower.u ghosts
+  end
+
 let run_cell_parallel ?(overlap = false) (p : Problem.t) ~nranks =
   let mesh = Problem.mesh_exn p in
   let part = Fvm.Partition.rcb_mesh mesh ~nparts:nranks in
@@ -166,6 +179,7 @@ let run_cell_parallel ?(overlap = false) (p : Problem.t) ~nranks =
                  Lower.sweep_cells st frontier));
           Prt.Breakdown.timed ~track b Prt.Breakdown.Intensity (fun () ->
               Lower.commit st);
+          sanitize_commit st ~owned ~ghosts:halo.Fvm.Halo.ghosts.(rank);
           pending :=
             Some
               (Prt.Breakdown.timed ~track b Prt.Breakdown.Communication
@@ -187,6 +201,7 @@ let run_cell_parallel ?(overlap = false) (p : Problem.t) ~nranks =
           Lower.run_pre_step st ~allreduce:Prt.Spmd.allreduce_sum;
           Prt.Breakdown.timed ~track b Prt.Breakdown.Intensity (fun () -> Lower.sweep st);
           Prt.Breakdown.timed ~track b Prt.Breakdown.Intensity (fun () -> Lower.commit st);
+          sanitize_commit st ~owned ~ghosts:halo.Fvm.Halo.ghosts.(rank);
           (* halo exchange: receive ghost-cell values of the unknown from
              the owning ranks.  The barrier gives BSP semantics; reading
              the peer's committed buffer stands in for matched send/recv. *)

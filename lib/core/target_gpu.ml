@@ -172,6 +172,25 @@ let run_single ?post_io ?(info = Lower.serial_rankinfo)
         owned_comps
     done
   in
+  (* Sanitizer hook: in sanitize mode device buffers start NaN-poisoned
+     (Memory.alloc), so a kernel reading a variable the transfer schedule
+     never uploaded yields poisoned results.  After each combine, scan the
+     owned slice of the unknown the step just produced — only owned comps:
+     in multi-rank runs the downloaded u_new legitimately carries poison in
+     comps this rank never computes. *)
+  let sanitize_scan () =
+    if Fvm.Field.sanitize_enabled () then begin
+      let n = ref 0 in
+      for cell = 0 to ncells - 1 do
+        Array.iter
+          (fun comp ->
+            if Fvm.Field.is_poison (Fvm.Field.get host.Lower.u cell comp)
+            then incr n)
+          owned_comps
+      done;
+      Fvm.Field.record_poison !n
+    end
+  in
   if overlap then begin
     (* Overlapped schedule on two streams.  Host phases are real time;
        advancing the modelled clock by their measured duration lets the
@@ -224,6 +243,7 @@ let run_single ?post_io ?(info = Lower.serial_rankinfo)
            (copy.Gpu_sim.Stream.tail -. clock.Gpu_sim.Stream.now));
       Gpu_sim.Stream.synchronize copy clock;
       timed_host Prt.Breakdown.Intensity combine_boundary;
+      sanitize_scan ();
       (* 5. post-step user code on the host *)
       timed_host Prt.Breakdown.Temperature (fun () ->
           Lower.run_post_step host ~allreduce);
@@ -262,6 +282,7 @@ let run_single ?post_io ?(info = Lower.serial_rankinfo)
       Prt.Breakdown.record b Prt.Breakdown.Communication
         (Gpu_sim.Memory.d2h dev u_new_bufs.(0) (Fvm.Field.raw host.Lower.u_new));
       Prt.Breakdown.timed ~track b Prt.Breakdown.Intensity combine_boundary;
+      sanitize_scan ();
       (* 4. post-step user code on the host *)
       Prt.Breakdown.timed ~track b Prt.Breakdown.Temperature (fun () ->
           Lower.run_post_step host ~allreduce);

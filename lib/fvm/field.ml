@@ -152,3 +152,53 @@ let integral t (m : Mesh.t) comp =
 (* Raw access for kernel compilation: the underlying bigarray plus the
    layout parameters needed to compute offsets without going through [t]. *)
 let raw t = t.data
+
+(* ------------------------------------------------------------------ *)
+(* Runtime sanitizer support.                                          *)
+(*                                                                     *)
+(* When enabled, executors poison storage that must be refreshed before
+   the next read (ghost regions after a commit, device buffers at
+   allocation) with NaN.  A correct transfer schedule overwrites every
+   poisoned value before anything reads it, so sanitized runs stay
+   bit-identical; a missing exchange/upload lets NaN propagate into
+   owned data, where the post-phase scans below count it.  Findings are
+   kept in a process-local atomic (readable without the metrics
+   registry) and mirrored to the [sanitize.poison_reads] counter.      *)
+(* ------------------------------------------------------------------ *)
+
+let sanitize_on = Atomic.make false
+let set_sanitize b = Atomic.set sanitize_on b
+let sanitize_enabled () = Atomic.get sanitize_on
+
+let poison_value = Float.nan
+let is_poison v = Float.is_nan v
+
+let poison_found = Atomic.make 0
+let m_poison_reads = Prt.Metrics.counter "sanitize.poison_reads"
+
+let record_poison n =
+  if n > 0 then begin
+    ignore (Atomic.fetch_and_add poison_found n);
+    Prt.Metrics.add m_poison_reads n
+  end
+
+let poison_reads () = Atomic.get poison_found
+let reset_poison () = Atomic.set poison_found 0
+
+let poison_cells t cells =
+  Array.iter
+    (fun cell ->
+      for comp = 0 to t.ncomp - 1 do
+        set t cell comp poison_value
+      done)
+    cells
+
+let count_poison_cells t cells =
+  let n = ref 0 in
+  Array.iter
+    (fun cell ->
+      for comp = 0 to t.ncomp - 1 do
+        if is_poison (get t cell comp) then incr n
+      done)
+    cells;
+  !n

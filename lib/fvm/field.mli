@@ -20,21 +20,34 @@ val of_bigarray :
     writes go through to the backing storage. *)
 
 val name : t -> string
+(** Debug name, shown in traces and errors. *)
+
 val ncells : t -> int
+(** Number of cells. *)
+
 val ncomp : t -> int
+(** Components per cell. *)
+
 val size : t -> int
+(** Total element count ([ncells * ncomp]). *)
+
 val layout : t -> layout
+(** Storage layout of the backing array. *)
 
 val get : t -> int -> int -> float
 (** [get t cell comp]; unchecked (hot path). *)
 
 val set : t -> int -> int -> float -> unit
+(** [set t cell comp v]; unchecked (hot path). *)
 
 val get_checked : t -> int -> int -> float
 (** Bounds-checked accessor; raises [Invalid_argument]. *)
 
 val fill : t -> float -> unit
+(** Store one value in every element. *)
+
 val blit : src:t -> dst:t -> unit
+(** Copy all elements; fields must agree in shape and layout. *)
 
 val blit_cells : src:t -> dst:t -> int array -> unit
 (** Copy all components of the given cells (any order; consecutive ids
@@ -42,15 +55,66 @@ val blit_cells : src:t -> dst:t -> int array -> unit
     shape and layout. *)
 
 val copy : t -> t
+(** Fresh field with the same shape, layout and contents. *)
+
 val init : t -> (int -> int -> float) -> unit
+(** [init t f] stores [f cell comp] into every element. *)
+
 val iter : t -> (int -> int -> float -> unit) -> unit
+(** Visit every element as [(cell, comp, value)]. *)
+
 val fold : t -> ('a -> int -> int -> float -> 'a) -> 'a -> 'a
+(** Fold over every element in iteration order. *)
+
 val max_abs : t -> float
+(** Largest absolute element value. *)
+
 val max_abs_diff : t -> t -> float
+(** Largest absolute elementwise difference between two fields. *)
+
 val sum_comp : t -> int -> float
+(** Sum of one component over all cells. *)
 
 val integral : t -> Mesh.t -> int -> float
 (** Volume-weighted integral of one component over the mesh. *)
 
 val raw : t -> (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
 (** The backing storage (for transfers and kernel binding). *)
+
+(** {2 Runtime sanitizer}
+
+    When enabled, executors poison storage that must be refreshed before
+    its next read (ghost regions after a commit, simulated device buffers
+    at allocation) with NaN.  Correct transfer schedules overwrite every
+    poisoned value before it is read, so sanitized runs are bit-identical
+    to plain runs; a missing exchange or upload lets the poison propagate
+    into owned data, where post-phase scans count it as findings.  See
+    docs/ANALYSIS.md. *)
+
+val set_sanitize : bool -> unit
+(** Globally enable/disable sanitizer behaviour (off by default). *)
+
+val sanitize_enabled : unit -> bool
+(** Whether the sanitizer is currently on. *)
+
+val poison_value : float
+(** The poison sentinel written into stale storage (NaN). *)
+
+val is_poison : float -> bool
+(** Whether a value is (or was contaminated by) the poison sentinel. *)
+
+val poison_cells : t -> int array -> unit
+(** Write the poison sentinel into every component of the given cells. *)
+
+val count_poison_cells : t -> int array -> int
+(** Count poisoned values over the given cells (all components). *)
+
+val record_poison : int -> unit
+(** Record [n] poison-read findings: adds to the process-local total and
+    the [sanitize.poison_reads] metric (no-op for [n <= 0]). *)
+
+val poison_reads : unit -> int
+(** Total poison-read findings recorded since the last {!reset_poison}. *)
+
+val reset_poison : unit -> unit
+(** Zero the process-local poison-read total. *)

@@ -8,7 +8,10 @@
 exception Format_error of string
 
 val read_string : string -> Mesh.t
+(** Parse MSH 2.2 ASCII content; raises {!Format_error} on bad input. *)
+
 val read_file : string -> Mesh.t
+(** {!read_string} over a file's contents. *)
 
 val write_string : Mesh.t -> string
 (** 2-D meshes only; emits nodes, one tagged line element per boundary
@@ -16,3 +19,4 @@ val write_string : Mesh.t -> string
     input or cells that are neither triangles nor quadrangles. *)
 
 val write_file : string -> Mesh.t -> unit
+(** {!write_string} to a file. *)

@@ -24,15 +24,26 @@ type t = {
 }
 
 val dim : t -> int
+(** Spatial dimension (1, 2 or 3). *)
+
 val ncells : t -> int
+(** Number of cells. *)
+
 val nfaces : t -> int
+(** Number of faces (interior and boundary). *)
 
 val cell_centroid : t -> int -> float array
+(** Centroid of one cell; fresh array of length [dim]. *)
+
 val face_centroid : t -> int -> float array
+(** Centroid of one face; fresh array of length [dim]. *)
+
 val face_normal : t -> int -> float array
-(** Fresh arrays of length [dim]. *)
+(** Unit normal of one face (outward from [face_cell1]); fresh array of
+    length [dim]. *)
 
 val is_boundary_face : t -> int -> bool
+(** Whether the face lies on the domain boundary. *)
 
 val neighbour : t -> int -> int -> int
 (** [neighbour m f c] is the cell across face [f] from cell [c]; -1 when
@@ -46,6 +57,7 @@ val boundary_regions : t -> int list
 (** Distinct boundary region ids, sorted. *)
 
 val faces_of_region : t -> int -> int array
+(** Boundary face ids carrying the given region id. *)
 
 val polygon_area_centroid : float array -> int -> int array -> float * float array
 (** Shoelace area (absolute) and centroid of a CCW polygon given vertex
@@ -71,3 +83,4 @@ val check : t -> (unit, check_error list) result
     of every cell sum to zero). *)
 
 val total_volume : t -> float
+(** Sum of all cell volumes. *)

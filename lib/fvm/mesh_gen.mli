@@ -9,6 +9,8 @@
 
 val default_classify_2d :
   lx:float -> ly:float -> float array -> float array -> int
+(** [default_classify_2d ~lx ~ly centre normal] assigns a boundary face
+    its region id under the default rectangle numbering above. *)
 
 val rectangle :
   ?classify:(float array -> float array -> int) ->
@@ -25,6 +27,7 @@ val triangulated_rectangle :
     polygonal construction path). *)
 
 val line : n:int -> length:float -> Mesh.t
+(** Uniform 1-D mesh on [0,length] ({!Mesh.line}). *)
 
 val box :
   nx:int -> ny:int -> nz:int -> lx:float -> ly:float -> lz:float -> unit ->
@@ -32,3 +35,4 @@ val box :
 (** Uniform hexahedral box; supports the paper's coarse 3-D runs. *)
 
 val cell_at_3d : nx:int -> ny:int -> int -> int -> int -> int
+(** [cell_at_3d ~nx ~ny i j k] is the cell id at position (i, j, k). *)

@@ -7,10 +7,19 @@
 type t
 
 val nparts : t -> int
+(** Number of parts (ranks). *)
+
 val owner : t -> int -> int
+(** Owning rank of one item. *)
+
 val nitems : t -> int
+(** Number of partitioned items. *)
+
 val cells_of_rank : t -> int -> int array
+(** Item ids owned by a rank, ascending. *)
+
 val counts : t -> int array
+(** Items per rank, indexed by rank. *)
 
 val imbalance : t -> float
 (** max over ranks of items / (average items); 1.0 is perfect. *)

@@ -2,10 +2,19 @@
     Vectors are plain float arrays of length [dim]. *)
 
 val dot : float array -> float array -> float
+(** Inner product. *)
+
 val norm : float array -> float
+(** Euclidean length. *)
+
 val scale : float -> float array -> float array
+(** [scale a v] is the fresh vector [a v]. *)
+
 val add : float array -> float array -> float array
+(** Componentwise sum (fresh vector). *)
+
 val sub : float array -> float array -> float array
+(** Componentwise difference (fresh vector). *)
 
 val normalize : float array -> float array
 (** Raises [Invalid_argument] on the zero vector. *)
@@ -15,3 +24,4 @@ val reflect : float array -> float array -> float array
     reflection, used by symmetry boundary conditions. *)
 
 val equal_eps : float -> float array -> float array -> bool
+(** [equal_eps eps a b]: componentwise equality within [eps]. *)

@@ -43,12 +43,22 @@ let create_device ?(id = 0) spec =
     busy_until = 0.;
   }
 
+(* Sanitizer mode (see Fvm.Field and docs/ANALYSIS.md): fresh device
+   buffers are poisoned with NaN instead of zero-filled, so a kernel that
+   reads a buffer the transfer schedule never uploaded produces poisoned
+   output that the host-side scans catch.  Correct schedules upload before
+   the first read, making sanitized runs bit-identical. *)
+let sanitize_on = Atomic.make false
+let set_sanitize b = Atomic.set sanitize_on b
+let sanitize_enabled () = Atomic.get sanitize_on
+
 let alloc dev ~label ~size =
   if size < 1 then invalid_arg "Memory.alloc: empty buffer";
   let device_data =
     Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout size
   in
-  Bigarray.Array1.fill device_data 0.;
+  Bigarray.Array1.fill device_data
+    (if Atomic.get sanitize_on then Float.nan else 0.);
   let b = { label; device_data; h2d_count = 0; d2h_count = 0 } in
   dev.buffers <- b :: dev.buffers;
   b

@@ -34,9 +34,18 @@ type device = {
 val create_device : ?id:int -> Spec.t -> device
 (** Fresh device with zeroed counters and no allocations. *)
 
+val set_sanitize : bool -> unit
+(** Enable/disable sanitizer mode (off by default): when on, fresh
+    buffers are poisoned with NaN instead of zero-filled so kernels that
+    read never-uploaded device memory produce detectable output.  See
+    {!Fvm.Field.set_sanitize} and docs/ANALYSIS.md. *)
+
+val sanitize_enabled : unit -> bool
+(** Whether sanitizer mode is currently on. *)
+
 val alloc : device -> label:string -> size:int -> buffer
-(** [alloc dev ~label ~size] allocates a zero-filled float64 buffer of
-    [size] elements on [dev]. *)
+(** [alloc dev ~label ~size] allocates a float64 buffer of [size]
+    elements on [dev], zero-filled (NaN-poisoned in sanitizer mode). *)
 
 val size : buffer -> int
 (** Element count of a buffer. *)

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Static-analysis gate for the generated IR programs.
+#
+# Builds the lint CLI, runs the analyzer's seeded-defect selftest (every
+# error code must be reproduced exactly), then lints every shipped
+# scenario under the full backend x overlap matrix and requires zero
+# findings. Exits non-zero on any regression; meant for CI and local
+# pre-commit use. See docs/ANALYSIS.md for the pass catalogue.
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build bin/bte_lint.exe
+
+echo "== analyzer selftest (seeded-defect fixtures) =="
+./_build/default/bin/bte_lint.exe --selftest
+
+echo "== scenario x backend x overlap lint matrix =="
+./_build/default/bin/bte_lint.exe
+
+echo "check_ir: selftest and full lint matrix clean"

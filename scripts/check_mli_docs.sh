@@ -3,14 +3,14 @@
 #
 # odoc is not installed in this environment and every library is private,
 # so `dune build @doc` succeeds without rendering anything; this script is
-# the enforceable stand-in. It checks that every `val` declared in
-# lib/prt/*.mli and lib/gpu/*.mli is followed by an odoc comment (the
-# repo's convention is docs-after: `val f : ...` then `(** ... *)`).
+# the enforceable stand-in. It checks that every `val` declared in the
+# covered interfaces is followed by an odoc comment (the repo's
+# convention is docs-after: `val f : ...` then `(** ... *)`).
 set -eu
 cd "$(dirname "$0")/.."
 
 status=0
-for f in lib/prt/*.mli lib/gpu/*.mli; do
+for f in lib/prt/*.mli lib/gpu/*.mli lib/analysis/*.mli lib/fvm/*.mli; do
   out=$(awk '
     function flush() {
       if (pending) {
@@ -30,6 +30,6 @@ for f in lib/prt/*.mli lib/gpu/*.mli; do
 done
 
 if [ "$status" -eq 0 ]; then
-  echo "check_mli_docs: every val in lib/prt and lib/gpu is documented"
+  echo "check_mli_docs: every val in lib/prt, lib/gpu, lib/analysis and lib/fvm is documented"
 fi
 exit "$status"

@@ -124,6 +124,58 @@ let test_flops_annotation () =
   in
   check_bool "cost annotation present" true (flops > 5.)
 
+(* Exhaustive access-footprint audit: one assertion per IR constructor,
+   checking Ir.reads/Ir.writes against the documented conventions
+   (communication and copy nodes touch their whole var list; callbacks
+   are opaque; structural nodes are transparent). *)
+let test_reads_writes_per_constructor () =
+  let open Finch.Ir in
+  let module E = Finch_symbolic.Expr in
+  let check_sl = Alcotest.(check (list string)) in
+  let rw what n er ew =
+    check_sl (what ^ " reads") er (reads n);
+    check_sl (what ^ " writes") ew (writes n)
+  in
+  let m = meta () in
+  rw "comment" (Comment "c") [] [];
+  rw "assign"
+    (Assign
+       { dest = "a"; dest_new = false;
+         expr = E.add [ E.ref_ "b" []; E.ref_ "c" [] ];
+         reduce = `Set; note = m })
+    [ "b"; "c" ] [ "a" ];
+  rw "flux_update"
+    (Flux_update
+       { var = "u"; rvol = E.ref_ "k" [];
+         rsurf = E.ref_ ~side:E.Cell2 "u" []; note = m })
+    [ "k"; "u" ] [ "u" ];
+  rw "boundary_cpu" (Boundary_cpu { var = "u"; note = m }) [ "u" ] [ "u" ];
+  rw "callback (opaque)" (Callback { which = `Post; note = m }) [] [];
+  rw "swap_buffers" (Swap_buffers "u") [ "u" ] [ "u" ];
+  rw "halo_exchange"
+    (Halo_exchange { vars = [ "u"; "v" ]; note = m })
+    [ "u"; "v" ] [ "u"; "v" ];
+  rw "allreduce"
+    (Allreduce { what = "sum"; vars = [ "t" ]; note = m })
+    [ "t" ] [ "t" ];
+  rw "h2d" (H2d { vars = [ "u"; "k" ]; every_step = false })
+    [ "k"; "u" ] [ "k"; "u" ];
+  rw "d2h" (D2h { vars = [ "u" ]; every_step = true }) [ "u" ] [ "u" ];
+  rw "stream_sync" Stream_sync [] [];
+  rw "advance_time" Advance_time [] [];
+  let inner =
+    Assign
+      { dest = "a"; dest_new = false; expr = E.ref_ "b" []; reduce = `Set;
+        note = m }
+  in
+  rw "seq (union)" (Seq [ inner; Swap_buffers "u" ]) [ "b"; "u" ] [ "a"; "u" ];
+  rw "loop (transparent)"
+    (Loop { range = Cells; body = [ inner ]; parallel = true })
+    [ "b" ] [ "a" ];
+  rw "kernel (transparent)"
+    (Kernel { kname = "k0"; body = [ inner ]; note = m })
+    [ "b" ] [ "a" ]
+
 let suite =
   ( "ir",
     [
@@ -133,4 +185,6 @@ let suite =
       Alcotest.test_case "gpu program order (Fig. 6)" `Quick test_gpu_program_order;
       Alcotest.test_case "assembly loop order in IR" `Quick test_loop_order_in_ir;
       Alcotest.test_case "flop annotations" `Quick test_flops_annotation;
+      Alcotest.test_case "reads/writes per constructor" `Quick
+        test_reads_writes_per_constructor;
     ] )

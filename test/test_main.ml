@@ -18,6 +18,7 @@ let () =
       Test_problem.suite;
       Test_eval.suite;
       Test_ir.suite;
+      Test_analysis.suite;
       Test_solver.suite;
       Test_bte_physics.suite;
       Test_bte_solver.suite;
