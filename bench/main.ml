@@ -308,7 +308,9 @@ let e11_rows () =
     Finch.Problem.set_eval_mode p eval;
     Finch.Problem.set_overlap p overlap;
     Finch.Problem.set_target p target;
-    ignore (Finch.Solve.solve ~band_index:"b" p)
+    (* post_io lets the threaded executor prove the fused step-pair
+       schedule legal at the default opt level, as the CLI does *)
+    ignore (Finch.Solve.solve ~band_index:"b" ~post_io:Bte.Setup.post_io p)
   in
   let t_serial_closure, () =
     wall (solve_with (Finch.Config.Cpu Finch.Config.Serial))
@@ -337,6 +339,12 @@ let e11_rows () =
     wall
       (solve_with ~overlap:true (Finch.Config.Cpu (Finch.Config.Cell_parallel 2)))
   in
+  (* the hybrid CPU/GPU executor on the simulated device *)
+  let t_gpu, () =
+    wall (fun p ->
+        Finch.Problem.use_cuda p;
+        ignore (Finch.Solve.solve ~post_io:Bte.Setup.post_io p))
+  in
   (* tape statistics from a solve whose primary state does the sweeping
      (under the pool executors the workers hold the hot tapes) *)
   let tape_stats =
@@ -362,8 +370,79 @@ let e11_rows () =
       st.Finch.Lower.tapes
   in
   ( t_serial, t_serial_closure, t_respawn, t_pool, t_hybrid, t_cells,
-    t_cells_ov, ndomains ),
+    t_cells_ov, t_gpu, ndomains ),
   tape_stats
+
+(* --opt variants: the same serial / pool / gpu solves with the optimizer
+   level pinned, each with the runtime-counter deltas it produced (pool
+   regions and barrier waits for the threaded rows, kernel launches for
+   the gpu rows; zero when the metrics registry is disabled) *)
+type e11_variant = {
+  v_label : string;
+  v_wall : float;
+  v_regions : int;
+  v_waits : int;
+  v_wait_ns : float;
+  v_launches : int;
+}
+
+let e11_opt_variants () =
+  let sc = e11_scenario in
+  let ndomains = 4 in
+  let cval name = Prt.Metrics.value (Prt.Metrics.counter name) in
+  let bw () = Prt.Metrics.histogram "pool.barrier_wait_ns" in
+  let run label level target =
+    let built = Bte.Setup.build sc in
+    let p = built.Bte.Setup.problem in
+    Finch.Problem.set_opt_level p level;
+    let r0 = cval "pool.regions" in
+    let w0 = Prt.Metrics.hist_count (bw ()) in
+    let n0 = Prt.Metrics.hist_sum (bw ()) in
+    let l0 = cval "gpu.kernel_launches" in
+    let t0 = Unix.gettimeofday () in
+    (match target with
+     | `Cpu strategy ->
+       Finch.Problem.set_target p (Finch.Config.Cpu strategy);
+       ignore
+         (Finch.Solve.solve ~band_index:"b" ~post_io:Bte.Setup.post_io p)
+     | `Gpu ->
+       Finch.Problem.use_cuda p;
+       ignore (Finch.Solve.solve ~post_io:Bte.Setup.post_io p));
+    {
+      v_label = label;
+      v_wall = Unix.gettimeofday () -. t0;
+      v_regions = cval "pool.regions" - r0;
+      v_waits = Prt.Metrics.hist_count (bw ()) - w0;
+      v_wait_ns = Prt.Metrics.hist_sum (bw ()) -. n0;
+      v_launches = cval "gpu.kernel_launches" - l0;
+    }
+  in
+  let specs =
+    [
+      "serial_opt0", Finch.Config.O0, `Cpu Finch.Config.Serial;
+      "serial_opt2", Finch.Config.O2, `Cpu Finch.Config.Serial;
+      ( "threaded_pool_opt0", Finch.Config.O0,
+        `Cpu (Finch.Config.Threaded ndomains) );
+      ( "threaded_pool_opt1", Finch.Config.O1,
+        `Cpu (Finch.Config.Threaded ndomains) );
+      ( "threaded_pool_opt2", Finch.Config.O2,
+        `Cpu (Finch.Config.Threaded ndomains) );
+      "gpu_opt0", Finch.Config.O0, `Gpu;
+      "gpu_opt2", Finch.Config.O2, `Gpu;
+    ]
+  in
+  (* wall times are best-of-5 (the counter deltas are deterministic and
+     come from the first round): single solves at this scale see large
+     scheduler noise, which would drown the schedule differences *)
+  let first = List.map (fun (l, lv, t) -> run l lv t) specs in
+  List.fold_left
+    (fun acc _ ->
+      List.map2
+        (fun v (l, lv, t) ->
+          let again = run l lv t in
+          { v with v_wall = min v.v_wall again.v_wall })
+        acc specs)
+    first [ 1; 2; 3; 4 ]
 
 (* extra backend selected with `--backend SPEC` on the command line:
    measured sync vs overlap rows in E11 for any executor *)
@@ -390,7 +469,7 @@ let e11 ~measured =
   let sc = e11_scenario in
   row "reduced scale %dx%d, %d dirs, %d steps; all rows real solves\n"
     sc.Bte.Setup.nx sc.Bte.Setup.ny sc.Bte.Setup.ndirs sc.Bte.Setup.nsteps;
-  let (ts, tsc, tr, tp, th, tc, tcov, nd), tapes = e11_rows () in
+  let (ts, tsc, tr, tp, th, tc, tcov, tg, nd), tapes = e11_rows () in
   row "  %-28s %8.3f s\n" "serial (tape)" ts;
   row "  %-28s %8.3f s\n" "serial (closure)" tsc;
   row "  %-28s %8.3f s\n" (Printf.sprintf "threads(%d) spawn-per-step" nd) tr;
@@ -401,6 +480,15 @@ let e11 ~measured =
   row "  %-28s %8.3f s\n" "cells(2) SPMD + halo" tc;
   row "  %-28s %8.3f s  (bit-identical result)\n" "cells(2) overlap exchange"
     tcov;
+  row "  %-28s %8.3f s\n" "gpu (simulated a6000)" tg;
+  row "\n  --opt variants (optimizer level pinned, bit-identical results):\n";
+  List.iter
+    (fun v ->
+      if Prt.Metrics.enabled () then
+        row "  %-28s %8.3f s  (regions %d, barrier waits %d, launches %d)\n"
+          v.v_label v.v_wall v.v_regions v.v_waits v.v_launches
+      else row "  %-28s %8.3f s\n" v.v_label v.v_wall)
+    (e11_opt_variants ());
   (match !extra_backend with
    | Some (spec, tgt) ->
      let t_sync = e11_measure tgt in
@@ -431,7 +519,9 @@ let e11_json path =
      can embed the key runtime counters alongside the wall times *)
   Prt.Metrics.enable ();
   Prt.Metrics.reset_all ();
-  let (ts, tsc, tr, tp, th, tc, tcov, nd), tapes = e11_rows () in
+  let (ts, tsc, tr, tp, th, tc, tcov, tg, nd), tapes = e11_rows () in
+  let variants = e11_opt_variants () in
+  let variant l = List.find (fun v -> v.v_label = l) variants in
   let sc = e11_scenario in
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
@@ -446,9 +536,35 @@ let e11_json path =
   p "    \"threaded_pool\": %.6f,\n" tp;
   p "    \"hybrid_2x2\": %.6f,\n" th;
   p "    \"cells_spmd_2\": %.6f,\n" tc;
-  p "    \"cells_spmd_2_overlap\": %.6f\n" tcov;
+  p "    \"cells_spmd_2_overlap\": %.6f,\n" tcov;
+  p "    \"gpu\": %.6f\n" tg;
   p "  },\n";
   p "  \"pool_speedup_vs_respawn\": %.4f,\n" (tr /. tp);
+  (* the --opt rows: same solves with the optimizer level pinned, each
+     with the counter deltas it produced; opt1/opt2 threaded rows run the
+     fused step-pair schedule (half the regions and barrier waits of
+     opt0), the opt2 gpu row launches one batched kernel per step where
+     opt0 launches one per resolved band *)
+  p "  \"opt_variants\": {\n";
+  List.iteri
+    (fun i v ->
+      p
+        "    \"%s\": { \"wall_s\": %.6f, \"pool.regions\": %d, \
+         \"pool.barrier_waits\": %d, \"pool.barrier_wait_ns\": %.0f, \
+         \"gpu.kernel_launches\": %d }%s\n"
+        v.v_label v.v_wall v.v_regions v.v_waits v.v_wait_ns v.v_launches
+        (if i = List.length variants - 1 then "" else ","))
+    variants;
+  p "  },\n";
+  let vp0 = variant "threaded_pool_opt0" and vp1 = variant "threaded_pool_opt1" in
+  let vg0 = variant "gpu_opt0" and vg2 = variant "gpu_opt2" in
+  p "  \"opt1_pool_regions_reduction\": %.4f,\n"
+    (1. -. (float_of_int vp1.v_regions /. float_of_int (max 1 vp0.v_regions)));
+  p "  \"opt1_pool_barrier_waits_reduction\": %.4f,\n"
+    (1. -. (float_of_int vp1.v_waits /. float_of_int (max 1 vp0.v_waits)));
+  p "  \"opt1_pool_speedup_vs_opt0\": %.4f,\n" (vp0.v_wall /. vp1.v_wall);
+  p "  \"opt2_gpu_launch_reduction\": %.4f,\n"
+    (1. -. (float_of_int vg2.v_launches /. float_of_int (max 1 vg0.v_launches)));
   (* modelled paper-scale effect of the nonblocking exchange: the hidden
      seconds come straight off the cell-parallel per-step critical path *)
   let om = Bte.Perfmodel.cells_overlap ~p:20 () in
@@ -471,6 +587,23 @@ let e11_json path =
              built.Bte.Setup.problem))
     [ "serial"; "threads:2"; "hybrid:2x2"; "cells:2"; "gpu" ];
   let c name = Prt.Metrics.value (Prt.Metrics.counter name) in
+  (* capture the lint tallies before the optimizer pipeline runs: its
+     verification harness also feeds the analysis.* counters, including
+     the findings of deliberately rejected passes *)
+  let lint_errors = c "analysis.errors" in
+  let lint_warnings = c "analysis.warnings" in
+  (* run the optimizer pipeline over the bench scenario's threaded and
+     gpu programs so the opt.* counters describe this configuration *)
+  List.iter
+    (fun target ->
+      let built = Bte.Setup.build e11_scenario in
+      let pb = built.Bte.Setup.problem in
+      (match target with
+       | `Pool ->
+         Finch.Problem.set_target pb (Finch.Config.Cpu (Finch.Config.Threaded nd))
+       | `Gpu -> Finch.Problem.use_cuda pb);
+      ignore (Finch_opt.Opt.optimize_problem ~post_io:Bte.Setup.post_io pb))
+    [ `Pool; `Gpu ];
   let bw = Prt.Metrics.histogram "pool.barrier_wait_ns" in
   p "  \"metrics\": {\n";
   p "    \"halo.bytes\": %d,\n" (c "halo.bytes");
@@ -485,9 +618,16 @@ let e11_json path =
   p "    \"spmd.waits\": %d,\n" (c "spmd.waits");
   p "    \"cluster.p2p_time_ns\": %d,\n" (c "cluster.p2p_time_ns");
   p "    \"gpu.kernel_launches\": %d,\n" (c "gpu.kernel_launches");
+  p "    \"opt.loops_fused\": %d,\n" (c "opt.loops_fused");
+  p "    \"opt.steps_fused\": %d,\n" (c "opt.steps_fused");
+  p "    \"opt.kernels_fused\": %d,\n" (c "opt.kernels_fused");
+  p "    \"opt.assigns_eliminated\": %d,\n" (c "opt.assigns_eliminated");
+  p "    \"opt.transfers_coalesced\": %d,\n" (c "opt.transfers_coalesced");
+  p "    \"opt.h2d_hoisted\": %d,\n" (c "opt.h2d_hoisted");
+  p "    \"opt.passes_rejected\": %d,\n" (c "opt.passes_rejected");
   p "    \"tape.ops_skipped\": %d,\n" (c "tape.ops_skipped");
-  p "    \"analysis.errors\": %d,\n" (c "analysis.errors");
-  p "    \"analysis.warnings\": %d,\n" (c "analysis.warnings");
+  p "    \"analysis.errors\": %d,\n" lint_errors;
+  p "    \"analysis.warnings\": %d,\n" lint_warnings;
   p "    \"sanitize.poison_reads\": %d\n" (c "sanitize.poison_reads");
   p "  },\n";
   p "  \"tapes\": {\n";

@@ -32,6 +32,17 @@ let scenario_t =
     & info [ "scenario" ] ~docv:"NAME"
         ~doc:"Scenario to lint: hotspot, corner or all.")
 
+let opts_t =
+  Arg.(
+    value
+    & opt (list string) [ "0"; "1"; "2" ]
+    & info [ "opt" ] ~docv:"LEVELS"
+        ~doc:
+          "Comma-separated IR optimization levels to lint (default 0,1,2). \
+           Every configuration is checked at each listed level — both the \
+           program the builders generate at that level and the output of \
+           the Finch_opt pass pipeline run on it.")
+
 let codes_t =
   Arg.(
     value & flag
@@ -99,7 +110,7 @@ let scenarios_of = function
     [ "hotspot", (fun () -> Bte.Setup.build Bte.Setup.small_hotspot);
       "corner", fun () -> Bte.Setup.build_corner Bte.Setup.small_corner ]
 
-let lint_matrix ~backends ~scenario ~ignore_codes ~verbose =
+let lint_matrix ~backends ~scenario ~opts ~ignore_codes ~verbose =
   let backends = if backends = [] then default_backends else backends in
   let total_errors = ref 0 and total_warnings = ref 0 and configs = ref 0 in
   List.iter
@@ -113,27 +124,51 @@ let lint_matrix ~backends ~scenario ~ignore_codes ~verbose =
           | Ok tgt ->
             List.iter
               (fun overlap ->
-                incr configs;
-                let built = mk () in
-                let p = built.Bte.Setup.problem in
-                Finch.Problem.set_target p tgt;
-                Finch.Problem.set_overlap p overlap;
-                let r =
-                  Finch_analysis.Driver.check_problem
-                    ~post_io:Bte.Setup.post_io ~ignore_codes p
-                in
-                total_errors := !total_errors + r.Finch_analysis.Driver.errors;
-                total_warnings :=
-                  !total_warnings + r.Finch_analysis.Driver.warnings;
-                let label =
-                  Printf.sprintf "%s %s%s" sname spec
-                    (if overlap then " +overlap" else "")
-                in
-                if r.Finch_analysis.Driver.findings <> [] then begin
-                  Printf.printf "%s:\n" label;
-                  Finch_analysis.Driver.pp_report stdout r
-                end
-                else if verbose then Printf.printf "%s: clean\n" label)
+                List.iter
+                  (fun level ->
+                    incr configs;
+                    let built = mk () in
+                    let p = built.Bte.Setup.problem in
+                    Finch.Problem.set_target p tgt;
+                    Finch.Problem.set_overlap p overlap;
+                    Finch.Problem.set_opt_level p level;
+                    let r =
+                      Finch_analysis.Driver.check_problem
+                        ~post_io:Bte.Setup.post_io ~ignore_codes p
+                    in
+                    (* also lint the optimizer pipeline's output: the
+                       rewritten program must stay as clean as the input *)
+                    let opt_r =
+                      let res =
+                        Finch_opt.Opt.optimize_problem
+                          ~post_io:Bte.Setup.post_io p
+                      in
+                      Finch_analysis.Driver.check_ir ~ignore_codes
+                        (Finch_analysis.Ctx.of_problem
+                           ~post_io:Bte.Setup.post_io p)
+                        res.Finch_opt.Opt.ir
+                    in
+                    total_errors :=
+                      !total_errors + r.Finch_analysis.Driver.errors
+                      + opt_r.Finch_analysis.Driver.errors;
+                    total_warnings :=
+                      !total_warnings + r.Finch_analysis.Driver.warnings
+                      + opt_r.Finch_analysis.Driver.warnings;
+                    let label =
+                      Printf.sprintf "%s %s%s opt%s" sname spec
+                        (if overlap then " +overlap" else "")
+                        (Finch.Config.opt_level_name level)
+                    in
+                    if r.Finch_analysis.Driver.findings <> [] then begin
+                      Printf.printf "%s:\n" label;
+                      Finch_analysis.Driver.pp_report stdout r
+                    end
+                    else if opt_r.Finch_analysis.Driver.findings <> [] then begin
+                      Printf.printf "%s (optimized IR):\n" label;
+                      Finch_analysis.Driver.pp_report stdout opt_r
+                    end
+                    else if verbose then Printf.printf "%s: clean\n" label)
+                  opts)
               [ false; true ])
         backends)
     (scenarios_of scenario);
@@ -144,7 +179,7 @@ let lint_matrix ~backends ~scenario ~ignore_codes ~verbose =
     (if !total_warnings = 1 then "" else "s");
   !total_errors = 0
 
-let lint_cmd backends scenario codes selftest ignore verbose =
+let lint_cmd backends scenario opts codes selftest ignore verbose =
   if codes then print_codes ()
   else begin
     let ignore_codes =
@@ -157,9 +192,19 @@ let lint_cmd backends scenario codes selftest ignore verbose =
             exit 2)
         ignore
     in
+    let opts =
+      List.map
+        (fun s ->
+          match Finch.Config.opt_level_of_string s with
+          | Ok l -> l
+          | Error e ->
+            Printf.eprintf "error: %s\n" e;
+            exit 2)
+        opts
+    in
     let ok =
       if selftest then run_selftest ()
-      else lint_matrix ~backends ~scenario ~ignore_codes ~verbose
+      else lint_matrix ~backends ~scenario ~opts ~ignore_codes ~verbose
     in
     if not ok then exit 1
   end
@@ -167,7 +212,7 @@ let lint_cmd backends scenario codes selftest ignore verbose =
 let () =
   let term =
     Term.(
-      const lint_cmd $ backends_t $ scenario_t $ codes_t $ selftest_t
+      const lint_cmd $ backends_t $ scenario_t $ opts_t $ codes_t $ selftest_t
       $ ignore_t $ verbose_t)
   in
   let info =

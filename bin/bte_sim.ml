@@ -61,6 +61,17 @@ let overlap_t =
            other backends (their steps have only collectives). Numerics are \
            bit-identical either way.")
 
+let opt_t =
+  Arg.(
+    value & opt string "2"
+    & info [ "opt" ] ~docv:"LEVEL"
+        ~doc:
+          "IR optimization level: 0 (naive generated program: one parallel \
+           region per loop, one GPU kernel launch per band), 1 (loop and \
+           step-pair fusion, dead-assign elimination, transfer coalescing) \
+           or 2 (adds band-batched kernel launches and upload hoisting). \
+           Results are bit-identical at every level; see docs/OPTIMIZER.md.")
+
 let eval_mode_t =
   Arg.(
     value
@@ -169,8 +180,15 @@ let resolve_backend ~backend ~target =
     spec
   | None, None -> "serial"
 
-let run_cmd scenario nx ny ndirs nbands nsteps backend target overlap eval_mode
-    csv paper_scale trace metrics no_check sanitize =
+let run_cmd scenario nx ny ndirs nbands nsteps backend target overlap opt
+    eval_mode csv paper_scale trace metrics no_check sanitize =
+  let opt_level =
+    match Finch.Config.opt_level_of_string opt with
+    | Ok l -> l
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 2
+  in
   let base =
     match scenario, paper_scale with
     | `Hotspot, true -> Bte.Setup.paper_hotspot
@@ -196,6 +214,7 @@ let run_cmd scenario nx ny ndirs nbands nsteps backend target overlap eval_mode
       base.Bte.Setup.nsteps built.Bte.Setup.scenario.Bte.Setup.dt;
     Finch.Problem.set_eval_mode built.Bte.Setup.problem eval_mode;
     Finch.Problem.set_overlap built.Bte.Setup.problem overlap;
+    Finch.Problem.set_opt_level built.Bte.Setup.problem opt_level;
     (match tgt with
      | Finch.Config.Cpu strategy ->
        Finch.Problem.set_target built.Bte.Setup.problem (Finch.Config.Cpu strategy)
@@ -220,11 +239,38 @@ let run_cmd scenario nx ny ndirs nbands nsteps backend target overlap eval_mode
     end;
     if sanitize then Finch_analysis.Sanitize.enable ();
     start_observability ~trace ~metrics;
+    (* run the verified optimizer pipeline over the generated program; the
+       executors mirror the same opt_level decisions, so the stats line
+       describes the schedule the solve below will actually run *)
+    let opt_result =
+      Finch_opt.Opt.optimize_problem ~post_io:Bte.Setup.post_io
+        built.Bte.Setup.problem
+    in
+    let os = opt_result.Finch_opt.Opt.stats in
+    Printf.printf
+      "optimizer: O%s — %d loop(s) fused, %d step pair(s) fused, %d kernel \
+       launch loop(s) batched, %d dead assign(s) removed%s\n"
+      (Finch.Config.opt_level_name opt_level)
+      os.Finch_opt.Opt.loops_fused os.Finch_opt.Opt.steps_fused
+      os.Finch_opt.Opt.kernels_batched os.Finch_opt.Opt.assigns_eliminated
+      (match opt_result.Finch_opt.Opt.rejected with
+       | [] -> ""
+       | rs ->
+         Printf.sprintf "; %d pass(es) rejected by the analyses (%s)"
+           (List.length rs)
+           (String.concat ", "
+              (List.map
+                 (fun (r : Finch_opt.Opt.rejection) ->
+                   r.Finch_opt.Opt.rej_pass ^ ":"
+                   ^ Finch_analysis.Finding.id
+                       r.Finch_opt.Opt.rej_finding.Finch_analysis.Finding.code)
+                 rs)));
     let t0 = Unix.gettimeofday () in
     let outcome =
       match tgt with
       | Finch.Config.Cpu _ ->
-        Finch.Solve.solve ~band_index:"b" built.Bte.Setup.problem
+        Finch.Solve.solve ~band_index:"b" ~post_io:Bte.Setup.post_io
+          built.Bte.Setup.problem
       | Finch.Config.Gpu _ ->
         Finch.Solve.solve ~post_io:Bte.Setup.post_io built.Bte.Setup.problem
     in
@@ -274,8 +320,8 @@ let run_cmd scenario nx ny ndirs nbands nsteps backend target overlap eval_mode
 let run_term =
   Term.(
     const run_cmd $ scenario_t $ nx_t $ ny_t $ ndirs_t $ nbands_t $ nsteps_t
-    $ backend_t $ target_t $ overlap_t $ eval_mode_t $ csv_t $ paper_scale_t
-    $ trace_t $ metrics_t $ no_check_t $ sanitize_t)
+    $ backend_t $ target_t $ overlap_t $ opt_t $ eval_mode_t $ csv_t
+    $ paper_scale_t $ trace_t $ metrics_t $ no_check_t $ sanitize_t)
 
 let run_info =
   Cmd.info "run" ~doc:"Solve a BTE scenario with a chosen execution backend."

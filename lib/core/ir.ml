@@ -219,11 +219,35 @@ let build_gpu (p : Problem.t) ~(transfers : (string * bool) list) =
               ();
         } ]
   in
-  let body =
-    [ Kernel
+  (* The unbatched (O0) shape launches one kernel per value of every
+     index beyond the first: a cells×dirs slab per band instead of one
+     batched cells×dirs×bands launch.  O1/O2 (and problems with at most
+     one declared index, where the two shapes coincide) keep the single
+     batched kernel; Opt.batch_band_kernels rewrites the O0 shape into
+     the batched one and Target_gpu mirrors the same split. *)
+  let uvar_indices =
+    match Problem.find_variable p eq.Transform.eq_var with
+    | Some v -> v.Entity.vindices
+    | None -> []
+  in
+  let interior =
+    let kernel =
+      Kernel
         { kname = eq.Transform.eq_var ^ "_interior_kernel";
           body = kernel_body;
-          note = meta ~comment:"launched asynchronously" ~phase:Ph_intensity () };
+          note = meta ~comment:"launched asynchronously" ~phase:Ph_intensity () }
+    in
+    match p.Problem.opt_level, uvar_indices with
+    | Config.O0, _ :: (_ :: _ as outer) ->
+      List.fold_right
+        (fun (i : Entity.index) body ->
+          [ Loop { range = Index i.Entity.iname; body; parallel = false } ])
+        outer [ kernel ]
+      |> List.hd
+    | _ -> kernel
+  in
+  let body =
+    [ interior;
       Boundary_cpu
         { var = eq.Transform.eq_var;
           note = meta ~comment:"computed on the CPU while the kernel runs" ~phase:Ph_boundary () };

@@ -78,7 +78,8 @@ let layout_of_var (v : Entity.variable) =
   in
   go 1 v.Entity.vindices
 
-let rec build ?(info = serial_rankinfo) ?share_with (p : Problem.t) : state =
+let rec build ?(info = serial_rankinfo) ?share_with ?(private_clock = false)
+    (p : Problem.t) : state =
   let mesh = Problem.mesh_exn p in
   let eq = Problem.the_equation p in
   let uvar =
@@ -133,6 +134,10 @@ let rec build ?(info = serial_rankinfo) ?share_with (p : Problem.t) : state =
   in
   let dt, time =
     match share_with with
+    (* [private_clock] gives a shared-storage worker its own dt/time refs
+       (seeded from the base) so a fused schedule can advance workers
+       independently between barriers without racing on the base clock *)
+    | Some base when private_clock -> ref !(base.dt), ref !(base.time)
     | Some base -> base.dt, base.time
     | None -> ref p.Problem.dt, ref 0.
   in

@@ -56,10 +56,14 @@ val field : state -> string -> Fvm.Field.t
 val coef_exn : Problem.t -> string -> Entity.coefficient
 val layout_of_var : Entity.variable -> (string * int * int) list
 
-val build : ?info:rankinfo -> ?share_with:state -> Problem.t -> state
+val build :
+  ?info:rankinfo -> ?share_with:state -> ?private_clock:bool -> Problem.t ->
+  state
 (** Build a rank's state. [share_with] reuses another state's field
     storage and time/dt refs (shared-memory workers) and skips initial
-    conditions. *)
+    conditions.  [private_clock] (with [share_with]) gives the worker its
+    own dt/time refs seeded from the base, so a fused schedule can
+    advance workers independently between barriers. *)
 
 val apply_initial_conditions : state -> unit
 val index_range : state -> string -> int -> int * int

@@ -93,6 +93,10 @@ type t = {
     (* overlap communication with computation where the target has
        point-to-point messages or transfers (cell-parallel halo
        exchange, GPU H2D/D2H); bit-identical to the synchronous path *)
+  mutable opt_level : Config.opt_level;
+    (* middle-end optimization level; executors mirror the IR rewrites
+       (fused pool regions, batched kernel launches) when legal, and
+       every level is bit-identical to O0 *)
 }
 
 let init name =
@@ -117,6 +121,7 @@ let init name =
     loop_order = None;
     eval_mode = Config.Closure;
     overlap = false;
+    opt_level = Config.O2;
   }
 
 (* --- configuration commands, mirroring the paper's script API ---------- *)
@@ -139,6 +144,7 @@ let use_cuda ?(spec = Gpu_sim.Spec.a6000) ?(ranks = 1) p =
 let set_target p t = p.target <- t
 let set_eval_mode p m = p.eval_mode <- m
 let set_overlap p v = p.overlap <- v
+let set_opt_level p l = p.opt_level <- l
 
 let set_mesh p m =
   if m.Fvm.Mesh.dim <> p.dim then

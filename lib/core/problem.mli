@@ -89,6 +89,9 @@ type t = {
   mutable overlap : bool;
       (** overlap communication with computation where the target has
           point-to-point messages or transfers; off by default *)
+  mutable opt_level : Config.opt_level;
+      (** middle-end optimization level, [O2] by default; every level is
+          bit-identical to [O0] (see docs/OPTIMIZER.md) *)
 }
 
 val init : string -> t
@@ -116,6 +119,13 @@ val set_overlap : t -> bool -> unit
     ({!Target_gpu.run_single}).  Results are bit-identical either way;
     targets without point-to-point messages (serial, bands, threads,
     hybrid — collectives only) ignore the flag. *)
+
+val set_opt_level : t -> Config.opt_level -> unit
+(** Select the optimization level applied by the IR middle end ([Opt])
+    and mirrored by the executors: [O0] disables fusion/batching (naive
+    per-loop regions and per-band launches), [O1] fuses pool regions on
+    the threaded path, [O2] (default) additionally batches device
+    launches across bands.  Results are bit-identical at every level. *)
 
 val set_mesh : t -> Fvm.Mesh.t -> unit
 val mesh_file : t -> string -> unit

@@ -86,7 +86,7 @@ let solve_dispatch ?band_index ?post_io (p : Problem.t) =
   | Config.Cpu (Config.Threaded n) ->
     (* workers share the base state's fields, so rank 0 already holds the
        complete unknown *)
-    let r = Target_cpu.run_threaded p ~ndomains:n in
+    let r = Target_cpu.run_threaded ?post_io p ~ndomains:n in
     let st = Target_cpu.primary r in
     {
       u = st.Lower.u;

@@ -240,7 +240,8 @@ let run_cell_parallel ?(overlap = false) (p : Problem.t) ~nranks =
    the base state's field storage.  Writes are disjoint (cell ranges),
    reads of the previous step go through the shared current buffer, so the
    sweep is race-free. *)
-let make_workers (p : Problem.t) ~(base : Lower.state) ~ndomains ~index_ranges =
+let make_workers ?(private_clock = false) (p : Problem.t) ~(base : Lower.state)
+    ~ndomains ~index_ranges =
   let mesh = base.Lower.mesh in
   let part = Fvm.Partition.blocks ~nitems:mesh.Fvm.Mesh.ncells ~nparts:ndomains in
   Array.init ndomains (fun rank ->
@@ -249,7 +250,7 @@ let make_workers (p : Problem.t) ~(base : Lower.state) ~ndomains ~index_ranges =
           owned_cells = Some (Fvm.Partition.cells_of_rank part rank);
           index_ranges }
       in
-      Lower.build ~info ~share_with:base p)
+      Lower.build ~info ~share_with:base ~private_clock p)
 
 (* Per-worker breakdown counters summed into the aggregate, like the SPMD
    executors do (the seed only observed worker sweeps through the base
@@ -276,8 +277,7 @@ let pool_step pool (workers : Lower.state array) =
 
 (* Persistent-pool executor: domains are spawned once per solve and parked
    between regions, not respawned twice per timestep. *)
-let run_threaded (p : Problem.t) ~ndomains =
-  if ndomains < 1 then raise (Target_error "run_threaded: ndomains < 1");
+let run_threaded_classic (p : Problem.t) ~ndomains =
   (* base state: full ownership, runs pre/post-step and initialization *)
   let base = Lower.build p in
   let workers = make_workers p ~base ~ndomains ~index_ranges:[] in
@@ -294,6 +294,164 @@ let run_threaded (p : Problem.t) ~ndomains =
             incr base.Lower.step)
       done);
   { states = [| base |]; breakdown = sum_breakdowns base workers }
+
+(* ------------------------------------------------------------------ *)
+(* Fused threaded schedule (opt_level >= O1): one pool region per PAIR  *)
+(* of timesteps with a single internal barrier — the executor mirror of *)
+(* the Opt.fuse_steps IR rewrite.                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The classic schedule spends one pool region and one barrier round per
+   step ({sweep; barrier; commit}).  The fused schedule replaces the
+   commit copy with a buffer-ROLE swap and packs two steps into one
+   region:
+
+     phase A: sweep u -> u_new; post-step on the A parity; advance;
+     barrier;
+     phase B: sweep u_new -> u; post-step on the B parity; advance.
+
+   The "B parity" of a worker is a rebound state whose unknown binding
+   points at the u_new storage (so reading the unknown reads what phase A
+   just wrote) and whose double buffer is the u storage.  The one barrier
+   protects the only cross-worker dependency: phase B's neighbour (Cell2)
+   reads of values phase A wrote.  Legality, checked by
+   [fused_schedule_ok]:
+   - forward Euler only (the parity trick has no meaning for multi-stage
+     schemes or the point-implicit solve's in-place reads);
+   - no pre-step callbacks (they expect the base clock between steps);
+   - every expression boundary condition of the unknown is closed (no
+     entity references): expression BCs compile against the unswapped
+     storage at build time, so one referencing a variable would read the
+     stale buffer in phase B.  Callback BCs resolve fields through the
+     sweeping state and are parity-safe;
+   - post-step callbacks, if any, declare their I/O and no field they
+     write is read at the neighbouring cell by the surface term (within
+     a phase, one worker's post-step writes would race with another's
+     neighbour reads), nor is the unknown itself written.  Post-steps
+     run per worker restricted to its own cells — the step_ctx st_cells
+     contract already relied on by the cell-parallel executor. *)
+let fused_schedule_ok ?post_io (p : Problem.t) =
+  let module E = Finch_symbolic.Expr in
+  match p.Problem.opt_level with
+  | Config.O0 -> false
+  | Config.O1 | Config.O2 ->
+    p.Problem.stepper = Config.Euler_explicit
+    && p.Problem.pre_step = []
+    &&
+    let eq = Problem.the_equation p in
+    let closed_bcs =
+      List.for_all
+        (fun (bc : Problem.bc) ->
+          match bc.Problem.bc_spec with
+          | Problem.Bc_callback _ -> true
+          | Problem.Bc_expr e -> E.ref_names e = [])
+        (Problem.bcs_for p eq.Transform.eq_var)
+    in
+    let post_ok =
+      if p.Problem.post_step = [] then true
+      else
+        match post_io with
+        | None -> false (* opaque callbacks: keep the classic schedule *)
+        | Some (io : Dataflow.callback_io) ->
+          let neighbour_reads =
+            List.filter_map
+              (fun (name, _, side) ->
+                if side = E.Cell2 then Some name else None)
+              (E.refs eq.Transform.rvol @ E.refs eq.Transform.rsurf)
+          in
+          (not (List.mem eq.Transform.eq_var io.Dataflow.cb_writes))
+          && List.for_all
+               (fun w -> not (List.mem w neighbour_reads))
+               io.Dataflow.cb_writes
+    in
+    closed_bcs && post_ok
+
+(* The B-parity of a worker: unknown binding moved onto the u_new storage,
+   double buffer moved onto the u storage.  Clock and step refs are shared
+   with the worker (rebind inherits them), so advancing one advances both. *)
+let make_parity (st : Lower.state) =
+  let uname = st.Lower.uvar.Entity.vname in
+  let fields =
+    List.map
+      (fun (n, f) -> if n = uname then n, st.Lower.u_new else n, f)
+      st.Lower.fields
+  in
+  Lower.rebind st ~fields ~u_new:st.Lower.u
+
+(* One fused region = two timesteps, one barrier. *)
+let fused_region pool (workers : Lower.state array) (parity : Lower.state array) =
+  Prt.Pool.run pool (fun rank ->
+      let st_a = workers.(rank) and st_b = parity.(rank) in
+      let b_a = st_a.Lower.breakdown and b_b = st_b.Lower.breakdown in
+      let track = Prt.Trace.worker rank in
+      Prt.Breakdown.timed ~track b_a Prt.Breakdown.Intensity (fun () ->
+          Lower.sweep st_a);
+      (* post-step of the first step reads the just-swept values through
+         the B parity; it writes only this worker's cells, so it is safe
+         before the barrier *)
+      Prt.Breakdown.timed ~track b_b Prt.Breakdown.Temperature (fun () ->
+          Lower.run_post_step st_b ~allreduce:noop_allreduce);
+      st_a.Lower.time := !(st_a.Lower.time) +. !(st_a.Lower.dt);
+      incr st_a.Lower.step;
+      Prt.Pool.barrier pool;
+      Prt.Breakdown.timed ~track b_b Prt.Breakdown.Intensity (fun () ->
+          Lower.sweep st_b);
+      Prt.Breakdown.timed ~track b_a Prt.Breakdown.Temperature (fun () ->
+          Lower.run_post_step st_a ~allreduce:noop_allreduce);
+      st_a.Lower.time := !(st_a.Lower.time) +. !(st_a.Lower.dt);
+      incr st_a.Lower.step)
+
+(* Trailing region for an odd step count: the classic step shape, but the
+   post-step still runs per worker on its own cells. *)
+let fused_tail pool (workers : Lower.state array) =
+  Prt.Pool.run pool (fun rank ->
+      let st = workers.(rank) in
+      let b = st.Lower.breakdown in
+      let track = Prt.Trace.worker rank in
+      Prt.Breakdown.timed ~track b Prt.Breakdown.Intensity (fun () ->
+          Lower.sweep st);
+      Prt.Pool.barrier pool;
+      Prt.Breakdown.timed ~track b Prt.Breakdown.Intensity (fun () ->
+          Lower.commit st);
+      Prt.Breakdown.timed ~track b Prt.Breakdown.Temperature (fun () ->
+          Lower.run_post_step st ~allreduce:noop_allreduce);
+      st.Lower.time := !(st.Lower.time) +. !(st.Lower.dt);
+      incr st.Lower.step)
+
+let run_threaded_fused (p : Problem.t) ~ndomains =
+  let base = Lower.build p in
+  (* workers carry private clocks: each advances its own time mid-region
+     instead of racing on the base refs *)
+  let workers =
+    make_workers p ~base ~ndomains ~index_ranges:[] ~private_clock:true
+  in
+  let parity = Array.map make_parity workers in
+  let npairs = p.Problem.nsteps / 2 in
+  Prt.Pool.with_pool ~size:ndomains (fun pool ->
+      for _ = 1 to npairs do
+        Prt.Trace.span ~cat:"step" Prt.Trace.main "step-pair" (fun () ->
+            fused_region pool workers parity);
+        base.Lower.time := !(base.Lower.time) +. (2. *. !(base.Lower.dt));
+        base.Lower.step := !(base.Lower.step) + 2
+      done;
+      if p.Problem.nsteps mod 2 = 1 then begin
+        Prt.Trace.span ~cat:"step" Prt.Trace.main "step" (fun () ->
+            fused_tail pool workers);
+        base.Lower.time := !(base.Lower.time) +. !(base.Lower.dt);
+        incr base.Lower.step
+      end);
+  let breakdown =
+    Prt.Breakdown.sum_distinct
+      (base.Lower.breakdown
+       :: (Array.to_list (Array.map (fun st -> st.Lower.breakdown) workers)
+           @ Array.to_list (Array.map (fun st -> st.Lower.breakdown) parity)))
+  in
+  { states = [| base |]; breakdown }
+
+let run_threaded ?post_io (p : Problem.t) ~ndomains =
+  if ndomains < 1 then raise (Target_error "run_threaded: ndomains < 1");
+  if fused_schedule_ok ?post_io p then run_threaded_fused p ~ndomains
+  else run_threaded_classic p ~ndomains
 
 (* The seed executor, kept as the benchmark baseline: fresh domains are
    spawned and joined twice per timestep, so their start-up cost is paid

@@ -37,11 +37,33 @@ val run_cell_parallel : ?overlap:bool -> Problem.t -> nranks:int -> result
     swept after they land — bit-identical to the synchronous path (the
     default), with the per-step barriers removed. *)
 
-val run_threaded : Problem.t -> ndomains:int -> result
+val run_threaded :
+  ?post_io:Dataflow.callback_io -> Problem.t -> ndomains:int -> result
 (** Shared-memory parallel sweep over cell ranges on a persistent
     [Prt.Pool] of OCaml domains (spawned once per solve); each domain has
     its own env/closures, fields are shared.  Per-worker breakdown
-    counters are aggregated into the result like the SPMD executors. *)
+    counters are aggregated into the result like the SPMD executors.
+
+    At [opt_level >= O1] and when {!fused_schedule_ok} holds, two
+    timesteps are fused into one pool region with a single internal
+    barrier (the commit becomes a buffer-role swap), halving
+    [pool.regions] and [pool.barrier_waits]; bit-identical to the classic
+    schedule.  [post_io] declares the post-step callbacks' reads/writes
+    for the legality check — without it, problems with post-steps keep
+    the classic schedule. *)
+
+val fused_schedule_ok : ?post_io:Dataflow.callback_io -> Problem.t -> bool
+(** Whether the fused step-pair schedule is legal for this problem:
+    [opt_level >= O1], forward Euler, no pre-step callbacks, every
+    expression boundary condition of the unknown closed (no entity
+    references), and declared post-step writes neither the unknown nor
+    any field the surface term reads at the neighbouring cell. *)
+
+val make_parity : Lower.state -> Lower.state
+(** The B-parity of a worker state: unknown binding moved onto the
+    [u_new] storage and the double buffer onto the [u] storage, so a
+    sweep of the parity state is the "odd" step of the fused schedule.
+    Clock and step refs are shared with the worker. *)
 
 val run_threaded_respawn : Problem.t -> ndomains:int -> result
 (** The pre-pool executor, kept as a benchmark baseline: domains are

@@ -107,12 +107,12 @@ let run_single ?post_io ?(info = Lower.serial_rankinfo)
      slice per rank in multi-device runs.  The flattened thread space
      covers cells x owned components, as the paper's "flatten all of the
      loops and distribute each degree of freedom to separate threads". *)
+  let nd =
+    match host.Lower.uvar.Entity.vindices with
+    | first :: _ -> Entity.index_extent first
+    | [] -> 1
+  in
   let owned_comps =
-    let nd =
-      match host.Lower.uvar.Entity.vindices with
-      | first :: _ -> Entity.index_extent first
-      | [] -> 1
-    in
     match info.Lower.index_ranges with
     | [] -> Array.init ncomp (fun c -> c)
     | (_, (off, len)) :: _ ->
@@ -121,10 +121,23 @@ let run_single ?post_io ?(info = Lower.serial_rankinfo)
   in
   let n_owned = Array.length owned_comps in
   let nthreads = ncells * n_owned in
-  let make_kernel (dstate : Lower.state) =
+  (* Launch batching (the IR-level Opt.batch_band_kernels rewrite,
+     mirrored here): O1/O2 launch ONE batched cells×dirs×bands kernel per
+     step; O0 keeps the naive per-band shape — one cells×dirs launch per
+     owned slow-index value, each paying the modelled launch overhead.
+     Per-DOF updates are independent, so any split of the thread space is
+     bit-identical; with at most one declared index the shapes coincide. *)
+  let comp_chunks =
+    match p.Problem.opt_level with
+    | Config.O0 when n_owned > nd && n_owned mod nd = 0 ->
+      Array.init (n_owned / nd) (fun k -> Array.sub owned_comps (k * nd) nd)
+    | _ -> [| owned_comps |]
+  in
+  let make_kernel (dstate : Lower.state) (chunk : int array) =
+    let n_chunk = Array.length chunk in
     Gpu_sim.Kernel.make ~name:"interior_update" ~cost:interior_cost (fun tid ->
-        let cell = tid / n_owned and slot = tid mod n_owned in
-        let comp = owned_comps.(slot) in
+        let cell = tid / n_chunk and slot = tid mod n_chunk in
+        let comp = chunk.(slot) in
         let env = dstate.Lower.env in
         env.Eval.cell <- cell;
         Lower.set_ivals_of_comp dstate comp;
@@ -134,8 +147,17 @@ let run_single ?post_io ?(info = Lower.serial_rankinfo)
         in
         Fvm.Field.set dstate.Lower.u_new cell comp v)
   in
-  let kernels = Array.map make_kernel dstates in
-  let kernel = kernels.(0) in
+  (* per unknown buffer: one kernel per chunk *)
+  let kernels =
+    Array.map (fun ds -> Array.map (make_kernel ds) comp_chunks) dstates
+  in
+  let launch_step stream (parity : int) =
+    Array.iteri
+      (fun i k ->
+        Gpu_sim.Stream.kernel stream clock k
+          ~nthreads:(ncells * Array.length comp_chunks.(i)) ())
+      kernels.(parity)
+  in
   (* boundary contribution accumulator on the host *)
   let u_bdry = Fvm.Field.create ~name:"u_bdry" ~ncells ~ncomp () in
   let b = host.Lower.breakdown in
@@ -222,7 +244,7 @@ let run_single ?post_io ?(info = Lower.serial_rankinfo)
       if lag > 0. then Prt.Breakdown.record b Prt.Breakdown.Communication lag;
       Gpu_sim.Stream.join stream copy;
       Eval.bump_epoch dstates.(parity).Lower.env;
-      Gpu_sim.Stream.kernel stream clock kernels.(parity) ~nthreads ();
+      launch_step stream parity;
       (* 2. download of this step's result, enqueued on the copy stream
          behind the kernel — in flight during the boundary host work *)
       Gpu_sim.Stream.join copy stream;
@@ -269,7 +291,7 @@ let run_single ?post_io ?(info = Lower.serial_rankinfo)
          directly (outside iterate_dofs), so invalidate its tape caches
          here: device fields changed since the last launch. *)
       Eval.bump_epoch dstate.Lower.env;
-      Gpu_sim.Stream.kernel stream clock kernel ~nthreads ();
+      launch_step stream 0;
       (* 2. boundary contributions on the CPU, overlapping the kernel *)
       Prt.Breakdown.timed ~track b Prt.Breakdown.Boundary (fun () ->
           Fvm.Field.fill u_bdry 0.;

@@ -42,11 +42,12 @@ type t = {
   mutable stop : bool;
   mutable failure : exn option; (* first exception raised in a region *)
   mutable in_region : bool;
-  (* sense-reversing barrier over all [size] participants *)
+  (* sense-reversing barrier over all [size] participants; the sense is
+     atomic so late arrivers can spin on it without taking [bm] *)
   bm : Mutex.t;
   bc : Condition.t;
   mutable bar_waiting : int;
-  mutable bar_sense : bool;
+  bar_sense : bool Atomic.t;
 }
 
 let size t = t.size
@@ -100,7 +101,7 @@ let create ~size =
       bm = Mutex.create ();
       bc = Condition.create ();
       bar_waiting = 0;
-      bar_sense = false;
+      bar_sense = Atomic.make false;
     }
   in
   t.domains <- Array.init (size - 1) (fun i -> Domain.spawn (fun () -> worker t (i + 1)));
@@ -131,25 +132,56 @@ let run t f =
   Mutex.unlock t.m;
   match failure with Some exn -> raise exn | None -> ()
 
+(* Spin budget before a barrier participant parks on the condition
+   variable.  At solver region sizes the last arriver is typically only
+   microseconds away, so most of the measured barrier wait is futex
+   wakeup latency; spinning with exponential backoff (cpu_relax bursts of
+   doubling length) absorbs that common case and falls back to blocking
+   for the long tail, keeping idle pools cheap.  When the pool
+   oversubscribes the machine, spinning can only steal cycles from the
+   participant being waited for, so oversubscribed pools park
+   immediately. *)
+let spin_budget = 1 lsl 14
+let max_pause = 1 lsl 8
+
+let effective_spin_budget size =
+  if size >= Domain.recommended_domain_count () then 0 else spin_budget
+
 (* All [size] participants must call this the same number of times per
    region; calling it outside a region (or from a strict subset of the
-   participants) deadlocks, as a real barrier would. *)
+   participants) deadlocks, as a real barrier would.  No ABA hazard on
+   the spun-on sense: it cannot flip again until this participant
+   re-enters the barrier. *)
 let barrier t =
   if t.size > 1 then begin
     let t0 = if Metrics.enabled () then Unix.gettimeofday () else 0. in
     Mutex.lock t.bm;
-    let sense = t.bar_sense in
+    let sense = Atomic.get t.bar_sense in
     t.bar_waiting <- t.bar_waiting + 1;
     if t.bar_waiting = t.size then begin
       t.bar_waiting <- 0;
-      t.bar_sense <- not sense;
-      Condition.broadcast t.bc
+      Atomic.set t.bar_sense (not sense);
+      Condition.broadcast t.bc;
+      Mutex.unlock t.bm
     end
-    else
-      while t.bar_sense = sense do
-        Condition.wait t.bc t.bm
+    else begin
+      Mutex.unlock t.bm;
+      let budget = ref (effective_spin_budget t.size) and pause = ref 1 in
+      while Atomic.get t.bar_sense = sense && !budget > 0 do
+        for _ = 1 to !pause do
+          Domain.cpu_relax ()
+        done;
+        budget := !budget - !pause;
+        pause := min (!pause * 2) max_pause
       done;
-    Mutex.unlock t.bm;
+      if Atomic.get t.bar_sense = sense then begin
+        Mutex.lock t.bm;
+        while Atomic.get t.bar_sense = sense do
+          Condition.wait t.bc t.bm
+        done;
+        Mutex.unlock t.bm
+      end
+    end;
     if t0 > 0. then
       Metrics.observe m_barrier_wait ((Unix.gettimeofday () -. t0) *. 1e9)
   end

@@ -33,7 +33,13 @@ val run : t -> (int -> unit) -> unit
 
 val barrier : t -> unit
 (** Sense-reversing barrier over all participants of the current region.
-    Every participant must call it the same number of times. *)
+    Every participant must call it the same number of times.  Late
+    arrivers spin with exponential backoff before parking on the
+    condition variable, so short waits (the common case at solver region
+    sizes) avoid futex wakeup latency.  Pools that oversubscribe the
+    machine ([size >= Domain.recommended_domain_count ()]) park
+    immediately: there, spinning only steals cycles from the awaited
+    participant. *)
 
 val block : t -> int -> n:int -> int * int
 (** [block t rank ~n] is the [(offset, length)] contiguous block of

@@ -14,7 +14,10 @@ dune build bin/bte_lint.exe
 echo "== analyzer selftest (seeded-defect fixtures) =="
 ./_build/default/bin/bte_lint.exe --selftest
 
-echo "== scenario x backend x overlap lint matrix =="
-./_build/default/bin/bte_lint.exe
+echo "== scenario x backend x overlap lint matrix (naive IR, --opt 0) =="
+./_build/default/bin/bte_lint.exe --opt 0
 
-echo "check_ir: selftest and full lint matrix clean"
+echo "== scenario x backend x overlap lint matrix (optimized IR, --opt 2) =="
+./_build/default/bin/bte_lint.exe --opt 2
+
+echo "check_ir: selftest and full lint matrix clean at opt 0 and opt 2"

@@ -22,6 +22,7 @@ let () =
       Test_solver.suite;
       Test_bte_physics.suite;
       Test_bte_solver.suite;
+      Test_opt.suite;
       Test_perfmodel.suite;
       Test_fem.suite;
     ]
