@@ -310,32 +310,52 @@ let e11_rows () =
     Finch.Problem.set_target p target;
     (* post_io lets the threaded executor prove the fused step-pair
        schedule legal at the default opt level, as the CLI does *)
-    ignore (Finch.Solve.solve ~band_index:"b" ~post_io:Bte.Setup.post_io p)
+    Finch.Solve.solve ~band_index:"b" ~post_io:Bte.Setup.post_io p
   in
-  let t_serial_closure, () =
+  let t_serial_closure, o_serial_closure =
     wall (solve_with (Finch.Config.Cpu Finch.Config.Serial))
   in
-  let t_serial, () =
+  let t_serial, _ =
     wall
       (solve_with ~eval:Finch.Config.Tape (Finch.Config.Cpu Finch.Config.Serial))
+  in
+  (* generated-code evaluator: same serial solve through the compiled
+     kernel (warm cache after the first solve of the process) *)
+  let t_serial_native, o_serial_native =
+    wall
+      (solve_with ~eval:Finch.Config.Native
+         (Finch.Config.Cpu Finch.Config.Serial))
+  in
+  (* intensity-phase (sweep) seconds isolate the evaluator from the
+     temperature host callback, which every evaluator shares *)
+  let sweep_closure_s =
+    o_serial_closure.Finch.Solve.breakdown.Prt.Breakdown.intensity
+  in
+  let sweep_native_s =
+    o_serial_native.Finch.Solve.breakdown.Prt.Breakdown.intensity
   in
   let t_respawn, () =
     wall (fun p -> ignore (Finch.Target_cpu.run_threaded_respawn p ~ndomains))
   in
-  let t_pool, () =
+  let t_pool, _ =
     wall (solve_with (Finch.Config.Cpu (Finch.Config.Threaded ndomains)))
   in
-  let t_hybrid, () =
+  let t_pool_native, _ =
+    wall
+      (solve_with ~eval:Finch.Config.Native
+         (Finch.Config.Cpu (Finch.Config.Threaded ndomains)))
+  in
+  let t_hybrid, _ =
     wall (solve_with (Finch.Config.Cpu (Finch.Config.Hybrid (2, 2))))
   in
   (* the mesh-partitioned executor: exercises the halo-exchange path, so a
      metrics-enabled bench run reports real halo traffic *)
-  let t_cells, () =
+  let t_cells, _ =
     wall (solve_with (Finch.Config.Cpu (Finch.Config.Cell_parallel 2)))
   in
   (* same partitioned solve with the nonblocking exchange behind the
      interior sweep — numerically bit-identical (asserted by the tests) *)
-  let t_cells_ov, () =
+  let t_cells_ov, _ =
     wall
       (solve_with ~overlap:true (Finch.Config.Cpu (Finch.Config.Cell_parallel 2)))
   in
@@ -369,9 +389,37 @@ let e11_rows () =
           tape_c.Finch.Eval.flops ))
       st.Finch.Lower.tapes
   in
-  ( t_serial, t_serial_closure, t_respawn, t_pool, t_hybrid, t_cells,
-    t_cells_ov, t_gpu, ndomains ),
+  ( t_serial, t_serial_closure, t_serial_native, t_respawn, t_pool,
+    t_pool_native, t_hybrid, t_cells, t_cells_ov, t_gpu, ndomains,
+    (sweep_closure_s, sweep_native_s) ),
   tape_stats
+
+(* per-step runtime overhead of each serial evaluator across mesh sizes:
+   wall seconds divided by nsteps, so the fixed per-step cost (schedule
+   dispatch, and for native the one-off compile amortised away by the
+   cache) is visible against the sweep work as the mesh grows *)
+let e11_per_step () =
+  List.map
+    (fun (nx, nsteps) ->
+      let sc =
+        { Bte.Setup.small_hotspot with
+          Bte.Setup.nx; ny = nx; ndirs = 4; n_la_bands = 4; nsteps }
+      in
+      let wall eval =
+        let built = Bte.Setup.build sc in
+        let p = built.Bte.Setup.problem in
+        Finch.Problem.set_eval_mode p eval;
+        Finch.Problem.set_target p (Finch.Config.Cpu Finch.Config.Serial);
+        let t0 = Unix.gettimeofday () in
+        ignore (Finch.Solve.solve ~band_index:"b" ~post_io:Bte.Setup.post_io p);
+        Unix.gettimeofday () -. t0
+      in
+      let tc = wall Finch.Config.Closure in
+      let tn = wall Finch.Config.Native in
+      ( nx, nsteps,
+        tc /. float_of_int nsteps,
+        tn /. float_of_int nsteps ))
+    [ 8, 200; 16, 100; 32, 40 ]
 
 (* --opt variants: the same serial / pool / gpu solves with the optimizer
    level pinned, each with the runtime-counter deltas it produced (pool
@@ -391,9 +439,10 @@ let e11_opt_variants () =
   let ndomains = 4 in
   let cval name = Prt.Metrics.value (Prt.Metrics.counter name) in
   let bw () = Prt.Metrics.histogram "pool.barrier_wait_ns" in
-  let run label level target =
+  let run label eval level target =
     let built = Bte.Setup.build sc in
     let p = built.Bte.Setup.problem in
+    Finch.Problem.set_eval_mode p eval;
     Finch.Problem.set_opt_level p level;
     let r0 = cval "pool.regions" in
     let w0 = Prt.Metrics.hist_count (bw ()) in
@@ -417,29 +466,36 @@ let e11_opt_variants () =
       v_launches = cval "gpu.kernel_launches" - l0;
     }
   in
+  let closure = Finch.Config.Closure and native = Finch.Config.Native in
   let specs =
     [
-      "serial_opt0", Finch.Config.O0, `Cpu Finch.Config.Serial;
-      "serial_opt2", Finch.Config.O2, `Cpu Finch.Config.Serial;
-      ( "threaded_pool_opt0", Finch.Config.O0,
+      "serial_opt0", closure, Finch.Config.O0, `Cpu Finch.Config.Serial;
+      "serial_opt2", closure, Finch.Config.O2, `Cpu Finch.Config.Serial;
+      ( "serial_native_opt0", native, Finch.Config.O0,
+        `Cpu Finch.Config.Serial );
+      ( "serial_native_opt2", native, Finch.Config.O2,
+        `Cpu Finch.Config.Serial );
+      ( "threaded_pool_opt0", closure, Finch.Config.O0,
         `Cpu (Finch.Config.Threaded ndomains) );
-      ( "threaded_pool_opt1", Finch.Config.O1,
+      ( "threaded_pool_opt1", closure, Finch.Config.O1,
         `Cpu (Finch.Config.Threaded ndomains) );
-      ( "threaded_pool_opt2", Finch.Config.O2,
+      ( "threaded_pool_opt2", closure, Finch.Config.O2,
         `Cpu (Finch.Config.Threaded ndomains) );
-      "gpu_opt0", Finch.Config.O0, `Gpu;
-      "gpu_opt2", Finch.Config.O2, `Gpu;
+      ( "threaded_pool_native_opt2", native, Finch.Config.O2,
+        `Cpu (Finch.Config.Threaded ndomains) );
+      "gpu_opt0", closure, Finch.Config.O0, `Gpu;
+      "gpu_opt2", closure, Finch.Config.O2, `Gpu;
     ]
   in
   (* wall times are best-of-5 (the counter deltas are deterministic and
      come from the first round): single solves at this scale see large
      scheduler noise, which would drown the schedule differences *)
-  let first = List.map (fun (l, lv, t) -> run l lv t) specs in
+  let first = List.map (fun (l, ev, lv, t) -> run l ev lv t) specs in
   List.fold_left
     (fun acc _ ->
       List.map2
-        (fun v (l, lv, t) ->
-          let again = run l lv t in
+        (fun v (l, ev, lv, t) ->
+          let again = run l ev lv t in
           { v with v_wall = min v.v_wall again.v_wall })
         acc specs)
     first [ 1; 2; 3; 4 ]
@@ -469,18 +525,33 @@ let e11 ~measured =
   let sc = e11_scenario in
   row "reduced scale %dx%d, %d dirs, %d steps; all rows real solves\n"
     sc.Bte.Setup.nx sc.Bte.Setup.ny sc.Bte.Setup.ndirs sc.Bte.Setup.nsteps;
-  let (ts, tsc, tr, tp, th, tc, tcov, tg, nd), tapes = e11_rows () in
+  let (ts, tsc, tsn, tr, tp, tpn, th, tc, tcov, tg, nd, (swc, swn)), tapes =
+    e11_rows ()
+  in
   row "  %-28s %8.3f s\n" "serial (tape)" ts;
   row "  %-28s %8.3f s\n" "serial (closure)" tsc;
+  row "  %-28s %8.3f s  (%.2fx vs closure)\n" "serial (native)" tsn (tsc /. tsn);
+  row "  %-28s %8.3f s -> %.3f s  (%.2fx; temperature callback excluded)\n"
+    "serial sweep phase" swc swn (swc /. swn);
   row "  %-28s %8.3f s\n" (Printf.sprintf "threads(%d) spawn-per-step" nd) tr;
   row "  %-28s %8.3f s  (%.2fx vs respawn)\n"
     (Printf.sprintf "threads(%d) persistent pool" nd)
     tp (tr /. tp);
+  row "  %-28s %8.3f s\n"
+    (Printf.sprintf "threads(%d) pool, native" nd)
+    tpn;
   row "  %-28s %8.3f s\n" "hybrid 2 ranks x 2 threads" th;
   row "  %-28s %8.3f s\n" "cells(2) SPMD + halo" tc;
   row "  %-28s %8.3f s  (bit-identical result)\n" "cells(2) overlap exchange"
     tcov;
   row "  %-28s %8.3f s\n" "gpu (simulated a6000)" tg;
+  row "\n  per-step overhead, serial closure vs native (wall_s / nsteps):\n";
+  List.iter
+    (fun (nx, nsteps, psc, psn) ->
+      row "  %-28s %8.5f s closure  %8.5f s native  (%.2fx, %d steps)\n"
+        (Printf.sprintf "%dx%d grid" nx nx)
+        psc psn (psc /. psn) nsteps)
+    (e11_per_step ());
   row "\n  --opt variants (optimizer level pinned, bit-identical results):\n";
   List.iter
     (fun v ->
@@ -519,8 +590,11 @@ let e11_json path =
      can embed the key runtime counters alongside the wall times *)
   Prt.Metrics.enable ();
   Prt.Metrics.reset_all ();
-  let (ts, tsc, tr, tp, th, tc, tcov, tg, nd), tapes = e11_rows () in
+  let (ts, tsc, tsn, tr, tp, tpn, th, tc, tcov, tg, nd, (swc, swn)), tapes =
+    e11_rows ()
+  in
   let variants = e11_opt_variants () in
+  let per_step = e11_per_step () in
   let variant l = List.find (fun v -> v.v_label = l) variants in
   let sc = e11_scenario in
   let oc = open_out path in
@@ -532,14 +606,35 @@ let e11_json path =
   p "  \"wall_s\": {\n";
   p "    \"serial_tape\": %.6f,\n" ts;
   p "    \"serial_closure\": %.6f,\n" tsc;
+  p "    \"serial_native\": %.6f,\n" tsn;
   p "    \"threaded_respawn\": %.6f,\n" tr;
   p "    \"threaded_pool\": %.6f,\n" tp;
+  p "    \"threaded_pool_native\": %.6f,\n" tpn;
   p "    \"hybrid_2x2\": %.6f,\n" th;
   p "    \"cells_spmd_2\": %.6f,\n" tc;
   p "    \"cells_spmd_2_overlap\": %.6f,\n" tcov;
   p "    \"gpu\": %.6f\n" tg;
   p "  },\n";
   p "  \"pool_speedup_vs_respawn\": %.4f,\n" (tr /. tp);
+  p "  \"serial_native_speedup_vs_closure\": %.4f,\n" (tsc /. tsn);
+  (* the intensity-phase seconds isolate the evaluators from the
+     temperature host callback, which every evaluator shares and which
+     bounds the full-solve ratio at this mesh size (Amdahl) *)
+  p "  \"serial_sweep_phase_s\": { \"closure\": %.6f, \"native\": %.6f },\n"
+    swc swn;
+  p "  \"serial_native_sweep_speedup\": %.4f,\n" (swc /. swn);
+  (* per-step runtime overhead of the serial evaluators across mesh sizes
+     (wall seconds / nsteps; the native rows run on a warm compile cache) *)
+  p "  \"per_step_s\": {\n";
+  List.iteri
+    (fun i (nx, nsteps, psc, psn) ->
+      p
+        "    \"%dx%d\": { \"nsteps\": %d, \"closure\": %.7f, \"native\": \
+         %.7f }%s\n"
+        nx nx nsteps psc psn
+        (if i = List.length per_step - 1 then "" else ","))
+    per_step;
+  p "  },\n";
   (* the --opt rows: same solves with the optimizer level pinned, each
      with the counter deltas it produced; opt1/opt2 threaded rows run the
      fused step-pair schedule (half the regions and barrier waits of
@@ -565,6 +660,12 @@ let e11_json path =
   p "  \"opt1_pool_speedup_vs_opt0\": %.4f,\n" (vp0.v_wall /. vp1.v_wall);
   p "  \"opt2_gpu_launch_reduction\": %.4f,\n"
     (1. -. (float_of_int vg2.v_launches /. float_of_int (max 1 vg0.v_launches)));
+  (* under the native evaluator the optimizer's schedule wins show up on
+     serial wall time (under the interpreter they sit below dispatch
+     overhead; see docs/OPTIMIZER.md) *)
+  let vn0 = variant "serial_native_opt0" and vn2 = variant "serial_native_opt2" in
+  p "  \"serial_native_opt2_speedup_vs_opt0\": %.4f,\n"
+    (vn0.v_wall /. vn2.v_wall);
   (* modelled paper-scale effect of the nonblocking exchange: the hidden
      seconds come straight off the cell-parallel per-step critical path *)
   let om = Bte.Perfmodel.cells_overlap ~p:20 () in
@@ -618,6 +719,9 @@ let e11_json path =
   p "    \"spmd.waits\": %d,\n" (c "spmd.waits");
   p "    \"cluster.p2p_time_ns\": %d,\n" (c "cluster.p2p_time_ns");
   p "    \"gpu.kernel_launches\": %d,\n" (c "gpu.kernel_launches");
+  p "    \"codegen.cache_hits\": %d,\n" (c "codegen.cache_hits");
+  p "    \"codegen.cache_misses\": %d,\n" (c "codegen.cache_misses");
+  p "    \"codegen.compile_ns\": %d,\n" (c "codegen.compile_ns");
   p "    \"opt.loops_fused\": %d,\n" (c "opt.loops_fused");
   p "    \"opt.steps_fused\": %d,\n" (c "opt.steps_fused");
   p "    \"opt.kernels_fused\": %d,\n" (c "opt.kernels_fused");
@@ -859,6 +963,8 @@ let () =
   in
   (match trace with Some _ -> Prt.Trace.enable () | None -> ());
   if metrics then Prt.Metrics.enable ();
+  (* the generated-code evaluator rows need the codegen backend wired in *)
+  Finch_codegen.Codegen.install ~post_io:Bte.Setup.post_io ();
   let finish_observability () =
     (match trace with
      | Some path ->

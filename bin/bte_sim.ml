@@ -75,14 +75,30 @@ let opt_t =
 let eval_mode_t =
   Arg.(
     value
-    & opt (enum [ "tape", Finch.Config.Tape; "closure", Finch.Config.Closure ])
+    & opt
+        (enum
+           [ "tape", Finch.Config.Tape; "closure", Finch.Config.Closure;
+             "native", Finch.Config.Native ])
         Finch.Config.Closure
     & info [ "eval" ] ~docv:"MODE"
         ~doc:
           "Right-hand-side evaluator: closure (plain closure tree, the \
-           default) or tape (register tape with CSE and invariant \
+           default), tape (register tape with CSE and invariant \
            hoisting; fewer executed ops, with per-evaluation cache \
-           bookkeeping).")
+           bookkeeping) or native (generated OCaml compiled to a shared \
+           object and dynlinked, behind a content-hash cache; falls back \
+           to closure with a warning when unavailable — see \
+           docs/CODEGEN.md).")
+
+let codegen_cache_dir_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "codegen-cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Directory for compiled native kernels (--eval native). \
+           Defaults to $(b,FINCH_CODEGEN_CACHE_DIR) or _build/finch_cache \
+           under the current directory.")
 
 let csv_t =
   Arg.(
@@ -181,7 +197,7 @@ let resolve_backend ~backend ~target =
   | None, None -> "serial"
 
 let run_cmd scenario nx ny ndirs nbands nsteps backend target overlap opt
-    eval_mode csv paper_scale trace metrics no_check sanitize =
+    eval_mode codegen_cache_dir csv paper_scale trace metrics no_check sanitize =
   let opt_level =
     match Finch.Config.opt_level_of_string opt with
     | Ok l -> l
@@ -212,6 +228,12 @@ let run_cmd scenario nx ny ndirs nbands nsteps backend target overlap opt
       base.Bte.Setup.sname base.Bte.Setup.nx base.Bte.Setup.ny base.Bte.Setup.ndirs
       (Bte.Dispersion.nbands built.Bte.Setup.disp)
       base.Bte.Setup.nsteps built.Bte.Setup.scenario.Bte.Setup.dt;
+    (* the codegen backend is always installed; it only engages when the
+       eval mode below is Native *)
+    (match codegen_cache_dir with
+     | Some d -> Finch_codegen.Codegen.set_cache_dir d
+     | None -> ());
+    Finch_codegen.Codegen.install ~post_io:Bte.Setup.post_io ();
     Finch.Problem.set_eval_mode built.Bte.Setup.problem eval_mode;
     Finch.Problem.set_overlap built.Bte.Setup.problem overlap;
     Finch.Problem.set_opt_level built.Bte.Setup.problem opt_level;
@@ -320,8 +342,9 @@ let run_cmd scenario nx ny ndirs nbands nsteps backend target overlap opt
 let run_term =
   Term.(
     const run_cmd $ scenario_t $ nx_t $ ny_t $ ndirs_t $ nbands_t $ nsteps_t
-    $ backend_t $ target_t $ overlap_t $ opt_t $ eval_mode_t $ csv_t
-    $ paper_scale_t $ trace_t $ metrics_t $ no_check_t $ sanitize_t)
+    $ backend_t $ target_t $ overlap_t $ opt_t $ eval_mode_t
+    $ codegen_cache_dir_t $ csv_t $ paper_scale_t $ trace_t $ metrics_t
+    $ no_check_t $ sanitize_t)
 
 let run_info =
   Cmd.info "run" ~doc:"Solve a BTE scenario with a chosen execution backend."

@@ -108,11 +108,17 @@ let target_of_string s =
   | _ -> fail ()
 
 (* How the equation's right-hand sides are executed: as a compiled closure
-   tree, or as a flat register tape with common-subexpression elimination
-   and loop-invariant caching (see Eval). *)
-type eval_mode = Closure | Tape
+   tree, as a flat register tape with common-subexpression elimination
+   and loop-invariant caching (see Eval), or as generated OCaml compiled
+   to a shared object and dynlinked (see lib/codegen; falls back to
+   closures with a warning when emission or the toolchain is
+   unavailable). *)
+type eval_mode = Closure | Tape | Native
 
-let eval_mode_name = function Closure -> "closure" | Tape -> "tape"
+let eval_mode_name = function
+  | Closure -> "closure"
+  | Tape -> "tape"
+  | Native -> "native"
 
 (* Optimization level of the IR middle end (see Opt in lib/opt) and of
    the matching executor schedules:

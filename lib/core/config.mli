@@ -48,9 +48,12 @@ val target_of_string : string -> (target, string) result
     [hybrid:R:D] is accepted as an alias).  [Error msg] describes the
     expected grammar on malformed input. *)
 
-(** How compiled right-hand sides are executed: closure tree, or flat
-    register tape with CSE and loop-invariant caching. *)
-type eval_mode = Closure | Tape
+(** How compiled right-hand sides are executed: closure tree, flat
+    register tape with CSE and loop-invariant caching, or generated
+    OCaml compiled and dynlinked behind a content-hash cache
+    (docs/CODEGEN.md; falls back to closures with a warning when the
+    toolchain or emission is unavailable). *)
+type eval_mode = Closure | Tape | Native
 
 val eval_mode_name : eval_mode -> string
 

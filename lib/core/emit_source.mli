@@ -1,7 +1,10 @@
-(** Readable source emission from the IR — the listings a Finch user would
-    inspect or hand-modify. Execution itself goes through the compiled
-    closures; these renderings are documentation-grade output, kept
-    faithful to the paper's pseudo-code sketches. *)
+(** Source emission from the IR and from lowered states.
+
+    [to_julia]/[to_cuda] are the documentation-grade listings a Finch
+    user would inspect or hand-modify.  [to_ocaml] is executable: it
+    renders a lowered program's sweep/commit/interior-DOF loop bodies as
+    an OCaml module that lib/codegen compiles to a shared object and
+    dynlinks (docs/CODEGEN.md). *)
 
 val to_julia : Ir.node -> string
 (** Julia-like CPU listing (the original Finch's native output style). *)
@@ -10,3 +13,40 @@ val to_cuda : Ir.node -> string
 (** CUDA-C-like hybrid listing: kernel body with thread-index
     decomposition and guard, host-side callback/combine steps, stream
     synchronization and memcpy annotations. *)
+
+exception Unsupported_native of string
+(** Raised by {!to_ocaml} when a program's closure semantics cannot be
+    reproduced in generated code (non-finite literals, face-context
+    symbols in the volume term, boundary conditions depending on loop
+    indices not derivable from the unknown's component, non-cell-major
+    storage); callers fall back to the closure interpreter. *)
+
+(** How the binder fills one constant slot at bind time: a [Const]
+    coefficient's value, or the element (at a 0-based offset) of an
+    indexed coefficient referenced at a literal index — the two value
+    classes [Eval.compile] bakes into closures, kept out of the source
+    text so the content-hash cache key is value-independent. *)
+type const_spec =
+  | Cs_coef of string
+  | Cs_arr_elem of string * int
+
+type ocaml_emission = {
+  oc_src : string;      (** complete module source, registers via Finch_ci *)
+  oc_fields : string list;
+      (** field slot order (the unknown's double buffer is appended by
+          the binder as the final slot) *)
+  oc_arrays : string list;  (** indexed-coefficient slot order *)
+  oc_fns : string list;     (** space-function coefficient slot order *)
+  oc_consts : const_spec list;  (** constant slot recipes *)
+}
+(** An executable emission: the source plus the positional slot tables
+    the binder resolves against a concrete state. *)
+
+val to_ocaml : Lower.state -> ocaml_emission
+(** Emit the full sweep/commit/interior-DOF bodies of a lowered state as
+    an OCaml module, arithmetic mirroring [Eval.compile] operation for
+    operation so generated results are bit-identical to the closure
+    interpreter.  The source depends only on program structure (never on
+    field or coefficient values), so its digest is a stable cache key.
+    @raise Unsupported_native when emission cannot preserve closure
+    semantics. *)

@@ -25,6 +25,17 @@ type rankinfo = {
 
 let serial_rankinfo = { rank = 0; nranks = 1; owned_cells = None; index_ranges = [] }
 
+(* Generated-code entry points for one state (lib/codegen).  When
+   present, [sweep]/[sweep_cells]/[commit]/[dof_rhs_interior] dispatch to
+   them instead of the closure interpreter; the generated bodies are
+   bit-identical by construction, so every executor schedule composes
+   unchanged. *)
+type native_entry = {
+  n_sweep : int array option -> unit;
+  n_commit : int array option -> unit;
+  n_dof_interior : int -> int -> float;
+}
+
 type state = {
   p : Problem.t;
   mesh : Fvm.Mesh.t;
@@ -51,11 +62,36 @@ type state = {
   (* tape handles behind rvol_f/rsurf_f when eval_mode = Tape, for op
      statistics; empty in closure mode *)
   tapes : (string * Eval.tape) list;
+  (* generated entry points, installed by the native-codegen hook when
+     eval_mode = Native and emission/compilation succeeded *)
+  mutable native : native_entry option;
 }
 
 and loop_entry =
   | Over_cells
   | Over_index of string * int (* extent (full); rank restriction applied at run time *)
+
+(* Core cannot depend on lib/codegen (which depends on core), so native
+   code generation reaches states through this hook: Finch_codegen
+   installs a function that emits, compiles/loads and binds a state,
+   returning its entry points (or None to fall back to the closures).
+   Only consulted when the problem's eval_mode is Native. *)
+let native_hook : (state -> native_entry option) ref = ref (fun _ -> None)
+let native_hook_installed = ref false
+
+let warned_no_hook = ref false
+
+let attach_native st =
+  match st.p.Problem.eval_mode with
+  | Config.Native ->
+    if !native_hook_installed then st.native <- !native_hook st
+    else if not !warned_no_hook then begin
+      warned_no_hook := true;
+      prerr_endline
+        "finch: warning: eval mode is native but no codegen backend is \
+         installed; falling back to the closure interpreter"
+    end
+  | Config.Closure | Config.Tape -> ()
 
 let field st name =
   match List.assoc_opt name st.fields with
@@ -145,7 +181,9 @@ let rec build ?(info = serial_rankinfo) ?share_with ?(private_clock = false)
   let env = Eval.make_env ~mesh ~dt ~time ~index_names in
   let compile_rhs name e =
     match p.Problem.eval_mode with
-    | Config.Closure -> Eval.compile bindings e, None
+    (* Native compiles the closures too: they are the fallback and serve
+       the boundary-term evaluation the generated code calls back into *)
+    | Config.Closure | Config.Native -> Eval.compile bindings e, None
     | Config.Tape ->
       let t = Eval.compile_tape bindings e in
       Eval.tape_compiled t, Some (name, t)
@@ -239,11 +277,13 @@ let rec build ?(info = serial_rankinfo) ?share_with ?(private_clock = false)
       loops;
       rvol_du_f;
       tapes;
+      native = None;
     }
   in
   (match share_with with
    | Some _ -> ()
    | None -> apply_initial_conditions st);
+  attach_native st;
   st
 
 and apply_initial_conditions st =
@@ -377,8 +417,13 @@ let sweep_dof st ~dt () =
   let v = Fvm.Field.get st.u cell c +. (dt *. dof_rhs st) in
   Fvm.Field.set st.u_new cell c v
 
-(* One forward-Euler sweep over the owned DOFs into the double buffer. *)
-let sweep st = iterate_dofs st (sweep_dof st ~dt:!(st.dt))
+(* One forward-Euler sweep over the owned DOFs into the double buffer.
+   A generated native entry replaces the whole loop nest (bit-identical
+   by construction), not just the expression evaluation. *)
+let sweep st =
+  match st.native with
+  | Some n -> n.n_sweep st.info.owned_cells
+  | None -> iterate_dofs st (sweep_dof st ~dt:!(st.dt))
 
 (* The same sweep restricted to [cells] (a subset of the owned cells).
    Per-DOF updates are independent, so sweeping disjoint subsets in any
@@ -386,14 +431,19 @@ let sweep st = iterate_dofs st (sweep_dof st ~dt:!(st.dt))
    executor sweep interior cells while ghost messages are in flight and
    frontier cells after they land. *)
 let sweep_cells st cells =
-  iterate_dofs_cells st ~cells:(Some cells) (sweep_dof st ~dt:!(st.dt))
+  match st.native with
+  | Some n -> n.n_sweep (Some cells)
+  | None -> iterate_dofs_cells st ~cells:(Some cells) (sweep_dof st ~dt:!(st.dt))
 
 (* Publish the double buffer: owned DOFs of u_new become current. *)
 let commit st =
-  iterate_dofs st (fun () ->
-      let cell = st.env.Eval.cell in
-      let c = st.ucomp () in
-      Fvm.Field.set st.u cell c (Fvm.Field.get st.u_new cell c))
+  match st.native with
+  | Some n -> n.n_commit st.info.owned_cells
+  | None ->
+    iterate_dofs st (fun () ->
+        let cell = st.env.Eval.cell in
+        let c = st.ucomp () in
+        Fvm.Field.set st.u cell c (Fvm.Field.get st.u_new cell c))
 
 let make_step_ctx st ~allreduce =
   {
@@ -463,7 +513,7 @@ let rebind (base : state) ~fields ~u_new =
   let env = Eval.make_env ~mesh ~dt:base.dt ~time:base.time ~index_names in
   let compile_rhs name e =
     match p.Problem.eval_mode with
-    | Config.Closure -> Eval.compile bindings e, None
+    | Config.Closure | Config.Native -> Eval.compile bindings e, None
     | Config.Tape ->
       let t = Eval.compile_tape bindings e in
       Eval.tape_compiled t, Some (name, t)
@@ -481,26 +531,37 @@ let rebind (base : state) ~fields ~u_new =
     in
     fun () -> List.fold_left (fun acc f -> acc + f ()) 0 pieces
   in
-  {
-    base with
-    fields;
-    u = List.assoc base.uvar.Entity.vname fields;
-    u_new;
-    env;
-    bindings;
-    rvol_f;
-    rsurf_f;
-    ucomp;
-    rvol_du_f = lazy (fst (compile_rhs "rvol_du" (Transform.rvol_linearization base.eq)));
-    tapes;
-    (* own accounting: sharing base's mutable breakdown record would make
-       aggregators that sum both states double-count every phase *)
-    breakdown = Prt.Breakdown.zero ();
-  }
+  let st' =
+    {
+      base with
+      fields;
+      u = List.assoc base.uvar.Entity.vname fields;
+      u_new;
+      env;
+      bindings;
+      rvol_f;
+      rsurf_f;
+      ucomp;
+      rvol_du_f = lazy (fst (compile_rhs "rvol_du" (Transform.rvol_linearization base.eq)));
+      tapes;
+      (* own accounting: sharing base's mutable breakdown record would make
+         aggregators that sum both states double-count every phase *)
+      breakdown = Prt.Breakdown.zero ();
+      (* re-derive generated entry points against the rebound storage *)
+      native = None;
+    }
+  in
+  attach_native st';
+  st'
 
 (* Volume term plus interior-face fluxes only; boundary faces contribute
    nothing (the CPU adds their part separately in the hybrid schedule). *)
-let dof_rhs_interior st =
+let rec dof_rhs_interior st =
+  match st.native with
+  | Some n -> n.n_dof_interior st.env.Eval.cell (st.ucomp ())
+  | None -> dof_rhs_interior_interp st
+
+and dof_rhs_interior_interp st =
   let env = st.env in
   let mesh = st.mesh in
   let cell = env.Eval.cell in

@@ -21,6 +21,20 @@ type rankinfo = {
 
 val serial_rankinfo : rankinfo
 
+(** Generated-code entry points for one state: whole loop bodies emitted
+    by [Emit_source.to_ocaml], compiled and bound by lib/codegen.  When a
+    state carries one, {!sweep}/{!sweep_cells}/{!commit}/
+    {!dof_rhs_interior} dispatch to it instead of the closure
+    interpreter; the generated bodies are bit-identical by construction,
+    so every executor schedule composes unchanged. *)
+type native_entry = {
+  n_sweep : int array option -> unit;
+      (** sweep the given cells ([None] = owned/all) into the buffer *)
+  n_commit : int array option -> unit;  (** publish the double buffer *)
+  n_dof_interior : int -> int -> float;
+      (** [n_dof_interior cell comp]: interior-face R for one DOF *)
+}
+
 type state = {
   p : Problem.t;
   mesh : Fvm.Mesh.t;
@@ -46,11 +60,24 @@ type state = {
   tapes : (string * Eval.tape) list;
     (** tape handles behind rvol_f/rsurf_f ("rvol"/"rsurf") when the
         problem's eval_mode is Tape, for op statistics; empty otherwise *)
+  mutable native : native_entry option;
+    (** generated entry points, set by the {!native_hook} when the
+        problem's eval_mode is Native and codegen succeeded *)
 }
 
 and loop_entry =
   | Over_cells
   | Over_index of string * int
+
+val native_hook : (state -> native_entry option) ref
+(** Backend hook consulted at state construction when eval_mode is
+    Native: core cannot depend on lib/codegen, so [Finch_codegen.install]
+    stores its emit-compile-load-bind pipeline here (returning [None]
+    falls back to the closure interpreter). *)
+
+val native_hook_installed : bool ref
+(** Set by the codegen backend alongside {!native_hook}; when false, a
+    Native-mode build warns once and falls back silently thereafter. *)
 
 val field : state -> string -> Fvm.Field.t
 val coef_exn : Problem.t -> string -> Entity.coefficient
@@ -75,6 +102,12 @@ val iterate_dofs : state -> (unit -> unit) -> unit
 val dof_rhs : state -> float
 (** R = rvol + (1/V) Σ_faces area·rsurf at the current DOF, boundary
     conditions applied (unconstrained boundary faces contribute zero). *)
+
+val boundary_term : state -> bc_resolved -> int -> int -> float
+(** [boundary_term st bc face cell]: one resolved boundary condition's
+    flux value at the current env state (Dirichlet specs evaluate rsurf
+    under a ghost accessor).  Exposed for the native-codegen binding,
+    whose generated sweeps call back into it per boundary face. *)
 
 val sweep : state -> unit
 (** Forward-Euler sweep of the owned DOFs into the double buffer. *)

@@ -25,6 +25,7 @@ exception Pool_error of string
    nanoseconds parked). *)
 let m_regions = Metrics.counter "pool.regions"
 let m_barrier_wait = Metrics.histogram "pool.barrier_wait_ns"
+let m_region_ns = Metrics.histogram "pool.region_ns"
 
 let traced rank f =
   if Trace.enabled () then Trace.span ~cat:"pool" (Trace.worker rank) "region" f
@@ -119,12 +120,14 @@ let run t f =
   Condition.broadcast t.work_ready;
   Mutex.unlock t.m;
   Metrics.incr m_regions;
+  let t0 = if Metrics.enabled () then Unix.gettimeofday () else 0. in
   (* the caller is participant 0 *)
   (try traced 0 (fun () -> f 0) with exn -> record_failure t exn);
   Mutex.lock t.m;
   while t.pending > 0 do
     Condition.wait t.work_done t.m
   done;
+  if t0 > 0. then Metrics.observe m_region_ns ((Unix.gettimeofday () -. t0) *. 1e9);
   t.job <- None;
   t.in_region <- false;
   let failure = t.failure in

@@ -7,10 +7,11 @@
     [n] spawns only [n - 1] domains.
 
     Instrumentation: each region executes under a [cat:"pool"] span on
-    the participant's ["pool worker R"] trace track, and barrier waits
-    feed the [pool.barrier_wait_ns] metrics histogram (see
-    [docs/OBSERVABILITY.md]); both are no-ops unless {!Trace.enable} /
-    {!Metrics.enable} was called. *)
+    the participant's ["pool worker R"] trace track, barrier waits feed
+    the [pool.barrier_wait_ns] metrics histogram, and rank 0's wall time
+    per region (body plus the wait for the last worker) feeds
+    [pool.region_ns] (see [docs/OBSERVABILITY.md]); all are no-ops
+    unless {!Trace.enable} / {!Metrics.enable} was called. *)
 
 exception Pool_error of string
 (** Raised on misuse: zero size, nested regions, or running a pool that

@@ -20,4 +20,35 @@ echo "== scenario x backend x overlap lint matrix (naive IR, --opt 0) =="
 echo "== scenario x backend x overlap lint matrix (optimized IR, --opt 2) =="
 ./_build/default/bin/bte_lint.exe --opt 2
 
-echo "check_ir: selftest and full lint matrix clean at opt 0 and opt 2"
+echo "== native codegen smoke test (cold compile, then warm cache) =="
+dune build bin/bte_sim.exe
+cache_dir=$(mktemp -d)
+trap 'rm -rf "$cache_dir"' EXIT
+# cold: compiles the kernel into the fresh cache (cache_misses >= 1)
+./_build/default/bin/bte_sim.exe run --nx 6 --ny 6 --dirs 4 --bands 3 \
+  --steps 10 --eval native --codegen-cache-dir "$cache_dir" --metrics \
+  > /tmp/check_ir_native_cold.$$ 2>&1
+grep -q 'codegen.cache_misses.*[1-9]' /tmp/check_ir_native_cold.$$ || {
+  echo "check_ir: cold native run did not compile a kernel"
+  cat /tmp/check_ir_native_cold.$$
+  rm -f /tmp/check_ir_native_cold.$$
+  exit 1
+}
+rm -f /tmp/check_ir_native_cold.$$
+ls "$cache_dir"/finch_kernel_*.cmxs > /dev/null || {
+  echo "check_ir: no compiled kernel persisted in the cache dir"
+  exit 1
+}
+# warm: a second process must load from disk without recompiling
+./_build/default/bin/bte_sim.exe run --nx 6 --ny 6 --dirs 4 --bands 3 \
+  --steps 10 --eval native --codegen-cache-dir "$cache_dir" --metrics \
+  > /tmp/check_ir_native_warm.$$ 2>&1
+grep -q 'codegen.cache_misses.*0$' /tmp/check_ir_native_warm.$$ || {
+  echo "check_ir: warm native run recompiled instead of hitting the cache"
+  cat /tmp/check_ir_native_warm.$$
+  rm -f /tmp/check_ir_native_warm.$$
+  exit 1
+}
+rm -f /tmp/check_ir_native_warm.$$
+
+echo "check_ir: selftest, full lint matrix (opt 0 and 2) and native codegen cache clean"

@@ -10,7 +10,8 @@ set -eu
 cd "$(dirname "$0")/.."
 
 status=0
-for f in lib/prt/*.mli lib/gpu/*.mli lib/analysis/*.mli lib/fvm/*.mli lib/opt/*.mli; do
+for f in lib/prt/*.mli lib/gpu/*.mli lib/analysis/*.mli lib/fvm/*.mli \
+         lib/opt/*.mli lib/codegen/*.mli lib/codegen/iface/*.mli; do
   out=$(awk '
     function flush() {
       if (pending) {
@@ -30,6 +31,6 @@ for f in lib/prt/*.mli lib/gpu/*.mli lib/analysis/*.mli lib/fvm/*.mli lib/opt/*.
 done
 
 if [ "$status" -eq 0 ]; then
-  echo "check_mli_docs: every val in lib/prt, lib/gpu, lib/analysis, lib/fvm and lib/opt is documented"
+  echo "check_mli_docs: every val in lib/prt, lib/gpu, lib/analysis, lib/fvm, lib/opt and lib/codegen is documented"
 fi
 exit "$status"

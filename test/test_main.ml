@@ -25,4 +25,5 @@ let () =
       Test_opt.suite;
       Test_perfmodel.suite;
       Test_fem.suite;
+      Test_codegen.suite;
     ]
