@@ -513,8 +513,8 @@ let e11_measure ?(overlap = false) target =
    | Finch.Config.Cpu _ ->
      Finch.Problem.set_target p target;
      ignore (Finch.Solve.solve ~band_index:"b" p)
-   | Finch.Config.Gpu { spec; ranks } ->
-     Finch.Problem.use_cuda ~spec ~ranks p;
+   | Finch.Config.Gpu { spec; devices; ranks } ->
+     Finch.Problem.use_cuda ~spec ~devices ~ranks p;
      ignore (Finch.Solve.solve ~post_io:Bte.Setup.post_io p));
   Unix.gettimeofday () -. t0
 
@@ -752,6 +752,206 @@ let e11_json path =
   row "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* E12: scripted strong-scaling campaign (scripts/run_scaling.sh)       *)
+(* ------------------------------------------------------------------ *)
+
+(* Sweeps every strategy of the performance model over the paper's rank
+   counts (up to 320) and writes BENCH_scaling.json: per-point modelled
+   run time, parallel efficiency relative to the series' first point,
+   and communication fraction, plus the derived headline numbers (GPU
+   speedup, DSL-vs-Fortran crossover, Amdahl ceiling of the band
+   strategy).  The emitter self-validates — out-of-range efficiencies or
+   communication fractions abort with a nonzero exit — so the CI smoke
+   step only has to run it. *)
+
+let scaling_ranks =
+  [ 1; 2; 4; 5; 8; 10; 16; 20; 32; 40; 55; 64; 80; 128; 160; 256; 320 ]
+
+type scal_row = {
+  sr_p : int;
+  sr_time : float;
+  sr_eff : float;   (* t(p0)*p0 / (t(p)*p), p0 = first swept point *)
+  sr_comm : float;  (* communication fraction of the modelled run *)
+}
+
+let scaling_series ~max_ranks =
+  let s = Bte.Perfmodel.paper_shape in
+  let ranks = List.filter (fun p -> p <= max_ranks) scaling_ranks in
+  let series name cap strat =
+    let rows =
+      List.filter (fun p -> p <= cap) ranks
+      |> List.map (fun p ->
+             let b = Bte.Perfmodel.run_breakdown (strat p) in
+             let pc = Prt.Breakdown.percentages b in
+             ( p,
+               Prt.Breakdown.total b,
+               pc.Prt.Breakdown.pct_communication /. 100. ))
+    in
+    match rows with
+    | [] -> name, []
+    | (p0, t0, _) :: _ ->
+      ( name,
+        List.map
+          (fun (p, t, cf) ->
+            { sr_p = p;
+              sr_time = t;
+              sr_eff = t0 *. float_of_int p0 /. (t *. float_of_int p);
+              sr_comm = cf })
+          rows )
+  in
+  let serial_at_1 mk p = if p = 1 then Bte.Perfmodel.Serial else mk p in
+  [ series "dsl_bands" s.Bte.Perfmodel.nbands
+      (serial_at_1 (fun p -> Bte.Perfmodel.Bands p));
+    series "dsl_cells" s.Bte.Perfmodel.ncells
+      (serial_at_1 (fun p -> Bte.Perfmodel.Cells p));
+    series "fortran" s.Bte.Perfmodel.nbands (fun p -> Bte.Perfmodel.Fortran p);
+    series "gpu" s.Bte.Perfmodel.nbands (fun p -> Bte.Perfmodel.Gpu p);
+    (* the 2-D decompositions: each band-parallel rank drives a grid of
+       devices tiling the cells (d2d ghosts over NVLink / host staging) *)
+    series "gpu_grid_4dev" s.Bte.Perfmodel.nbands
+      (fun p -> Bte.Perfmodel.Gpu_grid (4, p));
+    series "gpu_grid_8dev" s.Bte.Perfmodel.nbands
+      (fun p -> Bte.Perfmodel.Gpu_grid (8, p)) ]
+
+let scaling_validate series =
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("scaling: " ^ m); exit 1) fmt in
+  List.iter
+    (fun (name, rows) ->
+      if rows = [] then fail "series %s swept no rank counts" name;
+      List.iter
+        (fun r ->
+          if not (r.sr_time > 0.) then
+            fail "%s p=%d: non-positive run time %g" name r.sr_p r.sr_time;
+          if r.sr_eff <= 0. || r.sr_eff > 1.2 then
+            fail "%s p=%d: efficiency %g outside (0, 1.2]" name r.sr_p r.sr_eff;
+          if r.sr_comm < 0. || r.sr_comm > 1. then
+            fail "%s p=%d: communication fraction %g outside [0, 1]" name
+              r.sr_p r.sr_comm)
+        rows;
+      (* monotone-sane: scaling overheads only grow, so the last swept
+         point cannot be more efficient than the first *)
+      let first = List.hd rows and last = List.nth rows (List.length rows - 1) in
+      if List.length rows > 1 && last.sr_eff > first.sr_eff +. 1e-9 then
+        fail "%s: efficiency rises from %.3f (p=%d) to %.3f (p=%d)" name
+          first.sr_eff first.sr_p last.sr_eff last.sr_p)
+    series
+
+(* smallest swept p where [a] runs faster than [b]; None if never *)
+let crossover rows_a rows_b =
+  List.find_map
+    (fun ra ->
+      match List.find_opt (fun rb -> rb.sr_p = ra.sr_p) rows_b with
+      | Some rb when ra.sr_time < rb.sr_time -> Some ra.sr_p
+      | _ -> None)
+    rows_a
+
+let e12_scaling ?(max_ranks = 320) path =
+  section
+    (Printf.sprintf
+       "E12 - strong-scaling campaign to %d ranks (modelled, paper scale)"
+       max_ranks);
+  let s = Bte.Perfmodel.paper_shape in
+  let series = scaling_series ~max_ranks in
+  scaling_validate series;
+  let find name = List.assoc name series in
+  let bands = find "dsl_bands" and fortran = find "fortran" in
+  let cells = find "dsl_cells" and gpu = find "gpu" in
+  let xover_fortran = crossover bands fortran in
+  let gpu10 = List.find_opt (fun r -> r.sr_p = 10) gpu in
+  (* the paper's "roughly equal" best times: first cell-parallel point
+     within 15% of the 10-GPU run *)
+  let cells_matching_gpu10 =
+    match gpu10 with
+    | None -> None
+    | Some g ->
+      List.find_map
+        (fun r -> if r.sr_time <= 1.15 *. g.sr_time then Some r.sr_p else None)
+        cells
+  in
+  let cells320_over_gpu10 =
+    match gpu10, List.find_opt (fun r -> r.sr_p = max_ranks) cells with
+    | Some g, Some c -> Some (c.sr_time /. g.sr_time)
+    | _ -> None
+  in
+  let headline = Bte.Perfmodel.gpu_speedup ~p:1 () in
+  (* Amdahl ceiling of the band strategy: the per-cell Newton solve runs
+     redundantly on every rank, so it bounds the achievable speedup *)
+  let t_serial = Bte.Perfmodel.run_time Bte.Perfmodel.Serial in
+  let amdahl_floor =
+    float_of_int (s.Bte.Perfmodel.nsteps * s.Bte.Perfmodel.ncells)
+    *. Bte.Perfmodel.default.Bte.Perfmodel.newton_cell_time
+  in
+  let amdahl_ceiling = t_serial /. amdahl_floor in
+  row "%-16s %6s %12s %12s %10s\n" "series" "p" "time [s]" "efficiency"
+    "comm";
+  List.iter
+    (fun (name, rows) ->
+      List.iter
+        (fun r ->
+          row "%-16s %6d %12.1f %11.1f%% %9.1f%%\n" name r.sr_p r.sr_time
+            (100. *. r.sr_eff) (100. *. r.sr_comm))
+        rows)
+    series;
+  row "\nGPU vs equal-partition CPU at p=1: %.1fx (paper: ~18x)\n" headline;
+  (match xover_fortran with
+   | Some p ->
+     row "DSL band strategy overtakes the Fortran reference at p=%d\n" p
+   | None -> row "DSL band strategy never overtakes Fortran in this sweep\n");
+  (match cells_matching_gpu10, gpu10 with
+   | Some p, Some g ->
+     row
+       "cells(%d) comes within 15%% of the 10-GPU run (%.1f s) — the paper's \
+        \"roughly equal\" best times\n"
+       p g.sr_time
+   | _ -> ());
+  row "Amdahl ceiling of the band strategy: %.0fx (redundant Newton floor %.1f s)\n"
+    amdahl_ceiling amdahl_floor;
+  (* ---- JSON ---- *)
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"campaign\": \"strong-scaling\",\n";
+  p "  \"max_ranks\": %d,\n" max_ranks;
+  p "  \"shape\": { \"ncells\": %d, \"ndirs\": %d, \"nbands\": %d, \"nsteps\": %d },\n"
+    s.Bte.Perfmodel.ncells s.Bte.Perfmodel.ndirs s.Bte.Perfmodel.nbands
+    s.Bte.Perfmodel.nsteps;
+  p "  \"series\": {\n";
+  List.iteri
+    (fun i (name, rows) ->
+      p "    \"%s\": [\n" name;
+      List.iteri
+        (fun j r ->
+          p
+            "      { \"p\": %d, \"time_s\": %.4f, \"efficiency\": %.4f, \
+             \"comm_fraction\": %.4f }%s\n"
+            r.sr_p r.sr_time r.sr_eff r.sr_comm
+            (if j = List.length rows - 1 then "" else ","))
+        rows;
+      p "    ]%s\n" (if i = List.length series - 1 then "" else ","))
+    series;
+  p "  },\n";
+  p "  \"crossovers\": {\n";
+  p "    \"dsl_bands_beats_fortran_at_p\": %s,\n"
+    (match xover_fortran with Some v -> string_of_int v | None -> "null");
+  p "    \"cells_matching_gpu10_at_p\": %s\n"
+    (match cells_matching_gpu10 with
+     | Some v -> string_of_int v
+     | None -> "null");
+  p "  },\n";
+  p "  \"headlines\": {\n";
+  p "    \"gpu_speedup_1rank\": %.4f,\n" headline;
+  (match cells320_over_gpu10 with
+   | Some r -> p "    \"cells_max_over_gpu10_ratio\": %.4f,\n" r
+   | None -> ());
+  p "    \"amdahl_bands_floor_s\": %.4f,\n" amdahl_floor;
+  p "    \"amdahl_bands_ceiling_speedup\": %.4f\n" amdahl_ceiling;
+  p "  },\n";
+  p "  \"validated\": true\n";
+  p "}\n";
+  close_out oc;
+  row "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (bechamel)                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -945,6 +1145,8 @@ let () =
   in
   let trace, args = take_opt "--trace" [] args in
   let backend, args = take_opt "--backend" [] args in
+  let max_ranks, args = take_opt "--max-ranks" [] args in
+  let out, args = take_opt "--out" [] args in
   (match backend with
    | Some spec -> (
      match Finch.Config.target_of_string spec with
@@ -981,9 +1183,30 @@ let () =
   in
   let run_micro = List.mem "micro" selected in
   let run_ablate = List.mem "ablate" selected in
+  let run_scaling = List.mem "scaling" selected in
   let selected =
-    List.filter (fun a -> a <> "micro" && a <> "ablate") selected
+    List.filter
+      (fun a -> a <> "micro" && a <> "ablate" && a <> "scaling")
+      selected
   in
+  if run_scaling then begin
+    (* `bench/main.exe scaling [--max-ranks N] [--out PATH]`: the scripted
+       strong-scaling campaign (scripts/run_scaling.sh, CI smoke) *)
+    let max_ranks =
+      match max_ranks with
+      | Some v ->
+        (try
+           let n = int_of_string v in
+           if n < 1 then raise Exit else n
+         with _ ->
+           Printf.eprintf "error: --max-ranks expects a positive integer\n";
+           exit 2)
+      | None -> 320
+    in
+    e12_scaling ~max_ranks (Option.value out ~default:"BENCH_scaling.json");
+    finish_observability ();
+    exit 0
+  end;
   if json then begin
     (* `bench/main.exe --json`: just the measured executor comparison *)
     e11_json "BENCH_cpu.json";

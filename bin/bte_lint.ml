@@ -13,7 +13,7 @@ open Cmdliner
 
 let default_backends =
   [ "serial"; "threads:2"; "bands:2"; "cells:2"; "cells:4"; "hybrid:2x2";
-    "gpu"; "gpu:a6000:2" ]
+    "gpu"; "gpu:a6000:2"; "gpu:a6000:2x2" ]
 
 let backends_t =
   Arg.(

@@ -240,8 +240,8 @@ let run_cmd scenario nx ny ndirs nbands nsteps backend target overlap opt
     (match tgt with
      | Finch.Config.Cpu strategy ->
        Finch.Problem.set_target built.Bte.Setup.problem (Finch.Config.Cpu strategy)
-     | Finch.Config.Gpu { spec; ranks } ->
-       Finch.Problem.use_cuda ~spec ~ranks built.Bte.Setup.problem);
+     | Finch.Config.Gpu { spec; devices; ranks } ->
+       Finch.Problem.use_cuda ~spec ~devices ~ranks built.Bte.Setup.problem);
     (* static analysis of the generated program, on unless --no-check *)
     if not no_check then begin
       let report =

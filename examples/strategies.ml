@@ -33,7 +33,7 @@ let () =
       "cell-parallel (4)", Finch.Config.Cpu (Finch.Config.Cell_parallel 4);
       "threads (pool of 4)", Finch.Config.Cpu (Finch.Config.Threaded 4);
       "hybrid (2 ranks x 2)", Finch.Config.Cpu (Finch.Config.Hybrid (2, 2));
-      "hybrid CPU+GPU", Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; ranks = 1 } ]
+      "hybrid CPU+GPU", Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; devices = 1; ranks = 1 } ]
   in
   List.iter
     (fun (name, target) ->

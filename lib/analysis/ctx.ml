@@ -42,8 +42,11 @@ let of_problem ?post_io (p : Finch.Problem.t) =
         variables
   in
   let partitioned =
+    (* mesh-partitioned: cell-parallel CPU ranks, or a multi-device GPU
+       grid whose devices tile the cell axis *)
     match p.Finch.Problem.target with
     | Finch.Config.Cpu (Finch.Config.Cell_parallel _) -> true
+    | Finch.Config.Gpu { devices; _ } -> devices > 1
     | _ -> false
   in
   let cb_reads, cb_writes =

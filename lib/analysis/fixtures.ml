@@ -22,6 +22,7 @@ type fixture = {
 let ph = Ir.meta ~phase:Ir.Ph_intensity ()
 let ph_b = Ir.meta ~phase:Ir.Ph_boundary ()
 let ph_t = Ir.meta ~phase:Ir.Ph_temperature ()
+let ph_c = Ir.meta ~phase:Ir.Ph_communication ()
 
 (* u: per-cell unknown with an initial; s: global scalar; k: coefficient *)
 let ctx ?(partitioned = false) ?(cb_reads = []) ?(cb_writes = []) () =
@@ -142,6 +143,49 @@ let all =
         Ir.D2h { vars = [ "u" ]; every_step = false };
         Ir.Swap_buffers "u" ]
       [ Finding.Unsynced_download ];
+    fx "d2d-before-upload"
+      "the peer ghost push runs before any upload makes the variable \
+       device-resident"
+      [ Ir.D2d { vars = [ "u" ]; note = ph_c };
+        Ir.H2d { vars = [ "u" ]; every_step = false };
+        kernel [ flux ];
+        Ir.Stream_sync;
+        Ir.D2h { vars = [ "u" ]; every_step = false };
+        Ir.Swap_buffers "u" ]
+      [ Finding.Uncovered_device_read ];
+    fx "missing-ghost-push"
+      "a multi-device steps body re-uploads the unknown but never pushes \
+       tile-frontier ghosts between devices"
+      ~ctx:(ctx ~partitioned:true ())
+      [ Ir.H2d { vars = [ "u" ]; every_step = false };
+        Ir.Loop
+          { range = Ir.Steps;
+            body =
+              [ kernel [ flux ];
+                Ir.Boundary_cpu { var = "u"; note = ph_b };
+                Ir.Stream_sync;
+                Ir.D2h { vars = [ "u" ]; every_step = true };
+                Ir.Swap_buffers "u";
+                Ir.H2d { vars = [ "u" ]; every_step = true } ];
+            parallel = false } ]
+      [ Finding.Stale_ghost_read ];
+    fx "ghost-push-after-publish"
+      "the clean multi-device shape: per-step upload then peer ghost push \
+       after the publish (no findings expected)"
+      ~ctx:(ctx ~partitioned:true ())
+      [ Ir.H2d { vars = [ "u" ]; every_step = false };
+        Ir.Loop
+          { range = Ir.Steps;
+            body =
+              [ kernel [ flux ];
+                Ir.Boundary_cpu { var = "u"; note = ph_b };
+                Ir.Stream_sync;
+                Ir.D2h { vars = [ "u" ]; every_step = true };
+                Ir.Swap_buffers "u";
+                Ir.H2d { vars = [ "u" ]; every_step = true };
+                Ir.D2d { vars = [ "u" ]; note = ph_c } ];
+            parallel = false } ]
+      [];
   ]
 
 (* Run the analyzer over one fixture; returns (expected, found) code

@@ -127,6 +127,18 @@ let rec walk st path (n : Ir.node) =
     check_host_reads st path ("flux_update " ^ var)
       ((var :: Finch_symbolic.Expr.ref_names rvol)
        @ Finch_symbolic.Expr.ref_names rsurf)
+  | Ir.D2d { vars; _ } ->
+    (* the peer ghost push reads the owners' device copies: each listed
+       variable must be device-resident (freshly uploaded) when it runs,
+       or the neighbours receive stale ghosts *)
+    List.iter
+      (fun v ->
+        if not (SS.mem v st.device_valid) then
+          emit st ~var:v ~where:(at path "d2d") Finding.Uncovered_device_read
+            (Printf.sprintf
+               "peer ghost push of %s runs before any upload makes it \
+                device-resident: neighbours would receive stale values" v))
+      vars
   | Ir.Halo_exchange _ | Ir.Allreduce _ | Ir.Advance_time -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -174,10 +186,13 @@ let check_halo st path body =
       leaves
   in
   let halo_pos v =
+    (* either communication shape refreshes ghosts: the SPMD halo
+       exchange, or the multi-device peer copy *)
     List.find_map
       (fun (i, n) ->
         match n with
         | Ir.Halo_exchange { vars; _ } when List.mem v vars -> Some i
+        | Ir.D2d { vars; _ } when List.mem v vars -> Some i
         | _ -> None)
       leaves
   in

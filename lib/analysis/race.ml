@@ -43,7 +43,7 @@ let at path s = String.concat "/" (List.rev (s :: path))
 let rec collect (ctx : Ctx.t) ~multi (writes, nbr_reads) (n : Ir.node) =
   match n with
   | Ir.Comment _ | Ir.Boundary_cpu _ | Ir.Callback _ | Ir.Swap_buffers _
-  | Ir.Halo_exchange _ | Ir.Allreduce _ | Ir.H2d _ | Ir.D2h _
+  | Ir.Halo_exchange _ | Ir.Allreduce _ | Ir.H2d _ | Ir.D2h _ | Ir.D2d _
   | Ir.Stream_sync | Ir.Advance_time ->
     (writes, nbr_reads) (* host/communication nodes: flagged by Wellformed
                            when misplaced, no per-iteration footprint *)
@@ -132,7 +132,7 @@ let rec scan ctx path acc (n : Ir.node) =
   match n with
   | Ir.Comment _ | Ir.Assign _ | Ir.Flux_update _ | Ir.Boundary_cpu _
   | Ir.Callback _ | Ir.Swap_buffers _ | Ir.Halo_exchange _ | Ir.Allreduce _
-  | Ir.H2d _ | Ir.D2h _ | Ir.Stream_sync | Ir.Advance_time -> acc
+  | Ir.H2d _ | Ir.D2h _ | Ir.D2d _ | Ir.Stream_sync | Ir.Advance_time -> acc
   | Ir.Seq ns -> List.fold_left (scan ctx path) acc ns
   | Ir.Kernel { kname; body; _ } ->
     acc @ check_region ctx path (`Kernel kname) body

@@ -135,6 +135,13 @@ let rec walk st ~in_kernel path (n : Ir.node) =
   | Ir.D2h { vars; _ } ->
     if in_kernel then host_only st path "d2h"
     else check_reads st path "d2h" vars
+  | Ir.D2d { vars; note; _ } ->
+    (* issued by the host driver like every transfer *)
+    if in_kernel then host_only st path "d2d"
+    else begin
+      check_phase st path note "d2d";
+      check_reads st path "d2d" vars
+    end
   | Ir.Stream_sync -> if in_kernel then host_only st path "stream_sync"
   | Ir.Advance_time -> if in_kernel then host_only st path "advance_time"
 

@@ -35,6 +35,7 @@ type calib = {
      adds this fraction of the sweep time as waiting inside collectives *)
   sync_jitter : float;
   network : Prt.Cluster.network;
+  nvlink : Prt.Cluster.network;
   gpu : Gpu_sim.Spec.t;
   (* per-thread kernel cost annotation (same shape as the hybrid target) *)
   kernel_flops_per_dof : float;
@@ -51,6 +52,9 @@ let default = {
   fortran_temp_parallel = false;
   sync_jitter = 0.005;
   network = { Prt.Cluster.alpha = 2e-6; beta = 1. /. 0.5e9 };
+  (* A6000 NVLink 3 bridge: 56.25 GB/s per direction, same 2 us launch
+     latency the executable Topology model charges *)
+  nvlink = { Prt.Cluster.alpha = 2e-6; beta = 1. /. 56.25e9 };
   gpu = Gpu_sim.Spec.a6000;
   kernel_flops_per_dof = 124.;
   kernel_bytes_per_dof = 18.;
@@ -267,6 +271,63 @@ let step_gpu c s ~p =
   Prt.Breakdown.make ~intensity ~temperature:temp
     ~communication:(net_comm +. pcie) ()
 
+(* 2-D band x cell decomposition: [p] SPMD ranks split the bands (as in
+   [step_gpu]) and each rank drives [g] devices that tile the cells.
+   Per-device kernel and PCIe work shrink by the device count; the tile
+   frontier is refreshed every step by device-to-device peer copies —
+   NVLink inside a node, staged through host PCIe (both directions) when
+   the grid spills across [Gpu_sim.Topology.devices_per_node]. *)
+let step_gpu_grid c s ~g ~p =
+  if p > s.nbands then invalid_arg "Perfmodel: more ranks than bands";
+  if g > s.ncells then invalid_arg "Perfmodel: more devices than cells";
+  let mb = max_bands s p in
+  let mc = max_cells s g in
+  let comp = s.ndirs * mb in
+  let dev_dofs = mc * comp in
+  let kernel =
+    Gpu_sim.Spec.kernel_time c.gpu ~threads:dev_dofs
+      ~flops:(c.kernel_flops_per_dof *. float_of_int dev_dofs)
+      ~dram_bytes:(c.kernel_bytes_per_dof *. float_of_int dev_dofs)
+  in
+  let boundary =
+    float_of_int (s.boundary_faces * s.ndirs * mb) *. c.boundary_dof_time
+  in
+  (* the boundary callback overlaps the kernels, which run concurrently
+     across devices: the step's intensity cost is the busiest device *)
+  let intensity = Float.max kernel boundary in
+  let temp, net_comm = temp_band c s ~p in
+  (* per-device PCIe traffic: the owned slice both ways plus the Io/beta
+     refresh, all concurrent across devices (critical path = busiest) *)
+  let slice_bytes = 8 * dev_dofs in
+  let io_bytes = 2 * 8 * mc * mb in
+  let pcie =
+    Gpu_sim.Spec.transfer_time c.gpu ~bytes:slice_bytes (* D2H of I *)
+    +. Gpu_sim.Spec.transfer_time c.gpu ~bytes:slice_bytes (* H2D of I *)
+    +. Gpu_sim.Spec.transfer_time c.gpu ~bytes:io_bytes    (* H2D Io, beta *)
+  in
+  let d2d =
+    if g = 1 then 0.
+    else begin
+      let ifc = interface_cells s ~p:g in
+      let bytes = ifc * comp * 8 in
+      (* four frontier neighbours, a quarter of the interface each; the
+         fraction of tile boundaries that are also node boundaries goes
+         through host staging at twice the PCIe cost *)
+      let dpn = Gpu_sim.Topology.devices_per_node in
+      let nnodes = (g + dpn - 1) / dpn in
+      let cross =
+        if nnodes <= 1 then 0.
+        else float_of_int (nnodes - 1) /. float_of_int (g - 1)
+      in
+      let msg = bytes / 4 in
+      let nv = Prt.Cluster.p2p c.nvlink ~bytes:msg in
+      let staged = 2. *. Gpu_sim.Spec.transfer_time c.gpu ~bytes:msg in
+      4. *. (((1. -. cross) *. nv) +. (cross *. staged))
+    end
+  in
+  let comm = net_comm +. pcie +. d2d +. sync_wait c ~p ~compute:intensity in
+  Prt.Breakdown.make ~intensity ~temperature:temp ~communication:comm ()
+
 (* modelled communication/computation overlap for the cell-parallel
    strategy: the halo messages are posted nonblocking before the interior
    sweep (the owned cells no neighbour needs), so up to
@@ -314,6 +375,7 @@ type strategy =
   | Threads of int        (* shared-memory domain pool, one process *)
   | Hybrid of int * int   (* band-parallel ranks x pool threads *)
   | Gpu of int
+  | Gpu_grid of int * int (* devices per rank x band-parallel ranks *)
   | Fortran of int
 
 let step_breakdown ?(calib = default) ?(shape = paper_shape) strategy =
@@ -327,6 +389,9 @@ let step_breakdown ?(calib = default) ?(shape = paper_shape) strategy =
     if p = 1 then step_cpu_threads calib shape ~p:t
     else step_cpu_hybrid calib shape ~p ~t
   | Gpu p -> step_gpu calib shape ~p
+  | Gpu_grid (g, p) ->
+    if g = 1 then step_gpu calib shape ~p
+    else step_gpu_grid calib shape ~g ~p
   | Fortran p -> step_fortran calib shape ~p
 
 let run_breakdown ?calib ?(shape = paper_shape) strategy =

@@ -22,6 +22,9 @@ type calib = {
   sync_jitter : float;
     (** per-rank growth of collective waiting (imbalance/noise) *)
   network : Prt.Cluster.network;
+  nvlink : Prt.Cluster.network;
+    (** device-to-device peer-copy link inside a node (NVLink), used by
+        the {!Gpu_grid} tile-frontier ghost pushes *)
   gpu : Gpu_sim.Spec.t;
   kernel_flops_per_dof : float;
   kernel_bytes_per_dof : float;
@@ -52,6 +55,12 @@ type strategy =
   | Threads of int      (** shared-memory domain pool, one process *)
   | Hybrid of int * int (** band-parallel ranks x pool threads *)
   | Gpu of int          (** band partitioning, one device per rank *)
+  | Gpu_grid of int * int
+      (** [Gpu_grid (g, p)]: 2-D band x cell decomposition — [p]
+          band-parallel ranks, each driving [g] devices that tile the
+          cells; the tile frontier moves device-to-device over NVLink
+          (host-staged past {!Gpu_sim.Topology.devices_per_node}).
+          [Gpu_grid (1, p)] is exactly [Gpu p]. *)
   | Fortran of int
 
 type overlap_model = {

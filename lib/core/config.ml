@@ -44,9 +44,13 @@ type strategy =
 
 type target =
   | Cpu of strategy
-  | Gpu of { spec : Gpu_sim.Spec.t; ranks : int }
-    (* ranks > 1: band-parallel across multiple devices, one CPU process
-       per device, as in the paper's multi-GPU experiments *)
+  | Gpu of { spec : Gpu_sim.Spec.t; devices : int; ranks : int }
+    (* [ranks] SPMD processes, each driving [devices] simulated devices:
+       ranks partition the band axis (one CPU process per node as in the
+       paper's multi-GPU experiments), devices partition the cell axis
+       within a rank and exchange ghosts device-to-device over the
+       simulated NVLink/host-staging path.  devices = ranks = 1 is the
+       classic single-device target. *)
 
 (* Canonical backend spec strings.  [target_name] and [target_of_string]
    round-trip: parsing a printed name yields the same target, so the one
@@ -57,17 +61,18 @@ let target_name = function
   | Cpu (Band_parallel n) -> Printf.sprintf "bands:%d" n
   | Cpu (Threaded n) -> Printf.sprintf "threads:%d" n
   | Cpu (Hybrid (r, d)) -> Printf.sprintf "hybrid:%dx%d" r d
-  | Gpu { spec; ranks } ->
+  | Gpu { spec; devices; ranks } ->
     let name = String.lowercase_ascii spec.Gpu_sim.Spec.name in
-    if ranks = 1 then Printf.sprintf "gpu:%s" name
-    else Printf.sprintf "gpu:%s:%d" name ranks
+    if devices = 1 && ranks = 1 then Printf.sprintf "gpu:%s" name
+    else if devices = 1 then Printf.sprintf "gpu:%s:%d" name ranks
+    else Printf.sprintf "gpu:%s:%dx%d" name devices ranks
 
 let target_of_string s =
   let fail () =
     Error
       (Printf.sprintf
          "bad backend spec %S (expected \
-          serial|threads:N|bands:N|cells:N|hybrid:RxD|gpu[:NAME[:RANKS]])"
+          serial|threads:N|bands:N|cells:N|hybrid:RxD|gpu[:NAME[:RANKS|:GxR]])"
          s)
   in
   let pos_int x =
@@ -96,15 +101,27 @@ let target_of_string s =
     match pos_int r, pos_int d with
     | Some r, Some d -> Ok (Cpu (Hybrid (r, d)))
     | _ -> fail ())
-  | [ "gpu" ] -> Ok (Gpu { spec = Gpu_sim.Spec.a6000; ranks = 1 })
+  | [ "gpu" ] -> Ok (Gpu { spec = Gpu_sim.Spec.a6000; devices = 1; ranks = 1 })
   | [ "gpu"; name ] -> (
     match spec_of name with
-    | Some spec -> Ok (Gpu { spec; ranks = 1 })
+    | Some spec -> Ok (Gpu { spec; devices = 1; ranks = 1 })
     | None -> fail ())
   | [ "gpu"; name; r ] -> (
-    match spec_of name, pos_int r with
-    | Some spec, Some ranks -> Ok (Gpu { spec; ranks })
-    | _ -> fail ())
+    (* gpu:NAME:R — R band-parallel ranks, one device each;
+       gpu:NAME:GxR — G devices per rank (cell axis) x R ranks (bands) *)
+    match spec_of name with
+    | None -> fail ()
+    | Some spec -> (
+      match String.split_on_char 'x' r with
+      | [ r ] -> (
+        match pos_int r with
+        | Some ranks -> Ok (Gpu { spec; devices = 1; ranks })
+        | None -> fail ())
+      | [ g; r ] -> (
+        match pos_int g, pos_int r with
+        | Some devices, Some ranks -> Ok (Gpu { spec; devices; ranks })
+        | _ -> fail ())
+      | _ -> fail ()))
   | _ -> fail ()
 
 (* How the equation's right-hand sides are executed: as a compiled closure

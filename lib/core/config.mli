@@ -33,20 +33,26 @@ type strategy =
 
 type target =
   | Cpu of strategy
-  | Gpu of { spec : Gpu_sim.Spec.t; ranks : int }
+  | Gpu of { spec : Gpu_sim.Spec.t; devices : int; ranks : int }
+    (** [ranks] SPMD processes over the band axis, each driving
+        [devices] simulated devices over the cell axis; devices exchange
+        ghosts device-to-device (simulated NVLink within a node, host
+        staging across).  [devices = ranks = 1] is the single-device
+        target. *)
 
 val target_name : target -> string
 (** Canonical backend spec of a target: ["serial"], ["threads:N"],
-    ["bands:N"], ["cells:N"], ["hybrid:RxD"], ["gpu:NAME"] or
-    ["gpu:NAME:RANKS"].  Round-trips through {!target_of_string}. *)
+    ["bands:N"], ["cells:N"], ["hybrid:RxD"], ["gpu:NAME"],
+    ["gpu:NAME:RANKS"] or ["gpu:NAME:GxR"] (G devices per rank when
+    G > 1).  Round-trips through {!target_of_string}. *)
 
 val target_of_string : string -> (target, string) result
 (** Parse a backend spec
-    [serial|threads:N|bands:N|cells:N|hybrid:RxD|gpu[:NAME[:RANKS]]]
+    [serial|threads:N|bands:N|cells:N|hybrid:RxD|gpu[:NAME[:RANKS|:GxR]]]
     (case-insensitive; GPU names as accepted by {!Gpu_sim.Spec.by_name},
-    defaulting to [a6000] with one rank; the legacy spelling
-    [hybrid:R:D] is accepted as an alias).  [Error msg] describes the
-    expected grammar on malformed input. *)
+    defaulting to [a6000] with one device and one rank; the legacy
+    spellings [hybrid:R:D] and [gpu:NAME:1xR] are accepted as aliases).
+    [Error msg] describes the expected grammar on malformed input. *)
 
 (** How compiled right-hand sides are executed: closure tree, flat
     register tape with CSE and loop-invariant caching, or generated

@@ -72,6 +72,11 @@ let rec julia buf depth node =
     line
       (Printf.sprintf "copyto!(host, (%s))%s" (String.concat ", " vars)
          (if every_step then "  # every step" else "  # once"))
+  | Ir.D2d { vars; note } ->
+    Option.iter (fun c -> line ("# " ^ c)) note.Ir.m_comment;
+    line
+      (Printf.sprintf "copyto_peer!(neighbour_ghosts, (%s))"
+         (String.concat ", " vars))
   | Ir.Stream_sync -> line "CUDA.synchronize()"
   | Ir.Advance_time -> line "time += dt"
 
@@ -145,6 +150,12 @@ let rec cuda buf depth node =
       (Printf.sprintf "cudaMemcpyAsync(host, dev, {%s}, D2H);%s"
          (String.concat ", " vars)
          (if every_step then "  // every step" else "  // once"))
+  | Ir.D2d { vars; note } ->
+    Option.iter (fun c -> line ("// " ^ c)) note.Ir.m_comment;
+    line
+      (Printf.sprintf
+         "cudaMemcpyPeerAsync(ghosts_on_neighbour, {%s});  // NVLink"
+         (String.concat ", " vars))
   | Ir.Stream_sync -> line "cudaStreamSynchronize(stream);"
   | Ir.Advance_time -> line "time += dt;"
 

@@ -54,6 +54,10 @@ type node =
   | Kernel of { kname : string; body : node list; note : meta }
   | H2d of { vars : string list; every_step : bool }
   | D2h of { vars : string list; every_step : bool }
+  | D2d of { vars : string list; note : meta }
+    (* multi-device ghost push: owner devices peer-copy the listed
+       variables' tile-frontier cells into their neighbours' ghost
+       regions (NVLink within a node, host-staged across) *)
   | Stream_sync
   | Advance_time
 
@@ -64,7 +68,7 @@ let rec fold f acc n =
   | Seq ns | Loop { body = ns; _ } | Kernel { body = ns; _ } ->
     List.fold_left (fold f) acc ns
   | Comment _ | Assign _ | Flux_update _ | Boundary_cpu _ | Callback _
-  | Swap_buffers _ | Halo_exchange _ | Allreduce _ | H2d _ | D2h _
+  | Swap_buffers _ | Halo_exchange _ | Allreduce _ | H2d _ | D2h _ | D2d _
   | Stream_sync | Advance_time -> acc
 
 (* Variables read / written by a node tree, for the dataflow and static
@@ -85,6 +89,7 @@ let writes tree =
       | Allreduce { vars; _ }       (* reduced in place on every rank *)
       | H2d { vars; _ }             (* device copies refreshed *)
       | D2h { vars; _ }             (* host copies refreshed *)
+      | D2d { vars; _ }             (* peer ghost regions overwritten *)
         -> vars @ acc
       | Comment _ | Seq _ | Loop _ | Kernel _ | Callback _ | Stream_sync
       | Advance_time -> acc)
@@ -105,6 +110,7 @@ let reads tree =
       | Allreduce { vars; _ }     (* local contributions enter the sum *)
       | H2d { vars; _ }           (* host copies are the transfer source *)
       | D2h { vars; _ }           (* device copies are the transfer source *)
+      | D2d { vars; _ }           (* owners' frontier values are packed *)
         -> vars @ acc
       | Comment _ | Seq _ | Loop _ | Kernel _ | Callback _ | Stream_sync
       | Advance_time -> acc)
@@ -246,6 +252,20 @@ let build_gpu (p : Problem.t) ~(transfers : (string * bool) list) =
       |> List.hd
     | _ -> kernel
   in
+  (* multi-device targets push tile-frontier ghosts device-to-device
+     after the owners' fresh per-step upload *)
+  let ghost_push =
+    match p.Problem.target with
+    | Config.Gpu { devices; _ } when devices > 1 ->
+      [ D2d
+          { vars = [ eq.Transform.eq_var ];
+            note =
+              meta
+                ~comment:
+                  "peer-copy tile-frontier ghosts between devices (NVLink)"
+                ~phase:Ph_communication () } ]
+    | _ -> []
+  in
   let body =
     [ interior;
       Boundary_cpu
@@ -256,8 +276,9 @@ let build_gpu (p : Problem.t) ~(transfers : (string * bool) list) =
       Comment "combine interior and boundary contributions";
       Swap_buffers eq.Transform.eq_var;
       Callback { which = `Post; note = meta ~comment:"post-step user code on the host" ~phase:Ph_temperature () };
-      H2d { vars = every_step; every_step = true };
-      Advance_time ]
+      H2d { vars = every_step; every_step = true } ]
+    @ ghost_push
+    @ [ Advance_time ]
   in
   Seq
     [ Comment "one-time uploads (initial values of every device input)";

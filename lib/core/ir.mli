@@ -48,6 +48,10 @@ type node =
   | Kernel of { kname : string; body : node list; note : meta }
   | H2d of { vars : string list; every_step : bool }
   | D2h of { vars : string list; every_step : bool }
+  | D2d of { vars : string list; note : meta }
+    (** multi-device ghost push: owner devices peer-copy the listed
+        variables' tile-frontier cells into their neighbours' ghost
+        regions (NVLink within a node, host staging across) *)
   | Stream_sync
   | Advance_time
 

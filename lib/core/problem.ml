@@ -138,8 +138,8 @@ let set_steps p ~dt ~nsteps =
   p.dt <- dt;
   p.nsteps <- nsteps
 
-let use_cuda ?(spec = Gpu_sim.Spec.a6000) ?(ranks = 1) p =
-  p.target <- Config.Gpu { spec; ranks }
+let use_cuda ?(spec = Gpu_sim.Spec.a6000) ?(devices = 1) ?(ranks = 1) p =
+  p.target <- Config.Gpu { spec; devices; ranks }
 
 let set_target p t = p.target <- t
 let set_eval_mode p m = p.eval_mode <- m

@@ -103,8 +103,11 @@ val solver_type : t -> Config.solver_type -> unit
 val time_stepper : t -> Config.time_stepper -> unit
 val set_steps : t -> dt:float -> nsteps:int -> unit
 
-val use_cuda : ?spec:Gpu_sim.Spec.t -> ?ranks:int -> t -> unit
-(** The paper's [useCUDA()]: switch code generation to the hybrid target. *)
+val use_cuda :
+  ?spec:Gpu_sim.Spec.t -> ?devices:int -> ?ranks:int -> t -> unit
+(** The paper's [useCUDA()]: switch code generation to the hybrid target.
+    [devices] simulated devices per rank partition the cell axis;
+    [ranks] SPMD ranks partition the band axis (both default to 1). *)
 
 val set_target : t -> Config.target -> unit
 

@@ -1,0 +1,67 @@
+(* 2-D band x cell decomposition for the multi-device GPU target.
+
+   Ranks partition the equation (band) axis into contiguous blocks — the
+   paper's MPI decomposition, one process per node — while the devices
+   of each rank partition the mesh (cell axis) by recursive coordinate
+   bisection.  Every rank uses the same cell tiling, so device g of every
+   rank owns the same cells (for its rank's band slice) and the
+   device-to-device ghost traffic is identical across ranks.  The halo
+   plan over the tiles names exactly which owned cells each device must
+   push to which neighbour after every step. *)
+
+type t = {
+  nranks : int;
+  ndevices : int;
+  part : Partition.t;
+  halo : Halo.t;
+}
+
+let build mesh ~ndevices ~nranks =
+  if ndevices < 1 then invalid_arg "Decomp2d.build: ndevices < 1";
+  if nranks < 1 then invalid_arg "Decomp2d.build: nranks < 1";
+  let part = Partition.rcb_mesh mesh ~nparts:ndevices in
+  let halo = Halo.build mesh part in
+  { nranks; ndevices; part; halo }
+
+let owned_cells t g = Partition.cells_of_rank t.part g
+
+let band_range t ~nbands rank =
+  Partition.block_range ~nitems:nbands ~nparts:t.nranks rank
+
+(* The directed ghost edges between device tiles: (src, dst, cells) with
+   [cells] owned by [src] and ghosts on [dst]. *)
+let d2d_edges t =
+  List.concat_map
+    (fun g ->
+      List.map
+        (fun (e : Halo.exchange) -> (e.from_rank, e.to_rank, e.cells))
+        (Halo.sends_of t.halo g))
+    (List.init t.ndevices Fun.id)
+
+(* Contiguous (offset, length) element runs of a sorted cell set under
+   the Cell_major layout: cell c occupies elements [c*ncomp, (c+1)*ncomp).
+   Adjacent cells merge into one run, so a block of cells moves as a
+   single packed copy. *)
+let cell_runs ~cells ~ncomp =
+  let cells = Array.copy cells in
+  Array.sort compare cells;
+  let runs = ref [] in
+  let start = ref (-1) and len = ref 0 in
+  Array.iter
+    (fun c ->
+      if !len > 0 && c = !start + !len then incr len
+      else begin
+        if !len > 0 then runs := (!start * ncomp, !len * ncomp) :: !runs;
+        start := c;
+        len := 1
+      end)
+    cells;
+  if !len > 0 then runs := (!start * ncomp, !len * ncomp) :: !runs;
+  List.rev !runs
+
+(* Total cells crossing tile cuts per exchange round (sum of send-list
+   lengths) — the per-step d2d payload in cells. *)
+let interface_cells t =
+  List.fold_left
+    (fun acc (_, _, cells) -> acc + Array.length cells)
+    0 (d2d_edges t)

@@ -1,0 +1,44 @@
+(** 2-D band x cell decomposition for the multi-device GPU target.
+
+    SPMD ranks partition the equation (band) axis into contiguous blocks
+    — the paper's one-process-per-node MPI decomposition — while the
+    devices of each rank partition the mesh (cell axis) by recursive
+    coordinate bisection.  Every rank reuses the same cell tiling, so
+    the device-to-device ghost traffic is identical across ranks and the
+    halo plan over tiles doubles as the per-device exchange schedule. *)
+
+type t = {
+  nranks : int;  (** ranks over the band axis *)
+  ndevices : int;  (** devices per rank over the cell axis *)
+  part : Partition.t;  (** the cell tiling shared by every rank *)
+  halo : Halo.t;  (** ghost-exchange plan between device tiles *)
+}
+(** One decomposition: band blocks x cell tiles. *)
+
+val build : Mesh.t -> ndevices:int -> nranks:int -> t
+(** Tile the mesh into [ndevices] parts (RCB over centroids) and derive
+    the tile halo plan.  Raises [Invalid_argument] when either count is
+    below 1. *)
+
+val owned_cells : t -> int -> int array
+(** Cells owned by device tile [g], ascending. *)
+
+val band_range : t -> nbands:int -> int -> int * int
+(** [(offset, length)] of a rank's contiguous band slice, consistent
+    with {!Partition.block_range}. *)
+
+val d2d_edges : t -> (int * int * int array) list
+(** The directed ghost edges between device tiles as
+    [(src, dst, cells)]: [cells] are owned by tile [src] and ghosts on
+    tile [dst], exactly the cells a peer copy must push after each
+    step. *)
+
+val cell_runs : cells:int array -> ncomp:int -> (int * int) list
+(** Contiguous [(offset, length)] element runs covering a cell set under
+    the Cell_major field layout (cell [c] occupies elements
+    [c*ncomp .. (c+1)*ncomp - 1]); adjacent cells merge so blocks move
+    as single packed copies.  The input need not be sorted. *)
+
+val interface_cells : t -> int
+(** Total cells crossing tile cuts per exchange round (the sum of all
+    send-list lengths) — the per-step d2d payload in cells. *)

@@ -20,6 +20,7 @@ type device = {
   mutable buffers : buffer list;
   mutable bytes_h2d : int;
   mutable bytes_d2h : int;
+  mutable bytes_d2d : int;
   mutable transfer_time : float;   (* modelled seconds spent on PCIe *)
   mutable kernel_time : float;     (* modelled seconds of kernel execution *)
   mutable kernel_launches : int;
@@ -35,6 +36,7 @@ let create_device ?(id = 0) spec =
     buffers = [];
     bytes_h2d = 0;
     bytes_d2h = 0;
+    bytes_d2d = 0;
     transfer_time = 0.;
     kernel_time = 0.;
     kernel_launches = 0;
@@ -71,6 +73,8 @@ let bytes b = size b * 8
    busy time (kernels live on the stream track; see Stream). *)
 let m_h2d_bytes = Prt.Metrics.counter "gpu.h2d_bytes"
 let m_d2h_bytes = Prt.Metrics.counter "gpu.d2h_bytes"
+let m_d2d_bytes = Prt.Metrics.counter "gpu.d2d_bytes"
+let m_d2d_msgs = Prt.Metrics.counter "gpu.d2d_msgs"
 
 let dma_track dev =
   Prt.Trace.track ~pid:Prt.Trace.device_pid ~sort:(400 + dev.id)
@@ -109,9 +113,107 @@ let d2h dev b host =
   dev.transfer_time <- dev.transfer_time +. t;
   t
 
+(* Partial transfers: a list of (offset, length) element runs moved as
+   one packed operation — one latency, the runs' total bytes at PCIe
+   bandwidth — the way a real driver moves a packed ghost-region staging
+   buffer.  Data effects still copy each run individually. *)
+
+let runs_bytes runs =
+  8 * List.fold_left (fun acc (_, len) -> acc + len) 0 runs
+
+let check_runs name b runs =
+  List.iter
+    (fun (off, len) ->
+      if off < 0 || len < 0 || off + len > size b then
+        invalid_arg
+          (Printf.sprintf "Memory.%s: run (%d,%d) outside %s[%d]" name off
+             len b.label (size b)))
+    runs
+
+let trace_runs dev name b ~bytes:nbytes ~dur =
+  if Prt.Trace.enabled () then
+    Prt.Trace.span_at (dma_track dev) ~cat:"gpu"
+      (name ^ " " ^ b.label)
+      ~args:[ "bytes", float_of_int nbytes ]
+      ~ts_s:dev.transfer_time ~dur_s:dur
+
+let h2d_runs dev b host ~runs =
+  if Bigarray.Array1.dim host <> size b then
+    invalid_arg ("Memory.h2d_runs: size mismatch for " ^ b.label);
+  check_runs "h2d_runs" b runs;
+  List.iter
+    (fun (off, len) ->
+      if len > 0 then
+        Bigarray.Array1.blit
+          (Bigarray.Array1.sub host off len)
+          (Bigarray.Array1.sub b.device_data off len))
+    runs;
+  b.h2d_count <- b.h2d_count + 1;
+  let nbytes = runs_bytes runs in
+  let t = Spec.transfer_time dev.spec ~bytes:nbytes in
+  trace_runs dev "h2d" b ~bytes:nbytes ~dur:t;
+  Prt.Metrics.add m_h2d_bytes nbytes;
+  dev.bytes_h2d <- dev.bytes_h2d + nbytes;
+  dev.transfer_time <- dev.transfer_time +. t;
+  t
+
+let d2h_runs dev b host ~runs =
+  if Bigarray.Array1.dim host <> size b then
+    invalid_arg ("Memory.d2h_runs: size mismatch for " ^ b.label);
+  check_runs "d2h_runs" b runs;
+  List.iter
+    (fun (off, len) ->
+      if len > 0 then
+        Bigarray.Array1.blit
+          (Bigarray.Array1.sub b.device_data off len)
+          (Bigarray.Array1.sub host off len))
+    runs;
+  b.d2h_count <- b.d2h_count + 1;
+  let nbytes = runs_bytes runs in
+  let t = Spec.transfer_time dev.spec ~bytes:nbytes in
+  trace_runs dev "d2h" b ~bytes:nbytes ~dur:t;
+  Prt.Metrics.add m_d2h_bytes nbytes;
+  dev.bytes_d2h <- dev.bytes_d2h + nbytes;
+  dev.transfer_time <- dev.transfer_time +. t;
+  t
+
+(* Device-to-device copy (cudaMemcpyPeer): runs move from [src_buf] on
+   [src] to the same offsets of [dst_buf] on [dst], over NVLink when the
+   two global device ids share a node and staged through the host
+   otherwise (see Topology).  The modelled time lands on both devices'
+   transfer accounting — a peer copy occupies both ends. *)
+let d2d ~src ~src_buf ~dst ~dst_buf ~runs =
+  if size src_buf <> size dst_buf then
+    invalid_arg
+      (Printf.sprintf "Memory.d2d: size mismatch %s[%d] -> %s[%d]"
+         src_buf.label (size src_buf) dst_buf.label (size dst_buf));
+  check_runs "d2d" src_buf runs;
+  List.iter
+    (fun (off, len) ->
+      if len > 0 then
+        Bigarray.Array1.blit
+          (Bigarray.Array1.sub src_buf.device_data off len)
+          (Bigarray.Array1.sub dst_buf.device_data off len))
+    runs;
+  let nbytes = runs_bytes runs in
+  let p = Topology.path ~src:src.id ~dst:dst.id in
+  let t = Topology.d2d_time dst.spec p ~bytes:nbytes in
+  trace_runs dst
+    (Printf.sprintf "d2d[%s] gpu %d->%d" (Topology.path_name p) src.id
+       dst.id)
+    dst_buf ~bytes:nbytes ~dur:t;
+  Prt.Metrics.add m_d2d_bytes nbytes;
+  Prt.Metrics.incr m_d2d_msgs;
+  src.bytes_d2d <- src.bytes_d2d + nbytes;
+  dst.bytes_d2d <- dst.bytes_d2d + nbytes;
+  src.transfer_time <- src.transfer_time +. t;
+  dst.transfer_time <- dst.transfer_time +. t;
+  t
+
 let reset_counters dev =
   dev.bytes_h2d <- 0;
   dev.bytes_d2h <- 0;
+  dev.bytes_d2d <- 0;
   dev.transfer_time <- 0.;
   dev.kernel_time <- 0.;
   dev.kernel_launches <- 0;

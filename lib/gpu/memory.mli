@@ -22,7 +22,8 @@ type device = {
   mutable buffers : buffer list;  (** live allocations, newest first *)
   mutable bytes_h2d : int;  (** accumulated host-to-device traffic *)
   mutable bytes_d2h : int;  (** accumulated device-to-host traffic *)
-  mutable transfer_time : float;   (** modelled PCIe seconds *)
+  mutable bytes_d2d : int;  (** accumulated device-to-device traffic *)
+  mutable transfer_time : float;   (** modelled PCIe/NVLink seconds *)
   mutable kernel_time : float;     (** modelled kernel seconds *)
   mutable kernel_launches : int;  (** kernels launched since reset *)
   mutable flops : float;  (** accumulated modelled FLOPs *)
@@ -66,6 +67,34 @@ val d2h :
   (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t -> float
 (** Copy a device buffer back to host data, mirroring {!h2d} (metric
     [gpu.d2h_bytes]). *)
+
+val h2d_runs :
+  device -> buffer ->
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t ->
+  runs:(int * int) list -> float
+(** Partial {!h2d}: copy the [(offset, length)] element runs from the
+    host array into the same offsets of the buffer, modelled as one
+    packed transfer (one PCIe latency + the runs' total bytes).  Returns
+    the modelled seconds.  Raises [Invalid_argument] on size mismatch or
+    a run outside the buffer. *)
+
+val d2h_runs :
+  device -> buffer ->
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t ->
+  runs:(int * int) list -> float
+(** Partial {!d2h}, mirroring {!h2d_runs}. *)
+
+val d2d :
+  src:device -> src_buf:buffer -> dst:device -> dst_buf:buffer ->
+  runs:(int * int) list -> float
+(** Device-to-device copy of the [(offset, length)] element runs, the
+    simulator's [cudaMemcpyPeer]: data moves from [src_buf] to the same
+    offsets of [dst_buf], timed over NVLink when {!Topology.path} puts
+    the two device ids on one node and staged through the host
+    otherwise.  The modelled seconds land on both devices'
+    [transfer_time] and accumulate the [gpu.d2d_bytes]/[gpu.d2d_msgs]
+    metrics; returns the modelled seconds.  Raises [Invalid_argument]
+    when buffer sizes differ or a run falls outside them. *)
 
 val reset_counters : device -> unit
 (** Zero the device's profiler counters (allocations are kept). *)

@@ -19,6 +19,8 @@ type t = {
   kernel_launch_overhead : float; (* seconds per launch *)
   fp64_issue_efficiency : float;  (* achieved fraction of DP peak *)
   mem_efficiency : float;         (* achieved fraction of DRAM bandwidth *)
+  nvlink_bandwidth : float;       (* bytes/s, device <-> device, per dir *)
+  nvlink_latency : float;         (* seconds per d2d transfer *)
 }
 
 (* NVIDIA RTX A6000: 84 SMs, 38.7 TFLOPS FP32, FP64 = FP32/32, 768 GB/s. *)
@@ -34,6 +36,9 @@ let a6000 = {
   kernel_launch_overhead = 5e-6;
   fp64_issue_efficiency = 0.49;
   mem_efficiency = 0.8;
+  (* NVLink 3 bridge: 112.5 GB/s bidirectional = 56.25 GB/s per direction *)
+  nvlink_bandwidth = 56.25e9;
+  nvlink_latency = 2e-6;
 }
 
 (* NVIDIA A100 (SXM 40GB): 108 SMs, 9.7 TFLOPS FP64, 1555 GB/s HBM2. *)
@@ -49,6 +54,9 @@ let a100 = {
   kernel_launch_overhead = 5e-6;
   fp64_issue_efficiency = 0.49;
   mem_efficiency = 0.8;
+  (* NVLink 3 full mesh via NVSwitch: 600 GB/s bidir = 300 GB/s per dir *)
+  nvlink_bandwidth = 300e9;
+  nvlink_latency = 2e-6;
 }
 
 let by_name = function

@@ -17,6 +17,9 @@ type t = {
   kernel_launch_overhead : float; (** seconds per launch *)
   fp64_issue_efficiency : float;  (** achieved fraction of DP peak *)
   mem_efficiency : float;         (** achieved fraction of DRAM bandwidth *)
+  nvlink_bandwidth : float;
+    (** bytes/s per direction over the intra-node device interconnect *)
+  nvlink_latency : float;  (** seconds per device-to-device transfer *)
 }
 
 val a6000 : t

@@ -56,6 +56,13 @@ let d2h st clock buf host =
   enqueue st clock ~dur:0. (fun () -> dur := Memory.d2h st.device buf host);
   st.tail <- st.tail +. !dur
 
+(* Stream-ordered peer copy into this stream's device. *)
+let d2d st clock ~src ~src_buf dst_buf ~runs =
+  let dur = ref 0. in
+  enqueue st clock ~dur:0. (fun () ->
+      dur := Memory.d2d ~src ~src_buf ~dst:st.device ~dst_buf ~runs);
+  st.tail <- st.tail +. !dur
+
 (* Cross-stream ordering (cudaStreamWaitEvent): work enqueued on [st]
    after the join starts no earlier than everything currently on [other].
    No host blocking — only the stream timelines are coupled. *)

@@ -46,6 +46,13 @@ val d2h :
   (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t -> unit
 (** Stream-ordered {!Memory.d2h}, mirroring {!h2d}. *)
 
+val d2d :
+  t -> host_clock -> src:Memory.device -> src_buf:Memory.buffer ->
+  Memory.buffer -> runs:(int * int) list -> unit
+(** Stream-ordered {!Memory.d2d} into this stream's device: the peer
+    copy of the element runs happens now, the modelled NVLink (or
+    host-staged) time occupies the stream. *)
+
 val join : t -> t -> unit
 (** [join st other]: cross-stream ordering point (the simulator's
     [cudaStreamWaitEvent]) — work enqueued on [st] after the join starts

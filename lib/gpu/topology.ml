@@ -1,0 +1,31 @@
+(* Device interconnect topology.
+
+   The paper's evaluation nodes carry 8 GPUs; devices on the same node
+   exchange ghost data directly over NVLink (cudaMemcpyPeer), while
+   devices on different nodes stage through host memory — a d2h on the
+   source followed by an h2d on the destination, both over PCIe.  The
+   global device index encodes placement: device [id] lives on node
+   [id / devices_per_node]. *)
+
+type path = Nvlink | Host_staged
+
+let devices_per_node = 8
+
+let node_of id = id / devices_per_node
+
+let path ~src ~dst =
+  if node_of src = node_of dst then Nvlink else Host_staged
+
+let path_name = function Nvlink -> "nvlink" | Host_staged -> "host"
+
+(* Modelled seconds to move [bytes] from one device to another over
+   [path].  NVLink is one hop at link bandwidth; host staging pays PCIe
+   twice (down on the source, up on the destination). *)
+let d2d_time (spec : Spec.t) p ~bytes =
+  if bytes = 0 then 0.
+  else
+    let b = float_of_int bytes in
+    match p with
+    | Nvlink -> spec.nvlink_latency +. (b /. spec.nvlink_bandwidth)
+    | Host_staged ->
+      2. *. (spec.pcie_latency +. (b /. spec.pcie_bandwidth))

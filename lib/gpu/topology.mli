@@ -1,0 +1,28 @@
+(** Device interconnect topology: which pairs of simulated devices talk
+    over NVLink and which must stage through host memory, and the
+    alpha-beta cost of each path.  Mirrors the paper's evaluation nodes
+    (8 GPUs per node, NVLink within a node, PCIe + network across). *)
+
+type path =
+  | Nvlink  (** direct device-to-device copy within a node *)
+  | Host_staged
+    (** d2h on the source then h2d on the destination, both over PCIe *)
+
+val devices_per_node : int
+(** GPUs per node in the simulated cluster (8, as in the paper). *)
+
+val node_of : int -> int
+(** Node index hosting global device [id]
+    ([id / devices_per_node]). *)
+
+val path : src:int -> dst:int -> path
+(** The interconnect path between two global device indices: [Nvlink]
+    when they share a node, [Host_staged] otherwise. *)
+
+val path_name : path -> string
+(** ["nvlink"] or ["host"], for traces and reports. *)
+
+val d2d_time : Spec.t -> path -> bytes:int -> float
+(** Modelled seconds to move [bytes] over [path]: NVLink latency +
+    bytes/bandwidth for one hop, or twice the PCIe cost when staging
+    through the host; 0 for 0 bytes. *)

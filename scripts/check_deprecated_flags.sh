@@ -19,7 +19,10 @@ fail() {
 }
 
 # canonical --backend specs: accepted, no deprecation warning
-for spec in serial threads:2 bands:2 cells:2 hybrid:2x2 gpu gpu:a100; do
+# (gpu:NAME:R = R band-parallel ranks; gpu:NAME:GxR = G devices per rank
+#  tiling the cells x R ranks splitting the bands)
+for spec in serial threads:2 bands:2 cells:2 hybrid:2x2 gpu gpu:a100 \
+            gpu:a6000:2 gpu:a6000:2x2; do
   err=$($RUN --backend "$spec" 2>&1 >/dev/null) || fail "--backend $spec exited nonzero"
   case "$err" in
     *deprecated*) fail "--backend $spec warned: $err" ;;
@@ -27,7 +30,7 @@ for spec in serial threads:2 bands:2 cells:2 hybrid:2x2 gpu gpu:a100; do
 done
 
 # deprecated --target alias: accepted, warns on stderr
-for spec in cells:2 hybrid:2:2; do
+for spec in cells:2 hybrid:2:2 gpu:a6000:2x2; do
   err=$($RUN --target "$spec" 2>&1 >/dev/null) || fail "--target $spec exited nonzero"
   case "$err" in
     *deprecated*) : ;;
@@ -36,7 +39,7 @@ for spec in cells:2 hybrid:2:2; do
 done
 
 # malformed specs: rejected with exit 2 and the grammar in the message
-for spec in nonsense cells:0 hybrid:2 gpu:v100; do
+for spec in nonsense cells:0 hybrid:2 gpu:v100 gpu:a6000:0x2 gpu:a6000:2x; do
   if err=$($RUN --backend "$spec" 2>&1 >/dev/null); then
     fail "--backend $spec was accepted"
   else

@@ -51,4 +51,23 @@ grep -q 'codegen.cache_misses.*0$' /tmp/check_ir_native_warm.$$ || {
 }
 rm -f /tmp/check_ir_native_warm.$$
 
-echo "check_ir: selftest, full lint matrix (opt 0 and 2) and native codegen cache clean"
+echo "== scaling campaign smoke (tiny 8-rank sweep; emitter self-validates) =="
+scaling_out=$(mktemp)
+scripts/run_scaling.sh 8 "$scaling_out" > /dev/null || {
+  echo "check_ir: tiny scaling campaign failed"
+  rm -f "$scaling_out"
+  exit 1
+}
+grep -q '"validated": true' "$scaling_out" || {
+  echo "check_ir: BENCH_scaling.json missing the validated marker"
+  rm -f "$scaling_out"
+  exit 1
+}
+grep -q '"gpu_grid_8dev"' "$scaling_out" || {
+  echo "check_ir: scaling campaign dropped the multi-device series"
+  rm -f "$scaling_out"
+  exit 1
+}
+rm -f "$scaling_out"
+
+echo "check_ir: selftest, full lint matrix (opt 0 and 2), native codegen cache and scaling smoke clean"

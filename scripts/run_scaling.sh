@@ -1,0 +1,40 @@
+#!/bin/sh
+# Scripted strong-scaling campaign (docs/SCALING.md).
+#
+# Sweeps the calibrated performance model over the paper's rank counts
+# and writes BENCH_scaling.json (per-point modelled time, efficiency and
+# communication fraction for every strategy, plus the derived headline
+# numbers: ~18x GPU speedup, DSL-vs-Fortran crossover, Amdahl ceiling).
+# The emitter self-validates; a malformed sweep exits non-zero.
+#
+# Usage:
+#   scripts/run_scaling.sh [MAX_RANKS] [OUT.json]
+#     MAX_RANKS  highest rank count to sweep (default 320, the paper's)
+#     OUT.json   output path (default BENCH_scaling.json in the repo root)
+set -eu
+cd "$(dirname "$0")/.."
+
+max_ranks="${1:-320}"
+out="${2:-BENCH_scaling.json}"
+
+dune build bench/main.exe
+./_build/default/bench/main.exe scaling --max-ranks "$max_ranks" --out "$out"
+
+# structural sanity when a JSON parser is around (the emitter already
+# validated the numbers; this guards the serialization itself)
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$out" << 'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["validated"] is True
+assert d["series"]["dsl_bands"][0]["efficiency"] == 1.0
+for name, rows in d["series"].items():
+    assert rows, name
+    for r in rows:
+        assert r["time_s"] > 0 and 0 < r["efficiency"] <= 1.2, (name, r)
+        assert 0 <= r["comm_fraction"] <= 1, (name, r)
+print("run_scaling: %s parses, %d series validated" % (sys.argv[1], len(d["series"])))
+EOF
+fi
+
+echo "run_scaling: campaign to $max_ranks ranks written to $out"

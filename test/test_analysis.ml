@@ -152,8 +152,8 @@ let test_sanitizer_bit_identical () =
         [ "I"; "T" ])
     [ "serial", Finch.Config.Cpu Finch.Config.Serial;
       "cells:2", Finch.Config.Cpu (Finch.Config.Cell_parallel 2);
-      "gpu", Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; ranks = 1 };
-      "gpu:2", Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; ranks = 2 } ]
+      "gpu", Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; devices = 1; ranks = 1 };
+      "gpu:2", Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; devices = 1; ranks = 2 } ]
 
 let test_sanitizer_detects_poison () =
   A.Sanitize.with_sanitizer (fun () ->

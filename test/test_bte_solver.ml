@@ -108,7 +108,7 @@ let test_tape_matches_closure_on_hotspot () =
 let test_gpu_matches_serial () =
   let _, o1 = solve_with (Finch.Config.Cpu Finch.Config.Serial) in
   let _, o2 =
-    solve_with (Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; ranks = 1 })
+    solve_with (Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; devices = 1; ranks = 1 })
   in
   (* the hybrid schedule adds the boundary contribution in a separate term,
      so agreement is to rounding (relative), not bitwise *)
@@ -126,12 +126,54 @@ let test_multi_gpu_matches_serial () =
   List.iter
     (fun ranks ->
       let _, o2 =
-        solve_with (Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; ranks })
+        solve_with (Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; devices = 1; ranks })
       in
       let scale = Fvm.Field.max_abs (Finch.Solve.field o1 "I") in
       let d = field_diff o1 o2 "I" /. scale in
       if d > 1e-12 then Alcotest.failf "gpu ranks=%d: relative diff %g" ranks d)
-    [ 2; 3 ]
+    [ 2; 3; 4 ]
+
+let test_gpu_grid_matches_single_device () =
+  (* the 2-D band x cell decomposition (gpu:NAME:GxR): for every rank
+     count, tiling the cells across devices must reproduce the
+     one-device-per-rank schedule BIT-identically — the owned-slice
+     uploads plus d2d ghost pushes reconstruct exactly the values a full
+     upload would have placed, and the host-side combine is unchanged *)
+  List.iter
+    (fun ranks ->
+      let _, o1 =
+        solve_with
+          (Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; devices = 1; ranks })
+      in
+      List.iter
+        (fun devices ->
+          let _, o2 =
+            solve_with
+              (Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; devices; ranks })
+          in
+          let d = field_diff o1 o2 "I" in
+          if d > 0. then
+            Alcotest.failf "grid %dx%d: I diff %g" devices ranks d;
+          let dt = field_diff o1 o2 "T" in
+          if dt > 0. then
+            Alcotest.failf "grid %dx%d: T diff %g" devices ranks dt)
+        [ 2; 4 ])
+    [ 1; 2; 3; 4 ]
+
+let test_gpu_grid_overlap_matches_sync () =
+  (* double-buffered per-device streams reorder only the modelled
+     timeline, never the arithmetic *)
+  let solve overlap =
+    let built = Bte.Setup.build tiny in
+    Finch.Problem.use_cuda ~devices:2 ~ranks:2 built.Bte.Setup.problem;
+    Finch.Problem.set_overlap built.Bte.Setup.problem overlap;
+    Finch.Solve.solve ~band_index:"b" built.Bte.Setup.problem
+  in
+  let o1 = solve false and o2 = solve true in
+  let d = field_diff o1 o2 "I" in
+  if d > 0. then Alcotest.failf "grid overlap vs sync: I diff %g" d;
+  let dt = field_diff o1 o2 "T" in
+  if dt > 0. then Alcotest.failf "grid overlap vs sync: T diff %g" dt
 
 let test_temperature_bounds () =
   (* temperature stays within [cold, hot] and heats up near the hot wall *)
@@ -421,6 +463,10 @@ let suite =
         test_tape_matches_closure_on_hotspot;
       Alcotest.test_case "gpu == serial" `Quick test_gpu_matches_serial;
       Alcotest.test_case "multi-gpu == serial" `Quick test_multi_gpu_matches_serial;
+      Alcotest.test_case "gpu grid == single device (bitwise)" `Quick
+        test_gpu_grid_matches_single_device;
+      Alcotest.test_case "gpu grid overlap == sync (bitwise)" `Quick
+        test_gpu_grid_overlap_matches_sync;
       Alcotest.test_case "temperature bounded and directional" `Quick
         test_temperature_bounds;
       Alcotest.test_case "heating monotone in time" `Quick

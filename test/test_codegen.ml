@@ -107,7 +107,7 @@ let test_disk_cache_survives_memo_flush () =
 (* Bit-identity matrix.                                                *)
 (* ------------------------------------------------------------------ *)
 
-let gpu1 = Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; ranks = 1 }
+let gpu1 = Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; devices = 1; ranks = 1 }
 
 let matrix =
   [ "serial", Finch.Config.Cpu Finch.Config.Serial, false;

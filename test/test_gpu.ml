@@ -166,6 +166,61 @@ let test_perf_report () =
   check_bool "report prints" true
     (String.length (Gpu_sim.Perf.to_string r) > 40)
 
+let test_topology_paths () =
+  let dpn = Gpu_sim.Topology.devices_per_node in
+  check_int "8 devices per node" 8 dpn;
+  check_int "node of 0" 0 (Gpu_sim.Topology.node_of 0);
+  check_int "node of dpn" 1 (Gpu_sim.Topology.node_of dpn);
+  let name s d =
+    Gpu_sim.Topology.path_name (Gpu_sim.Topology.path ~src:s ~dst:d)
+  in
+  Alcotest.(check string) "same node" "nvlink" (name 0 (dpn - 1));
+  Alcotest.(check string) "crossing the node boundary" "host" (name (dpn - 1) dpn);
+  Alcotest.(check string) "next node internal" "nvlink" (name dpn (2 * dpn - 1));
+  Alcotest.(check string) "self" "nvlink" (name 3 3)
+
+let test_topology_d2d_time () =
+  let s = Gpu_sim.Spec.a6000 in
+  Tutil.check_close "zero bytes free (nvlink)" 0.
+    (Gpu_sim.Topology.d2d_time s Gpu_sim.Topology.Nvlink ~bytes:0);
+  Tutil.check_close "zero bytes free (staged)" 0.
+    (Gpu_sim.Topology.d2d_time s Gpu_sim.Topology.Host_staged ~bytes:0);
+  let b = 16 * 1024 * 1024 in
+  let nv = Gpu_sim.Topology.d2d_time s Gpu_sim.Topology.Nvlink ~bytes:b in
+  Tutil.check_close ~eps:1e-12 "nvlink = latency + bytes/bw"
+    (s.Gpu_sim.Spec.nvlink_latency
+     +. (float_of_int b /. s.Gpu_sim.Spec.nvlink_bandwidth))
+    nv;
+  let staged = Gpu_sim.Topology.d2d_time s Gpu_sim.Topology.Host_staged ~bytes:b in
+  Tutil.check_close ~eps:1e-12 "staged = 2x pcie"
+    (2. *. Gpu_sim.Spec.transfer_time s ~bytes:b)
+    staged;
+  check_bool "staging through the host costs more" true (staged > nv)
+
+let test_memory_d2d_copies_runs () =
+  (* the ghost push of the multi-device grid: element runs move between
+     peer buffers, everything outside the runs stays put *)
+  let src = Gpu_sim.Memory.create_device ~id:0 Gpu_sim.Spec.a6000 in
+  let dst = Gpu_sim.Memory.create_device ~id:1 Gpu_sim.Spec.a6000 in
+  let sb = Gpu_sim.Memory.alloc src ~label:"u" ~size:100 in
+  let db = Gpu_sim.Memory.alloc dst ~label:"u" ~size:100 in
+  let _ = Gpu_sim.Memory.h2d src sb (mk_host 100 7.) in
+  let _ = Gpu_sim.Memory.h2d dst db (mk_host 100 0.) in
+  let t =
+    Gpu_sim.Memory.d2d ~src ~src_buf:sb ~dst ~dst_buf:db
+      ~runs:[ (10, 5); (50, 2) ]
+  in
+  check_bool "positive modelled time" true (t > 0.);
+  Tutil.check_close "first run copied" 7.
+    (Bigarray.Array1.get db.Gpu_sim.Memory.device_data 14);
+  Tutil.check_close "second run copied" 7.
+    (Bigarray.Array1.get db.Gpu_sim.Memory.device_data 51);
+  Tutil.check_close "outside runs untouched" 0.
+    (Bigarray.Array1.get db.Gpu_sim.Memory.device_data 15);
+  (* a peer copy occupies both ends *)
+  check_int "src d2d bytes" 56 src.Gpu_sim.Memory.bytes_d2d;
+  check_int "dst d2d bytes" 56 dst.Gpu_sim.Memory.bytes_d2d
+
 let prop_kernel_time_monotone =
   QCheck.Test.make ~name:"kernel time monotone in flops and bytes" ~count:100
     QCheck.(pair (float_range 1e3 1e12) (float_range 1e3 1e12))
@@ -191,5 +246,8 @@ let suite =
       Alcotest.test_case "stream overlap" `Quick test_stream_overlap;
       Alcotest.test_case "stream join ordering" `Quick test_stream_join;
       Alcotest.test_case "profiler matches paper table" `Quick test_perf_report;
+      Alcotest.test_case "interconnect topology" `Quick test_topology_paths;
+      Alcotest.test_case "d2d path costs" `Quick test_topology_d2d_time;
+      Alcotest.test_case "d2d copies element runs" `Quick test_memory_d2d_copies_runs;
       QCheck_alcotest.to_alcotest prop_kernel_time_monotone;
     ] )

@@ -54,8 +54,8 @@ let solve_at ?corner level target overlap =
 let field_diff o1 o2 name =
   Fvm.Field.max_abs_diff (Finch.Solve.field o1 name) (Finch.Solve.field o2 name)
 
-let gpu1 = Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; ranks = 1 }
-let gpu2 = Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; ranks = 2 }
+let gpu1 = Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; devices = 1; ranks = 1 }
+let gpu2 = Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; devices = 1; ranks = 2 }
 
 (* backend x overlap matrix, mirroring bte_lint's default matrix *)
 let matrix =

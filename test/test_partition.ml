@@ -297,6 +297,68 @@ let prop_halo_exchange_delivers =
       done;
       !ok)
 
+let test_decomp2d_build () =
+  let m = Fvm.Mesh_gen.rectangle ~nx:10 ~ny:10 ~lx:1.0 ~ly:1.0 () in
+  let d = Fvm.Decomp2d.build m ~ndevices:4 ~nranks:3 in
+  check_int "ranks" 3 d.Fvm.Decomp2d.nranks;
+  check_int "devices" 4 d.Fvm.Decomp2d.ndevices;
+  (* every cell owned by exactly one device tile *)
+  let seen = Array.make m.Fvm.Mesh.ncells 0 in
+  for g = 0 to 3 do
+    Array.iter (fun c -> seen.(c) <- seen.(c) + 1) (Fvm.Decomp2d.owned_cells d g)
+  done;
+  check_bool "tiles partition the cells" true (Array.for_all (( = ) 1) seen);
+  (* band slices tile the band axis contiguously *)
+  let nbands = 7 in
+  let covered = ref 0 in
+  for r = 0 to 2 do
+    let off, len = Fvm.Decomp2d.band_range d ~nbands r in
+    check_int "contiguous band blocks" !covered off;
+    covered := !covered + len
+  done;
+  check_int "band slices cover" nbands !covered;
+  (match Fvm.Decomp2d.build m ~ndevices:0 ~nranks:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "ndevices=0 should raise");
+  match Fvm.Decomp2d.build m ~ndevices:1 ~nranks:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "nranks=0 should raise"
+
+let test_decomp2d_d2d_edges () =
+  let m = Fvm.Mesh_gen.rectangle ~nx:8 ~ny:8 ~lx:1.0 ~ly:1.0 () in
+  let d = Fvm.Decomp2d.build m ~ndevices:4 ~nranks:1 in
+  let edges = Fvm.Decomp2d.d2d_edges d in
+  check_bool "tiled grid has ghost edges" true (edges <> []);
+  let owner c = Fvm.Partition.owner d.Fvm.Decomp2d.part c in
+  List.iter
+    (fun (src, dst, cells) ->
+      check_bool "edge endpoints differ" true (src <> dst);
+      Array.iter
+        (fun c ->
+          check_int "pushed cells are owned by src" src (owner c);
+          check_bool "pushed cells are ghosts on dst" true
+            (Array.mem c d.Fvm.Decomp2d.halo.Fvm.Halo.ghosts.(dst)))
+        cells)
+    edges;
+  (* interface_cells is exactly the summed edge payload *)
+  let total =
+    List.fold_left (fun acc (_, _, cs) -> acc + Array.length cs) 0 edges
+  in
+  check_int "interface cell count" total (Fvm.Decomp2d.interface_cells d)
+
+let test_decomp2d_cell_runs () =
+  (* adjacent cells merge into packed element runs under Cell_major *)
+  let runs = Fvm.Decomp2d.cell_runs ~cells:[| 5; 3; 4; 9 |] ~ncomp:3 in
+  Alcotest.(check (list (pair int int)))
+    "merged runs"
+    [ (9, 9); (27, 3) ]
+    runs;
+  let runs1 = Fvm.Decomp2d.cell_runs ~cells:[| 2 |] ~ncomp:4 in
+  Alcotest.(check (list (pair int int))) "single cell" [ (8, 4) ] runs1;
+  Alcotest.(check (list (pair int int)))
+    "empty set" []
+    (Fvm.Decomp2d.cell_runs ~cells:[||] ~ncomp:4)
+
 let suite =
   ( "partition",
     [
@@ -313,6 +375,9 @@ let suite =
       Alcotest.test_case "halo rank views" `Quick test_halo_rank_views;
       Alcotest.test_case "split cells" `Quick test_split_cells;
       Alcotest.test_case "halo async exchange" `Quick test_halo_async_exchange;
+      Alcotest.test_case "decomp2d build" `Quick test_decomp2d_build;
+      Alcotest.test_case "decomp2d d2d edges" `Quick test_decomp2d_d2d_edges;
+      Alcotest.test_case "decomp2d cell runs" `Quick test_decomp2d_cell_runs;
       QCheck_alcotest.to_alcotest prop_rcb_covers;
       QCheck_alcotest.to_alcotest prop_halo_exchange_delivers;
     ] )

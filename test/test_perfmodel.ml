@@ -124,6 +124,41 @@ let test_calibration_sensitivity () =
   check_bool "A100 at least as fast" true
     (run_time ~calib:a100 (Gpu 1) <= run_time (Gpu 1) *. 1.01)
 
+let test_gpu_grid_model () =
+  (* the 2-D grid with one device per rank is exactly the 1-D GPU model *)
+  List.iter
+    (fun p ->
+      Tutil.check_close
+        (Printf.sprintf "grid 1x%d == gpu %d" p p)
+        (run_time (Gpu p))
+        (run_time (Gpu_grid (1, p))))
+    [ 1; 2; 10 ];
+  (* spreading one rank's cells over devices beats the single device *)
+  check_bool "4 devices faster than 1" true
+    (run_time (Gpu_grid (4, 1)) < run_time (Gpu 1));
+  check_bool "8 devices faster than 4" true
+    (run_time (Gpu_grid (8, 1)) < run_time (Gpu_grid (4, 1)));
+  (* the d2d frontier charge is real and specific to multi-device runs:
+     a slower NVLink hurts the grid but cannot touch the single device *)
+  let slow_nv =
+    { default with nvlink = { Prt.Cluster.alpha = 1e-3; beta = 1e-7 } }
+  in
+  let comm ?calib s =
+    (run_breakdown ?calib s).Prt.Breakdown.communication
+  in
+  check_bool "slow nvlink charges the grid" true
+    (comm ~calib:slow_nv (Gpu_grid (4, 1)) > comm (Gpu_grid (4, 1)));
+  Tutil.check_close "single device has no d2d term"
+    (comm (Gpu 1))
+    (comm ~calib:slow_nv (Gpu 1));
+  (* caps: devices beyond the cells, ranks beyond the bands *)
+  (match run_time (Gpu_grid (20_000, 1)) with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "devices beyond ncells must be rejected");
+  match run_time (Gpu_grid (2, 56)) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "ranks beyond nbands must be rejected"
+
 let test_shape_of_scenario () =
   let s = shape_of_scenario Bte.Setup.paper_hotspot in
   Alcotest.(check int) "cells" 14400 s.ncells;
@@ -144,5 +179,6 @@ let suite =
       Alcotest.test_case "Fig 8 GPU breakdown" `Quick test_fig8_gpu_breakdown;
       Alcotest.test_case "Fig 9 cross-comparisons" `Quick test_fig9_crossplots;
       Alcotest.test_case "calibration sensitivity" `Quick test_calibration_sensitivity;
+      Alcotest.test_case "multi-device grid model" `Quick test_gpu_grid_model;
       Alcotest.test_case "scenario shape" `Quick test_shape_of_scenario;
     ] )

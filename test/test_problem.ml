@@ -148,11 +148,11 @@ let test_target_names () =
      = "hybrid:2x4");
   check_bool "gpu name" true
     (Finch.Config.target_name
-       (Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; ranks = 2 })
+       (Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; devices = 1; ranks = 2 })
      = "gpu:a6000:2");
   check_bool "gpu single-rank name" true
     (Finch.Config.target_name
-       (Finch.Config.Gpu { spec = Gpu_sim.Spec.a100; ranks = 1 })
+       (Finch.Config.Gpu { spec = Gpu_sim.Spec.a100; devices = 1; ranks = 1 })
      = "gpu:a100")
 
 (* every constructor shape must survive target_name |> target_of_string *)
@@ -163,8 +163,10 @@ let test_target_roundtrip () =
       Finch.Config.Cpu (Finch.Config.Band_parallel 8);
       Finch.Config.Cpu (Finch.Config.Threaded 5);
       Finch.Config.Cpu (Finch.Config.Hybrid (2, 4));
-      Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; ranks = 1 };
-      Finch.Config.Gpu { spec = Gpu_sim.Spec.a100; ranks = 4 } ]
+      Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; devices = 1; ranks = 1 };
+      Finch.Config.Gpu { spec = Gpu_sim.Spec.a100; devices = 1; ranks = 4 };
+      Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; devices = 4; ranks = 2 };
+      Finch.Config.Gpu { spec = Gpu_sim.Spec.a100; devices = 2; ranks = 1 } ]
   in
   List.iter
     (fun t ->
@@ -176,13 +178,27 @@ let test_target_roundtrip () =
   (* spellings beyond the canonical ones *)
   check_bool "case-insensitive" true
     (Finch.Config.target_of_string "GPU:A100"
-     = Ok (Finch.Config.Gpu { spec = Gpu_sim.Spec.a100; ranks = 1 }));
+     = Ok (Finch.Config.Gpu { spec = Gpu_sim.Spec.a100; devices = 1; ranks = 1 }));
   check_bool "legacy hybrid:R:D" true
     (Finch.Config.target_of_string "hybrid:2:4"
      = Ok (Finch.Config.Cpu (Finch.Config.Hybrid (2, 4))));
   check_bool "bare gpu" true
     (Finch.Config.target_of_string "gpu"
-     = Ok (Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; ranks = 1 }));
+     = Ok (Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; devices = 1; ranks = 1 }));
+  (* the GxR grid form; 1xR is semantic round-trip: parses, prints gpu:NAME:R *)
+  check_bool "gpu grid GxR" true
+    (Finch.Config.target_of_string "gpu:a6000:4x2"
+     = Ok (Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; devices = 4; ranks = 2 }));
+  check_bool "gpu grid 1xR canonicalizes" true
+    (match Finch.Config.target_of_string "gpu:a100:1x4" with
+     | Ok t ->
+       t = Finch.Config.Gpu { spec = Gpu_sim.Spec.a100; devices = 1; ranks = 4 }
+       && Finch.Config.target_name t = "gpu:a100:4"
+     | Error _ -> false);
+  check_bool "gpu grid GxR name" true
+    (Finch.Config.target_name
+       (Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; devices = 2; ranks = 3 })
+     = "gpu:a6000:2x3");
   (* malformed specs are Errors, not exceptions *)
   List.iter
     (fun s ->
@@ -190,7 +206,8 @@ let test_target_roundtrip () =
       | Error _ -> ()
       | Ok _ -> Alcotest.fail ("expected parse error for " ^ s))
     [ ""; "cells"; "cells:0"; "cells:x"; "hybrid:2"; "hybrid:2x0";
-      "gpu:v100"; "gpu:a100:0"; "mpi:4" ]
+      "gpu:v100"; "gpu:a100:0"; "mpi:4"; "gpu:a6000:0x2"; "gpu:a6000:2x0";
+      "gpu:a6000:2x"; "gpu:a6000:x2"; "gpu:a6000:2x2x2" ]
 
 let suite =
   ( "problem",

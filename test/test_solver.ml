@@ -143,12 +143,12 @@ let test_overlap_equals_serial () =
 let test_gpu_equals_serial () =
   targets_equal "gpu"
     (Finch.Config.Cpu Finch.Config.Serial)
-    (Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; ranks = 1 })
+    (Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; devices = 1; ranks = 1 })
 
 let test_gpu_overlap_equals_sync () =
   (* double-buffered second-stream transfers change only the modelled
      timeline, never the fields *)
-  let gpu = Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; ranks = 1 } in
+  let gpu = Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; devices = 1; ranks = 1 } in
   let p1, _, _ = make_advection () in
   let o1 = run_with gpu p1 in
   let p2, _, _ = make_advection () in
