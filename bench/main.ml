@@ -26,6 +26,35 @@ let section title =
 let row fmt = Printf.printf fmt
 
 (* ------------------------------------------------------------------ *)
+(* facade plumbing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Measured solves are described as [Finch.Solve_request.t] values and
+   run through [Finch.prepare] / [Finch.solve_prepared] — the same path
+   the CLI and the serve scheduler use.  Preparation (the scenario
+   build) happens outside the timed window, as the old build-then-solve
+   code did: [Solve_result.wall_s] covers only the solve. *)
+let () = Bte.Setup.register_scenarios ()
+
+let request_of ~scenario (sc : Bte.Setup.scenario) =
+  { (Finch.Solve_request.make scenario) with
+    Finch.Solve_request.nx = sc.Bte.Setup.nx;
+    ny = sc.Bte.Setup.ny;
+    ndirs = sc.Bte.Setup.ndirs;
+    nbands = sc.Bte.Setup.n_la_bands;
+    nsteps = sc.Bte.Setup.nsteps }
+
+let gpu1 = Finch.Config.Gpu { spec = Gpu_sim.Spec.a6000; devices = 1; ranks = 1 }
+
+let facade_solve req =
+  match Finch.prepare req with
+  | Error e -> failwith (Finch.Solve_error.to_string e)
+  | Ok prep ->
+    (match Finch.solve_prepared req prep with
+     | Ok res -> prep, res
+     | Error e -> failwith (Finch.Solve_error.to_string e))
+
+(* ------------------------------------------------------------------ *)
 (* E1 (Fig. 2): hot-spot temperature field                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -35,19 +64,18 @@ let e1 ~measured =
   let sc =
     { Bte.Setup.small_hotspot with Bte.Setup.nx = 32; ny = 32; nsteps = 120 }
   in
-  let built = Bte.Setup.build sc in
-  let t0 = Unix.gettimeofday () in
-  let o = Finch.Solve.solve built.Bte.Setup.problem in
-  let wall = Unix.gettimeofday () -. t0 in
-  let ft = Finch.Solve.field o "T" in
+  let prep, res = facade_solve (request_of ~scenario:"hotspot" sc) in
+  let ft = res.Finch.Solve_result.solution in
   let stats =
-    Bte.Diag.temperature_stats built.Bte.Setup.mesh ft
-      ~t_ambient:sc.Bte.Setup.t_cold
+    Bte.Diag.temperature_stats (Finch.Problem.mesh_exn prep.Finch.pr_problem)
+      ft ~t_ambient:sc.Bte.Setup.t_cold
   in
+  let disp = Bte.Dispersion.make ~n_la:sc.Bte.Setup.n_la_bands in
   row "grid %dx%d, %d dirs, %d bands, %d steps of %.2g s (wall %.2f s)\n"
     sc.Bte.Setup.nx sc.Bte.Setup.ny sc.Bte.Setup.ndirs
-    (Bte.Dispersion.nbands built.Bte.Setup.disp)
-    sc.Bte.Setup.nsteps built.Bte.Setup.scenario.Bte.Setup.dt wall;
+    (Bte.Dispersion.nbands disp) sc.Bte.Setup.nsteps
+    (Float.min sc.Bte.Setup.dt (Bte.Setup.cfl_dt sc disp))
+    res.Finch.Solve_result.wall_s;
   Format.printf "%a@." Bte.Diag.pp_stats stats;
   let prof =
     Bte.Diag.profile_y ft ~nx:sc.Bte.Setup.nx ~ny:sc.Bte.Setup.ny
@@ -87,11 +115,12 @@ let e2 ~measured =
       sc.Bte.Setup.ny;
     List.iter
       (fun (name, target) ->
-        let built = Bte.Setup.build sc in
-        Finch.Problem.set_target built.Bte.Setup.problem target;
-        let t0 = Unix.gettimeofday () in
-        let _ = Finch.Solve.solve ~band_index:"b" built.Bte.Setup.problem in
-        row "  %-12s %.3f s\n" name (Unix.gettimeofday () -. t0))
+        let _, res =
+          facade_solve
+            { (request_of ~scenario:"hotspot" sc) with
+              Finch.Solve_request.backend = target }
+        in
+        row "  %-12s %.3f s\n" name res.Finch.Solve_result.wall_s)
       [ "serial", Finch.Config.Cpu Finch.Config.Serial;
         "bands(4)", Finch.Config.Cpu (Finch.Config.Band_parallel 4);
         "cells(4)", Finch.Config.Cpu (Finch.Config.Cell_parallel 4) ]
@@ -156,15 +185,16 @@ let e4 ~measured =
     row "\nmeasured (reduced scale, simulated devices execute for real):\n";
     List.iter
       (fun ranks ->
-        let built = Bte.Setup.build sc in
-        Finch.Problem.use_cuda ~ranks built.Bte.Setup.problem;
-        let t0 = Unix.gettimeofday () in
-        let o =
-          Finch.Solve.solve ~post_io:Bte.Setup.post_io built.Bte.Setup.problem
+        let _, res =
+          facade_solve
+            { (request_of ~scenario:"hotspot" sc) with
+              Finch.Solve_request.backend =
+                Finch.Config.Gpu
+                  { spec = Gpu_sim.Spec.a6000; devices = 1; ranks } }
         in
         row "  %d device(s): wall %.3f s; modelled kernel time %.5f s\n" ranks
-          (Unix.gettimeofday () -. t0)
-          (match o.Finch.Solve.gpu with
+          res.Finch.Solve_result.wall_s
+          (match res.Finch.Solve_result.outcome.Finch.Solve.gpu with
            | Some g -> g.Finch.Target_gpu.device.Gpu_sim.Memory.kernel_time
            | None -> 0.))
       [ 1; 2; 4 ]
@@ -198,12 +228,12 @@ let e6 ~measured =
     let sc =
       { Bte.Setup.small_hotspot with Bte.Setup.nx = 16; ny = 16; nsteps = 5 }
     in
-    let built = Bte.Setup.build sc in
-    Finch.Problem.use_cuda built.Bte.Setup.problem;
-    match
-      (Finch.Solve.solve ~post_io:Bte.Setup.post_io built.Bte.Setup.problem)
-        .Finch.Solve.gpu
-    with
+    let _, res =
+      facade_solve
+        { (request_of ~scenario:"hotspot" sc) with
+          Finch.Solve_request.backend = gpu1 }
+    in
+    match res.Finch.Solve_result.outcome.Finch.Solve.gpu with
     | Some g ->
       let r =
         Gpu_sim.Perf.report g.Finch.Target_gpu.device
@@ -245,10 +275,8 @@ let e7 ~measured =
     let sc =
       { Bte.Setup.small_hotspot with Bte.Setup.nx = 20; ny = 20; nsteps = 10 }
     in
-    let built = Bte.Setup.build sc in
-    let t0 = Unix.gettimeofday () in
-    let _ = Finch.Solve.solve built.Bte.Setup.problem in
-    let t_dsl = Unix.gettimeofday () -. t0 in
+    let _, res = facade_solve (request_of ~scenario:"hotspot" sc) in
+    let t_dsl = res.Finch.Solve_result.wall_s in
     let r = Bte.Reference.create sc in
     let t0 = Unix.gettimeofday () in
     Bte.Reference.run r ~nsteps:sc.Bte.Setup.nsteps;
@@ -269,12 +297,11 @@ let e8 ~measured =
   let sc =
     { Bte.Setup.small_corner with Bte.Setup.nx = 48; ny = 12; nsteps = 120 }
   in
-  let built = Bte.Setup.build_corner sc in
-  let o = Finch.Solve.solve built.Bte.Setup.problem in
-  let ft = Finch.Solve.field o "T" in
+  let prep, res = facade_solve (request_of ~scenario:"corner" sc) in
+  let ft = res.Finch.Solve_result.solution in
   let stats =
-    Bte.Diag.temperature_stats built.Bte.Setup.mesh ft
-      ~t_ambient:sc.Bte.Setup.t_cold
+    Bte.Diag.temperature_stats (Finch.Problem.mesh_exn prep.Finch.pr_problem)
+      ft ~t_ambient:sc.Bte.Setup.t_cold
   in
   Format.printf "%a@." Bte.Diag.pp_stats stats;
   row "temperature along the top wall (source corner -> far end):\n  ";
@@ -296,35 +323,28 @@ let e11_scenario =
 let e11_rows () =
   let sc = e11_scenario in
   let ndomains = 4 in
-  let wall f =
-    let built = Bte.Setup.build sc in
-    let t0 = Unix.gettimeofday () in
-    let r = f built.Bte.Setup.problem in
-    Unix.gettimeofday () -. t0, r
-  in
   (* every executor row uses the default (closure) evaluator so the rows
      differ only in runtime; the explicit tape row isolates the evaluator *)
-  let solve_with ?(eval = Finch.Config.Closure) ?(overlap = false) target p =
-    Finch.Problem.set_eval_mode p eval;
-    Finch.Problem.set_overlap p overlap;
-    Finch.Problem.set_target p target;
-    (* post_io lets the threaded executor prove the fused step-pair
-       schedule legal at the default opt level, as the CLI does *)
-    Finch.Solve.solve ~band_index:"b" ~post_io:Bte.Setup.post_io p
+  let req_with ?(eval = Finch.Config.Closure) ?(overlap = false) target =
+    { (request_of ~scenario:"hotspot" sc) with
+      Finch.Solve_request.backend = target;
+      eval_mode = eval;
+      overlap }
+  in
+  let solve_with ?eval ?overlap target =
+    let _, res = facade_solve (req_with ?eval ?overlap target) in
+    res.Finch.Solve_result.wall_s, res.Finch.Solve_result.outcome
   in
   let t_serial_closure, o_serial_closure =
-    wall (solve_with (Finch.Config.Cpu Finch.Config.Serial))
+    solve_with (Finch.Config.Cpu Finch.Config.Serial)
   in
   let t_serial, _ =
-    wall
-      (solve_with ~eval:Finch.Config.Tape (Finch.Config.Cpu Finch.Config.Serial))
+    solve_with ~eval:Finch.Config.Tape (Finch.Config.Cpu Finch.Config.Serial)
   in
   (* generated-code evaluator: same serial solve through the compiled
      kernel (warm cache after the first solve of the process) *)
   let t_serial_native, o_serial_native =
-    wall
-      (solve_with ~eval:Finch.Config.Native
-         (Finch.Config.Cpu Finch.Config.Serial))
+    solve_with ~eval:Finch.Config.Native (Finch.Config.Cpu Finch.Config.Serial)
   in
   (* intensity-phase (sweep) seconds isolate the evaluator from the
      temperature host callback, which every evaluator shares *)
@@ -334,43 +354,43 @@ let e11_rows () =
   let sweep_native_s =
     o_serial_native.Finch.Solve.breakdown.Prt.Breakdown.intensity
   in
-  let t_respawn, () =
-    wall (fun p -> ignore (Finch.Target_cpu.run_threaded_respawn p ~ndomains))
+  (* the respawn executor bypasses [Solve.solve] by design (it is the
+     baseline the pool is measured against), so it keeps a raw build *)
+  let t_respawn =
+    let built = Bte.Setup.build sc in
+    let t0 = Unix.gettimeofday () in
+    ignore
+      (Finch.Target_cpu.run_threaded_respawn built.Bte.Setup.problem ~ndomains);
+    Unix.gettimeofday () -. t0
   in
   let t_pool, _ =
-    wall (solve_with (Finch.Config.Cpu (Finch.Config.Threaded ndomains)))
+    solve_with (Finch.Config.Cpu (Finch.Config.Threaded ndomains))
   in
   let t_pool_native, _ =
-    wall
-      (solve_with ~eval:Finch.Config.Native
-         (Finch.Config.Cpu (Finch.Config.Threaded ndomains)))
+    solve_with ~eval:Finch.Config.Native
+      (Finch.Config.Cpu (Finch.Config.Threaded ndomains))
   in
   let t_hybrid, _ =
-    wall (solve_with (Finch.Config.Cpu (Finch.Config.Hybrid (2, 2))))
+    solve_with (Finch.Config.Cpu (Finch.Config.Hybrid (2, 2)))
   in
   (* the mesh-partitioned executor: exercises the halo-exchange path, so a
      metrics-enabled bench run reports real halo traffic *)
   let t_cells, _ =
-    wall (solve_with (Finch.Config.Cpu (Finch.Config.Cell_parallel 2)))
+    solve_with (Finch.Config.Cpu (Finch.Config.Cell_parallel 2))
   in
   (* same partitioned solve with the nonblocking exchange behind the
      interior sweep — numerically bit-identical (asserted by the tests) *)
   let t_cells_ov, _ =
-    wall
-      (solve_with ~overlap:true (Finch.Config.Cpu (Finch.Config.Cell_parallel 2)))
+    solve_with ~overlap:true (Finch.Config.Cpu (Finch.Config.Cell_parallel 2))
   in
   (* the hybrid CPU/GPU executor on the simulated device *)
-  let t_gpu, () =
-    wall (fun p ->
-        Finch.Problem.use_cuda p;
-        ignore (Finch.Solve.solve ~post_io:Bte.Setup.post_io p))
-  in
+  let t_gpu, _ = solve_with gpu1 in
   (* tape statistics from a solve whose primary state does the sweeping
      (under the pool executors the workers hold the hot tapes) *)
   let tape_stats =
-    let built = Bte.Setup.build sc in
-    Finch.Problem.set_eval_mode built.Bte.Setup.problem Finch.Config.Tape;
-    let o = Finch.Solve.solve ~band_index:"b" built.Bte.Setup.problem in
+    let _, o =
+      solve_with ~eval:Finch.Config.Tape (Finch.Config.Cpu Finch.Config.Serial)
+    in
     let st = o.Finch.Solve.states.(0) in
     List.map
       (fun (name, t) ->
@@ -406,13 +426,12 @@ let e11_per_step () =
           Bte.Setup.nx; ny = nx; ndirs = 4; n_la_bands = 4; nsteps }
       in
       let wall eval =
-        let built = Bte.Setup.build sc in
-        let p = built.Bte.Setup.problem in
-        Finch.Problem.set_eval_mode p eval;
-        Finch.Problem.set_target p (Finch.Config.Cpu Finch.Config.Serial);
-        let t0 = Unix.gettimeofday () in
-        ignore (Finch.Solve.solve ~band_index:"b" ~post_io:Bte.Setup.post_io p);
-        Unix.gettimeofday () -. t0
+        let _, res =
+          facade_solve
+            { (request_of ~scenario:"hotspot" sc) with
+              Finch.Solve_request.eval_mode = eval }
+        in
+        res.Finch.Solve_result.wall_s
       in
       let tc = wall Finch.Config.Closure in
       let tn = wall Finch.Config.Native in
@@ -440,26 +459,33 @@ let e11_opt_variants () =
   let cval name = Prt.Metrics.value (Prt.Metrics.counter name) in
   let bw () = Prt.Metrics.histogram "pool.barrier_wait_ns" in
   let run label eval level target =
-    let built = Bte.Setup.build sc in
-    let p = built.Bte.Setup.problem in
-    Finch.Problem.set_eval_mode p eval;
-    Finch.Problem.set_opt_level p level;
+    let req =
+      { (request_of ~scenario:"hotspot" sc) with
+        Finch.Solve_request.eval_mode = eval;
+        opt_level = level;
+        backend =
+          (match target with
+           | `Cpu strategy -> Finch.Config.Cpu strategy
+           | `Gpu -> gpu1) }
+    in
+    (* preparation outside the counter window, as the old build was *)
+    let prep =
+      match Finch.prepare req with
+      | Ok prep -> prep
+      | Error e -> failwith (Finch.Solve_error.to_string e)
+    in
     let r0 = cval "pool.regions" in
     let w0 = Prt.Metrics.hist_count (bw ()) in
     let n0 = Prt.Metrics.hist_sum (bw ()) in
     let l0 = cval "gpu.kernel_launches" in
-    let t0 = Unix.gettimeofday () in
-    (match target with
-     | `Cpu strategy ->
-       Finch.Problem.set_target p (Finch.Config.Cpu strategy);
-       ignore
-         (Finch.Solve.solve ~band_index:"b" ~post_io:Bte.Setup.post_io p)
-     | `Gpu ->
-       Finch.Problem.use_cuda p;
-       ignore (Finch.Solve.solve ~post_io:Bte.Setup.post_io p));
+    let res =
+      match Finch.solve_prepared req prep with
+      | Ok res -> res
+      | Error e -> failwith (Finch.Solve_error.to_string e)
+    in
     {
       v_label = label;
-      v_wall = Unix.gettimeofday () -. t0;
+      v_wall = res.Finch.Solve_result.wall_s;
       v_regions = cval "pool.regions" - r0;
       v_waits = Prt.Metrics.hist_count (bw ()) - w0;
       v_wait_ns = Prt.Metrics.hist_sum (bw ()) -. n0;
@@ -505,18 +531,13 @@ let e11_opt_variants () =
 let extra_backend : (string * Finch.Config.target) option ref = ref None
 
 let e11_measure ?(overlap = false) target =
-  let built = Bte.Setup.build e11_scenario in
-  let p = built.Bte.Setup.problem in
-  Finch.Problem.set_overlap p overlap;
-  let t0 = Unix.gettimeofday () in
-  (match target with
-   | Finch.Config.Cpu _ ->
-     Finch.Problem.set_target p target;
-     ignore (Finch.Solve.solve ~band_index:"b" p)
-   | Finch.Config.Gpu { spec; devices; ranks } ->
-     Finch.Problem.use_cuda ~spec ~devices ~ranks p;
-     ignore (Finch.Solve.solve ~post_io:Bte.Setup.post_io p));
-  Unix.gettimeofday () -. t0
+  let _, res =
+    facade_solve
+      { (request_of ~scenario:"hotspot" e11_scenario) with
+        Finch.Solve_request.backend = target;
+        overlap }
+  in
+  res.Finch.Solve_result.wall_s
 
 let e11 ~measured =
   ignore measured;
@@ -681,11 +702,16 @@ let e11_json path =
       match Finch.Config.target_of_string spec with
       | Error _ -> ()
       | Ok tgt ->
-        let built = Bte.Setup.build sc in
-        Finch.Problem.set_target built.Bte.Setup.problem tgt;
-        ignore
-          (Finch_analysis.Driver.check_problem ~post_io:Bte.Setup.post_io
-             built.Bte.Setup.problem))
+        (match
+           Finch.prepare
+             { (request_of ~scenario:"hotspot" sc) with
+               Finch.Solve_request.backend = tgt }
+         with
+         | Ok prep ->
+           ignore
+             (Finch_analysis.Driver.check_problem ~post_io:Bte.Setup.post_io
+                prep.Finch.pr_problem)
+         | Error _ -> ()))
     [ "serial"; "threads:2"; "hybrid:2x2"; "cells:2"; "gpu" ];
   let c name = Prt.Metrics.value (Prt.Metrics.counter name) in
   (* capture the lint tallies before the optimizer pipeline runs: its
@@ -697,13 +723,19 @@ let e11_json path =
      gpu programs so the opt.* counters describe this configuration *)
   List.iter
     (fun target ->
-      let built = Bte.Setup.build e11_scenario in
-      let pb = built.Bte.Setup.problem in
-      (match target with
-       | `Pool ->
-         Finch.Problem.set_target pb (Finch.Config.Cpu (Finch.Config.Threaded nd))
-       | `Gpu -> Finch.Problem.use_cuda pb);
-      ignore (Finch_opt.Opt.optimize_problem ~post_io:Bte.Setup.post_io pb))
+      match
+        Finch.prepare
+          { (request_of ~scenario:"hotspot" e11_scenario) with
+            Finch.Solve_request.backend =
+              (match target with
+               | `Pool -> Finch.Config.Cpu (Finch.Config.Threaded nd)
+               | `Gpu -> gpu1) }
+      with
+      | Ok prep ->
+        ignore
+          (Finch_opt.Opt.optimize_problem ~post_io:Bte.Setup.post_io
+             prep.Finch.pr_problem)
+      | Error _ -> ())
     [ `Pool; `Gpu ];
   let bw = Prt.Metrics.histogram "pool.barrier_wait_ns" in
   p "  \"metrics\": {\n";

@@ -103,18 +103,31 @@ let run_selftest () =
   !failures = 0
 
 let scenarios_of = function
-  | `Hotspot -> [ "hotspot", fun () -> Bte.Setup.build Bte.Setup.small_hotspot ]
-  | `Corner ->
-    [ "corner", fun () -> Bte.Setup.build_corner Bte.Setup.small_corner ]
-  | `All ->
-    [ "hotspot", (fun () -> Bte.Setup.build Bte.Setup.small_hotspot);
-      "corner", fun () -> Bte.Setup.build_corner Bte.Setup.small_corner ]
+  | `Hotspot -> [ "hotspot" ]
+  | `Corner -> [ "corner" ]
+  | `All -> [ "hotspot"; "corner" ]
+
+(* One matrix cell as a facade request: the scenario's own base
+   dimensions (corner is 32x8) with the cell's backend / overlap /
+   opt level.  [Finch.prepare] builds and configures the problem the
+   same way a served request would. *)
+let request_for sname tgt overlap level =
+  let base =
+    match Bte.Setup.base_of_scenario sname with
+    | Some b -> b
+    | None -> assert false
+  in
+  { (Bte.Setup.request_of_base base sname) with
+    Finch.Solve_request.backend = tgt;
+    overlap;
+    opt_level = level }
 
 let lint_matrix ~backends ~scenario ~opts ~ignore_codes ~verbose =
+  Bte.Setup.register_scenarios ();
   let backends = if backends = [] then default_backends else backends in
   let total_errors = ref 0 and total_warnings = ref 0 and configs = ref 0 in
   List.iter
-    (fun (sname, mk) ->
+    (fun sname ->
       List.iter
         (fun spec ->
           match Finch.Config.target_of_string spec with
@@ -127,25 +140,29 @@ let lint_matrix ~backends ~scenario ~opts ~ignore_codes ~verbose =
                 List.iter
                   (fun level ->
                     incr configs;
-                    let built = mk () in
-                    let p = built.Bte.Setup.problem in
-                    Finch.Problem.set_target p tgt;
-                    Finch.Problem.set_overlap p overlap;
-                    Finch.Problem.set_opt_level p level;
+                    let req = request_for sname tgt overlap level in
+                    let prep =
+                      match Finch.prepare req with
+                      | Ok prep -> prep
+                      | Error e ->
+                        Printf.eprintf "error: %s\n"
+                          (Finch.Solve_error.to_string e);
+                        exit 2
+                    in
+                    let p = prep.Finch.pr_problem in
+                    let post_io = prep.Finch.pr_post_io in
                     let r =
-                      Finch_analysis.Driver.check_problem
-                        ~post_io:Bte.Setup.post_io ~ignore_codes p
+                      Finch_analysis.Driver.check_problem ?post_io
+                        ~ignore_codes p
                     in
                     (* also lint the optimizer pipeline's output: the
                        rewritten program must stay as clean as the input *)
                     let opt_r =
                       let res =
-                        Finch_opt.Opt.optimize_problem
-                          ~post_io:Bte.Setup.post_io p
+                        Finch_opt.Opt.optimize_problem ?post_io p
                       in
                       Finch_analysis.Driver.check_ir ~ignore_codes
-                        (Finch_analysis.Ctx.of_problem
-                           ~post_io:Bte.Setup.post_io p)
+                        (Finch_analysis.Ctx.of_problem ?post_io p)
                         res.Finch_opt.Opt.ir
                     in
                     total_errors :=

@@ -1,0 +1,328 @@
+(* Solver-service benchmark driver.
+
+     bte_serve                 -- temperature-sweep workload over both
+                                  scenarios, batched vs unbatched, and a
+                                  self-validated BENCH_serve.json
+     bte_serve --requests 6 --backend gpu --opt 2
+
+   The workload is kALDo-style: R requests per scenario differing only in
+   the hot-spot temperature, so every request of a scenario shares one
+   lowered program.  The unbatched pass runs them one by one with the
+   program cache off (today's per-request pipeline: optimize, verify,
+   solve).  The batched pass runs the scheduler with coalescing and the
+   content-hash program cache on.  Results must be bit-identical; the
+   emitted JSON carries requests/s and p50/p95 latency for both modes
+   plus the serve.* counter deltas, and validates itself. *)
+
+open Cmdliner
+
+let requests_t =
+  Arg.(
+    value & opt int 6
+    & info [ "requests" ] ~docv:"N"
+        ~doc:"Temperature points per scenario in the sweep (default 6).")
+
+let scenario_t =
+  Arg.(
+    value
+    & opt (enum [ "hotspot", `Hotspot; "corner", `Corner; "both", `Both ])
+        `Both
+    & info [ "scenario" ] ~docv:"NAME"
+        ~doc:"Scenario family to sweep: hotspot, corner or both.")
+
+let backend_t =
+  Arg.(
+    value & opt string "gpu"
+    & info [ "backend" ] ~docv:"SPEC"
+        ~doc:
+          "Backend every request runs on: serial, threads:N, bands:N, \
+           cells:N, hybrid:RxD or gpu[:NAME]. Batched launches need the \
+           single-device gpu target; other backends still share the \
+           program cache.")
+
+let opt_t =
+  Arg.(
+    value & opt string "2"
+    & info [ "opt" ] ~docv:"LEVEL" ~doc:"IR optimization level: 0, 1 or 2.")
+
+let eval_t =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ "closure", Finch.Config.Closure; "tape", Finch.Config.Tape;
+             "native", Finch.Config.Native ])
+        Finch.Config.Closure
+    & info [ "eval" ] ~docv:"MODE"
+        ~doc:"RHS evaluator: closure, tape or native.")
+
+let nx_t =
+  Arg.(value & opt int 12 & info [ "nx" ] ~docv:"N" ~doc:"Cells per side.")
+
+let ndirs_t =
+  Arg.(value & opt int 4 & info [ "dirs" ] ~docv:"N" ~doc:"Directions.")
+
+let nbands_t =
+  Arg.(value & opt int 4 & info [ "bands" ] ~docv:"N" ~doc:"LA bands.")
+
+let nsteps_t =
+  Arg.(value & opt int 6 & info [ "steps" ] ~docv:"N" ~doc:"Time steps.")
+
+let max_batch_t =
+  Arg.(
+    value & opt int 8
+    & info [ "batch" ] ~docv:"N"
+        ~doc:"Coalescing window of the batched pass (default 8).")
+
+let repeat_t =
+  Arg.(
+    value & opt int 3
+    & info [ "repeat" ] ~docv:"K"
+        ~doc:
+          "Times each temperature point is requested (default 3) — service \
+           traffic repeats queries, which is what the scenario-table reuse \
+           pays off on.")
+
+let json_t =
+  Arg.(
+    value & opt string "BENCH_serve.json"
+    & info [ "json" ] ~docv:"PATH" ~doc:"Where to write the benchmark JSON.")
+
+let trace_t =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"PATH"
+        ~doc:"Also export a Chrome trace of the batched pass.")
+
+(* The sweep: R temperature points per scenario, each requested K times
+   (interleaved, like repeated service traffic).  Temperature is a
+   value-only change, so one lowered program per scenario. *)
+let sweep ~scenarios ~requests ~repeat ~nx ~ndirs ~nbands ~nsteps ~backend
+    ~opt_level ~eval_mode =
+  List.concat_map
+    (fun rep ->
+      List.concat_map
+        (fun scenario ->
+          let base = if scenario = "corner" then 150.0 else 350.0 in
+          List.init requests (fun i ->
+              let t_hot =
+                base
+                +. 25.0 *. float_of_int i /. float_of_int (max 1 (requests - 1))
+              in
+              Finch.Solve_request.make ~nx ~ny:nx ~ndirs ~nbands ~nsteps ~t_hot
+                ~backend ~opt_level ~eval_mode
+                ~label:(Printf.sprintf "%s@%.1fK#%d" scenario t_hot rep)
+                scenario))
+        scenarios)
+    (List.init (max 1 repeat) (fun r -> r))
+
+let percentile p xs =
+  match xs with
+  | [] -> 0.0
+  | _ ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    let idx = int_of_float (p *. float_of_int (n - 1)) in
+    a.(min (n - 1) idx)
+
+type pass = {
+  label : string;
+  wall_s : float;
+  rps : float;
+  p50_ms : float;
+  p95_ms : float;
+  completed : int;
+  results : (string * Finch.Solve_result.t) list;  (* label -> result *)
+}
+
+let run_pass ~label ~max_batch ~use_cache ~batching reqs =
+  let sched =
+    Finch_serve.Scheduler.create ~max_batch ~use_cache ~batching
+      ~post_io:Bte.Setup.post_io ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let outcomes = Finch_serve.Scheduler.run_all sched reqs in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let results =
+    List.filter_map
+      (fun (req, oc) ->
+        match oc with
+        | Finch_serve.Scheduler.Completed r ->
+          Some
+            ( (match req.Finch.Solve_request.label with
+               | Some l -> l
+               | None -> r.Finch.Solve_result.trace_id),
+              r )
+        | Finch_serve.Scheduler.Rejected reason ->
+          Printf.eprintf "%s: request rejected: %s\n" label reason;
+          None
+        | Finch_serve.Scheduler.Timed_out by ->
+          Printf.eprintf "%s: request timed out by %.3fs\n" label by;
+          None)
+      (List.combine reqs outcomes)
+  in
+  let latencies =
+    List.map (fun (_, r) -> r.Finch.Solve_result.wall_s *. 1e3) results
+  in
+  { label;
+    wall_s;
+    rps = float_of_int (List.length results) /. wall_s;
+    p50_ms = percentile 0.50 latencies;
+    p95_ms = percentile 0.95 latencies;
+    completed = List.length results;
+    results }
+
+let counter name = Prt.Metrics.value (Prt.Metrics.counter name)
+
+let pass_json (p : pass) extra =
+  Finch.Json.Obj
+    ([ "wall_s", Finch.Json.Num p.wall_s;
+       "requests_per_s", Finch.Json.Num p.rps;
+       "p50_ms", Finch.Json.Num p.p50_ms;
+       "p95_ms", Finch.Json.Num p.p95_ms;
+       "completed", Finch.Json.Num (float_of_int p.completed) ]
+     @ extra)
+
+let serve_cmd requests repeat scenario backend opt eval_mode nx ndirs nbands
+    nsteps max_batch json_path trace_path =
+  Bte.Setup.register_scenarios ();
+  Prt.Metrics.enable ();
+  (match trace_path with Some _ -> Prt.Trace.enable () | None -> ());
+  let backend =
+    match Finch.Config.target_of_string backend with
+    | Ok t -> t
+    | Error e ->
+      Printf.eprintf "error: bad backend spec: %s\n" e;
+      exit 2
+  in
+  let opt_level =
+    match Finch.Config.opt_level_of_string opt with
+    | Ok l -> l
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 2
+  in
+  if eval_mode = Finch.Config.Native then
+    Finch_codegen.Codegen.install ~post_io:Bte.Setup.post_io ();
+  let scenarios =
+    match scenario with
+    | `Hotspot -> [ "hotspot" ]
+    | `Corner -> [ "corner" ]
+    | `Both -> [ "hotspot"; "corner" ]
+  in
+  let reqs =
+    sweep ~scenarios ~requests ~repeat ~nx ~ndirs ~nbands ~nsteps ~backend
+      ~opt_level ~eval_mode
+  in
+  Printf.printf "workload: %d requests (%s x %d temps x %d), %s\n%!"
+    (List.length reqs)
+    (String.concat "+" scenarios)
+    requests repeat
+    (Finch.Solve_request.summary (List.hd reqs));
+  (* unbatched baseline: window of 1, cache off — every request pays the
+     full optimize-and-verify pipeline, exactly today's entry points *)
+  let unbatched =
+    run_pass ~label:"unbatched" ~max_batch:1 ~use_cache:false ~batching:false
+      reqs
+  in
+  Printf.printf "  %-10s %6.2f req/s  p50 %7.1f ms  p95 %7.1f ms\n%!"
+    unbatched.label unbatched.rps unbatched.p50_ms unbatched.p95_ms;
+  (* batched pass: coalescing + program cache *)
+  let hits0 = counter "serve.program_hits" in
+  let misses0 = counter "serve.program_misses" in
+  let batches0 = counter "serve.batches" in
+  let launches0 = counter "serve.batched_launches" in
+  let batched =
+    run_pass ~label:"batched" ~max_batch ~use_cache:true ~batching:true reqs
+  in
+  let hits = counter "serve.program_hits" - hits0 in
+  let misses = counter "serve.program_misses" - misses0 in
+  let batches = counter "serve.batches" - batches0 in
+  let launches = counter "serve.batched_launches" - launches0 in
+  Printf.printf
+    "  %-10s %6.2f req/s  p50 %7.1f ms  p95 %7.1f ms  (hits %d, misses %d, \
+     batches %d)\n%!"
+    batched.label batched.rps batched.p50_ms batched.p95_ms hits misses
+    batches;
+  (* bit-identity: the batched pass must reproduce the unbatched results
+     exactly, request by request *)
+  let max_diff =
+    List.fold_left
+      (fun acc (lbl, (r : Finch.Solve_result.t)) ->
+        match List.assoc_opt lbl batched.results with
+        | Some rb ->
+          Float.max acc
+            (Fvm.Field.max_abs_diff r.Finch.Solve_result.solution
+               rb.Finch.Solve_result.solution)
+        | None -> Float.max acc infinity)
+      0.0 unbatched.results
+  in
+  let all_completed =
+    unbatched.completed = List.length reqs
+    && batched.completed = List.length reqs
+  in
+  let validated =
+    all_completed && max_diff = 0.0 && hits > 0
+    && batched.rps > unbatched.rps
+  in
+  Printf.printf "  max |batched - unbatched| = %g;  %s\n%!" max_diff
+    (if validated then "validated" else "VALIDATION FAILED");
+  let j =
+    Finch.Json.Obj
+      [ "bench", Finch.Json.Str "serve";
+        "scenarios", Finch.Json.List (List.map (fun s -> Finch.Json.Str s) scenarios);
+        ( "request",
+          Finch.Json.Obj
+            [ "temps_per_scenario", Finch.Json.Num (float_of_int requests);
+              "repeat", Finch.Json.Num (float_of_int repeat);
+              "nx", Finch.Json.Num (float_of_int nx);
+              "dirs", Finch.Json.Num (float_of_int ndirs);
+              "bands", Finch.Json.Num (float_of_int nbands);
+              "steps", Finch.Json.Num (float_of_int nsteps);
+              "backend", Finch.Json.Str (Finch.Config.target_name backend);
+              "opt", Finch.Json.Str (Finch.Config.opt_level_name opt_level);
+              "eval", Finch.Json.Str (Finch.Config.eval_mode_name eval_mode) ] );
+        "total_requests", Finch.Json.Num (float_of_int (List.length reqs));
+        "max_batch", Finch.Json.Num (float_of_int max_batch);
+        "unbatched", pass_json unbatched [];
+        ( "batched",
+          pass_json batched
+            [ "program_hits", Finch.Json.Num (float_of_int hits);
+              "program_misses", Finch.Json.Num (float_of_int misses);
+              "batches", Finch.Json.Num (float_of_int batches);
+              "batched_launches", Finch.Json.Num (float_of_int launches) ] );
+        "max_abs_diff", Finch.Json.Num max_diff;
+        ( "speedup",
+          Finch.Json.Num
+            (if unbatched.rps > 0.0 then batched.rps /. unbatched.rps else 0.0)
+        );
+        "validated", Finch.Json.Bool validated ]
+  in
+  let oc = open_out json_path in
+  output_string oc (Finch.Json.to_string ~indent:2 j);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" json_path;
+  (match trace_path with
+   | Some p ->
+     Prt.Trace.write_chrome p;
+     Printf.printf "wrote %s\n%!" p
+   | None -> ());
+  if not validated then exit 1
+
+let () =
+  let term =
+    Term.(
+      const serve_cmd $ requests_t $ repeat_t $ scenario_t $ backend_t $ opt_t
+      $ eval_t $ nx_t $ ndirs_t $ nbands_t $ nsteps_t $ max_batch_t $ json_t
+      $ trace_t)
+  in
+  let info =
+    Cmd.info "bte_serve" ~version:"1.0"
+      ~doc:
+        "Batched multi-request solver service benchmark: temperature sweeps \
+         through the serve scheduler, batched vs unbatched, with a \
+         self-validated BENCH_serve.json."
+  in
+  exit (Cmd.eval (Cmd.v info term))

@@ -196,8 +196,127 @@ let resolve_backend ~backend ~target =
     spec
   | None, None -> "serial"
 
+(* Post-solve reporting shared by [run] and [request]: tape statistics,
+   temperature stats, phase breakdown, GPU perf model and optional CSV. *)
+let report_result ~t_ambient ~csv (prep : Finch.prepared)
+    (res : Finch.Solve_result.t) =
+  Printf.printf "wall time %.2f s\n" res.Finch.Solve_result.wall_s;
+  let outcome = res.Finch.Solve_result.outcome in
+  (match outcome.Finch.Solve.states.(0).Finch.Lower.tapes with
+   | [] -> ()
+   | tapes ->
+     List.iter
+       (fun (name, t) ->
+         let runs = Finch.Eval.tape_runs t in
+         if runs > 0 then
+           Printf.printf "tape %-6s: %3d ops, executed %.1f/run (%.0f%% skipped)\n"
+             name (Finch.Eval.tape_length t)
+             (float_of_int (Finch.Eval.tape_executed t) /. float_of_int runs)
+             (100.
+              *. (1.
+                  -. float_of_int (Finch.Eval.tape_executed t)
+                     /. float_of_int (runs * Finch.Eval.tape_length t))))
+       tapes);
+  let ft = res.Finch.Solve_result.solution in
+  let mesh = Finch.Problem.mesh_exn prep.Finch.pr_problem in
+  let stats = Bte.Diag.temperature_stats mesh ft ~t_ambient in
+  Format.printf "%a@." Bte.Diag.pp_stats stats;
+  Format.printf "breakdown: %a@." Prt.Breakdown.pp
+    res.Finch.Solve_result.breakdown;
+  (match outcome.Finch.Solve.gpu with
+   | Some g ->
+     print_endline
+       (Gpu_sim.Perf.to_string
+          (Gpu_sim.Perf.report g.Finch.Target_gpu.device
+             ~avg_threads:g.Finch.Target_gpu.profile_threads))
+   | None -> ());
+  match csv with
+  | Some path ->
+    Bte.Diag.to_csv mesh ft ~comp:0 path;
+    Printf.printf "temperature field written to %s\n" path
+  | None -> ()
+
+(* Static-analysis gate shared by [run] and [request]: errors abort with
+   exit code 3 unless [no_check]. *)
+let analysis_gate ~no_check (prep : Finch.prepared) =
+  if not no_check then begin
+    let report =
+      Finch_analysis.Driver.check_problem ?post_io:prep.Finch.pr_post_io
+        prep.Finch.pr_problem
+    in
+    if report.Finch_analysis.Driver.errors > 0 then begin
+      Printf.eprintf "static analysis rejected the generated program:\n";
+      Finch_analysis.Driver.pp_report stderr report;
+      Printf.eprintf "(use --no-check to run anyway)\n";
+      exit 3
+    end
+    else if report.Finch_analysis.Driver.warnings > 0 then begin
+      print_endline "static analysis warnings:";
+      Finch_analysis.Driver.pp_report stdout report
+    end
+  end
+
+let print_optimizer_stats (prep : Finch.prepared)
+    (opt_level : Finch.Config.opt_level) =
+  let opt_result =
+    Finch_opt.Opt.optimize_problem ?post_io:prep.Finch.pr_post_io
+      prep.Finch.pr_problem
+  in
+  let os = opt_result.Finch_opt.Opt.stats in
+  Printf.printf
+    "optimizer: O%s — %d loop(s) fused, %d step pair(s) fused, %d kernel \
+     launch loop(s) batched, %d dead assign(s) removed%s\n"
+    (Finch.Config.opt_level_name opt_level)
+    os.Finch_opt.Opt.loops_fused os.Finch_opt.Opt.steps_fused
+    os.Finch_opt.Opt.kernels_batched os.Finch_opt.Opt.assigns_eliminated
+    (match opt_result.Finch_opt.Opt.rejected with
+     | [] -> ""
+     | rs ->
+       Printf.sprintf "; %d pass(es) rejected by the analyses (%s)"
+         (List.length rs)
+         (String.concat ", "
+            (List.map
+               (fun (r : Finch_opt.Opt.rejection) ->
+                 r.Finch_opt.Opt.rej_pass ^ ":"
+                 ^ Finch_analysis.Finding.id
+                     r.Finch_opt.Opt.rej_finding.Finch_analysis.Finding.code)
+               rs)))
+
+let finish_sanitize ~sanitize () =
+  if sanitize then begin
+    let n = Finch_analysis.Sanitize.poison_reads () in
+    Finch_analysis.Sanitize.disable ();
+    Printf.printf "sanitizer: %d poison read%s\n" n (if n = 1 then "" else "s");
+    if n > 0 then exit 4
+  end
+
+(* Prepare and solve one request through the facade with the shared
+   gates and reporting around it.  Exit codes: 2 invalid request /
+   unknown scenario, 3 analysis errors, 4 sanitizer poison, 1 engine
+   failure. *)
+let solve_request ~t_ambient ~csv ~trace ~metrics ~no_check ~sanitize
+    (req : Finch.Solve_request.t) =
+  match Finch.prepare req with
+  | Error e ->
+    Printf.eprintf "error: %s\n" (Finch.Solve_error.to_string e);
+    exit 2
+  | Ok prep ->
+    analysis_gate ~no_check prep;
+    if sanitize then Finch_analysis.Sanitize.enable ();
+    start_observability ~trace ~metrics;
+    print_optimizer_stats prep req.Finch.Solve_request.opt_level;
+    (match Finch.solve_prepared req prep with
+     | Error e ->
+       Printf.eprintf "error: %s\n" (Finch.Solve_error.to_string e);
+       exit 1
+     | Ok res ->
+       report_result ~t_ambient ~csv prep res;
+       finish_observability ~trace ~metrics;
+       finish_sanitize ~sanitize ())
+
 let run_cmd scenario nx ny ndirs nbands nsteps backend target overlap opt
     eval_mode codegen_cache_dir csv paper_scale trace metrics no_check sanitize =
+  Bte.Setup.register_scenarios ();
   let opt_level =
     match Finch.Config.opt_level_of_string opt with
     | Ok l -> l
@@ -205,139 +324,45 @@ let run_cmd scenario nx ny ndirs nbands nsteps backend target overlap opt
       Printf.eprintf "error: %s\n" e;
       exit 2
   in
-  let base =
-    match scenario, paper_scale with
-    | `Hotspot, true -> Bte.Setup.paper_hotspot
-    | `Hotspot, false ->
-      { Bte.Setup.small_hotspot with Bte.Setup.nx; ny; ndirs; n_la_bands = nbands; nsteps }
-    | `Corner, true -> Bte.Setup.paper_corner
-    | `Corner, false ->
-      { Bte.Setup.small_corner with Bte.Setup.nx; ny; ndirs; n_la_bands = nbands; nsteps }
+  let tgt =
+    match Finch.Config.target_of_string (resolve_backend ~backend ~target) with
+    | Ok t -> t
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 2
   in
-  match Finch.Config.target_of_string (resolve_backend ~backend ~target) with
-  | Error e ->
-    Printf.eprintf "error: %s\n" e;
-    exit 2
-  | Ok tgt ->
-    let built =
-      match scenario with
-      | `Hotspot -> Bte.Setup.build base
-      | `Corner -> Bte.Setup.build_corner base
+  let family =
+    match scenario with `Hotspot -> "hotspot" | `Corner -> "corner"
+  in
+  let sname = if paper_scale then family ^ "-paper" else family in
+  let base =
+    match Bte.Setup.base_of_scenario sname with
+    | Some b -> b
+    | None -> assert false
+  in
+  (* the request is the whole configuration — scenario, dims, backend,
+     optimizer, evaluator — in place of the old [Problem.set_*] wiring *)
+  let req =
+    let r =
+      if paper_scale then Bte.Setup.request_of_base base sname
+      else Finch.Solve_request.make ~nx ~ny ~ndirs ~nbands ~nsteps sname
     in
-    Printf.printf "scenario %s: %dx%d cells, %d dirs, %d bands, %d steps (dt %.3g s)\n%!"
-      base.Bte.Setup.sname base.Bte.Setup.nx base.Bte.Setup.ny base.Bte.Setup.ndirs
-      (Bte.Dispersion.nbands built.Bte.Setup.disp)
-      base.Bte.Setup.nsteps built.Bte.Setup.scenario.Bte.Setup.dt;
-    (* the codegen backend is always installed; it only engages when the
-       eval mode below is Native *)
-    (match codegen_cache_dir with
-     | Some d -> Finch_codegen.Codegen.set_cache_dir d
-     | None -> ());
-    Finch_codegen.Codegen.install ~post_io:Bte.Setup.post_io ();
-    Finch.Problem.set_eval_mode built.Bte.Setup.problem eval_mode;
-    Finch.Problem.set_overlap built.Bte.Setup.problem overlap;
-    Finch.Problem.set_opt_level built.Bte.Setup.problem opt_level;
-    (match tgt with
-     | Finch.Config.Cpu strategy ->
-       Finch.Problem.set_target built.Bte.Setup.problem (Finch.Config.Cpu strategy)
-     | Finch.Config.Gpu { spec; devices; ranks } ->
-       Finch.Problem.use_cuda ~spec ~devices ~ranks built.Bte.Setup.problem);
-    (* static analysis of the generated program, on unless --no-check *)
-    if not no_check then begin
-      let report =
-        Finch_analysis.Driver.check_problem ~post_io:Bte.Setup.post_io
-          built.Bte.Setup.problem
-      in
-      if report.Finch_analysis.Driver.errors > 0 then begin
-        Printf.eprintf "static analysis rejected the generated program:\n";
-        Finch_analysis.Driver.pp_report stderr report;
-        Printf.eprintf "(use --no-check to run anyway)\n";
-        exit 3
-      end
-      else if report.Finch_analysis.Driver.warnings > 0 then begin
-        print_endline "static analysis warnings:";
-        Finch_analysis.Driver.pp_report stdout report
-      end
-    end;
-    if sanitize then Finch_analysis.Sanitize.enable ();
-    start_observability ~trace ~metrics;
-    (* run the verified optimizer pipeline over the generated program; the
-       executors mirror the same opt_level decisions, so the stats line
-       describes the schedule the solve below will actually run *)
-    let opt_result =
-      Finch_opt.Opt.optimize_problem ~post_io:Bte.Setup.post_io
-        built.Bte.Setup.problem
-    in
-    let os = opt_result.Finch_opt.Opt.stats in
-    Printf.printf
-      "optimizer: O%s — %d loop(s) fused, %d step pair(s) fused, %d kernel \
-       launch loop(s) batched, %d dead assign(s) removed%s\n"
-      (Finch.Config.opt_level_name opt_level)
-      os.Finch_opt.Opt.loops_fused os.Finch_opt.Opt.steps_fused
-      os.Finch_opt.Opt.kernels_batched os.Finch_opt.Opt.assigns_eliminated
-      (match opt_result.Finch_opt.Opt.rejected with
-       | [] -> ""
-       | rs ->
-         Printf.sprintf "; %d pass(es) rejected by the analyses (%s)"
-           (List.length rs)
-           (String.concat ", "
-              (List.map
-                 (fun (r : Finch_opt.Opt.rejection) ->
-                   r.Finch_opt.Opt.rej_pass ^ ":"
-                   ^ Finch_analysis.Finding.id
-                       r.Finch_opt.Opt.rej_finding.Finch_analysis.Finding.code)
-                 rs)));
-    let t0 = Unix.gettimeofday () in
-    let outcome =
-      match tgt with
-      | Finch.Config.Cpu _ ->
-        Finch.Solve.solve ~band_index:"b" ~post_io:Bte.Setup.post_io
-          built.Bte.Setup.problem
-      | Finch.Config.Gpu _ ->
-        Finch.Solve.solve ~post_io:Bte.Setup.post_io built.Bte.Setup.problem
-    in
-    Printf.printf "wall time %.2f s\n" (Unix.gettimeofday () -. t0);
-    (match outcome.Finch.Solve.states.(0).Finch.Lower.tapes with
-     | [] -> ()
-     | tapes ->
-       List.iter
-         (fun (name, t) ->
-           let runs = Finch.Eval.tape_runs t in
-           if runs > 0 then
-             Printf.printf "tape %-6s: %3d ops, executed %.1f/run (%.0f%% skipped)\n"
-               name (Finch.Eval.tape_length t)
-               (float_of_int (Finch.Eval.tape_executed t) /. float_of_int runs)
-               (100.
-                *. (1.
-                    -. float_of_int (Finch.Eval.tape_executed t)
-                       /. float_of_int (runs * Finch.Eval.tape_length t))))
-         tapes);
-    let ft = Finch.Solve.field outcome "T" in
-    let stats =
-      Bte.Diag.temperature_stats built.Bte.Setup.mesh ft
-        ~t_ambient:base.Bte.Setup.t_cold
-    in
-    Format.printf "%a@." Bte.Diag.pp_stats stats;
-    Format.printf "breakdown: %a@." Prt.Breakdown.pp outcome.Finch.Solve.breakdown;
-    (match outcome.Finch.Solve.gpu with
-     | Some g ->
-       print_endline
-         (Gpu_sim.Perf.to_string
-            (Gpu_sim.Perf.report g.Finch.Target_gpu.device
-               ~avg_threads:g.Finch.Target_gpu.profile_threads))
-     | None -> ());
-    (match csv with
-     | Some path ->
-       Bte.Diag.to_csv built.Bte.Setup.mesh ft ~comp:0 path;
-       Printf.printf "temperature field written to %s\n" path
-     | None -> ());
-    finish_observability ~trace ~metrics;
-    if sanitize then begin
-      let n = Finch_analysis.Sanitize.poison_reads () in
-      Finch_analysis.Sanitize.disable ();
-      Printf.printf "sanitizer: %d poison read%s\n" n (if n = 1 then "" else "s");
-      if n > 0 then exit 4
-    end
+    { r with Finch.Solve_request.backend = tgt; opt_level; eval_mode; overlap }
+  in
+  let sc = Bte.Setup.scenario_of_request base req in
+  let disp = Bte.Dispersion.make ~n_la:sc.Bte.Setup.n_la_bands in
+  let dt = Float.min sc.Bte.Setup.dt (Bte.Setup.cfl_dt sc disp) in
+  Printf.printf "scenario %s: %dx%d cells, %d dirs, %d bands, %d steps (dt %.3g s)\n%!"
+    sc.Bte.Setup.sname sc.Bte.Setup.nx sc.Bte.Setup.ny sc.Bte.Setup.ndirs
+    (Bte.Dispersion.nbands disp) sc.Bte.Setup.nsteps dt;
+  (* the codegen backend is always installed; it only engages when the
+     eval mode below is Native *)
+  (match codegen_cache_dir with
+   | Some d -> Finch_codegen.Codegen.set_cache_dir d
+   | None -> ());
+  Finch_codegen.Codegen.install ~post_io:Bte.Setup.post_io ();
+  solve_request ~t_ambient:sc.Bte.Setup.t_cold ~csv ~trace ~metrics ~no_check
+    ~sanitize req
 
 let run_term =
   Term.(
@@ -509,6 +534,78 @@ let film_info =
   Cmd.info "film"
     ~doc:"Cross-plane thin-film conduction: the phonon size effect."
 
+(* ---------- request ---------- *)
+
+let request_json_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"JSON"
+        ~doc:
+          "Inline request JSON (see docs/SERVE.md for the schema); \
+           mutually exclusive with $(b,--file).")
+
+let request_file_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "file" ] ~docv:"PATH"
+        ~doc:"Read the request JSON from $(docv) ($(b,-) for stdin).")
+
+let read_all ic =
+  let b = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel b ic 4096
+     done
+   with End_of_file -> ());
+  Buffer.contents b
+
+let request_cmd json file csv trace metrics no_check sanitize =
+  Bte.Setup.register_scenarios ();
+  let text =
+    match json, file with
+    | Some _, Some _ ->
+      prerr_endline "error: give either --json or --file, not both";
+      exit 2
+    | Some s, None -> s
+    | None, Some "-" -> read_all stdin
+    | None, Some path ->
+      let ic = open_in path in
+      let s = read_all ic in
+      close_in ic;
+      s
+    | None, None ->
+      prerr_endline "error: a request is required (--json JSON or --file PATH)";
+      exit 2
+  in
+  match Finch.Solve_request.of_string text with
+  | Error e ->
+    Printf.eprintf "error: bad request: %s\n" e;
+    exit 2
+  | Ok req ->
+    Printf.printf "request: %s\n%!" (Finch.Solve_request.summary req);
+    let t_ambient =
+      (* background temperature for the diagnostics; prepare rejects
+         unknown scenarios before this matters *)
+      match Bte.Setup.base_of_scenario req.Finch.Solve_request.scenario with
+      | Some base -> (Bte.Setup.scenario_of_request base req).Bte.Setup.t_cold
+      | None -> 300.
+    in
+    Finch_codegen.Codegen.install ~post_io:Bte.Setup.post_io ();
+    solve_request ~t_ambient ~csv ~trace ~metrics ~no_check ~sanitize req
+
+let request_term =
+  Term.(
+    const request_cmd $ request_json_t $ request_file_t $ csv_t $ trace_t
+    $ metrics_t $ no_check_t $ sanitize_t)
+
+let request_info =
+  Cmd.info "request"
+    ~doc:
+      "Solve one JSON-described request through the Finch facade (the same \
+       record bte_serve queues; see docs/SERVE.md)."
+
 (* ---------- main ---------- *)
 
 let () =
@@ -521,6 +618,7 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ Cmd.v run_info run_term;
+            Cmd.v request_info request_term;
             Cmd.v model_info model_term;
             Cmd.v codegen_info codegen_term;
             Cmd.v material_info material_term;

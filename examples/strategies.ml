@@ -19,10 +19,23 @@ let () =
   Printf.printf "BTE %dx%d cells, %d dirs, %d LA bands, %d steps\n\n%!"
     sc.Setup.nx sc.Setup.ny sc.Setup.ndirs sc.Setup.n_la_bands sc.Setup.nsteps;
 
+  (* every strategy is the same request with a different backend — the
+     facade prepares and runs it (Finch.solve = prepare + solve_prepared) *)
+  Setup.register_scenarios ();
+  let request target =
+    { (Finch.Solve_request.make "hotspot") with
+      Finch.Solve_request.nx = sc.Setup.nx;
+      ny = sc.Setup.ny;
+      ndirs = sc.Setup.ndirs;
+      nbands = sc.Setup.n_la_bands;
+      nsteps = sc.Setup.nsteps;
+      backend = target }
+  in
   let solve target =
-    let built = Setup.build sc in
-    Finch.Problem.set_target built.Setup.problem target;
-    wall (fun () -> Finch.Solve.solve ~band_index:"b" built.Setup.problem)
+    match Finch.solve (request target) with
+    | Ok res ->
+      res.Finch.Solve_result.outcome, res.Finch.Solve_result.wall_s
+    | Error e -> failwith (Finch.Solve_error.to_string e)
   in
 
   let serial, t_serial = solve (Finch.Config.Cpu Finch.Config.Serial) in

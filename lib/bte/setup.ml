@@ -133,18 +133,46 @@ let cfl_dt sc disp =
 let post_io =
   { Finch.Dataflow.cb_reads = [ "I" ]; cb_writes = [ "Io"; "beta"; "T" ] }
 
+(* The physics tables are pure functions of (bands, directions,
+   temperature range): identical inputs produce bit-identical tables, so
+   a process serving many requests may reuse them.  The memo is gated on
+   the facade's scenario-cache switch — off (the default), every build
+   pays the full table construction, exactly the historical behaviour;
+   the serve scheduler turns it on together with its program cache. *)
+let table_memo :
+    ( int * int * float * float,
+      Dispersion.t * Angles.t * Equilibrium.t * Temperature.model )
+    Hashtbl.t =
+  Hashtbl.create 16
+
+let tables_for (sc : scenario) =
+  let fresh () =
+    let disp = Dispersion.make ~n_la:sc.n_la_bands in
+    let angles = Angles.make_2d ~ndirs:sc.ndirs in
+    let eqtab =
+      Equilibrium.make ~omega_total:angles.Angles.total
+        ~t_lo:(Float.max 2. (Float.min sc.t_cold sc.t_hot /. 2.))
+        ~t_hi:(2. *. Float.max sc.t_cold sc.t_hot)
+        disp
+    in
+    let temp_model = Temperature.make ~disp ~eqtab ~angles () in
+    disp, angles, eqtab, temp_model
+  in
+  if not (Finch.scenario_cache_enabled ()) then fresh ()
+  else begin
+    let key = sc.n_la_bands, sc.ndirs, sc.t_cold, sc.t_hot in
+    match Hashtbl.find_opt table_memo key with
+    | Some tables -> tables
+    | None ->
+      let tables = fresh () in
+      Hashtbl.add table_memo key tables;
+      tables
+  end
+
 let build ?(enforce_cfl = true) ?(stepper = Finch.Config.Euler_explicit)
     (sc : scenario) =
-  let disp = Dispersion.make ~n_la:sc.n_la_bands in
+  let disp, angles, eqtab, temp_model = tables_for sc in
   let nb = Dispersion.nbands disp in
-  let angles = Angles.make_2d ~ndirs:sc.ndirs in
-  let eqtab =
-    Equilibrium.make ~omega_total:angles.Angles.total
-      ~t_lo:(Float.max 2. (Float.min sc.t_cold sc.t_hot /. 2.))
-      ~t_hi:(2. *. Float.max sc.t_cold sc.t_hot)
-      disp
-  in
-  let temp_model = Temperature.make ~disp ~eqtab ~angles () in
   (* the point-implicit stepper is free of the relaxation-rate bound, so
      only the advective CFL limit applies to it *)
   let dt =
@@ -249,3 +277,61 @@ let build ?(enforce_cfl = true) ?(stepper = Finch.Config.Euler_explicit)
    top wall against the left corner. *)
 let build_corner ?(enforce_cfl = true) ?stepper (sc : scenario) =
   build ~enforce_cfl ?stepper { sc with hot_center = 0. }
+
+(* ------------------------------------------------------------------ *)
+(* facade registration                                                *)
+
+(* Derive a concrete scenario record from a request: the small_* record
+   of the requested family supplies the geometry (the domain stays at
+   the base physical size, so growing nx refines the mesh — the same
+   convention the bench sweeps use); the request overrides the
+   discretization dimensions, step count and temperatures. *)
+let scenario_of_request base (req : Finch.Solve_request.t) =
+  { base with
+    nx = req.Finch.Solve_request.nx;
+    ny = req.Finch.Solve_request.ny;
+    ndirs = req.Finch.Solve_request.ndirs;
+    n_la_bands = req.Finch.Solve_request.nbands;
+    nsteps = req.Finch.Solve_request.nsteps;
+    t_hot =
+      (match req.Finch.Solve_request.t_hot with
+       | Some t -> t
+       | None -> base.t_hot);
+    t_cold =
+      (match req.Finch.Solve_request.t_cold with
+       | Some t -> t
+       | None -> base.t_cold) }
+
+let prepared_of built =
+  { Finch.pr_problem = built.problem;
+    pr_post_io = Some post_io;
+    pr_band_index = Some "b";
+    pr_solution = "T" }
+
+let register_scenarios () =
+  Finch.register_scenario "hotspot" (fun req ->
+      prepared_of (build (scenario_of_request small_hotspot req)));
+  Finch.register_scenario "corner" (fun req ->
+      prepared_of (build_corner (scenario_of_request small_corner req)));
+  (* paper-scale geometry (Fig. 2 / Fig. 10 domains); the request still
+     sets the discretization, so callers pass the paper dims explicitly
+     (see [request_of_base]) *)
+  Finch.register_scenario "hotspot-paper" (fun req ->
+      prepared_of (build (scenario_of_request paper_hotspot req)));
+  Finch.register_scenario "corner-paper" (fun req ->
+      prepared_of (build_corner (scenario_of_request paper_corner req)))
+
+let base_of_scenario = function
+  | "hotspot" -> Some small_hotspot
+  | "corner" -> Some small_corner
+  | "hotspot-paper" -> Some paper_hotspot
+  | "corner-paper" -> Some paper_corner
+  | _ -> None
+
+let request_of_base (base : scenario) name =
+  { (Finch.Solve_request.make name) with
+    Finch.Solve_request.nx = base.nx;
+    ny = base.ny;
+    ndirs = base.ndirs;
+    nbands = base.n_la_bands;
+    nsteps = base.nsteps }

@@ -60,3 +60,27 @@ val build :
 
 val build_corner :
   ?enforce_cfl:bool -> ?stepper:Finch.Config.time_stepper -> scenario -> built
+
+val scenario_of_request : scenario -> Finch.Solve_request.t -> scenario
+(** Concrete scenario for a request: the base record supplies the
+    geometry (the physical domain size is kept, so growing [nx] refines
+    the mesh); the request overrides discretization dimensions, step
+    count and temperatures. *)
+
+val register_scenarios : unit -> unit
+(** Install ["hotspot"], ["corner"] and their paper-scale geometry
+    variants ["hotspot-paper"] / ["corner-paper"] in the {!Finch}
+    scenario registry, enabling [Finch.solve] on requests naming them.
+    Entry points call this once at startup (archive linking drops
+    unreferenced side effects, so registration must be explicit).
+    Idempotent. *)
+
+val base_of_scenario : string -> scenario option
+(** The base record a registered scenario name builds from, for callers
+    that report geometry (domain size, default temperatures) before the
+    solve. *)
+
+val request_of_base : scenario -> string -> Finch.Solve_request.t
+(** A request whose discretization dimensions and step count match the
+    base record exactly — the way to run the paper-scale variants, whose
+    dims differ from the {!Finch.Solve_request.make} defaults. *)

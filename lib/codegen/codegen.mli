@@ -22,6 +22,11 @@ val set_cache_dir : string -> unit
 val cache_dir : unit -> string
 (** The directory compiled kernels are persisted under. *)
 
+val memo_size : unit -> int
+(** Number of compiled program objects held in the in-process memo — the
+    serve layer's program-object cache rides on this level; exposed so
+    schedulers and tests can assert reuse without re-deriving keys. *)
+
 val install : ?post_io:Finch.Dataflow.callback_io -> unit -> unit
 (** Install the codegen backend into [Lower.native_hook]; states built
     with eval mode [Native] then compile and bind generated kernels.

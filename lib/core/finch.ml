@@ -1,0 +1,170 @@
+(** The [Finch] facade — the library's public surface.
+
+    Alongside the classic module tree (re-exported below: {!Problem},
+    {!Solve}, {!Config}, ...), this root module defines the request/result
+    API that external entry points use: one {!Solve_request.t} record in,
+    one {!Solve_result.t} out.  Callers no longer hand-wire
+    [Problem.set_*] mutations; they describe the solve as data and the
+    facade prepares, runs and packages it — attaching a trace id, a
+    per-request span on the ["serve"] trace track, a wall-clock latency
+    and the metrics-counter deltas the run produced.
+
+    Scenario constructors live outside this library (the BTE physics
+    layer depends on [finch], not the reverse), so scenarios arrive
+    through {!register_scenario}: [Bte.Setup.register_scenarios ()]
+    installs ["hotspot"] and ["corner"].  [Solve.solve] remains the
+    internal engine underneath. *)
+
+module Config = Config
+module Dataflow = Dataflow
+module Emit_source = Emit_source
+module Entity = Entity
+module Eval = Eval
+module Ir = Ir
+module Json = Json
+module Lower = Lower
+module Operators = Operators
+module Problem = Problem
+module Solve = Solve
+module Solve_request = Solve_request
+module Target_cpu = Target_cpu
+module Target_gpu = Target_gpu
+module Transform = Transform
+
+(** Why a request was not solved. *)
+module Solve_error = struct
+  type t =
+    | Invalid_request of string
+      (** the record failed {!Solve_request.validate} *)
+    | Unknown_scenario of string
+      (** no constructor registered under this name *)
+    | Engine_failure of string
+      (** the solver raised; the message carries the exception text *)
+
+  let to_string = function
+    | Invalid_request m -> "invalid request: " ^ m
+    | Unknown_scenario s ->
+      Printf.sprintf "unknown scenario %S (registered: %s)" s
+        "see Finch.scenario_names"
+    | Engine_failure m -> "engine failure: " ^ m
+end
+
+(** What a solved request returns: the primary solution field plus the
+    run's observability payload. *)
+module Solve_result = struct
+  type t = {
+    solution : Fvm.Field.t;  (** the scenario's primary field (e.g. [T]) *)
+    solution_name : string;  (** its name in [outcome.fields] *)
+    breakdown : Prt.Breakdown.t;  (** per-phase wall-clock split *)
+    metrics : (string * int) list;
+      (** counter deltas attributable to this solve (sorted by name,
+          zero-delta entries dropped) *)
+    trace_id : string;  (** e.g. ["req-42"], also the trace span name *)
+    wall_s : float;  (** submit-to-done wall seconds *)
+    outcome : Solve.outcome;  (** full engine outcome, for power users *)
+  }
+end
+
+(* ------------------------------------------------------------------ *)
+(* scenario registry                                                  *)
+
+type prepared = {
+  pr_problem : Problem.t;
+  pr_post_io : Dataflow.callback_io option;
+      (** callback read/write sets for the analyzer and GPU planner *)
+  pr_band_index : string option;  (** index split by band-parallel runs *)
+  pr_solution : string;  (** name of the primary solution field *)
+}
+
+let scenario_registry : (string, Solve_request.t -> prepared) Hashtbl.t =
+  Hashtbl.create 8
+
+(* When on, scenario constructors may memoize pure sub-builds (material
+   dispersion, angular quadrature, equilibrium tables) across requests
+   with identical inputs — bit-identical by construction, since the same
+   inputs produce the same tables.  The serve scheduler switches this
+   with its cache setting so the unbatched baseline keeps today's
+   cold-build-per-request behaviour. *)
+let scenario_cache = ref false
+
+let set_scenario_cache on = scenario_cache := on
+let scenario_cache_enabled () = !scenario_cache
+
+let register_scenario name build = Hashtbl.replace scenario_registry name build
+
+let scenario_names () =
+  Hashtbl.fold (fun k _ acc -> k :: acc) scenario_registry []
+  |> List.sort compare
+
+let prepare (req : Solve_request.t) : (prepared, Solve_error.t) result =
+  match Solve_request.validate req with
+  | Error m -> Error (Solve_error.Invalid_request m)
+  | Ok () ->
+    (match Hashtbl.find_opt scenario_registry req.Solve_request.scenario with
+     | None -> Error (Solve_error.Unknown_scenario req.Solve_request.scenario)
+     | Some build ->
+       (match build req with
+        | prep ->
+          let p = prep.pr_problem in
+          Problem.set_target p req.Solve_request.backend;
+          Problem.set_eval_mode p req.Solve_request.eval_mode;
+          Problem.set_opt_level p req.Solve_request.opt_level;
+          Problem.set_overlap p req.Solve_request.overlap;
+          Ok prep
+        | exception e ->
+          Error (Solve_error.Engine_failure (Printexc.to_string e))))
+
+(* ------------------------------------------------------------------ *)
+(* request execution                                                  *)
+
+let trace_counter = Atomic.make 0
+let fresh_trace_id () = Printf.sprintf "req-%d" (Atomic.fetch_and_add trace_counter 1)
+let serve_track () = Prt.Trace.track "serve"
+
+let metrics_delta before after =
+  (* [after] may contain names absent from [before]; treat those as
+     starting at zero.  Drop zero deltas to keep results readable. *)
+  List.filter_map
+    (fun (name, v1) ->
+      let v0 =
+        match List.assoc_opt name before with Some v -> v | None -> 0
+      in
+      if v1 - v0 <> 0 then Some (name, v1 - v0) else None)
+    after
+
+let solve_prepared ?trace_id (req : Solve_request.t) (prep : prepared) :
+    (Solve_result.t, Solve_error.t) result =
+  let trace_id = match trace_id with Some t -> t | None -> fresh_trace_id () in
+  let before = Prt.Metrics.counter_values () in
+  let t0 = Unix.gettimeofday () in
+  match
+    Solve.solve ?band_index:prep.pr_band_index ?post_io:prep.pr_post_io
+      prep.pr_problem
+  with
+  | outcome ->
+    let t1 = Unix.gettimeofday () in
+    let label =
+      match req.Solve_request.label with
+      | Some l -> Printf.sprintf "%s (%s)" trace_id l
+      | None -> trace_id
+    in
+    Prt.Trace.complete (serve_track ()) ~cat:"serve" label ~t0 ~t1;
+    let solution =
+      match List.assoc_opt prep.pr_solution outcome.Solve.fields with
+      | Some f -> f
+      | None -> outcome.Solve.u
+    in
+    Ok
+      { Solve_result.solution;
+        solution_name = prep.pr_solution;
+        breakdown = outcome.Solve.breakdown;
+        metrics = metrics_delta before (Prt.Metrics.counter_values ());
+        trace_id;
+        wall_s = t1 -. t0;
+        outcome }
+  | exception e -> Error (Solve_error.Engine_failure (Printexc.to_string e))
+
+let solve (req : Solve_request.t) : (Solve_result.t, Solve_error.t) result =
+  match prepare req with
+  | Error e -> Error e
+  | Ok prep -> solve_prepared req prep

@@ -1,0 +1,42 @@
+(** Minimal JSON values for the request/result wire surface.
+
+    The repo deliberately avoids external JSON dependencies; this module
+    provides just enough — a value type, a printer and a recursive-descent
+    parser — for {!Solve_request} round-trips and the BENCH emitters.
+    Numbers are kept as [float] (JSON has one number type); object member
+    order is preserved by the printer. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** Serialize a value.  [indent > 0] pretty-prints with that many spaces
+    per nesting level; the default [0] emits a compact single line.
+    Strings are escaped per RFC 8259; integral floats print without a
+    fractional part. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document.  [Error msg] carries a byte offset
+    and a description on malformed input; trailing garbage after the
+    top-level value is an error. *)
+
+val member : string -> t -> t option
+(** [member k (Obj _)] is the value bound to [k], if any; [None] for
+    non-objects. *)
+
+val to_num : t -> (float, string) result
+(** Extract a number, with a descriptive error otherwise. *)
+
+val to_int : t -> (int, string) result
+(** Extract a number that is an exact integer. *)
+
+val to_str : t -> (string, string) result
+(** Extract a string, with a descriptive error otherwise. *)
+
+val to_bool : t -> (bool, string) result
+(** Extract a boolean, with a descriptive error otherwise. *)

@@ -113,6 +113,19 @@ let hist_mean h =
   let n = hist_count h in
   if n = 0 then 0. else hist_sum h /. float_of_int n
 
+let counter_values () =
+  Mutex.lock registry_m;
+  let vs =
+    Hashtbl.fold
+      (fun _ m acc ->
+        match m with
+        | Counter c -> (c.c_name, Atomic.get c.c) :: acc
+        | Gauge _ | Histogram _ -> acc)
+      registry []
+  in
+  Mutex.unlock registry_m;
+  List.sort (fun (a, _) (b, _) -> compare a b) vs
+
 (* ---------- dumps ---------- *)
 
 let all () =

@@ -83,6 +83,11 @@ val bucket_of : float -> int
 (** The bucket index an observation falls into: smallest [i] with
     [v <= 2^i], clamped to [0 .. 63].  Exposed for tests. *)
 
+val counter_values : unit -> (string * int) list
+(** Snapshot of every registered counter, sorted by name.  Diffing two
+    snapshots yields the per-operation counter deltas the facade attaches
+    to each {!Solve} result; readable even while disabled. *)
+
 val reset_all : unit -> unit
 (** Zero every registered metric (registrations are kept). *)
 

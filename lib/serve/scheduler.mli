@@ -1,0 +1,72 @@
+(** Admission, queueing and batched dispatch of solve requests.
+
+    Requests are submitted into a bounded FIFO queue and processed by
+    {!drain}: each round pops the head, gathers every queued request
+    inside the next [max_batch]-sized window that shares its program
+    hash (see {!Programs}), and executes the group — through the batched
+    GPU engine ({!Batch}) when the group is a co-batchable GPU set of
+    two or more, solo otherwise.  Admission rejects on a full queue or
+    an invalid/unknown request; a request whose deadline has passed when
+    it is picked for execution times out without running; the analysis
+    gate rejects requests whose verified program carries errors.
+
+    Observability: every request gets a trace id and a span on the
+    ["serve"] track covering submit-to-done; the queue depth is the
+    [serve.queue_depth] gauge; submit-to-done latency lands in the
+    [serve.latency_ns] histogram and group sizes in [serve.batch_size];
+    counters [serve.requests] / [serve.completed] / [serve.rejected] /
+    [serve.timed_out] / [serve.batches] track totals. *)
+
+type outcome =
+  | Completed of Finch.Solve_result.t
+  | Rejected of string  (** refused before running; the reason *)
+  | Timed_out of float
+    (** deadline had passed when picked; seconds it was exceeded by *)
+
+type ticket
+(** Handle for one submitted request. *)
+
+type t
+(** A scheduler instance.  Schedulers are single-threaded by design —
+    [submit]/[drain] from one thread; the solver itself parallelizes
+    underneath per the request's backend. *)
+
+val create :
+  ?max_queue:int ->
+  ?max_batch:int ->
+  ?default_deadline_s:float ->
+  ?use_cache:bool ->
+  ?batching:bool ->
+  ?post_io:Finch.Dataflow.callback_io ->
+  ?now:(unit -> float) ->
+  unit ->
+  t
+(** [max_queue] bounds admission (default 64); [max_batch] bounds the
+    coalescing window (default 8); [default_deadline_s] applies to
+    requests carrying no deadline (default none); [use_cache] consults
+    {!Programs} (default true — off, every request pays the
+    optimize-and-verify pipeline, the unbatched baseline); [batching]
+    enables batched GPU execution (default true); [now] injects a clock
+    for deadline tests (default [Unix.gettimeofday]). *)
+
+val submit : t -> Finch.Solve_request.t -> ticket
+(** Enqueue a request.  A full queue or a failed
+    [Finch.Solve_request.validate] resolves the ticket immediately as
+    [Rejected]; otherwise the ticket resolves during a later {!drain}. *)
+
+val drain : t -> unit
+(** Process the queue to empty, resolving every pending ticket. *)
+
+val outcome : ticket -> outcome option
+(** The ticket's resolution, or [None] while still queued. *)
+
+val trace_id : ticket -> string
+(** The trace id assigned at submission (also the span name on the
+    ["serve"] track). *)
+
+val queue_depth : t -> int
+(** Requests currently queued. *)
+
+val run_all : t -> Finch.Solve_request.t list -> outcome list
+(** Submit every request, drain, and return the outcomes in submission
+    order. *)

@@ -50,6 +50,30 @@ for spec in nonsense cells:0 hybrid:2 gpu:v100 gpu:a6000:0x2 gpu:a6000:2x; do
   fi
 done
 
+# the facade request surface (`bte_sim request`): the same backend
+# grammar arrives through JSON; canonical specs parse silently, bad
+# specs are rejected with exit 2, and the run subcommand above remains
+# the deprecation-warning alias path
+REQ='{"scenario":"hotspot","nx":4,"ny":4,"ndirs":2,"nbands":2,"nsteps":1'
+for spec in serial cells:2 hybrid:2x2 gpu:a6000:2x2; do
+  err=$($SIM request --json "$REQ,\"backend\":\"$spec\"}" 2>&1 >/dev/null) \
+    || fail "request backend $spec exited nonzero"
+  case "$err" in
+    *deprecated*) fail "request backend $spec warned: $err" ;;
+  esac
+done
+if err=$($SIM request --json "$REQ,\"backend\":\"nonsense\"}" 2>&1 >/dev/null); then
+  fail "request accepted a bad backend spec"
+else
+  case "$err" in
+    *"bad backend spec"*) : ;;
+    *) fail "request bad backend: unexpected error: $err" ;;
+  esac
+fi
+if $SIM request --json '{"nx":4}' >/dev/null 2>&1; then
+  fail "request accepted JSON without a scenario"
+fi
+
 if [ "$status" -eq 0 ]; then
   echo "check_deprecated_flags: OK"
 fi

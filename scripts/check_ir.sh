@@ -51,6 +51,28 @@ grep -q 'codegen.cache_misses.*0$' /tmp/check_ir_native_warm.$$ || {
 }
 rm -f /tmp/check_ir_native_warm.$$
 
+echo "== serve scheduler smoke (3-request batch; emitter self-validates) =="
+dune build bin/bte_serve.exe
+serve_out=$(mktemp)
+# one temperature repeated three times: a single 3-request batch whose
+# speedup over the cold per-request pipeline is robustly > 1 (both the
+# program cache and the scenario-table memo hit on the repeats)
+./_build/default/bin/bte_serve.exe --requests 1 --repeat 3 --scenario hotspot \
+  --nx 8 --dirs 4 --bands 3 --steps 4 --json "$serve_out" > /dev/null || {
+  echo "check_ir: serve smoke run failed (batched != solo, no cache hits, or no speedup)"
+  rm -f "$serve_out"
+  exit 1
+}
+for field in '"validated": true' '"max_abs_diff": 0' '"program_hits"' \
+             '"batched"' '"unbatched"' '"requests_per_s"'; do
+  grep -q "$field" "$serve_out" || {
+    echo "check_ir: BENCH_serve.json missing $field"
+    rm -f "$serve_out"
+    exit 1
+  }
+done
+rm -f "$serve_out"
+
 echo "== scaling campaign smoke (tiny 8-rank sweep; emitter self-validates) =="
 scaling_out=$(mktemp)
 scripts/run_scaling.sh 8 "$scaling_out" > /dev/null || {
@@ -70,4 +92,4 @@ grep -q '"gpu_grid_8dev"' "$scaling_out" || {
 }
 rm -f "$scaling_out"
 
-echo "check_ir: selftest, full lint matrix (opt 0 and 2), native codegen cache and scaling smoke clean"
+echo "check_ir: selftest, full lint matrix (opt 0 and 2), native codegen cache, serve scheduler and scaling smoke clean"

@@ -11,7 +11,8 @@ cd "$(dirname "$0")/.."
 
 status=0
 for f in lib/prt/*.mli lib/gpu/*.mli lib/analysis/*.mli lib/fvm/*.mli \
-         lib/opt/*.mli lib/codegen/*.mli lib/codegen/iface/*.mli; do
+         lib/opt/*.mli lib/codegen/*.mli lib/codegen/iface/*.mli \
+         lib/serve/*.mli; do
   out=$(awk '
     function flush() {
       if (pending) {
@@ -31,6 +32,6 @@ for f in lib/prt/*.mli lib/gpu/*.mli lib/analysis/*.mli lib/fvm/*.mli \
 done
 
 if [ "$status" -eq 0 ]; then
-  echo "check_mli_docs: every val in lib/prt, lib/gpu, lib/analysis, lib/fvm, lib/opt and lib/codegen is documented"
+  echo "check_mli_docs: every val in lib/prt, lib/gpu, lib/analysis, lib/fvm, lib/opt, lib/codegen and lib/serve is documented"
 fi
 exit "$status"

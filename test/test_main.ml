@@ -26,4 +26,5 @@ let () =
       Test_perfmodel.suite;
       Test_fem.suite;
       Test_codegen.suite;
+      Test_serve.suite;
     ]
