@@ -3,6 +3,7 @@
 
      bte_lint                    -- lint every scenario x backend x overlap
      bte_lint --backend cells:4  -- restrict the backend matrix
+     bte_lint --format json      -- machine-readable findings for CI diffs
      bte_lint --selftest         -- run the seeded-defect fixtures
      bte_lint --codes            -- print the error-code catalogue
 
@@ -13,7 +14,7 @@ open Cmdliner
 
 let default_backends =
   [ "serial"; "threads:2"; "bands:2"; "cells:2"; "cells:4"; "hybrid:2x2";
-    "gpu"; "gpu:a6000:2"; "gpu:a6000:2x2" ]
+    "gpu"; "gpu:a6000:2"; "gpu:a6000:2x2"; "gpu:a6000:2x4" ]
 
 let backends_t =
   Arg.(
@@ -22,8 +23,8 @@ let backends_t =
     & info [ "backend" ] ~docv:"SPEC"
         ~doc:
           "Backend spec to lint (repeatable): serial, threads:N, bands:N, \
-           cells:N, hybrid:RxD or gpu[:NAME[:RANKS]]. Default: a matrix of \
-           all strategies.")
+           cells:N, hybrid:RxD or gpu[:NAME[:RANKS|:GxR]]. Default: a matrix \
+           of all strategies.")
 
 let scenario_t =
   Arg.(
@@ -68,6 +69,17 @@ let verbose_t =
     value & flag
     & info [ "verbose"; "v" ] ~doc:"Also print per-configuration results \
                                     when clean.")
+
+let format_t =
+  Arg.(
+    value
+    & opt (enum [ "text", `Text; "json", `Json ]) `Text
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:
+          "Output format of the lint matrix: text (default) or json — one \
+           object per configuration with its findings (code, severity, \
+           title, variable, node path, detail), so CI can diff findings \
+           instead of grepping text.")
 
 let print_codes () =
   List.iter
@@ -122,10 +134,27 @@ let request_for sname tgt overlap level =
     overlap;
     opt_level = level }
 
-let lint_matrix ~backends ~scenario ~opts ~ignore_codes ~verbose =
+let json_of_finding (f : Finch_analysis.Finding.t) =
+  let open Finch.Json in
+  Obj
+    [ "code", Str (Finch_analysis.Finding.id f.Finch_analysis.Finding.code);
+      "severity",
+      Str
+        (Finch_analysis.Finding.severity_string
+           (Finch_analysis.Finding.severity f.Finch_analysis.Finding.code));
+      "title", Str (Finch_analysis.Finding.title f.Finch_analysis.Finding.code);
+      "var",
+      (match f.Finch_analysis.Finding.var with
+       | Some v -> Str v
+       | None -> Null);
+      "where", Str f.Finch_analysis.Finding.where;
+      "detail", Str f.Finch_analysis.Finding.detail ]
+
+let lint_matrix ~backends ~scenario ~opts ~ignore_codes ~verbose ~format =
   Bte.Setup.register_scenarios ();
   let backends = if backends = [] then default_backends else backends in
   let total_errors = ref 0 and total_warnings = ref 0 and configs = ref 0 in
+  let json_configs = ref [] in
   List.iter
     (fun sname ->
       List.iter
@@ -156,12 +185,18 @@ let lint_matrix ~backends ~scenario ~opts ~ignore_codes ~verbose =
                         ~ignore_codes p
                     in
                     (* also lint the optimizer pipeline's output: the
-                       rewritten program must stay as clean as the input *)
+                       rewritten program must stay as clean as the input,
+                       including its communication schedule *)
                     let opt_r =
                       let res =
                         Finch_opt.Opt.optimize_problem ?post_io p
                       in
-                      Finch_analysis.Driver.check_ir ~ignore_codes
+                      let comm =
+                        Option.map
+                          (fun pl -> Finch_analysis.Comm.Elaborate pl)
+                          (Finch_analysis.Comm.plan_of_problem p)
+                      in
+                      Finch_analysis.Driver.check_ir ?comm ~ignore_codes
                         (Finch_analysis.Ctx.of_problem ?post_io p)
                         res.Finch_opt.Opt.ir
                     in
@@ -171,32 +206,75 @@ let lint_matrix ~backends ~scenario ~opts ~ignore_codes ~verbose =
                     total_warnings :=
                       !total_warnings + r.Finch_analysis.Driver.warnings
                       + opt_r.Finch_analysis.Driver.warnings;
-                    let label =
-                      Printf.sprintf "%s %s%s opt%s" sname spec
-                        (if overlap then " +overlap" else "")
-                        (Finch.Config.opt_level_name level)
-                    in
-                    if r.Finch_analysis.Driver.findings <> [] then begin
-                      Printf.printf "%s:\n" label;
-                      Finch_analysis.Driver.pp_report stdout r
-                    end
-                    else if opt_r.Finch_analysis.Driver.findings <> [] then begin
-                      Printf.printf "%s (optimized IR):\n" label;
-                      Finch_analysis.Driver.pp_report stdout opt_r
-                    end
-                    else if verbose then Printf.printf "%s: clean\n" label)
+                    match format with
+                    | `Json ->
+                      let open Finch.Json in
+                      json_configs :=
+                        Obj
+                          [ "scenario", Str sname;
+                            "backend", Str spec;
+                            "overlap", Bool overlap;
+                            "opt", Str (Finch.Config.opt_level_name level);
+                            "errors",
+                            Num
+                              (float_of_int
+                                 (r.Finch_analysis.Driver.errors
+                                  + opt_r.Finch_analysis.Driver.errors));
+                            "warnings",
+                            Num
+                              (float_of_int
+                                 (r.Finch_analysis.Driver.warnings
+                                  + opt_r.Finch_analysis.Driver.warnings));
+                            "findings",
+                            List
+                              (List.map json_of_finding
+                                 r.Finch_analysis.Driver.findings);
+                            "optimized_findings",
+                            List
+                              (List.map json_of_finding
+                                 opt_r.Finch_analysis.Driver.findings) ]
+                        :: !json_configs
+                    | `Text ->
+                      let label =
+                        Printf.sprintf "%s %s%s opt%s" sname spec
+                          (if overlap then " +overlap" else "")
+                          (Finch.Config.opt_level_name level)
+                      in
+                      if r.Finch_analysis.Driver.findings <> [] then begin
+                        Printf.printf "%s:\n" label;
+                        Finch_analysis.Driver.pp_report stdout r
+                      end
+                      else if opt_r.Finch_analysis.Driver.findings <> []
+                      then begin
+                        Printf.printf "%s (optimized IR):\n" label;
+                        Finch_analysis.Driver.pp_report stdout opt_r
+                      end
+                      else if verbose then Printf.printf "%s: clean\n" label)
                   opts)
               [ false; true ])
         backends)
     (scenarios_of scenario);
-  Printf.printf "linted %d configurations: %d error%s, %d warning%s\n"
-    !configs !total_errors
-    (if !total_errors = 1 then "" else "s")
-    !total_warnings
-    (if !total_warnings = 1 then "" else "s");
+  (match format with
+   | `Json ->
+     let open Finch.Json in
+     print_endline
+       (to_string ~indent:2
+          (Obj
+             [ "configs", List (List.rev !json_configs);
+               "summary",
+               Obj
+                 [ "configs", Num (float_of_int !configs);
+                   "errors", Num (float_of_int !total_errors);
+                   "warnings", Num (float_of_int !total_warnings) ] ]))
+   | `Text ->
+     Printf.printf "linted %d configurations: %d error%s, %d warning%s\n"
+       !configs !total_errors
+       (if !total_errors = 1 then "" else "s")
+       !total_warnings
+       (if !total_warnings = 1 then "" else "s"));
   !total_errors = 0
 
-let lint_cmd backends scenario opts codes selftest ignore verbose =
+let lint_cmd backends scenario opts codes selftest ignore verbose format =
   if codes then print_codes ()
   else begin
     let ignore_codes =
@@ -221,7 +299,7 @@ let lint_cmd backends scenario opts codes selftest ignore verbose =
     in
     let ok =
       if selftest then run_selftest ()
-      else lint_matrix ~backends ~scenario ~opts ~ignore_codes ~verbose
+      else lint_matrix ~backends ~scenario ~opts ~ignore_codes ~verbose ~format
     in
     if not ok then exit 1
   end
@@ -230,7 +308,7 @@ let () =
   let term =
     Term.(
       const lint_cmd $ backends_t $ scenario_t $ opts_t $ codes_t $ selftest_t
-      $ ignore_t $ verbose_t)
+      $ ignore_t $ verbose_t $ format_t)
   in
   let info =
     Cmd.info "bte_lint" ~version:"1.0"

@@ -35,9 +35,10 @@ let of_findings findings =
   Prt.Metrics.add m_warnings warnings;
   { findings; errors; warnings }
 
-let check_ir ?plan ?(ignore_codes = []) (ctx : Ctx.t) tree =
+let check_ir ?plan ?comm ?(ignore_codes = []) (ctx : Ctx.t) tree =
   let findings =
     Wellformed.run ctx tree @ Race.run ctx tree @ Movement.run ?plan ctx tree
+    @ Comm.run ?comm ctx tree
   in
   let findings =
     List.filter
@@ -54,14 +55,17 @@ let check_ir ?plan ?(ignore_codes = []) (ctx : Ctx.t) tree =
 
 let check_problem ?post_io ?(ignore_codes = []) (p : Problem.t) =
   let ctx = Ctx.of_problem ?post_io p in
+  let comm =
+    Option.map (fun pl -> Comm.Elaborate pl) (Comm.plan_of_problem p)
+  in
   match p.Problem.target with
   | Config.Gpu _ ->
     let plan = Dataflow.plan_for_problem ?post_io p in
     let tree = Ir.build_gpu p ~transfers:(Dataflow.ir_transfers plan) in
-    check_ir ~plan ~ignore_codes ctx tree
+    check_ir ~plan ?comm ~ignore_codes ctx tree
   | Config.Cpu _ ->
     let tree = Ir.build_cpu p in
-    check_ir ~ignore_codes ctx tree
+    check_ir ?comm ~ignore_codes ctx tree
 
 let pp_report out r =
   List.iter

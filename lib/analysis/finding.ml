@@ -2,9 +2,10 @@
 
    Codes are stable identifiers (A0xx) so tests, suppression lists and
    scripts can match on them; the numeric ranges group by pass:
-   A00x well-formedness, A01x parallel races, A02x data movement.  The
-   catalogue below is the single source of truth for docs/ANALYSIS.md
-   and the [bte_lint --codes] listing. *)
+   A00x well-formedness, A01x parallel races, A020-A024 data movement,
+   A025-A032 communication schedules.  The catalogue below is the single
+   source of truth for docs/ANALYSIS.md and the [bte_lint --codes]
+   listing. *)
 
 type severity = Error | Warning
 
@@ -23,6 +24,14 @@ type code =
   | Stale_host_read       (* A022 *)
   | Plan_mismatch         (* A023 *)
   | Unsynced_download     (* A024 *)
+  | Comm_unmatched_send   (* A025 *)
+  | Comm_unmatched_recv   (* A026 *)
+  | Comm_deadlock         (* A027 *)
+  | Comm_tag_collision    (* A028 *)
+  | Comm_size_mismatch    (* A029 *)
+  | Comm_halo_incomplete  (* A030 *)
+  | Comm_redundant_exchange (* A031 *)
+  | Comm_unreachable_peer (* A032 *)
 
 let id = function
   | Undefined_read -> "A001"
@@ -39,13 +48,24 @@ let id = function
   | Stale_host_read -> "A022"
   | Plan_mismatch -> "A023"
   | Unsynced_download -> "A024"
+  | Comm_unmatched_send -> "A025"
+  | Comm_unmatched_recv -> "A026"
+  | Comm_deadlock -> "A027"
+  | Comm_tag_collision -> "A028"
+  | Comm_size_mismatch -> "A029"
+  | Comm_halo_incomplete -> "A030"
+  | Comm_redundant_exchange -> "A031"
+  | Comm_unreachable_peer -> "A032"
 
 let severity = function
-  | Missing_phase | Empty_body -> Warning
+  | Missing_phase | Empty_body | Comm_redundant_exchange -> Warning
   | Undefined_read | Unmatched_swap | Missing_swap | Host_node_in_kernel
   | Parallel_write_write | Parallel_read_write | Unguarded_reduction
   | Uncovered_device_read | Stale_ghost_read | Stale_host_read
-  | Plan_mismatch | Unsynced_download -> Error
+  | Plan_mismatch | Unsynced_download | Comm_unmatched_send
+  | Comm_unmatched_recv | Comm_deadlock | Comm_tag_collision
+  | Comm_size_mismatch | Comm_halo_incomplete | Comm_unreachable_peer ->
+    Error
 
 let title = function
   | Undefined_read -> "read of a variable with no prior definition"
@@ -62,12 +82,23 @@ let title = function
   | Stale_host_read -> "host consumes device results never downloaded"
   | Plan_mismatch -> "IR transfers disagree with the data-movement plan"
   | Unsynced_download -> "download races the asynchronous kernel"
+  | Comm_unmatched_send -> "send no receive ever matches"
+  | Comm_unmatched_recv -> "receive no send ever satisfies"
+  | Comm_deadlock -> "ranks wait on each other's sends in a cycle"
+  | Comm_tag_collision -> "ambiguous FIFO matching on a busy channel"
+  | Comm_size_mismatch -> "send and receive payload lengths disagree"
+  | Comm_halo_incomplete -> "exchange round leaves ghost cells stale"
+  | Comm_redundant_exchange -> "exchanged variable's ghosts are never read"
+  | Comm_unreachable_peer -> "peer push outside the topology's reach"
 
 let catalogue =
   [ Undefined_read; Unmatched_swap; Missing_swap; Host_node_in_kernel;
     Missing_phase; Empty_body; Parallel_write_write; Parallel_read_write;
     Unguarded_reduction; Uncovered_device_read; Stale_ghost_read;
-    Stale_host_read; Plan_mismatch; Unsynced_download ]
+    Stale_host_read; Plan_mismatch; Unsynced_download; Comm_unmatched_send;
+    Comm_unmatched_recv; Comm_deadlock; Comm_tag_collision;
+    Comm_size_mismatch; Comm_halo_incomplete; Comm_redundant_exchange;
+    Comm_unreachable_peer ]
 
 let of_id s = List.find_opt (fun c -> id c = s) catalogue
 

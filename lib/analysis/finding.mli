@@ -1,9 +1,10 @@
 (** Structured diagnostics produced by the static analysis passes.
 
     Codes are stable identifiers (A0xx) grouped by pass: A00x
-    well-formedness ({!Wellformed}), A01x parallel races ({!Race}), A02x
-    data movement ({!Movement}).  {!catalogue} is the single source of
-    truth behind docs/ANALYSIS.md and [bte_lint --codes]. *)
+    well-formedness ({!Wellformed}), A01x parallel races ({!Race}),
+    A020-A024 data movement ({!Movement}), A025-A032 communication
+    schedules ({!Comm}).  {!catalogue} is the single source of truth
+    behind docs/ANALYSIS.md and [bte_lint --codes]. *)
 
 type severity = Error | Warning
 
@@ -22,6 +23,15 @@ type code =
   | Stale_host_read       (** A022: host read of undownloaded device data *)
   | Plan_mismatch         (** A023: IR transfers vs {!Finch.Dataflow} plan *)
   | Unsynced_download     (** A024: download races the async kernel *)
+  | Comm_unmatched_send   (** A025: send no receive ever matches *)
+  | Comm_unmatched_recv   (** A026: receive no send ever satisfies *)
+  | Comm_deadlock         (** A027: waits-for cycle between ranks *)
+  | Comm_tag_collision    (** A028: ambiguous FIFO match on a channel *)
+  | Comm_size_mismatch    (** A029: send/receive payload lengths differ *)
+  | Comm_halo_incomplete  (** A030: exchange round misses ghost cells *)
+  | Comm_redundant_exchange
+      (** A031 (warning): exchanged ghosts never read *)
+  | Comm_unreachable_peer (** A032: [D2d] push to a non-neighbour tile *)
 
 val id : code -> string
 (** The stable "A0xx" identifier of a code. *)
@@ -30,7 +40,7 @@ val of_id : string -> code option
 (** Inverse of {!id} (for suppression lists). *)
 
 val severity : code -> severity
-(** A005/A006 are warnings; everything else is an error. *)
+(** A005/A006/A031 are warnings; everything else is an error. *)
 
 val title : code -> string
 (** One-line description of a code. *)

@@ -15,6 +15,7 @@ type fixture = {
   descr : string;
   fctx : Ctx.t;
   fplan : Dataflow.plan option;
+  fcomm : Comm.input option;
   ir : Ir.node;
   expect : Finding.code list;
 }
@@ -45,9 +46,40 @@ let faces ?(parallel = false) body =
   Ir.Loop { range = Ir.Faces_of_cell; body; parallel }
 
 let kernel body = Ir.Kernel { kname = "fixture_kernel"; body; note = ph }
+let steps body = Ir.Loop { range = Ir.Steps; body; parallel = false }
 
-let fx fname descr ?plan ?(ctx = ctx ()) ir expect =
-  { fname; descr; fctx = ctx; fplan = plan; ir = Ir.Seq ir; expect }
+(* ------------------------------------------------------------------ *)
+(* Synthetic communication plans and schedules for the Comm fixtures.  *)
+(* ------------------------------------------------------------------ *)
+
+let xch from_rank to_rank cells = { Fvm.Halo.from_rank; to_rank; cells }
+
+(* two ranks: 0 owes 1 the frontier cells {2,3}, 1 owes 0 {4,5} *)
+let plan2 =
+  Comm.Ranks
+    (Fvm.Halo.of_exchanges ~nranks:2
+       [ xch 0 1 [| 2; 3 |]; xch 1 0 [| 4; 5 |] ])
+
+let entry src dst tag cells =
+  { Comm.e_src = src; e_dst = dst; e_tag = tag; e_cells = cells }
+
+(* the two messages of plan2's (clean) exchange round *)
+let e01 = entry 0 1 0 [| 2; 3 |]
+let e10 = entry 1 0 0 [| 4; 5 |]
+
+let round ?(recv_first = []) ~sends ~recvs () =
+  { Comm.rd_var = "u"; rd_sends = sends; rd_recvs = recvs;
+    rd_recv_before_send = recv_first }
+
+let seeded ?(plan = plan2) ?(rounds = []) ?(pushes = []) () =
+  Comm.Seeded (plan, { Comm.sc_rounds = rounds; sc_pushes = pushes })
+
+let push var src dst cells =
+  { Comm.pu_var = var; pu_src = src; pu_dst = dst; pu_cells = cells }
+
+let fx fname descr ?plan ?comm ?(ctx = ctx ()) ir expect =
+  { fname; descr; fctx = ctx; fplan = plan; fcomm = comm; ir = Ir.Seq ir;
+    expect }
 
 let all =
   [
@@ -186,11 +218,127 @@ let all =
                 Ir.D2d { vars = [ "u" ]; note = ph_c } ];
             parallel = false } ]
       [];
+    fx "comm-clean"
+      "the clean partitioned exchange shape: halo exchange after the \
+       publish, full channel coverage (no findings expected)"
+      ~ctx:(ctx ~partitioned:true ())
+      ~comm:(Comm.Elaborate plan2)
+      [ steps
+          [ cells ~parallel:true [ flux ];
+            Ir.Boundary_cpu { var = "u"; note = ph_b };
+            Ir.Swap_buffers "u";
+            Ir.Halo_exchange { vars = [ "u" ]; note = ph_c } ] ]
+      [];
+    fx "comm-dropped-send"
+      "a dropped exchange half: rank 1 posts its receive but rank 0 \
+       never sends"
+      ~comm:(seeded ~rounds:[ round ~sends:[ e10 ] ~recvs:[ e01; e10 ] () ] ())
+      [ cells [ flux ]; Ir.Swap_buffers "u" ]
+      [ Finding.Comm_unmatched_recv ];
+    fx "comm-dropped-recv"
+      "a dropped exchange half: rank 0 sends but rank 1 posts no receive"
+      ~comm:(seeded ~rounds:[ round ~sends:[ e01; e10 ] ~recvs:[ e10 ] () ] ())
+      [ cells [ flux ]; Ir.Swap_buffers "u" ]
+      [ Finding.Comm_unmatched_send ];
+    fx "comm-swapped-tag"
+      "one side of a channel posts tag 1 while the other expects tag 0: \
+       both halves go unmatched"
+      ~comm:
+        (seeded
+           ~rounds:
+             [ round
+                 ~sends:[ entry 0 1 1 [| 2; 3 |]; e10 ]
+                 ~recvs:[ e01; e10 ] () ]
+           ())
+      [ cells [ flux ]; Ir.Swap_buffers "u" ]
+      [ Finding.Comm_unmatched_send; Finding.Comm_unmatched_recv ];
+    fx "comm-deadlock"
+      "a cyclic ordering: both ranks wait on their receives before \
+       posting any send"
+      ~comm:
+        (seeded
+           ~rounds:
+             [ round ~recv_first:[ 0; 1 ] ~sends:[ e01; e10 ]
+                 ~recvs:[ e01; e10 ] () ]
+           ())
+      [ cells [ flux ]; Ir.Swap_buffers "u" ]
+      [ Finding.Comm_deadlock ];
+    fx "comm-tag-collision"
+      "two messages with different payloads in flight on one (src, dst, \
+       tag) channel: FIFO matching is order-dependent"
+      ~comm:
+        (seeded
+           ~rounds:
+             [ round
+                 ~sends:
+                   [ entry 0 1 0 [| 2 |]; entry 0 1 0 [| 2; 3 |]; e10 ]
+                 ~recvs:
+                   [ entry 0 1 0 [| 2 |]; entry 0 1 0 [| 2; 3 |]; e10 ]
+                 () ]
+           ())
+      [ cells [ flux ]; Ir.Swap_buffers "u" ]
+      [ Finding.Comm_tag_collision ];
+    fx "comm-size-mismatch"
+      "the sender ships more cells than the receiver's buffer expects"
+      ~comm:
+        (seeded
+           ~plan:
+             (Comm.Ranks
+                (Fvm.Halo.of_exchanges ~nranks:2
+                   [ xch 0 1 [| 2 |]; xch 1 0 [| 4 |] ]))
+           ~rounds:
+             [ round
+                 ~sends:[ entry 0 1 0 [| 2; 3 |]; entry 1 0 0 [| 4 |] ]
+                 ~recvs:[ entry 0 1 0 [| 2 |]; entry 1 0 0 [| 4 |] ]
+                 () ]
+           ())
+      [ cells [ flux ]; Ir.Swap_buffers "u" ]
+      [ Finding.Comm_size_mismatch ];
+    fx "comm-undersized-halo"
+      "an exchange round that moves only part of the plan's ghost set: \
+       cell 3 of rank 1's halo stays stale"
+      ~comm:
+        (seeded
+           ~rounds:
+             [ round
+                 ~sends:[ entry 0 1 0 [| 2 |]; e10 ]
+                 ~recvs:[ entry 0 1 0 [| 2 |]; e10 ]
+                 () ]
+           ())
+      [ cells [ flux ]; Ir.Swap_buffers "u" ]
+      [ Finding.Comm_halo_incomplete ];
+    fx "comm-redundant-exchange"
+      "the exchange also ships a variable nothing reads across faces: \
+       its ghost write is dead (warning)"
+      ~ctx:(ctx ~partitioned:true ())
+      ~comm:(Comm.Elaborate plan2)
+      [ steps
+          [ cells ~parallel:true [ flux ];
+            Ir.Boundary_cpu { var = "u"; note = ph_b };
+            Ir.Swap_buffers "u";
+            Ir.Halo_exchange { vars = [ "u"; "s" ]; note = ph_c } ] ]
+      [ Finding.Comm_redundant_exchange ];
+    fx "comm-unreachable-peer"
+      "a d2d push to a tile the decomposition gives no ghost edge to"
+      ~comm:
+        (seeded
+           ~plan:
+             (Comm.Grid
+                { ndevices = 3;
+                  tile_halo =
+                    Fvm.Halo.of_exchanges ~nranks:3
+                      [ xch 0 1 [| 2; 3 |]; xch 1 0 [| 4; 5 |] ] })
+           ~pushes:
+             [ push "u" 0 1 [| 2; 3 |]; push "u" 1 0 [| 4; 5 |];
+               push "u" 0 2 [||] ]
+           ())
+      [ cells [ flux ]; Ir.Swap_buffers "u" ]
+      [ Finding.Comm_unreachable_peer ];
   ]
 
 (* Run the analyzer over one fixture; returns (expected, found) code
    multisets, both sorted, for the caller to compare. *)
 let check f =
-  let report = Driver.check_ir ?plan:f.fplan f.fctx f.ir in
+  let report = Driver.check_ir ?plan:f.fplan ?comm:f.fcomm f.fctx f.ir in
   let found = List.map (fun fd -> fd.Finding.code) report.Driver.findings in
   (List.sort compare f.expect, List.sort compare found)

@@ -7,6 +7,8 @@ type fixture = {
   descr : string;  (** what defect is seeded *)
   fctx : Ctx.t;  (** entity context the program is checked under *)
   fplan : Finch.Dataflow.plan option;  (** plan for the A023 cross-check *)
+  fcomm : Comm.input option;
+      (** communication plan/schedule for the A025–A032 checks *)
   ir : Finch.Ir.node;  (** the defective program *)
   expect : Finding.code list;  (** exact multiset of expected codes *)
 }

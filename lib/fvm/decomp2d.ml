@@ -38,6 +38,10 @@ let d2d_edges t =
         (Halo.sends_of t.halo g))
     (List.init t.ndevices Fun.id)
 
+(* The tiles a device may legitimately push ghosts to: exactly the
+   destinations of its halo send lists. *)
+let neighbour_tiles t g = Halo.neighbour_ranks t.halo g
+
 (* Contiguous (offset, length) element runs of a sorted cell set under
    the Cell_major layout: cell c occupies elements [c*ncomp, (c+1)*ncomp).
    Adjacent cells merge into one run, so a block of cells moves as a

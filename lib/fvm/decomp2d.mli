@@ -33,6 +33,11 @@ val d2d_edges : t -> (int * int * int array) list
     tile [dst], exactly the cells a peer copy must push after each
     step. *)
 
+val neighbour_tiles : t -> int -> int list
+(** The device tiles that tile [g] legitimately pushes ghosts to
+    (sorted, without duplicates) — the reachable peer set the static
+    Comm analysis checks [D2d] pushes against. *)
+
 val cell_runs : cells:int array -> ncomp:int -> (int * int) list
 (** Contiguous [(offset, length)] element runs covering a cell set under
     the Cell_major field layout (cell [c] occupies elements

@@ -28,6 +28,44 @@ type t = {
   recvs : exchange list array;
 }
 
+(* Assemble the rank-centric views from a raw directed exchange list.
+   Shared by [build] and by consumers (tests, the static Comm pass) that
+   construct small synthetic plans without a mesh. *)
+let of_exchanges ~nranks exchanges =
+  List.iter
+    (fun e ->
+      if
+        e.from_rank < 0 || e.from_rank >= nranks || e.to_rank < 0
+        || e.to_rank >= nranks || e.from_rank = e.to_rank
+      then invalid_arg "Halo.of_exchanges: bad rank pair")
+    exchanges;
+  let exchanges =
+    List.sort
+      (fun a b -> compare (a.from_rank, a.to_rank) (b.from_rank, b.to_rank))
+      exchanges
+  in
+  let ghosts = Array.make nranks [] in
+  List.iter
+    (fun e -> ghosts.(e.to_rank) <- e.cells :: ghosts.(e.to_rank))
+    exchanges;
+  let ghosts =
+    Array.map
+      (fun lists ->
+        List.concat_map Array.to_list lists |> List.sort_uniq compare
+        |> Array.of_list)
+      ghosts
+  in
+  let sends = Array.make nranks [] and recvs = Array.make nranks [] in
+  List.iter
+    (fun e ->
+      sends.(e.from_rank) <- e :: sends.(e.from_rank);
+      recvs.(e.to_rank) <- e :: recvs.(e.to_rank))
+    exchanges;
+  (* [exchanges] is sorted, so reversing the accumulated lists leaves each
+     rank's sends ordered by peer and its recvs ordered by sender *)
+  let sends = Array.map List.rev sends and recvs = Array.map List.rev recvs in
+  { nranks; exchanges; ghosts; sends; recvs }
+
 let build (m : Mesh.t) (p : Partition.t) =
   let nranks = Partition.nparts p in
   (* (sender, receiver) -> cell set *)
@@ -63,33 +101,17 @@ let build (m : Mesh.t) (p : Partition.t) =
         in
         { from_rank = s; to_rank = r; cells } :: acc)
       tbl []
-    |> List.sort (fun a b ->
-           compare (a.from_rank, a.to_rank) (b.from_rank, b.to_rank))
   in
-  let ghosts = Array.make nranks [] in
-  List.iter
-    (fun e -> ghosts.(e.to_rank) <- e.cells :: ghosts.(e.to_rank))
-    exchanges;
-  let ghosts =
-    Array.map
-      (fun lists ->
-        List.concat_map Array.to_list lists |> List.sort_uniq compare
-        |> Array.of_list)
-      ghosts
-  in
-  let sends = Array.make nranks [] and recvs = Array.make nranks [] in
-  List.iter
-    (fun e ->
-      sends.(e.from_rank) <- e :: sends.(e.from_rank);
-      recvs.(e.to_rank) <- e :: recvs.(e.to_rank))
-    exchanges;
-  (* [exchanges] is sorted, so reversing the accumulated lists leaves each
-     rank's sends ordered by peer and its recvs ordered by sender *)
-  let sends = Array.map List.rev sends and recvs = Array.map List.rev recvs in
-  { nranks; exchanges; ghosts; sends; recvs }
+  of_exchanges ~nranks exchanges
 
 let sends_of t r = t.sends.(r)
 let recvs_of t r = t.recvs.(r)
+let ghost_cells t r = t.ghosts.(r)
+
+let channels t =
+  List.map
+    (fun e -> e.from_rank, e.to_rank, Array.length e.cells)
+    t.exchanges
 
 (* Total number of (cell) values a rank sends per exchange round. *)
 let send_count t r =

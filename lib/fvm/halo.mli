@@ -32,6 +32,24 @@ type t = {
 val build : Mesh.t -> Partition.t -> t
 (** Derive the plan from face adjacency across partition cuts. *)
 
+val of_exchanges : nranks:int -> exchange list -> t
+(** Assemble a plan from a raw directed send list, deriving the ghost
+    sets and the rank-centric views.  Used by {!build} internally, and
+    by consumers (tests, the static Comm analysis) that need small
+    synthetic plans without a mesh.  Raises [Invalid_argument] on a
+    rank outside [0, nranks) or a self-exchange. *)
+
+val ghost_cells : t -> int -> int array
+(** The ghost cells rank [r] needs each round (sorted, unique): the
+    union of its incoming exchanges' cell lists.  A complete exchange
+    round must cover exactly this set. *)
+
+val channels : t -> (int * int * int) list
+(** The directed communication channels of the plan as
+    [(from_rank, to_rank, ncells)] triples, sorted by rank pair — the
+    read-only view the static Comm analysis elaborates message
+    schedules from. *)
+
 val sends_of : t -> int -> exchange list
 (** [sends_of t r] lists the exchanges rank [r] sends, ordered by
     destination rank. *)

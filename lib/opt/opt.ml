@@ -324,9 +324,9 @@ let hoist_invariant_h2d tree =
 (* Verified pipeline.                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let optimize ?plan ?(live_out = []) ?(fuse_step_pairs = false) ~level
+let optimize ?plan ?comm ?(live_out = []) ?(fuse_step_pairs = false) ~level
     (ctx : A.Ctx.t) tree =
-  let check t = A.Driver.check_ir ?plan ctx t in
+  let check t = A.Driver.check_ir ?plan ?comm ctx t in
   let baseline = ref (check tree) in
   let ir = ref tree in
   let stats = ref no_stats in
@@ -392,13 +392,19 @@ let optimize_problem ?post_io (p : Problem.t) =
   let live_out =
     List.map (fun (v : Entity.variable) -> v.Entity.vname) p.Problem.variables
   in
+  (* re-verification covers the communication schedule too: a pass that
+     drops, reorders or retargets an exchange/push trips A025-A032 and
+     is rejected like any other regression *)
+  let comm =
+    Option.map (fun pl -> A.Comm.Elaborate pl) (A.Comm.plan_of_problem p)
+  in
   match p.Problem.target with
   | Config.Cpu strategy ->
     let fuse_step_pairs =
       (match strategy with Config.Threaded _ -> true | _ -> false)
       && Target_cpu.fused_schedule_ok ?post_io p
     in
-    optimize ~live_out ~fuse_step_pairs ~level ctx (Ir.build_cpu p)
+    optimize ?comm ~live_out ~fuse_step_pairs ~level ctx (Ir.build_cpu p)
   | Config.Gpu _ ->
     let plan = Dataflow.plan_for_problem ?post_io p in
     (* start from the naive (unbatched, per-band) device program so the
@@ -410,4 +416,4 @@ let optimize_problem ?post_io (p : Problem.t) =
         ~finally:(fun () -> Problem.set_opt_level p saved)
         (fun () -> Ir.build_gpu p ~transfers:(Dataflow.ir_transfers plan))
     in
-    optimize ~plan ~live_out ~level ctx tree
+    optimize ~plan ?comm ~live_out ~level ctx tree

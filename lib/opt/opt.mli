@@ -7,10 +7,12 @@
     fused pool schedule is legal — step-pair fusion), O2 adds the
     device-side passes (band-kernel batching, loop-invariant upload
     hoisting).  Every pass that changes the tree is re-checked by the
-    {!Finch_analysis} Wellformed/Race/Movement passes; a pass whose
+    {!Finch_analysis} Wellformed/Race/Movement/Comm passes; a pass whose
     output carries any finding absent from its input is rejected — the
     pre-pass IR is kept and the rejection recorded — so an unsafe
-    rewrite can never reach an executor.  See docs/OPTIMIZER.md. *)
+    rewrite (including one that drops or retargets a halo exchange or
+    D2d push, A025–A032) can never reach an executor.  See
+    docs/OPTIMIZER.md. *)
 
 type stats = {
   loops_fused : int;
@@ -93,6 +95,7 @@ val hoist_invariant_h2d : Finch.Ir.node -> Finch.Ir.node * int
 
 val optimize :
   ?plan:Finch.Dataflow.plan ->
+  ?comm:Finch_analysis.Comm.input ->
   ?live_out:string list ->
   ?fuse_step_pairs:bool ->
   level:Finch.Config.opt_level ->
@@ -101,10 +104,11 @@ val optimize :
   result
 (** Run the pipeline for [level] over a tree, verifying each pass as
     described above ([plan] additionally arms the Movement plan
-    cross-check, A023).  [live_out] (default empty) names variables
-    whose final values are observed by the caller; [fuse_step_pairs]
-    (default false) enables {!fuse_steps} — the caller asserts the
-    executor-side legality via [Target_cpu.fused_schedule_ok]. *)
+    cross-check, A023; [comm] the communication-schedule checks,
+    A025–A032).  [live_out] (default empty) names variables whose final
+    values are observed by the caller; [fuse_step_pairs] (default
+    false) enables {!fuse_steps} — the caller asserts the executor-side
+    legality via [Target_cpu.fused_schedule_ok]. *)
 
 val optimize_problem :
   ?post_io:Finch.Dataflow.callback_io -> Finch.Problem.t -> result
@@ -112,5 +116,6 @@ val optimize_problem :
     CPU-strategy IR, or the per-band device IR with its data-movement
     plan) and run {!optimize} at the problem's [opt_level], with all
     declared variables live out, step-pair fusion iff the threaded
-    target's fused schedule is legal, and the plan cross-check armed on
-    GPU targets. *)
+    target's fused schedule is legal, the plan cross-check armed on GPU
+    targets, and the communication-schedule checks armed on
+    mesh-partitioned targets ({!Finch_analysis.Comm.plan_of_problem}). *)

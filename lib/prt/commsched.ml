@@ -1,0 +1,223 @@
+(* Static message-schedule simulator: the deterministic matching model
+   behind the Spmd point-to-point runtime, lifted to a pure data
+   structure so schedules can be verified without executing anything.
+
+   A schedule is one op list per rank.  The simulation mirrors the
+   executor's semantics exactly: sends are eager-buffered (they complete
+   locally at post time, like [Spmd.isend]'s payload snapshot), receives
+   complete when a matching send is delivered, matching is FIFO per
+   (src, dst, tag) channel, and [Wait_all] suspends the rank until every
+   receive it has posted so far is delivered.  Ranks are stepped in rank
+   order, each running until it blocks — the same deterministic
+   scheduling [Spmd.run] uses — so a schedule that simulates clean here
+   cannot produce an [Spmd_error] for matching reasons at runtime.
+
+   The simulator reports the static counterparts of the runtime failure
+   modes: sends/receives left unmatched at the end (peer or tag
+   mismatch, a dropped exchange), wait cycles no rank can break
+   (deadlock), payload-length disagreements on a matched pair, and tag
+   collisions — two messages simultaneously in flight on one channel
+   with different lengths, where FIFO matching becomes order-dependent
+   and a reordered schedule would corrupt payload framing. *)
+
+type op =
+  | Send of { peer : int; tag : int; len : int; label : string }
+  | Recv of { peer : int; tag : int; len : int; label : string }
+  | Wait_all
+
+type schedule = op list array
+
+type problem =
+  | Unmatched_send of { src : int; dst : int; tag : int; label : string }
+  | Unmatched_recv of { src : int; dst : int; tag : int; label : string }
+  | Deadlock of { ranks : int list }
+  | Tag_collision of { src : int; dst : int; tag : int; label : string }
+  | Size_mismatch of {
+      src : int;
+      dst : int;
+      tag : int;
+      sent : int;
+      expected : int;
+      label : string;
+    }
+
+(* one pending (posted, undelivered) message half *)
+type pending = { p_len : int; p_label : string; p_owner : int }
+
+type chan = { mutable sends : pending list; mutable recvs : pending list }
+
+type rstate = {
+  mutable ops : op list;  (* remaining program of the rank *)
+  mutable unmatched_recvs : int;  (* receives posted but not delivered *)
+  mutable blocked : bool;  (* suspended at a Wait_all *)
+}
+
+let simulate (sched : schedule) =
+  let nranks = Array.length sched in
+  let ranks =
+    Array.map
+      (fun ops -> { ops; unmatched_recvs = 0; blocked = false })
+      sched
+  in
+  let chans : (int * int * int, chan) Hashtbl.t = Hashtbl.create 16 in
+  let chan key =
+    match Hashtbl.find_opt chans key with
+    | Some c -> c
+    | None ->
+      let c = { sends = []; recvs = [] } in
+      Hashtbl.add chans key c;
+      c
+  in
+  let problems = ref [] in
+  let report p = problems := p :: !problems in
+  (* two halves of one channel meet: FIFO pop, length check *)
+  let deliver ~src ~dst ~tag (s : pending) (r : pending) =
+    if s.p_len <> r.p_len then
+      report
+        (Size_mismatch
+           { src; dst; tag; sent = s.p_len; expected = r.p_len;
+             label = r.p_label });
+    ranks.(r.p_owner).unmatched_recvs <-
+      ranks.(r.p_owner).unmatched_recvs - 1
+  in
+  (* a second in-flight message on a busy channel with a different
+     length makes FIFO matching order-dependent *)
+  let collision ~src ~dst ~tag (waiting : pending list) (fresh : pending) =
+    if List.exists (fun p -> p.p_len <> fresh.p_len) waiting then
+      report (Tag_collision { src; dst; tag; label = fresh.p_label })
+  in
+  let post_send r ~dst ~tag ~len ~label =
+    let key = r, dst, tag in
+    let c = chan key in
+    match c.recvs with
+    | rv :: rest ->
+      c.recvs <- rest;
+      deliver ~src:r ~dst ~tag { p_len = len; p_label = label; p_owner = r } rv
+    | [] ->
+      let p = { p_len = len; p_label = label; p_owner = r } in
+      collision ~src:r ~dst ~tag c.sends p;
+      c.sends <- c.sends @ [ p ]
+  in
+  let post_recv r ~src ~tag ~len ~label =
+    let key = src, r, tag in
+    let c = chan key in
+    let p = { p_len = len; p_label = label; p_owner = r } in
+    match c.sends with
+    | s :: rest ->
+      c.sends <- rest;
+      deliver ~src ~dst:r ~tag s p
+    | [] ->
+      collision ~src ~dst:r ~tag c.recvs p;
+      c.recvs <- c.recvs @ [ p ];
+      ranks.(r).unmatched_recvs <- ranks.(r).unmatched_recvs + 1
+  in
+  (* run rank [r] until it finishes or blocks; true if it made progress *)
+  let step r =
+    let st = ranks.(r) in
+    let progressed = ref false in
+    let running = ref true in
+    while !running do
+      match st.ops with
+      | [] ->
+        st.blocked <- false;
+        running := false
+      | Send { peer; tag; len; label } :: rest ->
+        post_send r ~dst:peer ~tag ~len ~label;
+        st.ops <- rest;
+        progressed := true
+      | Recv { peer; tag; len; label } :: rest ->
+        post_recv r ~src:peer ~tag ~len ~label;
+        st.ops <- rest;
+        progressed := true
+      | Wait_all :: rest ->
+        if st.unmatched_recvs = 0 then begin
+          st.blocked <- false;
+          st.ops <- rest;
+          progressed := true
+        end
+        else begin
+          st.blocked <- true;
+          running := false
+        end
+    done;
+    !progressed
+  in
+  let any = ref true in
+  while !any do
+    any := false;
+    for r = 0 to nranks - 1 do
+      if step r then any := true
+    done
+  done;
+  (* fixpoint: classify what is left.  Blocked ranks wait on the source
+     of some undelivered receive; a cycle in that waits-for relation is
+     a deadlock (reported once per cycle, subsuming the per-message
+     unmatched reports among its ranks). *)
+  let finished r = ranks.(r).ops = [] in
+  let recv_sources r =
+    Hashtbl.fold
+      (fun (src, dst, _) c acc ->
+        if dst = r && List.exists (fun p -> p.p_owner = r) c.recvs then
+          src :: acc
+        else acc)
+      chans []
+    |> List.sort_uniq compare
+  in
+  (* ranks on a waits-for cycle: iteratively keep blocked ranks that
+     wait (directly) on another kept rank; the fixpoint of that pruning
+     is the union of cycles plus their in-cycle feeders *)
+  let deadlocked =
+    let keep = Array.init nranks (fun r -> not (finished r)) in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for r = 0 to nranks - 1 do
+        if keep.(r) && not (List.exists (fun s -> keep.(s)) (recv_sources r))
+        then begin
+          keep.(r) <- false;
+          changed := true
+        end
+      done
+    done;
+    keep
+  in
+  let cycle_ranks =
+    List.filter (fun r -> deadlocked.(r)) (List.init nranks Fun.id)
+  in
+  if cycle_ranks <> [] then report (Deadlock { ranks = cycle_ranks });
+  Hashtbl.iter
+    (fun (src, dst, tag) c ->
+      List.iter
+        (fun p ->
+          if not (deadlocked.(src) || deadlocked.(dst)) then
+            report (Unmatched_send { src; dst; tag; label = p.p_label }))
+        c.sends;
+      List.iter
+        (fun p ->
+          if not (deadlocked.(src) || deadlocked.(dst)) then
+            report (Unmatched_recv { src; dst; tag; label = p.p_label }))
+        c.recvs)
+    chans;
+  List.sort compare !problems
+
+let problem_to_string = function
+  | Unmatched_send { src; dst; tag; label } ->
+    Printf.sprintf
+      "send %d -> %d (tag %d, %s) is never received: the peer posts no \
+       matching receive" src dst tag label
+  | Unmatched_recv { src; dst; tag; label } ->
+    Printf.sprintf
+      "receive on rank %d from %d (tag %d, %s) is never satisfied: the \
+       peer posts no matching send" dst src tag label
+  | Deadlock { ranks } ->
+    Printf.sprintf "ranks {%s} wait on each other's sends in a cycle"
+      (String.concat ", " (List.map string_of_int ranks))
+  | Tag_collision { src; dst; tag; label } ->
+    Printf.sprintf
+      "two in-flight messages with different payloads share channel \
+       %d -> %d tag %d (%s): FIFO matching becomes order-dependent" src
+      dst tag label
+  | Size_mismatch { src; dst; tag; sent; expected; label } ->
+    Printf.sprintf
+      "payload length disagreement on %d -> %d (tag %d, %s): %d values \
+       sent, %d expected" src dst tag label sent expected

@@ -1,0 +1,57 @@
+(** Static message-schedule simulator: {!Spmd}'s deterministic matching
+    semantics (eager-buffered sends, FIFO matching per (src, dst, tag)
+    channel, rank-order scheduling) lifted to pure data, so a
+    communication schedule can be verified for matching, deadlock and
+    framing defects without executing a program.  The static analyzer's
+    Comm pass elaborates halo-exchange plans into schedules and feeds
+    them here. *)
+
+type op =
+  | Send of { peer : int; tag : int; len : int; label : string }
+      (** nonblocking eager-buffered send: completes locally at post
+          time, like {!Spmd.isend}; [label] names the logical stream
+          (e.g. the exchanged variable) in reports *)
+  | Recv of { peer : int; tag : int; len : int; label : string }
+      (** nonblocking receive of [len] values from [peer] *)
+  | Wait_all
+      (** suspend until every receive this rank has posted so far is
+          delivered (sends never block, mirroring the runtime's
+          payload-snapshot sends) *)
+
+type schedule = op list array
+(** One op sequence per rank, indexed by rank id. *)
+
+type problem =
+  | Unmatched_send of { src : int; dst : int; tag : int; label : string }
+      (** a posted send no receive ever matches (peer or tag mismatch,
+          or a dropped receive) *)
+  | Unmatched_recv of { src : int; dst : int; tag : int; label : string }
+      (** a posted receive no send ever satisfies (a dropped send) *)
+  | Deadlock of { ranks : int list }
+      (** the listed ranks block at waits that only each other's
+          not-yet-posted sends could release — a waits-for cycle *)
+  | Tag_collision of { src : int; dst : int; tag : int; label : string }
+      (** two messages with different payload lengths simultaneously in
+          flight on one channel: FIFO matching is order-dependent *)
+  | Size_mismatch of {
+      src : int;
+      dst : int;
+      tag : int;
+      sent : int;
+      expected : int;
+      label : string;
+    }
+      (** a matched pair whose send and receive lengths disagree (the
+          runtime raises [Spmd_error] on this) *)
+(** Everything the simulation can find wrong with a schedule. *)
+
+val simulate : schedule -> problem list
+(** Run the deterministic matching simulation to its fixpoint and
+    report every problem, sorted.  A deadlock cycle subsumes the
+    per-message unmatched reports among its ranks (one [Deadlock] per
+    fixpoint, not one finding per blocked message); an empty list means
+    the schedule matches completely and cannot deadlock under the
+    runtime's scheduling. *)
+
+val problem_to_string : problem -> string
+(** Human-readable one-line description of a problem. *)

@@ -49,6 +49,47 @@ let compatible (ps : Finch.Problem.t array) =
     go 1
   end
 
+(* The IR image of the batched schedule [run] executes, derived from the
+   shared solo program by the same transformation the executor applies:
+   kernels keep one (request-major) batched launch, while every host
+   phase and transfer — boundary, combine, callback, uploads, downloads
+   — runs once per request inside an [Index "request"] loop.  Linting
+   this tree (instead of only the per-request program) is what lets the
+   analysis gate vet the batching rewrite itself. *)
+let batched_ir ?post_io (ps : Finch.Problem.t array) =
+  let open Finch in
+  (match compatible ps with
+   | Ok () -> ()
+   | Error e -> invalid_arg ("Batch.batched_ir: " ^ e));
+  let p0 = ps.(0) in
+  let plan = Dataflow.plan_for_problem ?post_io p0 in
+  let solo = Ir.build_gpu p0 ~transfers:(Dataflow.ir_transfers plan) in
+  let per_request n =
+    Ir.Loop { range = Ir.Index "request"; body = [ n ]; parallel = false }
+  in
+  let rec batchify (n : Ir.node) =
+    match n with
+    | Ir.Seq ns -> Ir.Seq (List.map batchify ns)
+    | Ir.Loop l -> Ir.Loop { l with body = List.map batchify l.body }
+    | Ir.Kernel k -> Ir.Kernel { k with kname = k.kname ^ "_batch" }
+    | (Ir.Boundary_cpu _ | Ir.Callback _ | Ir.Swap_buffers _ | Ir.H2d _
+      | Ir.D2h _) as n -> per_request n
+    | n -> n
+  in
+  batchify solo
+
+let check ?post_io (ps : Finch.Problem.t array) =
+  let open Finch in
+  let p0 = ps.(0) in
+  let ctx = Finch_analysis.Ctx.of_problem ?post_io p0 in
+  let plan = Dataflow.plan_for_problem ?post_io p0 in
+  let comm =
+    Option.map
+      (fun pl -> Finch_analysis.Comm.Elaborate pl)
+      (Finch_analysis.Comm.plan_of_problem p0)
+  in
+  Finch_analysis.Driver.check_ir ~plan ?comm ctx (batched_ir ?post_io ps)
+
 let run ?post_io (ps : Finch.Problem.t array) =
   let open Finch in
   (match compatible ps with

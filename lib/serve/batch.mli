@@ -25,6 +25,24 @@ val compatible : Finch.Problem.t array -> (unit, string) result
     count, optimizer level, evaluator and unknown shape.  [Error]
     explains the first violation. *)
 
+val batched_ir :
+  ?post_io:Finch.Dataflow.callback_io ->
+  Finch.Problem.t array ->
+  Finch.Ir.node
+(** The IR image of the schedule {!run} executes: the shared solo GPU
+    program with kernels kept as single batched launches and every
+    host phase / transfer wrapped in a per-request [Index "request"]
+    loop.  @raise Invalid_argument when {!compatible} fails. *)
+
+val check :
+  ?post_io:Finch.Dataflow.callback_io ->
+  Finch.Problem.t array ->
+  Finch_analysis.Driver.report
+(** Run the full static analysis (including the data-movement plan
+    cross-check) over {!batched_ir}: the serve layer's gate on the
+    batching rewrite itself, not only the per-request program.
+    @raise Invalid_argument when {!compatible} fails. *)
+
 val run :
   ?post_io:Finch.Dataflow.callback_io ->
   Finch.Problem.t array ->

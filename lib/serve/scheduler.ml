@@ -11,6 +11,9 @@ let m_completed = Prt.Metrics.counter "serve.completed"
 let m_rejected = Prt.Metrics.counter "serve.rejected"
 let m_timed_out = Prt.Metrics.counter "serve.timed_out"
 let m_batches = Prt.Metrics.counter "serve.batches"
+let m_batch_errors = Prt.Metrics.counter "serve.batch_analysis_errors"
+let m_batch_warnings = Prt.Metrics.counter "serve.batch_analysis_warnings"
+let m_batch_fallbacks = Prt.Metrics.counter "serve.batch_fallbacks"
 let g_queue_depth = Prt.Metrics.gauge "serve.queue_depth"
 let h_latency = Prt.Metrics.histogram "serve.latency_ns"
 let h_batch_size = Prt.Metrics.histogram "serve.batch_size"
@@ -231,7 +234,23 @@ let round t =
                  Array.of_list
                    (List.map (fun (_, p) -> p.Finch.pr_problem) group)
                in
-               if Batch.compatible problems = Ok () then solve_batched t group
+               if Batch.compatible problems = Ok () then begin
+                 (* gate the batching rewrite itself: lint the
+                    request-batched IR, not only the per-request
+                    program (which already passed above) *)
+                 let rep = Batch.check ?post_io:t.post_io problems in
+                 Prt.Metrics.add m_batch_errors
+                   rep.Finch_analysis.Driver.errors;
+                 Prt.Metrics.add m_batch_warnings
+                   rep.Finch_analysis.Driver.warnings;
+                 if rep.Finch_analysis.Driver.errors > 0 then begin
+                   (* the solo programs are vetted; only the batched
+                      schedule is unsafe — fall back to solo runs *)
+                   Prt.Metrics.incr m_batch_fallbacks;
+                   List.iter (fun (it, p) -> solve_solo t it p) group
+                 end
+                 else solve_batched t group
+               end
                else
                  (* compatible hashes but not a batchable backend (CPU
                     targets, multi-device): run solo, still sharing the

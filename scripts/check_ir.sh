@@ -20,6 +20,30 @@ echo "== scenario x backend x overlap lint matrix (naive IR, --opt 0) =="
 echo "== scenario x backend x overlap lint matrix (optimized IR, --opt 2) =="
 ./_build/default/bin/bte_lint.exe --opt 2
 
+echo "== communication-schedule verifier (multi-rank and multi-device) =="
+# the configurations whose programs actually exchange ghosts: the Comm
+# pass (A025-A032) elaborates and simulates their full message schedule
+./_build/default/bin/bte_lint.exe --backend cells:2 --backend cells:4 \
+  --backend gpu:a6000:2x2 --backend gpu:a6000:2x4
+
+echo "== machine-readable lint output (--format json) =="
+json_out=$(mktemp)
+./_build/default/bin/bte_lint.exe --backend cells:2 --opt 0 --format json \
+  > "$json_out"
+grep -q '"summary"' "$json_out" || {
+  echo "check_ir: JSON lint output missing the summary object"
+  cat "$json_out"
+  rm -f "$json_out"
+  exit 1
+}
+grep -q '"errors": 0' "$json_out" || {
+  echo "check_ir: JSON lint output reports errors (or lost the count)"
+  cat "$json_out"
+  rm -f "$json_out"
+  exit 1
+}
+rm -f "$json_out"
+
 echo "== native codegen smoke test (cold compile, then warm cache) =="
 dune build bin/bte_sim.exe
 cache_dir=$(mktemp -d)
@@ -92,4 +116,4 @@ grep -q '"gpu_grid_8dev"' "$scaling_out" || {
 }
 rm -f "$scaling_out"
 
-echo "check_ir: selftest, full lint matrix (opt 0 and 2), native codegen cache, serve scheduler and scaling smoke clean"
+echo "check_ir: selftest, full lint matrix (opt 0 and 2), comm-schedule verifier, JSON output, native codegen cache, serve scheduler and scaling smoke clean"

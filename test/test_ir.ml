@@ -158,6 +158,10 @@ let test_reads_writes_per_constructor () =
   rw "allreduce"
     (Allreduce { what = "sum"; vars = [ "t" ]; note = m })
     [ "t" ] [ "t" ];
+  rw "allreduce (multi-var)"
+    (Allreduce { what = "sum"; vars = [ "t"; "q" ]; note = m })
+    [ "q"; "t" ] [ "q"; "t" ];
+  rw "d2d" (D2d { vars = [ "u"; "v" ]; note = m }) [ "u"; "v" ] [ "u"; "v" ];
   rw "h2d" (H2d { vars = [ "u"; "k" ]; every_step = false })
     [ "k"; "u" ] [ "k"; "u" ];
   rw "d2h" (D2h { vars = [ "u" ]; every_step = true }) [ "u" ] [ "u" ];

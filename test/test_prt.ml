@@ -329,6 +329,85 @@ let test_vranks () =
   Prt.Vranks.allreduce_sum t ~get:(fun st -> st) ~set:(fun st a -> Array.blit a 0 st 0 2) ~len:2;
   Tutil.check_close "reduced" 3. (Prt.Vranks.state t 0).(0)
 
+(* --- Commsched: static schedule simulation ----------------------- *)
+
+let send peer tag len label = Prt.Commsched.Send { peer; tag; len; label }
+let recv peer tag len label = Prt.Commsched.Recv { peer; tag; len; label }
+let wait = Prt.Commsched.Wait_all
+
+(* compact shape of a problem list, for multiset assertions *)
+let shapes ps =
+  List.map
+    (function
+      | Prt.Commsched.Unmatched_send _ -> "unmatched-send"
+      | Prt.Commsched.Unmatched_recv _ -> "unmatched-recv"
+      | Prt.Commsched.Deadlock _ -> "deadlock"
+      | Prt.Commsched.Tag_collision _ -> "tag-collision"
+      | Prt.Commsched.Size_mismatch _ -> "size-mismatch")
+    ps
+
+let check_shapes name expect sched =
+  Alcotest.(check (list string)) name expect
+    (shapes (Prt.Commsched.simulate sched))
+
+let test_commsched_clean () =
+  (* symmetric two-rank halo round: everything matches, no problems *)
+  check_shapes "clean exchange" []
+    [| [ send 1 0 2 "u"; recv 1 0 2 "u"; wait ];
+       [ send 0 0 2 "u"; recv 0 0 2 "u"; wait ] |];
+  check_shapes "empty schedule" [] [| []; [] |]
+
+let test_commsched_unmatched () =
+  (* rank 1 never posts the receive for rank 0's send *)
+  check_shapes "dropped receive" [ "unmatched-send" ]
+    [| [ send 1 0 2 "u"; wait ]; [ wait ] |];
+  (* rank 0 never posts the send rank 1 receives; rank 1's wait cannot
+     cycle (rank 0 finishes), so this is unmatched, not deadlock *)
+  check_shapes "dropped send" [ "unmatched-recv" ]
+    [| [ wait ]; [ recv 0 0 2 "u"; wait ] |]
+
+let test_commsched_deadlock () =
+  (* both ranks wait before sending: a waits-for cycle, reported once
+     and subsuming the per-message unmatched reports *)
+  check_shapes "recv-before-send cycle" [ "deadlock" ]
+    [| [ recv 1 0 2 "u"; wait; send 1 0 2 "u" ];
+       [ recv 0 0 2 "u"; wait; send 0 0 2 "u" ] |];
+  match Prt.Commsched.simulate
+          [| [ recv 1 0 1 "u"; wait; send 1 0 1 "u" ];
+             [ recv 0 0 1 "u"; wait; send 0 0 1 "u" ] |]
+  with
+  | [ Prt.Commsched.Deadlock { ranks } ] ->
+    Alcotest.(check (list int)) "cycle members" [ 0; 1 ] ranks
+  | ps -> Alcotest.failf "expected one deadlock, got %d problems" (List.length ps)
+
+let test_commsched_tag_collision () =
+  (* two in-flight sends with different lengths on one channel: FIFO
+     matching is order-dependent (and the lengths cross, so the two
+     deliveries also mismatch) *)
+  check_shapes "busy channel"
+    [ "tag-collision"; "size-mismatch"; "size-mismatch" ]
+    [| [ send 1 0 1 "a"; send 1 0 2 "b" ];
+       [ recv 0 0 2 "b"; recv 0 0 1 "a"; wait ] |]
+
+let test_commsched_size_mismatch () =
+  check_shapes "framing disagreement" [ "size-mismatch" ]
+    [| [ send 1 0 3 "u"; recv 1 0 2 "u"; wait ];
+       [ send 0 0 2 "u"; recv 0 0 2 "u"; wait ] |]
+
+let test_commsched_to_string () =
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let covers p sub =
+    let s = Prt.Commsched.problem_to_string p in
+    check_bool (Printf.sprintf "%S mentions %S" s sub) true (contains s sub)
+  in
+  covers (Prt.Commsched.Unmatched_send { src = 0; dst = 1; tag = 0; label = "u" })
+    "never received";
+  covers (Prt.Commsched.Deadlock { ranks = [ 0; 1 ] }) "cycle"
+
 let suite =
   ( "prt",
     [
@@ -359,4 +438,15 @@ let suite =
         test_allreduce_mismatch_names_ranks;
       Alcotest.test_case "p2p metrics accounted" `Quick test_p2p_metrics;
       Alcotest.test_case "vranks superstep" `Quick test_vranks;
+      Alcotest.test_case "commsched clean" `Quick test_commsched_clean;
+      Alcotest.test_case "commsched unmatched halves" `Quick
+        test_commsched_unmatched;
+      Alcotest.test_case "commsched deadlock cycle" `Quick
+        test_commsched_deadlock;
+      Alcotest.test_case "commsched tag collision" `Quick
+        test_commsched_tag_collision;
+      Alcotest.test_case "commsched size mismatch" `Quick
+        test_commsched_size_mismatch;
+      Alcotest.test_case "commsched problem strings" `Quick
+        test_commsched_to_string;
     ] )

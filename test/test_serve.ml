@@ -360,6 +360,68 @@ let test_batch_counters_gpu () =
       check_bool "batched launches recorded" true
         (cval "serve.batched_launches" - l0 > 0))
 
+(* ---------- batched-IR analysis gate ---------- *)
+
+(* the scheduler's second gate: the request-batched IR itself is linted
+   before dispatch.  On a compatible GPU batch the rewrite must lint
+   clean (so batching actually runs, no silent solo fallback) and keep
+   the documented shape: kernels stay single batched launches, host
+   phases and transfers run under a per-request loop *)
+let test_batched_ir_lints_clean () =
+  with_metrics (fun () ->
+      let prep req =
+        match Finch.prepare req with
+        | Ok p -> p.Finch.pr_problem
+        | Error e -> Alcotest.fail (Finch.Solve_error.to_string e)
+      in
+      let problems =
+        Array.of_list
+          (List.map prep
+             [ tiny ~backend:gpu1 ~t_hot:350. ();
+               tiny ~backend:gpu1 ~t_hot:355. () ])
+      in
+      let ir =
+        Finch_serve.Batch.batched_ir ~post_io:Bte.Setup.post_io problems
+      in
+      let count pred =
+        Finch.Ir.fold (fun n node -> if pred node then n + 1 else n) 0 ir
+      in
+      let batch_kernels =
+        count (function
+          | Finch.Ir.Kernel { kname; _ } ->
+            let n = String.length kname in
+            n >= 6 && String.sub kname (n - 6) 6 = "_batch"
+          | _ -> false)
+      in
+      check_bool "kernels kept as batched launches" true (batch_kernels > 0);
+      check_int "no un-batched kernels" batch_kernels
+        (count (function Finch.Ir.Kernel _ -> true | _ -> false));
+      check_bool "host phases wrapped per request" true
+        (count (function
+           | Finch.Ir.Loop { range = Finch.Ir.Index "request"; _ } -> true
+           | _ -> false)
+         > 0);
+      let rep = Finch_serve.Batch.check ~post_io:Bte.Setup.post_io problems in
+      check_int "batched IR lints clean" 0
+        (List.length rep.Finch_analysis.Driver.findings);
+      (* and the scheduler therefore batches without falling back *)
+      let f0 = cval "serve.batch_fallbacks"
+      and e0 = cval "serve.batch_analysis_errors" in
+      let t = Finch_serve.Scheduler.create ~post_io:Bte.Setup.post_io () in
+      let outs =
+        Finch_serve.Scheduler.run_all t
+          [ tiny ~backend:gpu1 ~t_hot:350. ();
+            tiny ~backend:gpu1 ~t_hot:355. () ]
+      in
+      check_int "both completed" 2
+        (List.length
+           (List.filter
+              (function Finch_serve.Scheduler.Completed _ -> true | _ -> false)
+              outs));
+      check_int "no analysis errors on the batched IR" 0
+        (cval "serve.batch_analysis_errors" - e0);
+      check_int "no solo fallback" 0 (cval "serve.batch_fallbacks" - f0))
+
 let suite =
   ( "serve",
     [
@@ -392,4 +454,6 @@ let suite =
       Alcotest.test_case "batched matches solo (matrix)" `Quick
         test_batched_matches_solo;
       Alcotest.test_case "gpu batch counters" `Quick test_batch_counters_gpu;
+      Alcotest.test_case "batched IR lints clean" `Quick
+        test_batched_ir_lints_clean;
     ] )
