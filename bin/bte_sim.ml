@@ -37,9 +37,10 @@ let backend_t =
     & info [ "backend" ] ~docv:"SPEC"
         ~doc:
           "Execution backend: serial, threads:N (persistent domain pool), \
-           bands:N, cells:N, hybrid:RxD (R band ranks x D pool domains), or \
-           gpu[:NAME[:RANKS]] (simulated device, default a6000). \
-           Case-insensitive.")
+           bands:N, cells:N, hybrid:RxD (R band ranks x D pool domains), \
+           gpu[:NAME[:RANKS|:GxR]] (simulated device, default a6000), or \
+           auto (the tuner searches backend x opt x overlap x grid and \
+           picks the plan itself; see docs/TUNER.md). Case-insensitive.")
 
 let target_t =
   Arg.(
@@ -98,6 +99,36 @@ let codegen_cache_dir_t =
         ~doc:
           "Directory for compiled native kernels (--eval native). \
            Defaults to $(b,FINCH_CODEGEN_CACHE_DIR) or _build/finch_cache \
+           under the current directory.")
+
+let explain_plan_t =
+  Arg.(
+    value & flag
+    & info [ "explain-plan" ]
+        ~doc:
+          "Run the autotuner and dump its full candidate table — plan, \
+           predicted cost, legality verdict and measured refinement if any \
+           — before the solve. With a concrete $(b,--backend) the table is \
+           informational and the requested backend still runs; with \
+           $(b,--backend auto) the table explains the committed choice.")
+
+let tune_measure_t =
+  Arg.(
+    value & opt int 0
+    & info [ "tune-measure" ] ~docv:"STEPS"
+        ~doc:
+          "Refine the tuner's shortlist with measured calibration runs \
+           clamped to $(docv) time steps on the real executors (0, the \
+           default, trusts the cost model and stays deterministic).")
+
+let tune_cache_dir_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tune-cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Directory for memoized tuner decisions (--backend auto). \
+           Defaults to $(b,FINCH_TUNE_CACHE_DIR) or _build/finch_tune \
            under the current directory.")
 
 let csv_t =
@@ -195,6 +226,65 @@ let resolve_backend ~backend ~target =
     prerr_endline "warning: --target is deprecated; use --backend";
     spec
   | None, None -> "serial"
+
+(* ---------- tuner plumbing shared by [run] and [request] ---------- *)
+
+let verdict_text = function
+  | Finch_tune.Tune.Scored -> "scored"
+  | Finch_tune.Tune.Legal -> "legal"
+  | Finch_tune.Tune.Rejected m -> "rejected: " ^ m
+  | Finch_tune.Tune.Unpredictable m -> "unpredictable: " ^ m
+
+let print_plan_table (d : Finch_tune.Tune.decision) =
+  Printf.printf "tuner: %d candidate(s) scored (cache key %s)\n"
+    (List.length d.Finch_tune.Tune.dc_candidates)
+    d.Finch_tune.Tune.dc_key;
+  Printf.printf "  %-44s %14s %14s  %s\n" "plan" "predicted [s]" "measured [s]"
+    "verdict";
+  List.iter
+    (fun (c : Finch_tune.Tune.candidate) ->
+      Printf.printf "  %-44s %14.4g %14s  %s%s\n"
+        (Finch_tune.Plan.name c.Finch_tune.Tune.cd_plan)
+        c.Finch_tune.Tune.cd_predicted_s
+        (match c.Finch_tune.Tune.cd_measured_s with
+         | Some m -> Printf.sprintf "%.4g" m
+         | None -> "-")
+        (verdict_text c.Finch_tune.Tune.cd_verdict)
+        (if Finch_tune.Plan.equal c.Finch_tune.Tune.cd_plan
+              d.Finch_tune.Tune.dc_plan
+         then "  <- chosen"
+         else ""))
+    d.Finch_tune.Tune.dc_candidates
+
+(* [--backend auto]: commit to the tuner's plan before preparing; with
+   [--explain-plan] the (force-recomputed, so the table is populated)
+   candidate ranking is printed either way, but a concrete backend is
+   never overridden.  The tuner's own trial runs and the analysis gate
+   inside it use the same post_io contract as the solve's gate. *)
+let tune_request ~explain ~measure_steps (req : Finch.Solve_request.t) =
+  let is_auto = req.Finch.Solve_request.backend = Finch.Config.Auto in
+  if not (is_auto || explain) then req, None
+  else
+    match
+      Finch_tune.Tune.plan ~post_io:Bte.Setup.post_io ~measure_steps
+        ~force:explain req
+    with
+    | Error e ->
+      Printf.eprintf "error: tuner: %s\n" e;
+      exit 2
+    | Ok d ->
+      if explain then print_plan_table d;
+      if is_auto then begin
+        Printf.printf "tuner: plan %s (predicted %.4g s, %s)\n%!"
+          (Finch_tune.Plan.name d.Finch_tune.Tune.dc_plan)
+          d.Finch_tune.Tune.dc_predicted_s
+          (match d.Finch_tune.Tune.dc_origin with
+           | Finch_tune.Tune.Computed -> "computed"
+           | Finch_tune.Tune.Memory_hit -> "memo hit"
+           | Finch_tune.Tune.Disk_hit -> "disk cache hit");
+        Finch_tune.Plan.apply d.Finch_tune.Tune.dc_plan req, Some d
+      end
+      else req, None
 
 (* Post-solve reporting shared by [run] and [request]: tape statistics,
    temperature stats, phase breakdown, GPU perf model and optional CSV. *)
@@ -294,8 +384,8 @@ let finish_sanitize ~sanitize () =
    gates and reporting around it.  Exit codes: 2 invalid request /
    unknown scenario, 3 analysis errors, 4 sanitizer poison, 1 engine
    failure. *)
-let solve_request ~t_ambient ~csv ~trace ~metrics ~no_check ~sanitize
-    (req : Finch.Solve_request.t) =
+let solve_request ?tune_decision ~t_ambient ~csv ~trace ~metrics ~no_check
+    ~sanitize (req : Finch.Solve_request.t) =
   match Finch.prepare req with
   | Error e ->
     Printf.eprintf "error: %s\n" (Finch.Solve_error.to_string e);
@@ -310,12 +400,22 @@ let solve_request ~t_ambient ~csv ~trace ~metrics ~no_check ~sanitize
        Printf.eprintf "error: %s\n" (Finch.Solve_error.to_string e);
        exit 1
      | Ok res ->
+       (match tune_decision with
+        | Some (d : Finch_tune.Tune.decision) ->
+          let wall = res.Finch.Solve_result.wall_s in
+          let predicted = d.Finch_tune.Tune.dc_predicted_s in
+          Printf.printf
+            "tuner: predicted %.4g s, measured %.4g s (model/measured %.2fx)\n"
+            predicted wall
+            (if wall > 0. then predicted /. wall else nan)
+        | None -> ());
        report_result ~t_ambient ~csv prep res;
        finish_observability ~trace ~metrics;
        finish_sanitize ~sanitize ())
 
 let run_cmd scenario nx ny ndirs nbands nsteps backend target overlap opt
-    eval_mode codegen_cache_dir csv paper_scale trace metrics no_check sanitize =
+    eval_mode codegen_cache_dir explain_plan tune_measure tune_cache_dir csv
+    paper_scale trace metrics no_check sanitize =
   Bte.Setup.register_scenarios ();
   let opt_level =
     match Finch.Config.opt_level_of_string opt with
@@ -361,15 +461,24 @@ let run_cmd scenario nx ny ndirs nbands nsteps backend target overlap opt
    | Some d -> Finch_codegen.Codegen.set_cache_dir d
    | None -> ());
   Finch_codegen.Codegen.install ~post_io:Bte.Setup.post_io ();
-  solve_request ~t_ambient:sc.Bte.Setup.t_cold ~csv ~trace ~metrics ~no_check
-    ~sanitize req
+  (match tune_cache_dir with
+   | Some d -> Finch_tune.Tune.set_cache_dir d
+   | None -> ());
+  (* observability must be live before the tuner so its counters and
+     spans (tune.cache_hits, tune:plan, ...) land in the report *)
+  start_observability ~trace ~metrics;
+  let req, tune_decision =
+    tune_request ~explain:explain_plan ~measure_steps:tune_measure req
+  in
+  solve_request ?tune_decision ~t_ambient:sc.Bte.Setup.t_cold ~csv ~trace
+    ~metrics ~no_check ~sanitize req
 
 let run_term =
   Term.(
     const run_cmd $ scenario_t $ nx_t $ ny_t $ ndirs_t $ nbands_t $ nsteps_t
     $ backend_t $ target_t $ overlap_t $ opt_t $ eval_mode_t
-    $ codegen_cache_dir_t $ csv_t $ paper_scale_t $ trace_t $ metrics_t
-    $ no_check_t $ sanitize_t)
+    $ codegen_cache_dir_t $ explain_plan_t $ tune_measure_t $ tune_cache_dir_t
+    $ csv_t $ paper_scale_t $ trace_t $ metrics_t $ no_check_t $ sanitize_t)
 
 let run_info =
   Cmd.info "run" ~doc:"Solve a BTE scenario with a chosen execution backend."
@@ -593,7 +702,14 @@ let request_cmd json file csv trace metrics no_check sanitize =
       | None -> 300.
     in
     Finch_codegen.Codegen.install ~post_io:Bte.Setup.post_io ();
-    solve_request ~t_ambient ~csv ~trace ~metrics ~no_check ~sanitize req
+    start_observability ~trace ~metrics;
+    (* wire requests may also say "backend": "auto" — resolve exactly as
+       the run subcommand does, model-only *)
+    let req, tune_decision =
+      tune_request ~explain:false ~measure_steps:0 req
+    in
+    solve_request ?tune_decision ~t_ambient ~csv ~trace ~metrics ~no_check
+      ~sanitize req
 
 let request_term =
   Term.(

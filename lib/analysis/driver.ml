@@ -66,6 +66,8 @@ let check_problem ?post_io ?(ignore_codes = []) (p : Problem.t) =
   | Config.Cpu _ ->
     let tree = Ir.build_cpu p in
     check_ir ?comm ~ignore_codes ctx tree
+  | Config.Auto ->
+    invalid_arg "Driver.check_problem: unresolved auto target"
 
 let pp_report out r =
   List.iter

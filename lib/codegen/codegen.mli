@@ -27,6 +27,10 @@ val memo_size : unit -> int
     serve layer's program-object cache rides on this level; exposed so
     schedulers and tests can assert reuse without re-deriving keys. *)
 
+val clear_memo : unit -> unit
+(** Drop the in-process memo (the disk level is untouched); for tests
+    that assert cold-vs-warm compile behaviour. *)
+
 val install : ?post_io:Finch.Dataflow.callback_io -> unit -> unit
 (** Install the codegen backend into [Lower.native_hook]; states built
     with eval mode [Native] then compile and bind generated kernels.

@@ -51,11 +51,16 @@ type target =
        within a rank and exchange ghosts device-to-device over the
        simulated NVLink/host-staging path.  devices = ranks = 1 is the
        classic single-device target. *)
+  | Auto
+    (* placeholder resolved by the autotuner (lib/tune) before any
+       problem is prepared: entry points replace it with the concrete
+       plan's target.  Executors and lowering never see Auto. *)
 
 (* Canonical backend spec strings.  [target_name] and [target_of_string]
    round-trip: parsing a printed name yields the same target, so the one
    spec grammar serves CLI flags, reports and benchmark labels alike. *)
 let target_name = function
+  | Auto -> "auto"
   | Cpu Serial -> "serial"
   | Cpu (Cell_parallel n) -> Printf.sprintf "cells:%d" n
   | Cpu (Band_parallel n) -> Printf.sprintf "bands:%d" n
@@ -72,7 +77,7 @@ let target_of_string s =
     Error
       (Printf.sprintf
          "bad backend spec %S (expected \
-          serial|threads:N|bands:N|cells:N|hybrid:RxD|gpu[:NAME[:RANKS|:GxR]])"
+          auto|serial|threads:N|bands:N|cells:N|hybrid:RxD|gpu[:NAME[:RANKS|:GxR]])"
          s)
   in
   let pos_int x =
@@ -82,6 +87,7 @@ let target_of_string s =
     try Some (Gpu_sim.Spec.by_name name) with Invalid_argument _ -> None
   in
   match String.split_on_char ':' (String.lowercase_ascii (String.trim s)) with
+  | [ "auto" ] -> Ok Auto
   | [ "serial" ] -> Ok (Cpu Serial)
   | [ "threads"; n ] -> (
     match pos_int n with Some n -> Ok (Cpu (Threaded n)) | None -> fail ())

@@ -39,16 +39,21 @@ type target =
         ghosts device-to-device (simulated NVLink within a node, host
         staging across).  [devices = ranks = 1] is the single-device
         target. *)
+  | Auto
+    (** placeholder resolved by the autotuner ([finch_tune],
+        docs/TUNER.md) before preparation: entry points replace it with
+        the winning plan's concrete target.  Executors and lowering
+        never see [Auto]; {!Finch.prepare} rejects it. *)
 
 val target_name : target -> string
-(** Canonical backend spec of a target: ["serial"], ["threads:N"],
-    ["bands:N"], ["cells:N"], ["hybrid:RxD"], ["gpu:NAME"],
-    ["gpu:NAME:RANKS"] or ["gpu:NAME:GxR"] (G devices per rank when
-    G > 1).  Round-trips through {!target_of_string}. *)
+(** Canonical backend spec of a target: ["auto"], ["serial"],
+    ["threads:N"], ["bands:N"], ["cells:N"], ["hybrid:RxD"],
+    ["gpu:NAME"], ["gpu:NAME:RANKS"] or ["gpu:NAME:GxR"] (G devices per
+    rank when G > 1).  Round-trips through {!target_of_string}. *)
 
 val target_of_string : string -> (target, string) result
 (** Parse a backend spec
-    [serial|threads:N|bands:N|cells:N|hybrid:RxD|gpu[:NAME[:RANKS|:GxR]]]
+    [auto|serial|threads:N|bands:N|cells:N|hybrid:RxD|gpu[:NAME[:RANKS|:GxR]]]
     (case-insensitive; GPU names as accepted by {!Gpu_sim.Spec.by_name},
     defaulting to [a6000] with one device and one rank; the legacy
     spellings [hybrid:R:D] and [gpu:NAME:1xR] are accepted as aliases).

@@ -99,6 +99,12 @@ let scenario_names () =
 let prepare (req : Solve_request.t) : (prepared, Solve_error.t) result =
   match Solve_request.validate req with
   | Error m -> Error (Solve_error.Invalid_request m)
+  | Ok () when req.Solve_request.backend = Config.Auto ->
+    (* lowering and the executors have no notion of "auto": the tuner
+       (finch_tune) must have replaced it with a concrete plan by now *)
+    Error
+      (Solve_error.Invalid_request
+         "backend auto must be resolved by the tuner before prepare")
   | Ok () ->
     (match Hashtbl.find_opt scenario_registry req.Solve_request.scenario with
      | None -> Error (Solve_error.Unknown_scenario req.Solve_request.scenario)

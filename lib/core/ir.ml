@@ -166,6 +166,7 @@ let build_cpu (p : Problem.t) =
     match p.Problem.target with
     | Config.Cpu s -> s
     | Config.Gpu _ -> Config.Serial
+    | Config.Auto -> invalid_arg "Ir.build_cpu: unresolved auto target"
   in
   let comm =
     match strategy with

@@ -123,6 +123,8 @@ let solve_dispatch ?band_index ?post_io (p : Problem.t) =
       gpu = Some r;
       states = [| st |];
     }
+  | Config.Auto ->
+    invalid_arg "Solve: unresolved auto target (run the tuner first)"
 
 let solve ?band_index ?post_io (p : Problem.t) =
   let outcome =

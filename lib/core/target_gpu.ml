@@ -824,7 +824,8 @@ let run ?post_io (p : Problem.t) =
   let spec, devices, ranks =
     match p.Problem.target with
     | Config.Gpu { spec; devices; ranks } -> spec, devices, ranks
-    | Config.Cpu _ -> raise (Gpu_error "problem target is not a GPU")
+    | Config.Cpu _ | Config.Auto ->
+      raise (Gpu_error "problem target is not a GPU")
   in
   let overlap = p.Problem.overlap in
   if devices > 1 then fst (run_grid ?post_io ~overlap ~spec ~devices ~ranks p)

@@ -417,3 +417,4 @@ let optimize_problem ?post_io (p : Problem.t) =
         (fun () -> Ir.build_gpu p ~transfers:(Dataflow.ir_transfers plan))
     in
     optimize ~plan ?comm ~live_out ~level ctx tree
+  | Config.Auto -> invalid_arg "Opt: unresolved auto target"

@@ -26,6 +26,7 @@ let compatible (ps : Finch.Problem.t array) =
         Ok spec.Gpu_sim.Spec.name
       | Config.Gpu _ -> Error "multi-device GPU targets cannot be batched"
       | Config.Cpu _ -> Error "CPU targets cannot share batched launches"
+      | Config.Auto -> Error "unresolved auto target cannot be batched"
     in
     let rec go i =
       if i >= Array.length ps then Ok ()
@@ -100,7 +101,7 @@ let run ?post_io (ps : Finch.Problem.t array) =
   let spec =
     match p0.Problem.target with
     | Config.Gpu { spec; _ } -> spec
-    | Config.Cpu _ -> assert false
+    | Config.Cpu _ | Config.Auto -> assert false
   in
   let allreduce = Target_cpu.noop_allreduce in
   let hosts = Array.map (fun p -> Lower.build p) ps in

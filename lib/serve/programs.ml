@@ -29,6 +29,8 @@ let naive_source ?post_io (p : Finch.Problem.t) =
       let plan = Finch.Dataflow.plan_for_problem ?post_io p in
       Finch.Ir.build_gpu p ~transfers:(Finch.Dataflow.ir_transfers plan)
     | Finch.Config.Cpu _ -> Finch.Ir.build_cpu p
+    | Finch.Config.Auto ->
+      invalid_arg "Programs: unresolved auto target (tune before lookup)"
   in
   Finch.Emit_source.to_julia ir
 

@@ -30,11 +30,17 @@ type ticket = {
   mutable tk_outcome : outcome option;
 }
 
-(* one queued request; prepared problem and program entry are memoized
-   across drain rounds so a request inspected for co-batching but left
-   queued is not re-lowered when it reaches the head *)
+(* one queued request; the tuner resolution, prepared problem and
+   program entry are memoized across drain rounds so a request inspected
+   for co-batching but left queued is not re-planned or re-lowered when
+   it reaches the head *)
 type item = {
   it_ticket : ticket;
+  mutable it_req : Finch.Solve_request.t;
+    (* tk_req with backend=auto replaced by the tuner's plan; equal to
+       tk_req for concrete requests *)
+  mutable it_chunk : int option;
+    (* the plan's requested co-batching window, when the tuner chose it *)
   mutable it_prep : (Finch.prepared * Programs.entry, Finch.Solve_error.t) result option;
 }
 
@@ -82,7 +88,9 @@ let submit t req =
        resolve t tk
          (Rejected (Printf.sprintf "queue full (%d)" t.max_queue))
      else begin
-       t.queue <- t.queue @ [ { it_ticket = tk; it_prep = None } ];
+       t.queue <-
+         t.queue
+         @ [ { it_ticket = tk; it_req = req; it_chunk = None; it_prep = None } ];
        set_depth t
      end);
   tk
@@ -90,7 +98,12 @@ let submit t req =
 let outcome (tk : ticket) = tk.tk_outcome
 let trace_id (tk : ticket) = tk.tk_trace
 
-(* prepare + program lookup, memoized on the item *)
+(* tuner resolution + prepare + program lookup, memoized on the item.
+   A backend=auto request is planned here (model-only, so the decision
+   is deterministic and amortized by the tuner's two-level cache); the
+   resolved request drives preparation and the program hash, so auto
+   requests that land on the same plan co-batch like hand-picked
+   ones. *)
 let prep_of t (it : item) =
   match it.it_prep with
   | Some r -> r
@@ -99,17 +112,23 @@ let prep_of t (it : item) =
        stay cold per request (the historical per-invocation pipeline) *)
     Finch.set_scenario_cache t.use_cache;
     let r =
-      match Finch.prepare it.it_ticket.tk_req with
-      | Error e -> Error e
-      | Ok prep ->
-        let entry =
-          if t.use_cache then
-            Programs.lookup ?post_io:t.post_io it.it_ticket.tk_req prep
-          else
-            Programs.check_uncached ?post_io:t.post_io it.it_ticket.tk_req
-              prep
-        in
-        Ok (prep, entry)
+      match Finch_tune.Tune.resolve ?post_io:t.post_io it.it_ticket.tk_req with
+      | Error m ->
+        Error (Finch.Solve_error.Invalid_request ("tuner: " ^ m))
+      | Ok (req, decision) ->
+        it.it_req <- req;
+        (match decision with
+         | Some d ->
+           it.it_chunk <- Some d.Finch_tune.Tune.dc_plan.Finch_tune.Plan.chunk
+         | None -> ());
+        (match Finch.prepare req with
+         | Error e -> Error e
+         | Ok prep ->
+           let entry =
+             if t.use_cache then Programs.lookup ?post_io:t.post_io req prep
+             else Programs.check_uncached ?post_io:t.post_io req prep
+           in
+           Ok (prep, entry))
     in
     it.it_prep <- Some r;
     r
@@ -129,8 +148,7 @@ let expired t (it : item) =
 
 let solve_solo t (it : item) (prep : Finch.prepared) =
   match
-    Finch.solve_prepared ~trace_id:it.it_ticket.tk_trace it.it_ticket.tk_req
-      prep
+    Finch.solve_prepared ~trace_id:it.it_ticket.tk_trace it.it_req prep
   with
   | Ok res -> resolve t it.it_ticket (Completed res)
   | Error e -> resolve t it.it_ticket (Rejected (Finch.Solve_error.to_string e))
@@ -202,16 +220,23 @@ let round t =
                     entry.Programs.analysis.Finch_analysis.Driver.errors))
           else begin
             (* coalescing window: same program hash, FIFO order kept for
-               everything left behind *)
+               everything left behind.  A tuner-chosen plan may narrow
+               the window below max_batch via its chunk (CPU plans ask
+               for 1 — no point scanning for co-batchable followers). *)
+            let window =
+              match head.it_chunk with
+              | Some c -> min t.max_batch c
+              | None -> t.max_batch
+            in
             let group = ref [ head, prep ] in
-            if t.batching && t.max_batch > 1 then begin
+            if t.batching && window > 1 then begin
               let kept = ref [] in
               let scanned = ref 0 in
               List.iter
                 (fun it ->
                   if
-                    List.length !group < t.max_batch
-                    && !scanned < t.max_batch - 1
+                    List.length !group < window
+                    && !scanned < window - 1
                     && expired t it = None
                   then begin
                     incr scanned;

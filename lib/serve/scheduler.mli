@@ -10,6 +10,14 @@
     it is picked for execution times out without running; the analysis
     gate rejects requests whose verified program carries errors.
 
+    Requests with [backend = auto] are planned per request by the
+    autotuner ({!Finch_tune.Tune.resolve}, model-only so the choice is
+    deterministic) when first inspected; the resolved request drives
+    preparation and the program hash, so auto requests landing on the
+    same plan share {!Programs} entries and co-batch with hand-picked
+    ones, and the plan's chunk may narrow the head's coalescing window
+    below [max_batch].
+
     Observability: every request gets a trace id and a span on the
     ["serve"] track covering submit-to-done; the queue depth is the
     [serve.queue_depth] gauge; submit-to-done latency lands in the

@@ -97,6 +97,74 @@ for field in '"validated": true' '"max_abs_diff": 0' '"program_hits"' \
 done
 rm -f "$serve_out"
 
+echo "== tuner smoke (--backend auto cold+warm, both scenarios; bench campaign self-validates) =="
+tune_cache=$(mktemp -d)
+for scenario in hotspot corner; do
+  # cold: the decision is computed and persisted
+  ./_build/default/bin/bte_sim.exe run --scenario "$scenario" --nx 8 --ny 8 \
+    --dirs 4 --bands 3 --steps 4 --backend auto \
+    --tune-cache-dir "$tune_cache" --metrics \
+    > /tmp/check_ir_tune_cold.$$ 2>&1
+  grep -q 'tuner: plan ' /tmp/check_ir_tune_cold.$$ || {
+    echo "check_ir: $scenario auto run did not report a tuned plan"
+    cat /tmp/check_ir_tune_cold.$$
+    rm -f /tmp/check_ir_tune_cold.$$
+    exit 1
+  }
+  grep -q 'tune.cache_misses.*1$' /tmp/check_ir_tune_cold.$$ || {
+    echo "check_ir: $scenario cold auto run did not miss the decision cache"
+    cat /tmp/check_ir_tune_cold.$$
+    rm -f /tmp/check_ir_tune_cold.$$
+    exit 1
+  }
+  rm -f /tmp/check_ir_tune_cold.$$
+  # warm: a second process must reuse the persisted decision
+  ./_build/default/bin/bte_sim.exe run --scenario "$scenario" --nx 8 --ny 8 \
+    --dirs 4 --bands 3 --steps 4 --backend auto \
+    --tune-cache-dir "$tune_cache" --metrics \
+    > /tmp/check_ir_tune_warm.$$ 2>&1
+  grep -q 'tune.cache_hits.*1$' /tmp/check_ir_tune_warm.$$ || {
+    echo "check_ir: $scenario warm auto run re-tuned instead of hitting the cache"
+    cat /tmp/check_ir_tune_warm.$$
+    rm -f /tmp/check_ir_tune_warm.$$
+    exit 1
+  }
+  rm -f /tmp/check_ir_tune_warm.$$
+done
+# the explain table lists the candidate ranking with the pick marked
+./_build/default/bin/bte_sim.exe run --nx 6 --ny 6 --dirs 4 --bands 3 \
+  --steps 4 --backend auto --explain-plan --tune-cache-dir "$tune_cache" \
+  > /tmp/check_ir_tune_explain.$$ 2>&1
+grep -q 'candidate(s) scored' /tmp/check_ir_tune_explain.$$ || {
+  echo "check_ir: --explain-plan printed no candidate table"
+  cat /tmp/check_ir_tune_explain.$$
+  rm -f /tmp/check_ir_tune_explain.$$
+  exit 1
+}
+grep -q -- '<- chosen' /tmp/check_ir_tune_explain.$$ || {
+  echo "check_ir: --explain-plan marked no chosen plan"
+  cat /tmp/check_ir_tune_explain.$$
+  rm -f /tmp/check_ir_tune_explain.$$
+  exit 1
+}
+rm -f /tmp/check_ir_tune_explain.$$
+rm -rf "$tune_cache"
+# the measured campaign: hand-picked plans vs auto, emitter self-validates
+dune build bench/main.exe
+tune_out=$(mktemp)
+FINCH_TUNE_CACHE_DIR=$(mktemp -d) ./_build/default/bench/main.exe tune \
+  --out "$tune_out" > /dev/null || {
+  echo "check_ir: tune campaign failed (auto plan not competitive or not bit-identical)"
+  rm -f "$tune_out"
+  exit 1
+}
+grep -q '"validated": true' "$tune_out" || {
+  echo "check_ir: BENCH_tune.json missing the validated marker"
+  rm -f "$tune_out"
+  exit 1
+}
+rm -f "$tune_out"
+
 echo "== scaling campaign smoke (tiny 8-rank sweep; emitter self-validates) =="
 scaling_out=$(mktemp)
 scripts/run_scaling.sh 8 "$scaling_out" > /dev/null || {
@@ -116,4 +184,4 @@ grep -q '"gpu_grid_8dev"' "$scaling_out" || {
 }
 rm -f "$scaling_out"
 
-echo "check_ir: selftest, full lint matrix (opt 0 and 2), comm-schedule verifier, JSON output, native codegen cache, serve scheduler and scaling smoke clean"
+echo "check_ir: selftest, full lint matrix (opt 0 and 2), comm-schedule verifier, JSON output, native codegen cache, tuner, serve scheduler and scaling smoke clean"

@@ -12,7 +12,7 @@ cd "$(dirname "$0")/.."
 status=0
 for f in lib/prt/*.mli lib/gpu/*.mli lib/analysis/*.mli lib/fvm/*.mli \
          lib/opt/*.mli lib/codegen/*.mli lib/codegen/iface/*.mli \
-         lib/serve/*.mli; do
+         lib/serve/*.mli lib/tune/*.mli; do
   out=$(awk '
     function flush() {
       if (pending) {
@@ -32,6 +32,6 @@ for f in lib/prt/*.mli lib/gpu/*.mli lib/analysis/*.mli lib/fvm/*.mli \
 done
 
 if [ "$status" -eq 0 ]; then
-  echo "check_mli_docs: every val in lib/prt, lib/gpu, lib/analysis, lib/fvm, lib/opt, lib/codegen and lib/serve is documented"
+  echo "check_mli_docs: every val in lib/prt, lib/gpu, lib/analysis, lib/fvm, lib/opt, lib/codegen, lib/serve and lib/tune is documented"
 fi
 exit "$status"

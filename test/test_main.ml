@@ -27,4 +27,5 @@ let () =
       Test_fem.suite;
       Test_codegen.suite;
       Test_serve.suite;
+      Test_tune.suite;
     ]
